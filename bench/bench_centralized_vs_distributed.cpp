@@ -1,0 +1,145 @@
+// E4 — §3 vs §4: centralized vs distributed Reef.
+//
+// Runs the same browsing workload through both deployments and compares
+// what the paper argues qualitatively:
+//   * privacy: attention data leaves the host only in the centralized
+//     design;
+//   * network load: the centralized server re-crawls visited pages, the
+//     distributed peer parses its browser cache;
+//   * load distribution: server-side storage/compute vs per-peer;
+//   * fault tolerance: killing the centralized server stops all
+//     recommendations; killing one peer affects only that peer.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/strings.h"
+#include "workload/driver.h"
+
+namespace {
+
+using reef::util::with_commas;
+
+struct RunResult {
+  std::uint64_t attention_bytes = 0;
+  std::uint64_t recommendation_bytes = 0;
+  std::uint64_t gossip_bytes = 0;
+  std::uint64_t crawl_bytes = 0;
+  std::uint64_t server_storage = 0;
+  std::uint64_t total_network_msgs = 0;
+  std::uint64_t cache_parsed = 0;
+  std::uint64_t recs_before_failure = 0;
+  std::uint64_t recs_after_failure = 0;
+  std::size_t subscriptions = 0;
+};
+
+RunResult run(reef::workload::ReefExperiment::Mode mode, double days,
+              bool kill_analyzer) {
+  reef::workload::ReefExperiment::Config config;
+  config.mode = mode;
+  config.seed = 2006;
+  config.browsing.days = days;
+  reef::workload::ReefExperiment exp(config);
+
+  // Failure injection: at 60% of the horizon, the analysis tier fails —
+  // the server in the centralized design, one peer's machine otherwise.
+  const auto failure_at = static_cast<reef::sim::Time>(
+      days * 0.6 * static_cast<double>(reef::sim::kDay));
+  std::uint64_t recs_at_failure = 0;
+  if (kill_analyzer) {
+    exp.simulator().at(failure_at, [&exp, &recs_at_failure, mode] {
+      if (mode == reef::workload::ReefExperiment::Mode::kCentralized) {
+        recs_at_failure = exp.server()->stats().recommendations_sent;
+        exp.network().set_node_up(exp.server()->id(), false);
+      } else {
+        for (std::size_t u = 0; u < exp.peer_count(); ++u) {
+          recs_at_failure +=
+              exp.peer(u).frontend().stats().subscribes_applied;
+        }
+        exp.network().set_node_up(exp.peer(0).id(), false);
+      }
+    });
+  }
+  exp.run();
+
+  RunResult result;
+  result.attention_bytes = exp.network().bytes_by_type().get(
+      std::string(reef::attention::kTypeAttentionBatch));
+  result.recommendation_bytes = exp.network().bytes_by_type().get(
+      std::string(reef::core::kTypeRecommendation));
+  result.gossip_bytes = exp.network().bytes_by_type().get(
+      std::string(reef::core::kTypeGossip));
+  result.total_network_msgs = exp.network().total_messages();
+  if (mode == reef::workload::ReefExperiment::Mode::kCentralized) {
+    result.crawl_bytes = exp.server()->crawler().stats().bytes_fetched;
+    result.server_storage = exp.server()->stats().storage_bytes;
+    result.recs_after_failure =
+        exp.server()->stats().recommendations_sent - recs_at_failure;
+    for (std::size_t u = 0; u < exp.host_count(); ++u) {
+      result.subscriptions += exp.frontend(u).active_feed_subscriptions();
+    }
+  } else {
+    std::uint64_t recs_total = 0;
+    for (std::size_t u = 0; u < exp.peer_count(); ++u) {
+      result.cache_parsed += exp.peer(u).stats().pages_parsed_from_cache;
+      result.subscriptions += exp.frontend(u).active_feed_subscriptions();
+      recs_total += exp.peer(u).frontend().stats().subscribes_applied;
+    }
+    result.recs_after_failure = recs_total - recs_at_failure;
+  }
+  result.recs_before_failure = recs_at_failure;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const double days = quick ? 7.0 : 35.0;
+
+  std::printf("=== E4: Centralized vs distributed Reef (paper §3/§4) ===\n");
+  std::printf("workload: 5 users, %.0f days; analyzer killed at 60%% of "
+              "horizon%s\n\n",
+              days, quick ? "  [--quick]" : "");
+
+  const RunResult central =
+      run(reef::workload::ReefExperiment::Mode::kCentralized, days, true);
+  const RunResult distributed =
+      run(reef::workload::ReefExperiment::Mode::kDistributed, days, true);
+
+  std::printf("  %-44s %14s %14s\n", "metric", "centralized", "distributed");
+  std::printf("  %s\n", std::string(74, '-').c_str());
+  std::printf("  %-44s %14s %14s\n", "attention bytes leaving user hosts",
+              with_commas(central.attention_bytes).c_str(),
+              with_commas(distributed.attention_bytes).c_str());
+  std::printf("  %-44s %14s %14s\n", "recommendation push bytes",
+              with_commas(central.recommendation_bytes).c_str(),
+              with_commas(distributed.recommendation_bytes).c_str());
+  std::printf("  %-44s %14s %14s\n", "peer gossip bytes",
+              with_commas(central.gossip_bytes).c_str(),
+              with_commas(distributed.gossip_bytes).c_str());
+  std::printf("  %-44s %14s %14s\n", "crawler re-fetch bytes (server side)",
+              with_commas(central.crawl_bytes).c_str(),
+              with_commas(distributed.crawl_bytes).c_str());
+  std::printf("  %-44s %14s %14s\n", "pages parsed from browser cache",
+              with_commas(central.cache_parsed).c_str(),
+              with_commas(distributed.cache_parsed).c_str());
+  std::printf("  %-44s %14s %14s\n", "attention DB at central server (bytes)",
+              with_commas(central.server_storage).c_str(),
+              with_commas(distributed.server_storage).c_str());
+  std::printf("  %-44s %14s %14s\n", "active feed subscriptions (all users)",
+              with_commas(central.subscriptions).c_str(),
+              with_commas(distributed.subscriptions).c_str());
+
+  std::printf("\n  failure injection (analysis tier dies at day %.0f):\n",
+              days * 0.6);
+  std::printf("    centralized: %s recs before, %s after "
+              "(server was the single point of failure)\n",
+              with_commas(central.recs_before_failure).c_str(),
+              with_commas(central.recs_after_failure).c_str());
+  std::printf("    distributed: %s subscriptions before, %s after "
+              "(only the dead peer stops)\n",
+              with_commas(distributed.recs_before_failure).c_str(),
+              with_commas(distributed.recs_after_failure).c_str());
+  return 0;
+}

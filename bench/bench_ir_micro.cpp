@@ -1,0 +1,115 @@
+// IR toolkit microbenchmarks: the text-processing budget behind the
+// attention pipeline (tokenize + stem every crawled page) and the
+// recommendation path (term selection + BM25 ranking). These bound how
+// much server capacity the centralized design needs per crawled page —
+// the scaling cost the paper's §3 worries about.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "ir/bm25.h"
+#include "ir/term_weighting.h"
+#include "ir/tokenizer.h"
+#include "web/topic_model.h"
+
+namespace {
+
+using namespace reef;
+
+std::string make_page_text(std::size_t words, std::uint64_t seed) {
+  web::TopicModel model;
+  util::Rng rng(seed);
+  const auto mixture = model.random_mixture(3, rng);
+  const auto terms = model.generate_terms(mixture, words, 0.4, rng);
+  std::string text;
+  for (const auto& t : terms) {
+    text += t;
+    text += ' ';
+  }
+  return text;
+}
+
+void bm_tokenize(benchmark::State& state) {
+  const std::string text = make_page_text(300, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ir::tokenize(text));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(bm_tokenize);
+
+void bm_analyze_full_pipeline(benchmark::State& state) {
+  const std::string text = make_page_text(300, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ir::analyze(text));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(bm_analyze_full_pipeline);
+
+void bm_porter_stem(benchmark::State& state) {
+  const std::vector<std::string> words = {
+      "relational", "conditional",  "generalizations", "hopefulness",
+      "electrical", "formalities",  "disagreements",   "trouble",
+      "happy",      "maximization", "operators",       "activated"};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ir::porter_stem(words[i]));
+    i = (i + 1) % words.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(bm_porter_stem);
+
+void bm_select_terms(benchmark::State& state) {
+  const auto pages = static_cast<std::size_t>(state.range(0));
+  web::TopicModel model;
+  util::Rng rng(3);
+  ir::TermStatsAccumulator user;
+  ir::TermStatsAccumulator background;
+  const auto mixture = model.random_mixture(3, rng);
+  for (std::size_t p = 0; p < pages; ++p) {
+    user.add_document(model.generate_terms(mixture, 250, 0.4, rng));
+    background.add_document(
+        model.generate_terms(model.random_mixture(2, rng), 250, 0.4, rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ir::select_terms(
+        background, user, ir::TermSelector::kTfOfferWeight, 30));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["vocab"] = static_cast<double>(user.vocabulary_size());
+}
+BENCHMARK(bm_select_terms)->Arg(100)->Arg(1000)->Arg(5000);
+
+void bm_bm25_rank_archive(benchmark::State& state) {
+  const auto stories = static_cast<std::size_t>(state.range(0));
+  web::TopicModel model;
+  util::Rng rng(4);
+  ir::Corpus archive;
+  for (std::size_t s = 0; s < stories; ++s) {
+    archive.add(ir::Document::from_terms(
+        s, model.generate_terms(model.random_mixture(2, rng), 150, 0.35,
+                                rng)));
+  }
+  std::vector<std::string> query;
+  const auto mixture = model.random_mixture(3, rng);
+  for (int i = 0; i < 30; ++i) {
+    query.push_back(model.sample_topic_word(mixture.components[0].first,
+                                            rng));
+  }
+  const ir::Bm25 bm25(archive);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bm25.rank(query));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stories));
+}
+BENCHMARK(bm_bm25_rank_archive)->Arg(500)->Arg(5000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,156 @@
+// E8 — §3.3 footnote 1 ablation: term-selection formulas.
+//
+// The paper chose "a modified version of Robertson's Offer Weight ...
+// which integrates the term frequency measure". This bench runs the E2
+// workload with three selectors — raw TF, classic Offer Weight, and the
+// TF-integrated Offer Weight — plus a BM25 parameter sweep, showing why
+// the paper's choice wins.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/metrics.h"
+#include "reef/content_recommender.h"
+#include "util/strings.h"
+#include "workload/browsing.h"
+#include "workload/video_archive.h"
+
+namespace {
+
+using namespace reef;
+
+struct Setup {
+  web::TopicModel topics;
+  web::SyntheticWeb web;
+  workload::BrowsingGenerator browsing;
+  workload::VideoArchive archive;
+  std::vector<std::vector<std::string>> user_pages;
+  std::vector<std::vector<std::string>> reference_pages;
+  std::vector<bool> relevant;
+  std::vector<std::size_t> airing;
+
+  explicit Setup(std::uint64_t seed, std::size_t pages)
+      : topics(topic_config(seed)),
+        web(topics, web_config(seed)),
+        browsing(web, browsing_config(seed)),
+        archive(topics, archive_config(seed)) {
+    const auto trace =
+        browsing.generate_single_user_trace(pages, 42.0, false);
+    for (const auto& visit : trace) {
+      if (const auto page = web.fetch(visit.uri);
+          page && !page->terms.empty()) {
+        user_pages.push_back(page->terms);
+      }
+    }
+    util::Rng rng(seed ^ 0x4ef0);
+    const auto& sites = web.content_sites();
+    for (int i = 0; i < 3000; ++i) {
+      const web::Site& site = web.site(sites[rng.index(sites.size())]);
+      if (const auto page = web.fetch(web.page_uri(site, rng.index(30)));
+          page && !page->terms.empty()) {
+        reference_pages.push_back(page->terms);
+      }
+    }
+    const auto scores = archive.interest_scores(
+        browsing.users()[0].interests, 1.2, seed ^ 0x6e0d);
+    relevant = workload::VideoArchive::relevant_set(scores, 0.25);
+    airing = archive.airing_order();
+  }
+
+  static web::TopicModel::Config topic_config(std::uint64_t seed) {
+    web::TopicModel::Config config;
+    config.seed = seed ^ 0x7091c;
+    return config;
+  }
+  static web::SyntheticWeb::Config web_config(std::uint64_t seed) {
+    web::SyntheticWeb::Config config;
+    config.seed = seed ^ 0x3eb;
+    return config;
+  }
+  static workload::BrowsingGenerator::Config browsing_config(
+      std::uint64_t seed) {
+    workload::BrowsingGenerator::Config config;
+    config.users = 1;
+    config.seed = seed ^ 0xb205;
+    return config;
+  }
+  static workload::VideoArchive::Config archive_config(std::uint64_t seed) {
+    workload::VideoArchive::Config config;
+    config.seed = seed ^ 0x51de0;
+    return config;
+  }
+
+  double improvement(ir::TermSelector selector, std::size_t n,
+                     ir::Bm25Params params) const {
+    core::ContentRecommender::Config config;
+    config.selector = selector;
+    config.bm25 = params;
+    core::ContentRecommender rec(config);
+    for (const auto& page : user_pages) rec.add_page(0, page);
+    for (const auto& page : reference_pages) rec.add_page(1, page);
+    const auto ranked = rec.rank_archive(0, archive.corpus(), n);
+    std::vector<std::size_t> order;
+    order.reserve(ranked.size());
+    for (const auto& r : ranked) order.push_back(r.index);
+    return ir::front_improvement(order, airing, relevant, 100);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const std::size_t pages = quick ? 1500 : 10000;
+  const std::vector<std::uint64_t> seeds =
+      quick ? std::vector<std::uint64_t>{1}
+            : std::vector<std::uint64_t>{1, 2, 3};
+
+  std::printf("=== E8: Term-selection ablation (paper §3.3 fn. 1) ===\n");
+  std::printf("E2 workload, front=100, N in {5, 30, 100}; mean over %zu "
+              "seed(s)%s\n\n",
+              seeds.size(), quick ? "  [--quick]" : "");
+
+  std::vector<std::unique_ptr<Setup>> setups;
+  for (const auto seed : seeds) {
+    setups.push_back(std::make_unique<Setup>(seed, pages));
+  }
+
+  const ir::Bm25Params default_params;
+  std::printf("  %-20s %12s %12s %12s\n", "selector", "N=5", "N=30",
+              "N=100");
+  std::printf("  %s\n", std::string(60, '-').c_str());
+  for (const auto selector :
+       {ir::TermSelector::kRawTf, ir::TermSelector::kOfferWeight,
+        ir::TermSelector::kTfOfferWeight}) {
+    double at5 = 0;
+    double at30 = 0;
+    double at100 = 0;
+    for (const auto& setup : setups) {
+      at5 += setup->improvement(selector, 5, default_params);
+      at30 += setup->improvement(selector, 30, default_params);
+      at100 += setup->improvement(selector, 100, default_params);
+    }
+    const auto k = static_cast<double>(setups.size());
+    std::printf("  %-20s %+11.1f%% %+11.1f%% %+11.1f%%\n",
+                ir::term_selector_name(selector), at5 / k * 100,
+                at30 / k * 100, at100 / k * 100);
+  }
+
+  std::printf("\n  BM25 parameter sweep (tf-offer-weight, N=30):\n");
+  std::printf("  %8s %8s %14s\n", "k1", "b", "improvement");
+  std::printf("  %s\n", std::string(34, '-').c_str());
+  for (const double k1 : {0.6, 1.2, 2.0}) {
+    for (const double b : {0.0, 0.75}) {
+      double total = 0;
+      for (const auto& setup : setups) {
+        total += setup->improvement(ir::TermSelector::kTfOfferWeight, 30,
+                                    ir::Bm25Params{k1, b});
+      }
+      std::printf("  %8.1f %8.2f %+13.1f%%\n", k1, b,
+                  total / static_cast<double>(setups.size()) * 100);
+    }
+  }
+  return 0;
+}

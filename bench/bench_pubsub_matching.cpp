@@ -1,0 +1,162 @@
+// E7a — substrate viability: event-matching throughput.
+//
+// google-benchmark microbenchmarks of the two matching engines under a
+// Reef-like filter population (feed-equality subscriptions plus
+// content/range filters), sweeping the subscription-table size. The
+// counting index is the default engine inside every broker; brute force is
+// the ablation baseline.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "pubsub/matcher.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace reef::pubsub;
+
+/// Builds a filter population. `content_share` is the fraction of
+/// substring/range filters; the rest are feed-equality subscriptions
+/// [stream=feed && feed=<url_i>]. Reef's live population is ~30% content
+/// filters; 0% models a pure topic-subscription deployment.
+std::vector<Filter> make_filters(std::size_t n, double content_share,
+                                 reef::util::Rng& rng) {
+  std::vector<Filter> filters;
+  filters.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double kind = rng.uniform01();
+    if (kind >= content_share) {
+      filters.push_back(
+          Filter()
+              .and_(eq("stream", "feed"))
+              .and_(eq("feed", "http://site" +
+                                   std::to_string(rng.index(n / 2 + 1)) +
+                                   ".example/f.rss")));
+    } else if (kind >= content_share / 3.0) {
+      filters.push_back(
+          Filter()
+              .and_(eq("stream", "video"))
+              .and_(contains("text", "term" +
+                                         std::to_string(rng.index(200)))));
+    } else {
+      const double lo = rng.uniform(0, 50);
+      filters.push_back(Filter()
+                            .and_(eq("stream", "quotes"))
+                            .and_(ge("price", lo))
+                            .and_(lt("price", lo + 10.0)));
+    }
+  }
+  return filters;
+}
+
+Event make_event(std::size_t universe, reef::util::Rng& rng) {
+  const double kind = rng.uniform01();
+  if (kind < 0.7) {
+    return Event()
+        .with("stream", "feed")
+        .with("feed", "http://site" +
+                          std::to_string(rng.index(universe / 2 + 1)) +
+                          ".example/f.rss")
+        .with("seq", static_cast<std::int64_t>(rng.index(1000)))
+        .with("text", "term" + std::to_string(rng.index(200)) + " filler");
+  }
+  if (kind < 0.9) {
+    return Event()
+        .with("stream", "video")
+        .with("text", "term" + std::to_string(rng.index(200)) +
+                          " term" + std::to_string(rng.index(200)));
+  }
+  return Event()
+      .with("stream", "quotes")
+      .with("price", rng.uniform(0, 60));
+}
+
+template <typename MatcherT>
+void bm_match(benchmark::State& state) {
+  const auto table_size = static_cast<std::size_t>(state.range(0));
+  const double content_share = static_cast<double>(state.range(1)) / 100.0;
+  reef::util::Rng rng(42);
+  MatcherT matcher;
+  const auto filters = make_filters(table_size, content_share, rng);
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    matcher.add(i + 1, filters[i]);
+  }
+  std::vector<Event> events;
+  for (int i = 0; i < 256; ++i) events.push_back(make_event(table_size, rng));
+
+  std::size_t cursor = 0;
+  std::vector<SubscriptionId> hits;
+  for (auto _ : state) {
+    hits.clear();
+    matcher.match(events[cursor], hits);
+    benchmark::DoNotOptimize(hits.data());
+    cursor = (cursor + 1) % events.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["table"] = static_cast<double>(table_size);
+}
+
+void bm_match_counting(benchmark::State& state) {
+  bm_match<IndexMatcher>(state);
+}
+void bm_match_brute(benchmark::State& state) {
+  bm_match<BruteForceMatcher>(state);
+}
+
+// {table size, % content (substring/range) filters}
+BENCHMARK(bm_match_counting)
+    ->Args({100, 0})
+    ->Args({1000, 0})
+    ->Args({10000, 0})
+    ->Args({50000, 0})
+    ->Args({1000, 30})
+    ->Args({10000, 30});
+BENCHMARK(bm_match_brute)
+    ->Args({100, 0})
+    ->Args({1000, 0})
+    ->Args({10000, 0})
+    ->Args({1000, 30})
+    ->Args({10000, 30});
+
+void bm_subscription_churn(benchmark::State& state) {
+  const auto table_size = static_cast<std::size_t>(state.range(0));
+  reef::util::Rng rng(7);
+  IndexMatcher matcher;
+  const auto filters = make_filters(table_size, 0.3, rng);
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    matcher.add(i + 1, filters[i]);
+  }
+  std::size_t next = filters.size() + 1;
+  std::size_t victim = 1;
+  for (auto _ : state) {
+    matcher.remove(victim++);
+    matcher.add(next++, filters[rng.index(filters.size())]);
+    if (victim > filters.size()) {
+      state.SkipWithError("table drained");
+      break;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+BENCHMARK(bm_subscription_churn)->Arg(10000)->Iterations(5000);
+
+void bm_covering_check(benchmark::State& state) {
+  reef::util::Rng rng(11);
+  const auto filters = make_filters(256, 0.3, rng);
+  std::size_t a = 0;
+  std::size_t b = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filters[a].covers(filters[b]));
+    a = (a + 1) % filters.size();
+    b = (b + 3) % filters.size();
+  }
+}
+
+BENCHMARK(bm_covering_check);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// A push-based feed reader built on the WAIF-style FeedEvents proxy: the
+// user subscribes to three feeds; the proxy polls them once per interval
+// on everyone's behalf and pushes new items through the pub/sub substrate
+// into the reader's timeline. Demonstrates deliverable-grade use of the
+// feeds/ + pubsub/ public APIs without the Reef recommendation layer.
+//
+//   build/examples/feed_reader
+#include <cstdio>
+#include <vector>
+
+#include "feeds/feed_events_proxy.h"
+#include "pubsub/client.h"
+
+using namespace reef;
+
+int main() {
+  std::printf("Push-based feed reader (WAIF FeedEvents proxy)\n\n");
+
+  web::TopicModel topics;
+  web::SyntheticWeb::Config web_config;
+  web_config.content_sites = 100;
+  web_config.ad_sites = 0;
+  web_config.spam_sites = 0;
+  web_config.feed_site_fraction = 1.0;
+  web::SyntheticWeb web(topics, web_config);
+
+  sim::Simulator sim;
+  sim::Network net(sim, {});
+  feeds::FeedService::Config feeds_config;
+  feeds_config.log_rate_mu = 1.2;  // ~3 items/day median for a lively demo
+  feeds_config.log_rate_sigma = 0.8;
+  feeds::FeedService service(web, feeds_config);
+
+  pubsub::Broker broker(sim, net, "broker");
+  feeds::FeedEventsProxy::Config proxy_config;
+  proxy_config.poll_interval = 30 * sim::kMinute;
+  feeds::FeedEventsProxy proxy(sim, net, service, broker, proxy_config);
+
+  pubsub::Client reader(sim, net, "reader");
+  reader.connect(broker);
+
+  // Subscribe to the first three feeds: one pub/sub filter per feed plus a
+  // watch registration at the proxy.
+  struct TimelineEntry {
+    sim::Time at;
+    std::string guid;
+  };
+  std::vector<TimelineEntry> timeline;
+  std::printf("subscribing to:\n");
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::string& url = service.feed_urls()[i];
+    std::printf("  %-55s (%.2f items/day)\n", url.c_str(),
+                service.rate_per_day(url));
+    reader.subscribe(feeds::feed_filter(url),
+                     [&](const pubsub::Event& event, pubsub::SubscriptionId) {
+                       timeline.push_back(TimelineEntry{
+                           sim.now(), event.find("guid")->as_string()});
+                     });
+    proxy.watch(url);
+  }
+
+  // Read for a simulated week.
+  sim.run_until(7 * sim::kDay);
+
+  std::printf("\ntimeline after one week (%zu items):\n", timeline.size());
+  std::size_t shown = 0;
+  for (const auto& entry : timeline) {
+    if (++shown > 12) {
+      std::printf("  ... %zu more\n", timeline.size() - 12);
+      break;
+    }
+    std::printf("  [%s] %s\n", sim::format_time(entry.at).c_str(),
+                entry.guid.c_str());
+  }
+
+  std::printf("\nproxy polled %llu times, transferring %.1f MB; the reader "
+              "itself issued zero polls.\n",
+              static_cast<unsigned long long>(proxy.stats().polls),
+              static_cast<double>(proxy.stats().poll_bytes) / 1e6);
+  return 0;
+}

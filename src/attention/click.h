@@ -1,0 +1,45 @@
+// The unit of attention data (§3.1): "Several attributes, such as a
+// timestamp and a user cookie, are logged along with the URI of the
+// request. This unit of attention data is called a click."
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/uri.h"
+
+namespace reef::attention {
+
+/// Stable per-user identifier (the "cookie").
+using UserId = std::uint32_t;
+
+struct Click {
+  UserId user = 0;
+  util::Uri uri;
+  sim::Time at = 0;
+  /// Closed-loop marker: true when this click opened a delivered
+  /// notification (positive feedback to the recommender).
+  bool from_notification = false;
+
+  std::size_t wire_size() const noexcept {
+    return 24 + uri.to_string().size();
+  }
+};
+
+/// A batch of clicks as shipped to the centralized server.
+struct ClickBatch {
+  UserId user = 0;
+  std::vector<Click> clicks;
+
+  std::size_t wire_size() const noexcept {
+    std::size_t bytes = 16;
+    for (const auto& c : clicks) bytes += c.wire_size();
+    return bytes;
+  }
+};
+
+inline constexpr std::string_view kTypeAttentionBatch = "attention.batch";
+
+}  // namespace reef::attention

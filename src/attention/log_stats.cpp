@@ -1,0 +1,76 @@
+#include "attention/log_stats.h"
+
+namespace reef::attention {
+
+void LogStats::add(const Click& click) {
+  ++total_;
+  const std::string& host = click.uri.host();
+  per_server_.add(host);
+  const web::Site* site = web_->find_site(host);
+  if (site != nullptr && site->kind == web::SiteKind::kAd) ++ad_requests_;
+}
+
+void LogStats::add_all(const std::vector<Click>& clicks) {
+  for (const auto& click : clicks) add(click);
+}
+
+std::size_t LogStats::ad_servers() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [host, count] : per_server_.items()) {
+    const web::Site* site = web_->find_site(host);
+    if (site != nullptr && site->kind == web::SiteKind::kAd) ++n;
+  }
+  return n;
+}
+
+std::size_t LogStats::visited_once() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [host, count] : per_server_.items()) {
+    if (count == 1) ++n;
+  }
+  return n;
+}
+
+std::size_t LogStats::non_ad_servers() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [host, count] : per_server_.items()) {
+    const web::Site* site = web_->find_site(host);
+    if (site == nullptr || site->kind != web::SiteKind::kAd) ++n;
+  }
+  return n;
+}
+
+std::size_t LogStats::non_ad_visited_once() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [host, count] : per_server_.items()) {
+    if (count != 1) continue;
+    const web::Site* site = web_->find_site(host);
+    if (site == nullptr || site->kind != web::SiteKind::kAd) ++n;
+  }
+  return n;
+}
+
+std::size_t LogStats::remaining_servers(std::uint64_t min_visits) const {
+  std::size_t n = 0;
+  for (const auto& [host, count] : per_server_.items()) {
+    if (count < min_visits) continue;
+    const web::Site* site = web_->find_site(host);
+    if (site == nullptr || site->kind != web::SiteKind::kContent) continue;
+    ++n;
+  }
+  return n;
+}
+
+std::vector<std::string> LogStats::remaining_hosts(
+    std::uint64_t min_visits) const {
+  std::vector<std::string> hosts;
+  for (const auto& [host, count] : per_server_.items()) {
+    if (count < min_visits) continue;
+    const web::Site* site = web_->find_site(host);
+    if (site == nullptr || site->kind != web::SiteKind::kContent) continue;
+    hosts.push_back(host);
+  }
+  return hosts;
+}
+
+}  // namespace reef::attention

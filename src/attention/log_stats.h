@@ -1,0 +1,62 @@
+// Aggregate statistics over click logs — the quantities §3.2 reports:
+// total requests, distinct servers, per-class request shares, servers
+// visited exactly once, and the "remaining" servers eligible for feed
+// discovery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attention/click.h"
+#include "util/stats.h"
+#include "web/web.h"
+
+namespace reef::attention {
+
+class LogStats {
+ public:
+  explicit LogStats(const web::SyntheticWeb& web) : web_(&web) {}
+
+  void add(const Click& click);
+  void add_all(const std::vector<Click>& clicks);
+
+  std::uint64_t total_requests() const noexcept { return total_; }
+  std::size_t distinct_servers() const noexcept {
+    return per_server_.distinct();
+  }
+
+  /// Requests that went to ad servers (spam counted separately).
+  std::uint64_t ad_requests() const noexcept { return ad_requests_; }
+  double ad_request_fraction() const noexcept {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(ad_requests_) /
+                             static_cast<double>(total_);
+  }
+
+  /// Distinct ad servers seen.
+  std::size_t ad_servers() const noexcept;
+  /// Servers (any kind) visited exactly once.
+  std::size_t visited_once() const noexcept;
+  /// Distinct non-ad servers seen.
+  std::size_t non_ad_servers() const noexcept;
+  /// Non-ad servers visited exactly once. (In the paper's §3.2 breakdown,
+  /// 807 once + 906 remaining = 1713 = the ad-server count, which reads as
+  /// a partition of the non-ad population.)
+  std::size_t non_ad_visited_once() const noexcept;
+  /// Non-ad, non-spam servers visited at least `min_visits` times — the
+  /// paper's "remaining Web servers" on which feeds are sought.
+  std::size_t remaining_servers(std::uint64_t min_visits = 2) const;
+  /// Hosts of those remaining servers.
+  std::vector<std::string> remaining_hosts(std::uint64_t min_visits = 2) const;
+
+  const util::Counter& per_server() const noexcept { return per_server_; }
+
+ private:
+  const web::SyntheticWeb* web_;
+  util::Counter per_server_;
+  std::uint64_t total_ = 0;
+  std::uint64_t ad_requests_ = 0;
+};
+
+}  // namespace reef::attention

@@ -1,0 +1,89 @@
+#include "attention/parser.h"
+
+#include "ir/tokenizer.h"
+#include "util/strings.h"
+
+namespace reef::attention {
+
+std::vector<Token> FeedUrlParser::parse(const Click& click,
+                                        const web::WebPage* page) {
+  (void)click;
+  std::vector<Token> tokens;
+  if (page == nullptr) return tokens;
+  tokens.reserve(page->feed_links.size());
+  for (const auto& url : page->feed_links) {
+    tokens.push_back(Token{"feed", pubsub::Value(url)});
+  }
+  return tokens;
+}
+
+std::vector<Token> KeywordParser::parse(const Click& click,
+                                        const web::WebPage* page) {
+  (void)click;
+  std::vector<Token> tokens;
+  if (page == nullptr) return tokens;
+  tokens.reserve(page->terms.size());
+  for (const auto& term : page->terms) {
+    if (ir::is_stopword(term)) continue;
+    tokens.push_back(Token{"term", pubsub::Value(term)});
+  }
+  return tokens;
+}
+
+std::vector<Token> QueryStringParser::parse(const Click& click,
+                                            const web::WebPage* page) {
+  (void)page;
+  std::vector<Token> tokens;
+  const std::string& query = click.uri.query();
+  if (query.empty()) return tokens;
+  for (const auto pair : util::split(query, '&')) {
+    const std::size_t equals = pair.find('=');
+    if (equals == std::string_view::npos) continue;
+    const std::string_view key = pair.substr(0, equals);
+    if (key != "q" && key != "query" && key != "s" && key != "search") {
+      continue;
+    }
+    // '+' encodes spaces in query strings; percent-decoding is out of
+    // scope for the simulation (the generator never emits it).
+    std::string text(pair.substr(equals + 1));
+    for (char& c : text) {
+      if (c == '+') c = ' ';
+    }
+    for (auto& term : ir::analyze(text)) {
+      tokens.push_back(Token{"term", pubsub::Value(std::move(term))});
+    }
+  }
+  return tokens;
+}
+
+StockSymbolParser::StockSymbolParser(std::vector<std::string> symbols) {
+  for (auto& s : symbols) symbols_.insert(util::to_lower(s));
+}
+
+std::vector<Token> StockSymbolParser::parse(const Click& click,
+                                            const web::WebPage* page) {
+  std::vector<Token> tokens;
+  const auto emit = [&](const std::string& lower_symbol) {
+    // Report symbols upper-case, the convention of quote streams.
+    std::string symbol;
+    symbol.reserve(lower_symbol.size());
+    for (const char c : lower_symbol) {
+      symbol.push_back(static_cast<char>(std::toupper(
+          static_cast<unsigned char>(c))));
+    }
+    tokens.push_back(Token{"symbol", pubsub::Value(symbol)});
+  };
+  // URI path segments often carry the symbol (e.g. /quote/acme).
+  for (const auto segment : util::split(click.uri.path(), '/')) {
+    const std::string lower = util::to_lower(segment);
+    if (symbols_.contains(lower)) emit(lower);
+  }
+  if (page != nullptr) {
+    for (const auto& term : page->terms) {
+      if (symbols_.contains(term)) emit(term);
+    }
+  }
+  return tokens;
+}
+
+}  // namespace reef::attention

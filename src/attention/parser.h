@@ -1,0 +1,83 @@
+// Attention parsers (§2.2): components that scan raw attention data for
+// "tokens that match the specification of name-value pairs of the
+// publish-subscribe system we are given". Each parser targets one
+// pub/sub vocabulary: feed URLs for topic subscriptions, page keywords
+// for content subscriptions, stock symbols for a quote feed, etc.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "attention/click.h"
+#include "pubsub/value.h"
+#include "web/web.h"
+
+namespace reef::attention {
+
+/// A candidate name-value pair for the target pub/sub system.
+struct Token {
+  std::string name;
+  pubsub::Value value;
+
+  friend bool operator==(const Token&, const Token&) = default;
+};
+
+/// Parser interface. Parsers see each click together with the page content
+/// behind it (fetched by the crawler centrally, or served from the browser
+/// cache on the user's host).
+class AttentionParser {
+ public:
+  virtual ~AttentionParser() = default;
+  virtual std::string name() const = 0;
+  /// `page` may be null when content was unavailable (flagged host, cache
+  /// miss); parsers that only need the URI still run.
+  virtual std::vector<Token> parse(const Click& click,
+                                   const web::WebPage* page) = 0;
+};
+
+/// Extracts feed autodiscovery links: tokens ("feed", <url>).
+class FeedUrlParser final : public AttentionParser {
+ public:
+  std::string name() const override { return "feed-url"; }
+  std::vector<Token> parse(const Click& click,
+                           const web::WebPage* page) override;
+};
+
+/// Extracts page keywords (analyzed, non-stopword): tokens ("term", <t>).
+/// The content recommender aggregates these into per-user term statistics.
+class KeywordParser final : public AttentionParser {
+ public:
+  std::string name() const override { return "keyword"; }
+  std::vector<Token> parse(const Click& click,
+                           const web::WebPage* page) override;
+};
+
+/// Extracts search terms from query strings (?q=..., ?query=..., ?s=...):
+/// tokens ("term", <t>), analyzed like page text. Search queries are the
+/// most explicit interest signal an attention recorder sees — the user
+/// literally typed what they want — so the content recommender weighs
+/// them like attended pages.
+class QueryStringParser final : public AttentionParser {
+ public:
+  std::string name() const override { return "query-string"; }
+  std::vector<Token> parse(const Click& click,
+                           const web::WebPage* page) override;
+};
+
+/// Matches a known symbol universe against page terms and URI path
+/// segments: tokens ("symbol", <SYM>). Demonstrates the "specification of
+/// valid name-value pairs" idea for a quote-stream pub/sub system.
+class StockSymbolParser final : public AttentionParser {
+ public:
+  explicit StockSymbolParser(std::vector<std::string> symbols);
+  std::string name() const override { return "stock-symbol"; }
+  std::vector<Token> parse(const Click& click,
+                           const web::WebPage* page) override;
+
+ private:
+  std::unordered_set<std::string> symbols_;  // stored lower-case
+};
+
+}  // namespace reef::attention

@@ -1,0 +1,32 @@
+#include "attention/recorder.h"
+
+#include <utility>
+
+namespace reef::attention {
+
+AttentionRecorder::AttentionRecorder(sim::Simulator& sim, UserId user,
+                                     Config config, BatchSink sink)
+    : sim_(sim), user_(user), config_(config), sink_(std::move(sink)) {
+  timer_ = sim_.every(config_.flush_interval, config_.flush_interval,
+                      [this] { flush(); });
+}
+
+AttentionRecorder::~AttentionRecorder() { sim_.cancel(timer_); }
+
+void AttentionRecorder::record(util::Uri uri, bool from_notification) {
+  Click click{user_, std::move(uri), sim_.now(), from_notification};
+  if (config_.keep_history) history_.push_back(click);
+  pending_.push_back(std::move(click));
+  ++clicks_recorded_;
+  if (pending_.size() >= config_.batch_max) flush();
+}
+
+void AttentionRecorder::flush() {
+  if (pending_.empty() || !sink_) return;
+  ClickBatch batch{user_, std::move(pending_)};
+  pending_ = {};
+  ++batches_flushed_;
+  sink_(std::move(batch));
+}
+
+}  // namespace reef::attention

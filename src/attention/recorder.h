@@ -1,0 +1,62 @@
+// Attention recorder: the browser-extension component that "logs every
+// outgoing HTTP request and periodically forwards batches of requests" to
+// an analysis tier (§3.1). In the distributed design the same recorder
+// feeds a local analyzer instead; the sink abstraction covers both.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "attention/click.h"
+#include "sim/simulator.h"
+
+namespace reef::attention {
+
+class AttentionRecorder {
+ public:
+  /// Receives each flushed batch (move-friendly).
+  using BatchSink = std::function<void(ClickBatch&&)>;
+
+  struct Config {
+    /// Flush when this many clicks are pending...
+    std::size_t batch_max = 50;
+    /// ...or when this much time passed since the previous flush.
+    sim::Time flush_interval = 5 * sim::kMinute;
+    /// Keep the full click history in memory (distributed Reef analyzes
+    /// it locally; disable to model a thin centralized-only extension).
+    bool keep_history = true;
+  };
+
+  AttentionRecorder(sim::Simulator& sim, UserId user, Config config,
+                    BatchSink sink);
+  ~AttentionRecorder();
+  AttentionRecorder(const AttentionRecorder&) = delete;
+  AttentionRecorder& operator=(const AttentionRecorder&) = delete;
+
+  /// Logs one outgoing request.
+  void record(util::Uri uri, bool from_notification = false);
+
+  /// Forces pending clicks out to the sink.
+  void flush();
+
+  UserId user() const noexcept { return user_; }
+  std::uint64_t clicks_recorded() const noexcept { return clicks_recorded_; }
+  std::uint64_t batches_flushed() const noexcept { return batches_flushed_; }
+
+  /// Full local history (empty when keep_history is false).
+  const std::vector<Click>& history() const noexcept { return history_; }
+
+ private:
+  sim::Simulator& sim_;
+  UserId user_;
+  Config config_;
+  BatchSink sink_;
+  std::vector<Click> pending_;
+  std::vector<Click> history_;
+  sim::TimerId timer_ = 0;
+  std::uint64_t clicks_recorded_ = 0;
+  std::uint64_t batches_flushed_ = 0;
+};
+
+}  // namespace reef::attention

@@ -1,0 +1,40 @@
+#include "feeds/direct_poller.h"
+
+namespace reef::feeds {
+
+DirectPoller::DirectPoller(sim::Simulator& sim, FeedService& feeds,
+                           sim::Time poll_interval, ItemHandler handler)
+    : sim_(sim), feeds_(feeds), handler_(std::move(handler)) {
+  timer_ = sim_.every(poll_interval, poll_interval, [this] { poll_all(); });
+}
+
+DirectPoller::~DirectPoller() { sim_.cancel(timer_); }
+
+void DirectPoller::subscribe(const std::string& url) {
+  if (last_seq_.contains(url)) return;
+  // Anchor at the current head so only future items are delivered.
+  const PollResult head = feeds_.poll(url, ~0ULL, sim_.now());
+  ++stats_.polls;
+  stats_.poll_bytes += head.bytes;
+  last_seq_.emplace(url, head.latest_seq);
+}
+
+void DirectPoller::unsubscribe(const std::string& url) {
+  last_seq_.erase(url);
+}
+
+void DirectPoller::poll_all() {
+  for (auto& [url, since] : last_seq_) {
+    PollResult result = feeds_.poll(url, since, sim_.now());
+    ++stats_.polls;
+    stats_.poll_bytes += result.bytes;
+    if (!result.found) continue;
+    since = result.latest_seq;
+    stats_.items_received += result.items.size();
+    if (handler_) {
+      for (const FeedItem& item : result.items) handler_(item);
+    }
+  }
+}
+
+}  // namespace reef::feeds

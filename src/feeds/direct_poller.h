@@ -1,0 +1,53 @@
+// Baseline for E6: the pre-push status quo where every client polls every
+// feed it follows directly (the behaviour Liu et al. [13] showed "strains
+// network and server resources with unnecessary traffic").
+//
+// One DirectPoller per user; it polls each subscribed feed on the same
+// interval the proxy uses, so the comparison isolates the architecture
+// (per-client vs amortized polling), not the freshness target.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "feeds/feed_service.h"
+#include "sim/simulator.h"
+
+namespace reef::feeds {
+
+class DirectPoller {
+ public:
+  using ItemHandler = std::function<void(const FeedItem&)>;
+
+  struct Stats {
+    std::uint64_t polls = 0;
+    std::uint64_t poll_bytes = 0;
+    std::uint64_t items_received = 0;
+  };
+
+  DirectPoller(sim::Simulator& sim, FeedService& feeds,
+               sim::Time poll_interval, ItemHandler handler = {});
+  ~DirectPoller();
+  DirectPoller(const DirectPoller&) = delete;
+  DirectPoller& operator=(const DirectPoller&) = delete;
+
+  void subscribe(const std::string& url);
+  void unsubscribe(const std::string& url);
+  std::size_t subscription_count() const noexcept { return last_seq_.size(); }
+
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  void poll_all();
+
+  sim::Simulator& sim_;
+  FeedService& feeds_;
+  ItemHandler handler_;
+  std::unordered_map<std::string, std::uint64_t> last_seq_;
+  sim::TimerId timer_ = 0;
+  Stats stats_;
+};
+
+}  // namespace reef::feeds

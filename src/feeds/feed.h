@@ -1,0 +1,46 @@
+// Web-feed model (RSS/Atom abstracted to what matters for the system:
+// identity, update process, and recent-items window).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace reef::feeds {
+
+/// One entry of a feed.
+struct FeedItem {
+  std::string guid;        ///< globally unique: "<feed-url>#<seq>"
+  std::string feed_url;
+  std::uint64_t seq = 0;   ///< 1-based, monotone per feed
+  sim::Time published_at = 0;
+  std::vector<std::string> terms;  ///< analyzed item text (title+summary)
+  std::string link;        ///< the story URL on the originating site
+
+  /// Simulated wire size of this item inside a feed document. Cached after
+  /// first computation (items are immutable once published; polls touch
+  /// every windowed item each cycle, so this is on the hot path).
+  std::size_t wire_size() const noexcept {
+    if (cached_bytes_ == 0) {
+      std::size_t bytes = 96 + guid.size() + link.size();
+      for (const auto& t : terms) bytes += t.size() + 1;
+      cached_bytes_ = bytes;
+    }
+    return cached_bytes_;
+  }
+
+ private:
+  mutable std::size_t cached_bytes_ = 0;
+};
+
+/// Result of polling a feed.
+struct PollResult {
+  bool found = false;              ///< false: unknown feed URL
+  std::vector<FeedItem> items;     ///< items with seq > since, oldest first
+  std::uint64_t latest_seq = 0;    ///< current head of the feed
+  std::size_t bytes = 0;           ///< simulated transfer size of the poll
+};
+
+}  // namespace reef::feeds

@@ -1,0 +1,96 @@
+#include "feeds/feed_events_proxy.h"
+
+#include <any>
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace reef::feeds {
+
+pubsub::Event make_feed_event(const FeedItem& item,
+                              const std::string& site_host) {
+  std::string text;
+  for (const auto& term : item.terms) {
+    if (!text.empty()) text += ' ';
+    text += term;
+  }
+  return pubsub::Event()
+      .with("stream", "feed")
+      .with("feed", item.feed_url)
+      .with("site", site_host)
+      .with("guid", item.guid)
+      .with("seq", static_cast<std::int64_t>(item.seq))
+      .with("link", item.link)
+      .with("text", std::move(text));
+}
+
+pubsub::Filter feed_filter(const std::string& url) {
+  return pubsub::Filter()
+      .and_(pubsub::eq("stream", "feed"))
+      .and_(pubsub::eq("feed", url));
+}
+
+FeedEventsProxy::FeedEventsProxy(sim::Simulator& sim, sim::Network& net,
+                                 FeedService& feeds, pubsub::Broker& broker,
+                                 Config config)
+    : sim_(sim),
+      net_(net),
+      feeds_(feeds),
+      config_(config),
+      publisher_(sim, net, "feed-proxy-pub") {
+  id_ = net_.attach(*this, "feed-proxy");
+  publisher_.connect(broker);
+  sim_.every(config_.poll_interval, config_.poll_interval,
+             [this] { poll_all(); });
+}
+
+void FeedEventsProxy::watch(const std::string& url) {
+  ++stats_.watch_requests;
+  Watched& w = watched_[url];
+  if (w.refcount++ == 0) {
+    // Start from the current head: subscribers get *new* items, not
+    // history (matches RSS reader semantics).
+    const PollResult head = feeds_.poll(url, ~0ULL, sim_.now());
+    ++stats_.polls;
+    stats_.poll_bytes += head.bytes;
+    w.last_seq = head.latest_seq;
+  }
+}
+
+void FeedEventsProxy::unwatch(const std::string& url) {
+  ++stats_.unwatch_requests;
+  const auto it = watched_.find(url);
+  if (it == watched_.end()) return;
+  if (--it->second.refcount == 0) watched_.erase(it);
+}
+
+void FeedEventsProxy::poll_all() {
+  for (auto& [url, watched] : watched_) {
+    if (watched.refcount == 0) continue;
+    PollResult result = feeds_.poll(url, watched.last_seq, sim_.now());
+    ++stats_.polls;
+    stats_.poll_bytes += result.bytes;
+    if (!result.found) continue;
+    watched.last_seq = result.latest_seq;
+    for (const FeedItem& item : result.items) {
+      // The originating site's host is the feed URL's host
+      // (http://<host>/feeds/...), so no registry lookup is needed.
+      std::string host;
+      if (const auto uri = util::Uri::parse(url)) host = uri->host();
+      publisher_.publish(make_feed_event(item, host));
+      ++stats_.items_published;
+    }
+  }
+}
+
+void FeedEventsProxy::handle_message(const sim::Message& msg) {
+  if (msg.type == kTypeWatchFeed) {
+    watch(std::any_cast<const WatchFeedMsg&>(msg.payload).url);
+  } else if (msg.type == kTypeUnwatchFeed) {
+    unwatch(std::any_cast<const UnwatchFeedMsg&>(msg.payload).url);
+  } else {
+    util::log_warn("feed-proxy") << "unknown message type " << msg.type;
+  }
+}
+
+}  // namespace reef::feeds

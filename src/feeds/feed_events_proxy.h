@@ -1,0 +1,94 @@
+// WAIF-style "FeedEvents" push proxy (paper §3.2, [2]).
+//
+// The proxy wraps pull-based Web feeds with a push interface: it polls
+// each *watched* feed once per interval — regardless of how many users
+// subscribed — and publishes new items into the content-based pub/sub
+// substrate as events:
+//
+//   {stream="feed", feed=<url>, site=<host>, guid=<id>, seq=<n>,
+//    link=<story url>, text=<item terms>}
+//
+// Subscribers place filters like [feed = <url>] via their own pub/sub
+// clients; interest registration (watch/unwatch) reaches the proxy as
+// network messages so its cost is metered.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "feeds/feed_service.h"
+#include "pubsub/client.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace reef::feeds {
+
+/// Payloads for interest registration with the proxy.
+struct WatchFeedMsg {
+  std::string url;
+};
+struct UnwatchFeedMsg {
+  std::string url;
+};
+
+inline constexpr std::string_view kTypeWatchFeed = "feeds.watch";
+inline constexpr std::string_view kTypeUnwatchFeed = "feeds.unwatch";
+
+/// Builds the pub/sub event for a feed item (shared with tests/benches).
+pubsub::Event make_feed_event(const FeedItem& item,
+                              const std::string& site_host);
+
+/// The filter a frontend uses to receive one feed's items.
+pubsub::Filter feed_filter(const std::string& url);
+
+class FeedEventsProxy final : public sim::Node {
+ public:
+  struct Config {
+    sim::Time poll_interval = 30 * sim::kMinute;
+    std::uint64_t seed = 0x9f0c5;
+  };
+
+  struct Stats {
+    std::uint64_t watch_requests = 0;
+    std::uint64_t unwatch_requests = 0;
+    std::uint64_t polls = 0;
+    std::uint64_t poll_bytes = 0;
+    std::uint64_t items_published = 0;
+  };
+
+  /// The proxy attaches itself to `net` and publishes through `broker`.
+  FeedEventsProxy(sim::Simulator& sim, sim::Network& net,
+                  FeedService& feeds, pubsub::Broker& broker, Config config);
+
+  sim::NodeId id() const noexcept { return id_; }
+
+  /// Local API (used when caller and proxy are co-located; remote callers
+  /// send WatchFeedMsg/UnwatchFeedMsg instead).
+  void watch(const std::string& url);
+  void unwatch(const std::string& url);
+
+  std::size_t watched_count() const noexcept { return watched_.size(); }
+  const Stats& stats() const noexcept { return stats_; }
+
+  void handle_message(const sim::Message& msg) override;
+
+ private:
+  struct Watched {
+    std::uint32_t refcount = 0;
+    std::uint64_t last_seq = 0;
+  };
+
+  void poll_all();
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  FeedService& feeds_;
+  Config config_;
+  pubsub::Client publisher_;
+  sim::NodeId id_;
+  std::unordered_map<std::string, Watched> watched_;
+  Stats stats_;
+};
+
+}  // namespace reef::feeds

@@ -1,0 +1,103 @@
+#include "feeds/feed_service.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace reef::feeds {
+
+FeedService::FeedService(const web::SyntheticWeb& web, Config config)
+    : web_(web), config_(config) {
+  util::Rng seeder(config.seed);
+  for (std::size_t i = 0; i < web.site_count(); ++i) {
+    const web::Site& site = web.site(i);
+    for (const auto& url : site.feed_urls) {
+      FeedState state;
+      state.url = url;
+      state.site = &site;
+      // Heavy-tailed per-feed update rate (items/day).
+      const double raw =
+          std::exp(seeder.normal(config.log_rate_mu, config.log_rate_sigma));
+      state.rate_per_day =
+          std::clamp(raw, config.min_rate_per_day, config.max_rate_per_day);
+      state.rng = util::Rng(util::fnv1a64(url) ^ config.seed);
+      // First publication somewhere within the first mean interval.
+      const double mean_interval_days = 1.0 / state.rate_per_day;
+      state.next_publish = static_cast<sim::Time>(
+          state.rng.uniform01() * mean_interval_days *
+          static_cast<double>(sim::kDay));
+      urls_.push_back(url);
+      feeds_.emplace(url, std::move(state));
+    }
+  }
+}
+
+bool FeedService::has_feed(std::string_view url) const {
+  return feeds_.contains(std::string(url));
+}
+
+double FeedService::rate_per_day(std::string_view url) const {
+  const auto it = feeds_.find(std::string(url));
+  return it == feeds_.end() ? 0.0 : it->second.rate_per_day;
+}
+
+FeedItem FeedService::make_item(FeedState& feed, sim::Time at) {
+  FeedItem item;
+  item.seq = feed.next_seq++;
+  item.feed_url = feed.url;
+  item.guid = feed.url + "#" + std::to_string(item.seq);
+  item.published_at = at;
+  item.link = "http://" + feed.site->host + "/story/" +
+              std::to_string(item.seq);
+  const std::size_t length =
+      config_.item_terms_min +
+      feed.rng.index(config_.item_terms_max - config_.item_terms_min + 1);
+  // Item text follows the site's topics with light background noise (news
+  // items are more on-topic than full pages).
+  item.terms = web_.topic_model().generate_terms(feed.site->topics, length,
+                                                 0.25, feed.rng);
+  ++stats_.items_generated;
+  return item;
+}
+
+void FeedService::advance(FeedState& feed, sim::Time now) {
+  while (feed.next_publish <= now) {
+    const sim::Time at = feed.next_publish;
+    feed.window.push_back(make_item(feed, at));
+    while (feed.window.size() > config_.window) feed.window.pop_front();
+    const double interval_days = feed.rng.exponential(feed.rate_per_day);
+    const auto delta = static_cast<sim::Time>(
+        interval_days * static_cast<double>(sim::kDay));
+    feed.next_publish = at + std::max<sim::Time>(delta, sim::kSecond);
+  }
+}
+
+PollResult FeedService::poll(std::string_view url, std::uint64_t since,
+                             sim::Time now) {
+  PollResult result;
+  ++stats_.polls;
+  const auto it = feeds_.find(std::string(url));
+  if (it == feeds_.end()) {
+    result.bytes = 128;  // 404 response
+    stats_.bytes_served += result.bytes;
+    return result;
+  }
+  FeedState& feed = it->second;
+  advance(feed, now);
+
+  result.found = true;
+  result.latest_seq = feed.next_seq - 1;
+  result.bytes = config_.poll_base_bytes;
+  for (const FeedItem& item : feed.window) {
+    // A real feed document carries the whole window every poll; only the
+    // new items are *returned*, but all of them cost bytes.
+    result.bytes += item.wire_size();
+    if (item.seq > since) result.items.push_back(item);
+  }
+  stats_.items_served += result.items.size();
+  stats_.bytes_served += result.bytes;
+  return result;
+}
+
+}  // namespace reef::feeds

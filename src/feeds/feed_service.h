@@ -1,0 +1,89 @@
+// The population of Web feeds and their update processes.
+//
+// Every feed advertised by a SyntheticWeb content site is registered here.
+// Each feed publishes items by a Poisson process whose rate is drawn from
+// a heavy-tailed distribution — Liu et al. [13] (the paper's citation for
+// feed behaviour) measured that most feeds update infrequently while a
+// small head updates many times per day. Items are materialized lazily
+// and deterministically at poll time, so the simulation cost is
+// proportional to polls, not to simulated time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "feeds/feed.h"
+#include "sim/time.h"
+#include "util/rng.h"
+#include "web/web.h"
+
+namespace reef::feeds {
+
+class FeedService {
+ public:
+  struct Config {
+    /// Window of items a poll can return (RSS documents carry the tail).
+    std::size_t window = 20;
+    /// Item text length bounds (terms).
+    std::size_t item_terms_min = 30;
+    std::size_t item_terms_max = 90;
+    /// Log-normal update-rate parameters (per day): exp(N(mu, sigma)).
+    double log_rate_mu = -0.7;
+    double log_rate_sigma = 1.5;
+    double max_rate_per_day = 48.0;
+    double min_rate_per_day = 0.02;
+    /// Base bytes of a feed document before items.
+    std::size_t poll_base_bytes = 320;
+    std::uint64_t seed = 0xfeed5;
+  };
+
+  struct Stats {
+    std::uint64_t polls = 0;
+    std::uint64_t bytes_served = 0;
+    std::uint64_t items_served = 0;
+    std::uint64_t items_generated = 0;
+  };
+
+  FeedService(const web::SyntheticWeb& web, Config config);
+
+  std::size_t feed_count() const noexcept { return feeds_.size(); }
+  bool has_feed(std::string_view url) const;
+  const std::vector<std::string>& feed_urls() const noexcept { return urls_; }
+
+  /// Update rate (expected items/day) of a feed; 0 when unknown.
+  double rate_per_day(std::string_view url) const;
+
+  /// Polls a feed at simulation time `now`, returning the items with
+  /// seq > `since`. Mutates lazy generation state; callers account the
+  /// returned `bytes` as network traffic on their side.
+  PollResult poll(std::string_view url, std::uint64_t since, sim::Time now);
+
+  const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+ private:
+  struct FeedState {
+    std::string url;
+    const web::Site* site = nullptr;
+    double rate_per_day = 0.1;
+    sim::Time next_publish = 0;
+    std::uint64_t next_seq = 1;
+    std::deque<FeedItem> window;
+    util::Rng rng{0};
+  };
+
+  void advance(FeedState& feed, sim::Time now);
+  FeedItem make_item(FeedState& feed, sim::Time at);
+
+  const web::SyntheticWeb& web_;
+  Config config_;
+  std::unordered_map<std::string, FeedState> feeds_;
+  std::vector<std::string> urls_;
+  Stats stats_;
+};
+
+}  // namespace reef::feeds

@@ -1,0 +1,54 @@
+#include "ir/corpus.h"
+
+#include <cmath>
+
+#include "ir/tokenizer.h"
+
+namespace reef::ir {
+
+Document::Document(DocId id, TermFreqs term_freqs)
+    : id_(id), tf_(std::move(term_freqs)) {
+  for (const auto& [term, count] : tf_) length_ += count;
+}
+
+Document Document::from_text(DocId id, std::string_view text) {
+  return from_terms(id, analyze(text));
+}
+
+Document Document::from_terms(DocId id,
+                              const std::vector<std::string>& terms) {
+  TermFreqs tf;
+  for (const auto& term : terms) ++tf[term];
+  return Document(id, std::move(tf));
+}
+
+std::uint32_t Document::tf(std::string_view term) const noexcept {
+  const auto it = tf_.find(std::string(term));
+  return it == tf_.end() ? 0 : it->second;
+}
+
+std::size_t Corpus::add(Document doc) {
+  for (const auto& [term, count] : doc.terms()) ++df_[term];
+  total_length_ += doc.length();
+  docs_.push_back(std::move(doc));
+  return docs_.size() - 1;
+}
+
+std::uint32_t Corpus::df(std::string_view term) const noexcept {
+  const auto it = df_.find(std::string(term));
+  return it == df_.end() ? 0 : it->second;
+}
+
+double Corpus::avg_doc_length() const noexcept {
+  if (docs_.empty()) return 0.0;
+  return static_cast<double>(total_length_) /
+         static_cast<double>(docs_.size());
+}
+
+double Corpus::idf(std::string_view term) const noexcept {
+  const double n = df(term);
+  const double big_n = static_cast<double>(size());
+  return std::log(1.0 + (big_n - n + 0.5) / (n + 0.5));
+}
+
+}  // namespace reef::ir

@@ -1,0 +1,71 @@
+// Documents and corpora: the term-statistics substrate for Offer Weight
+// term selection and BM25 ranking.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace reef::ir {
+
+using DocId = std::uint64_t;
+using TermFreqs = std::unordered_map<std::string, std::uint32_t>;
+
+/// A bag-of-words document (terms are expected pre-analyzed: lower-case,
+/// stopped, stemmed).
+class Document {
+ public:
+  Document() = default;
+  Document(DocId id, TermFreqs term_freqs);
+
+  /// Builds a document by running the full analyzer over raw text.
+  static Document from_text(DocId id, std::string_view text);
+  /// Builds a document from an already-analyzed term sequence.
+  static Document from_terms(DocId id, const std::vector<std::string>& terms);
+
+  DocId id() const noexcept { return id_; }
+  const TermFreqs& terms() const noexcept { return tf_; }
+  std::uint32_t tf(std::string_view term) const noexcept;
+  bool contains(std::string_view term) const noexcept { return tf(term) > 0; }
+  /// Total token count (sum of term frequencies).
+  std::uint32_t length() const noexcept { return length_; }
+  std::size_t distinct_terms() const noexcept { return tf_.size(); }
+
+ private:
+  DocId id_ = 0;
+  TermFreqs tf_;
+  std::uint32_t length_ = 0;
+};
+
+/// A collection of documents with the aggregate statistics IR formulas
+/// need: document frequency per term, collection size, average length.
+class Corpus {
+ public:
+  /// Adds a document; ids should be unique (not enforced, stats are by
+  /// position). Returns the document's index within the corpus.
+  std::size_t add(Document doc);
+
+  std::size_t size() const noexcept { return docs_.size(); }
+  bool empty() const noexcept { return docs_.empty(); }
+  const Document& doc(std::size_t index) const { return docs_.at(index); }
+  const std::vector<Document>& docs() const noexcept { return docs_; }
+
+  /// Document frequency: number of documents containing `term`.
+  std::uint32_t df(std::string_view term) const noexcept;
+  /// Average document length (0 for the empty corpus).
+  double avg_doc_length() const noexcept;
+  /// Total number of distinct terms across the collection.
+  std::size_t vocabulary_size() const noexcept { return df_.size(); }
+
+  /// Smoothed inverse document frequency: ln(1 + (N - df + 0.5)/(df + 0.5)).
+  double idf(std::string_view term) const noexcept;
+
+ private:
+  std::vector<Document> docs_;
+  std::unordered_map<std::string, std::uint32_t> df_;
+  std::uint64_t total_length_ = 0;
+};
+
+}  // namespace reef::ir

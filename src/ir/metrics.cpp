@@ -1,0 +1,82 @@
+#include "ir/metrics.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+namespace reef::ir {
+
+namespace {
+bool is_relevant(const std::vector<bool>& relevant, std::size_t doc) {
+  return doc < relevant.size() && relevant[doc];
+}
+}  // namespace
+
+double precision_at_k(const std::vector<std::size_t>& ranking,
+                      const std::vector<bool>& relevant, std::size_t k) {
+  k = std::min(k, ranking.size());
+  if (k == 0) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (is_relevant(relevant, ranking[i])) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double average_precision(const std::vector<std::size_t>& ranking,
+                         const std::vector<bool>& relevant) {
+  std::size_t hits = 0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    if (is_relevant(relevant, ranking[i])) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return hits == 0 ? 0.0 : sum / static_cast<double>(hits);
+}
+
+double front_improvement(const std::vector<std::size_t>& ranking,
+                         const std::vector<std::size_t>& baseline,
+                         const std::vector<bool>& relevant, std::size_t k) {
+  const double ours = precision_at_k(ranking, relevant, k);
+  const double base = precision_at_k(baseline, relevant, k);
+  if (base == 0.0) return 0.0;
+  return (ours - base) / base;
+}
+
+double kendall_tau(const std::vector<std::size_t>& a,
+                   const std::vector<std::size_t>& b) {
+  const std::size_t n = a.size();
+  if (b.size() != n) {
+    throw std::invalid_argument("kendall_tau: size mismatch");
+  }
+  if (n < 2) return 1.0;
+  // position of each item in b
+  std::vector<std::size_t> pos_b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (b[i] >= n) throw std::invalid_argument("kendall_tau: not a permutation");
+    pos_b[b[i]] = i;
+  }
+  // Map a into b-positions, count inversions (O(n^2) is fine at n=500).
+  std::int64_t discordant = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (pos_b[a[i]] > pos_b[a[j]]) ++discordant;
+    }
+  }
+  const auto pairs = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  return 1.0 - 2.0 * static_cast<double>(discordant) / pairs;
+}
+
+double mrr(const std::vector<std::size_t>& ranking,
+           const std::vector<bool>& relevant) {
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    if (is_relevant(relevant, ranking[i])) {
+      return 1.0 / static_cast<double>(i + 1);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace reef::ir

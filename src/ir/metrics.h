@@ -1,0 +1,43 @@
+// Ranking-quality metrics for the §3.3 experiment.
+//
+// The paper measures "how effective the query was at placing the most
+// interesting stories first as compared to the order in which the stories
+// originally aired"; the headline number is the relative improvement in
+// precision ("a third more interesting stories appeared in the front").
+// We therefore provide precision-at-k, average precision, the front-
+// improvement ratio, and Kendall's tau for rank-correlation checks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace reef::ir {
+
+/// Precision@k: fraction of the first k items that are relevant.
+/// `ranking` lists document indices best-first; `relevant[i]` says whether
+/// document i is relevant. k is clamped to the ranking length.
+double precision_at_k(const std::vector<std::size_t>& ranking,
+                      const std::vector<bool>& relevant, std::size_t k);
+
+/// Average precision over all relevant documents (0 when none).
+double average_precision(const std::vector<std::size_t>& ranking,
+                         const std::vector<bool>& relevant);
+
+/// Relative improvement of `ranking` over `baseline` in precision@k:
+///   (P@k(ranking) - P@k(baseline)) / P@k(baseline).
+/// Returns 0 when the baseline precision is 0.
+double front_improvement(const std::vector<std::size_t>& ranking,
+                         const std::vector<std::size_t>& baseline,
+                         const std::vector<bool>& relevant, std::size_t k);
+
+/// Kendall rank-correlation coefficient between two orderings of the same
+/// n items (each vector is a permutation of 0..n-1, best first).
+/// 1 = identical order, -1 = exactly reversed.
+double kendall_tau(const std::vector<std::size_t>& a,
+                   const std::vector<std::size_t>& b);
+
+/// Mean reciprocal rank of the first relevant item (0 when none).
+double mrr(const std::vector<std::size_t>& ranking,
+           const std::vector<bool>& relevant);
+
+}  // namespace reef::ir

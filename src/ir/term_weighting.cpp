@@ -1,0 +1,225 @@
+#include "ir/term_weighting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace reef::ir {
+
+const char* term_selector_name(TermSelector selector) noexcept {
+  switch (selector) {
+    case TermSelector::kRawTf:
+      return "raw-tf";
+    case TermSelector::kOfferWeight:
+      return "offer-weight";
+    case TermSelector::kTfOfferWeight:
+      return "tf-offer-weight";
+  }
+  return "?";
+}
+
+double rsj_weight(double n, double big_n, double r, double big_r) noexcept {
+  const double numerator = (r + 0.5) * (big_n - n - big_r + r + 0.5);
+  const double denominator = (n - r + 0.5) * (big_r - r + 0.5);
+  return std::log(numerator / denominator);
+}
+
+std::vector<ScoredTerm> select_terms(
+    const Corpus& background,
+    const std::vector<const Document*>& relevant, TermSelector selector,
+    std::size_t top_n) {
+  struct Evidence {
+    std::uint32_t doc_count = 0;  // r: relevant docs containing the term
+    double tf_mass = 0.0;         // sum of log(1 + tf) over relevant docs
+    std::uint64_t raw_tf = 0;     // plain frequency total
+  };
+  std::unordered_map<std::string, Evidence> evidence;
+  for (const Document* doc : relevant) {
+    for (const auto& [term, tf] : doc->terms()) {
+      Evidence& e = evidence[term];
+      ++e.doc_count;
+      e.tf_mass += std::log(1.0 + static_cast<double>(tf));
+      e.raw_tf += tf;
+    }
+  }
+
+  const double big_n = static_cast<double>(background.size());
+  const double big_r = static_cast<double>(relevant.size());
+
+  std::vector<ScoredTerm> scored;
+  scored.reserve(evidence.size());
+  for (const auto& [term, e] : evidence) {
+    double score = 0.0;
+    switch (selector) {
+      case TermSelector::kRawTf:
+        score = static_cast<double>(e.raw_tf);
+        break;
+      case TermSelector::kOfferWeight: {
+        const double w1 = rsj_weight(background.df(term), big_n,
+                                     e.doc_count, big_r);
+        score = static_cast<double>(e.doc_count) * w1;
+        break;
+      }
+      case TermSelector::kTfOfferWeight: {
+        const double w1 = rsj_weight(background.df(term), big_n,
+                                     e.doc_count, big_r);
+        score = e.tf_mass * w1;
+        break;
+      }
+    }
+    scored.push_back(ScoredTerm{term, score});
+  }
+
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredTerm& a, const ScoredTerm& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.term < b.term;
+            });
+  if (scored.size() > top_n) scored.resize(top_n);
+  return scored;
+}
+
+std::vector<ScoredTerm> select_terms(const Corpus& background,
+                                     const Corpus& relevant,
+                                     TermSelector selector,
+                                     std::size_t top_n) {
+  std::vector<const Document*> docs;
+  docs.reserve(relevant.size());
+  for (const auto& doc : relevant.docs()) docs.push_back(&doc);
+  return select_terms(background, docs, selector, top_n);
+}
+
+void TermStatsAccumulator::add_document(
+    const std::vector<std::string>& terms) {
+  TermFreqs freqs;
+  for (const auto& term : terms) ++freqs[term];
+  add_document(freqs);
+}
+
+void TermStatsAccumulator::add_document(const TermFreqs& term_freqs) {
+  ++docs_;
+  for (const auto& [term, tf] : term_freqs) {
+    Evidence& e = evidence_[term];
+    ++e.doc_count;
+    e.tf_mass += std::log(1.0 + static_cast<double>(tf));
+    e.raw_tf += tf;
+  }
+}
+
+std::uint32_t TermStatsAccumulator::df(const std::string& term) const {
+  const auto it = evidence_.find(term);
+  return it == evidence_.end() ? 0 : it->second.doc_count;
+}
+
+std::vector<ScoredTerm> select_terms(const TermStatsAccumulator& background,
+                                     const TermStatsAccumulator& relevant,
+                                     TermSelector selector,
+                                     std::size_t top_n) {
+  const double big_n = static_cast<double>(background.documents());
+  const double big_r = static_cast<double>(relevant.documents());
+
+  std::vector<ScoredTerm> scored;
+  scored.reserve(relevant.evidence().size());
+  for (const auto& [term, e] : relevant.evidence()) {
+    double score = 0.0;
+    switch (selector) {
+      case TermSelector::kRawTf:
+        score = static_cast<double>(e.raw_tf);
+        break;
+      case TermSelector::kOfferWeight: {
+        const double w1 =
+            rsj_weight(background.df(term), big_n, e.doc_count, big_r);
+        score = static_cast<double>(e.doc_count) * w1;
+        break;
+      }
+      case TermSelector::kTfOfferWeight: {
+        const double w1 =
+            rsj_weight(background.df(term), big_n, e.doc_count, big_r);
+        score = e.tf_mass * w1;
+        break;
+      }
+    }
+    scored.push_back(ScoredTerm{term, score});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredTerm& a, const ScoredTerm& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.term < b.term;
+            });
+  if (scored.size() > top_n) scored.resize(top_n);
+  return scored;
+}
+
+std::vector<ScoredTerm> diversify_terms(
+    const std::vector<ScoredTerm>& candidates,
+    const std::vector<TermFreqs>& doc_sample, double lambda,
+    std::size_t top_n) {
+  if (candidates.empty() || top_n == 0) return {};
+
+  // Document-incidence sets for each candidate term (over the sample).
+  std::unordered_map<std::string, std::vector<std::uint32_t>> incidence;
+  for (const auto& candidate : candidates) incidence[candidate.term];
+  for (std::uint32_t doc = 0; doc < doc_sample.size(); ++doc) {
+    for (auto& [term, docs] : incidence) {
+      if (doc_sample[doc].contains(term)) docs.push_back(doc);
+    }
+  }
+  const auto similarity = [&](const std::string& a, const std::string& b) {
+    const auto& da = incidence.at(a);
+    const auto& db = incidence.at(b);
+    if (da.empty() || db.empty()) return 0.0;
+    std::size_t common = 0;
+    // Incidence lists are sorted by construction.
+    for (std::size_t i = 0, j = 0; i < da.size() && j < db.size();) {
+      if (da[i] == db[j]) {
+        ++common;
+        ++i;
+        ++j;
+      } else if (da[i] < db[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    return static_cast<double>(common) /
+           std::sqrt(static_cast<double>(da.size()) *
+                     static_cast<double>(db.size()));
+  };
+
+  // Min-max normalize scores so lambda trades off on a known scale.
+  double lo = candidates.front().score;
+  double hi = candidates.front().score;
+  for (const auto& c : candidates) {
+    lo = std::min(lo, c.score);
+    hi = std::max(hi, c.score);
+  }
+  const double span = hi > lo ? hi - lo : 1.0;
+
+  std::vector<ScoredTerm> picked;
+  std::vector<bool> used(candidates.size(), false);
+  while (picked.size() < top_n && picked.size() < candidates.size()) {
+    double best_value = -1e300;
+    std::size_t best_index = candidates.size();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      const double relevance = (candidates[i].score - lo) / span;
+      double redundancy = 0.0;
+      for (const auto& already : picked) {
+        redundancy =
+            std::max(redundancy, similarity(candidates[i].term, already.term));
+      }
+      const double value = lambda * relevance - (1.0 - lambda) * redundancy;
+      if (value > best_value) {
+        best_value = value;
+        best_index = i;
+      }
+    }
+    if (best_index == candidates.size()) break;
+    used[best_index] = true;
+    picked.push_back(candidates[best_index]);
+  }
+  return picked;
+}
+
+}  // namespace reef::ir

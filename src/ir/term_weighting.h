@@ -1,0 +1,122 @@
+// Query-term selection from a user's attention documents.
+//
+// The paper (§3.3, footnote 1) selects the top-N terms from the pages a
+// user visited with "a modified version of Robertson's Offer Weight
+// formula which integrates the term frequency measure". We implement:
+//
+//   * kRawTf          — baseline: rank terms by total frequency in the
+//                       relevance set (what naive keyword extraction does);
+//   * kOfferWeight    — classic Robertson/Spärck-Jones OW = r * w(1), where
+//                       r is the number of relevant documents containing
+//                       the term and w(1) the RSJ relevance weight;
+//   * kTfOfferWeight  — the paper's modification: the document-count
+//                       evidence r is replaced by log-scaled within-
+//                       document frequency mass, so terms a user dwells on
+//                       repeatedly outrank incidental ones.
+//
+// The "relevant" set is the set of documents the user attended to (visited
+// pages); the background corpus supplies collection statistics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/corpus.h"
+
+namespace reef::ir {
+
+struct ScoredTerm {
+  std::string term;
+  double score = 0.0;
+
+  friend bool operator==(const ScoredTerm&, const ScoredTerm&) = default;
+};
+
+enum class TermSelector {
+  kRawTf,
+  kOfferWeight,
+  kTfOfferWeight,
+};
+
+const char* term_selector_name(TermSelector selector) noexcept;
+
+/// Robertson/Spärck-Jones relevance weight with the standard 0.5 smoothing:
+///   w1 = log( ((r+0.5)(N-n-R+r+0.5)) / ((n-r+0.5)(R-r+0.5)) )
+/// where N = collection size, n = document frequency, R = |relevant|,
+/// r = relevant documents containing the term.
+double rsj_weight(double n, double big_n, double r, double big_r) noexcept;
+
+/// Ranks all terms occurring in `relevant` and returns the top `top_n`
+/// (fewer if the vocabulary is smaller), sorted by descending score with
+/// ties broken alphabetically for determinism.
+///
+/// `background` provides N and n; it may be the same corpus that contains
+/// the relevant documents or a larger reference collection.
+std::vector<ScoredTerm> select_terms(
+    const Corpus& background,
+    const std::vector<const Document*>& relevant, TermSelector selector,
+    std::size_t top_n);
+
+/// Convenience overload selecting from every document of a corpus.
+std::vector<ScoredTerm> select_terms(const Corpus& background,
+                                     const Corpus& relevant,
+                                     TermSelector selector,
+                                     std::size_t top_n);
+
+/// Incremental term statistics: everything the selectors need (document
+/// frequency, log-TF mass, raw frequency) without retaining documents.
+/// Memory is O(vocabulary), so it scales to arbitrarily long attention
+/// streams — this is what the recommenders aggregate into.
+class TermStatsAccumulator {
+ public:
+  struct Evidence {
+    std::uint32_t doc_count = 0;  ///< documents containing the term
+    double tf_mass = 0.0;         ///< sum of log(1 + tf) per document
+    std::uint64_t raw_tf = 0;     ///< total occurrences
+  };
+
+  /// Folds one document (a term sequence; duplicates = term frequency).
+  void add_document(const std::vector<std::string>& terms);
+  /// Folds one pre-counted document.
+  void add_document(const TermFreqs& term_freqs);
+
+  std::size_t documents() const noexcept { return docs_; }
+  std::size_t vocabulary_size() const noexcept { return evidence_.size(); }
+  /// Document frequency of `term` (0 when unseen).
+  std::uint32_t df(const std::string& term) const;
+  const std::unordered_map<std::string, Evidence>& evidence() const noexcept {
+    return evidence_;
+  }
+
+ private:
+  std::unordered_map<std::string, Evidence> evidence_;
+  std::size_t docs_ = 0;
+};
+
+/// Term selection over accumulated statistics: `relevant` is the user's
+/// attention stream, `background` the reference collection (often the
+/// union of all users' streams). Same scoring rules as the corpus-based
+/// overloads.
+std::vector<ScoredTerm> select_terms(const TermStatsAccumulator& background,
+                                     const TermStatsAccumulator& relevant,
+                                     TermSelector selector,
+                                     std::size_t top_n);
+
+/// Diversity-aware re-selection (the paper's §3.3 open problem: "forming
+/// queries for users that have many diverse interests").
+///
+/// Maximal-marginal-relevance over term co-occurrence: terms are picked
+/// greedily by `lambda * score - (1 - lambda) * max-similarity-to-picked`,
+/// where two terms are similar when they co-occur in the same documents of
+/// `doc_sample` (cosine over document incidence). With lambda = 1 this
+/// degenerates to plain top-n by score; smaller lambda spreads the query
+/// across the user's distinct interest clusters.
+///
+/// `candidates` should be over-provisioned (e.g. the top 3n by Offer
+/// Weight); scores are min-max normalized internally.
+std::vector<ScoredTerm> diversify_terms(
+    const std::vector<ScoredTerm>& candidates,
+    const std::vector<TermFreqs>& doc_sample, double lambda,
+    std::size_t top_n);
+
+}  // namespace reef::ir

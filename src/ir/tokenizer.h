@@ -1,0 +1,42 @@
+// Text tokenization for the IR pipeline.
+//
+// The attention parser and the content recommender both reduce text (page
+// bodies, URLs, story transcripts) to lower-case terms. The tokenizer
+// splits on non-alphanumeric characters, lower-cases, and drops tokens
+// that are too short/long or purely numeric — the standard preprocessing
+// for the BM25 / Offer Weight computations in this module.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reef::ir {
+
+struct TokenizerOptions {
+  std::size_t min_length = 2;
+  std::size_t max_length = 40;
+  bool drop_numeric = true;
+};
+
+/// Splits `text` into normalized tokens.
+std::vector<std::string> tokenize(std::string_view text,
+                                  const TokenizerOptions& options);
+std::vector<std::string> tokenize(std::string_view text);
+
+/// True for terms in the built-in English stopword list (already
+/// lower-case input expected).
+bool is_stopword(std::string_view term) noexcept;
+
+/// Number of entries in the stopword list (for tests).
+std::size_t stopword_count() noexcept;
+
+/// Porter's stemming algorithm (the 1980 original). Input must be
+/// lower-case ASCII; returns the stem. Strings shorter than 3 characters
+/// are returned unchanged (per the algorithm).
+std::string porter_stem(std::string_view word);
+
+/// Full preprocessing: tokenize, drop stopwords, stem.
+std::vector<std::string> analyze(std::string_view text);
+
+}  // namespace reef::ir

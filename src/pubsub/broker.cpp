@@ -1,0 +1,223 @@
+#include "pubsub/broker.h"
+
+#include <any>
+#include <cassert>
+
+#include "util/log.h"
+
+namespace reef::pubsub {
+
+Broker::Broker(sim::Simulator& sim, sim::Network& net, std::string name)
+    : Broker(sim, net, std::move(name), Config{}) {}
+
+Broker::Broker(sim::Simulator& sim, sim::Network& net, std::string name,
+               Config config)
+    : sim_(sim),
+      net_(net),
+      name_(std::move(name)),
+      config_(config),
+      matcher_(make_matcher(config.use_counting_matcher)) {
+  id_ = net_.attach(*this, name_);
+}
+
+void Broker::add_neighbor(Broker& other) {
+  assert(other.id() != id_);
+  if (broker_ifaces_.contains(other.id())) return;
+  neighbors_.push_back(other.id());
+  broker_ifaces_.emplace(other.id(), BrokerIface{});
+  // Bring the new neighbor up to date with everything reachable through us.
+  refresh_neighbor(other.id());
+}
+
+void Broker::attach_client(sim::NodeId client) {
+  client_ifaces_.try_emplace(client);
+}
+
+void Broker::handle_message(const sim::Message& msg) {
+  if (msg.type == kTypeClientSubscribe) {
+    on_client_subscribe(msg.from,
+                        std::any_cast<const ClientSubscribeMsg&>(msg.payload));
+  } else if (msg.type == kTypeClientUnsubscribe) {
+    on_client_unsubscribe(
+        msg.from, std::any_cast<const ClientUnsubscribeMsg&>(msg.payload));
+  } else if (msg.type == kTypeSubscribe) {
+    on_broker_subscribe(msg.from,
+                        std::any_cast<const SubscribeMsg&>(msg.payload));
+  } else if (msg.type == kTypeUnsubscribe) {
+    on_broker_unsubscribe(msg.from,
+                          std::any_cast<const UnsubscribeMsg&>(msg.payload));
+  } else if (msg.type == kTypePublish) {
+    on_publish(msg.from, std::any_cast<const PublishMsg&>(msg.payload).event);
+  } else {
+    util::log_warn("broker") << name_ << ": unknown message type " << msg.type;
+  }
+}
+
+std::uint64_t Broker::add_entry(Filter filter, sim::NodeId iface,
+                                bool from_broker, SubscriptionId client_sub) {
+  const std::uint64_t engine_id = next_engine_id_++;
+  matcher_->add(engine_id, filter);
+  entries_.emplace(engine_id,
+                   EngineEntry{std::move(filter), iface, from_broker,
+                               client_sub});
+  return engine_id;
+}
+
+void Broker::remove_entry(std::uint64_t engine_id) {
+  matcher_->remove(engine_id);
+  entries_.erase(engine_id);
+}
+
+void Broker::on_client_subscribe(sim::NodeId from,
+                                 const ClientSubscribeMsg& msg) {
+  ++stats_.subs_received;
+  attach_client(from);
+  ClientIface& iface = client_ifaces_[from];
+  if (const auto it = iface.engine_ids.find(msg.sub_id);
+      it != iface.engine_ids.end()) {
+    remove_entry(it->second);  // replace semantics on duplicate sub_id
+  }
+  iface.engine_ids[msg.sub_id] =
+      add_entry(msg.filter, from, /*from_broker=*/false, msg.sub_id);
+  refresh_all_neighbors_except(sim::kNoNode);
+}
+
+void Broker::on_client_unsubscribe(sim::NodeId from,
+                                   const ClientUnsubscribeMsg& msg) {
+  ++stats_.subs_received;
+  const auto iface_it = client_ifaces_.find(from);
+  if (iface_it == client_ifaces_.end()) return;
+  const auto sub_it = iface_it->second.engine_ids.find(msg.sub_id);
+  if (sub_it == iface_it->second.engine_ids.end()) return;
+  remove_entry(sub_it->second);
+  iface_it->second.engine_ids.erase(sub_it);
+  refresh_all_neighbors_except(sim::kNoNode);
+}
+
+void Broker::on_broker_subscribe(sim::NodeId from, const SubscribeMsg& msg) {
+  ++stats_.subs_received;
+  auto& iface = broker_ifaces_[from];
+  const std::string& key = msg.filter.key();
+  if (const auto it = iface.engine_ids.find(key);
+      it != iface.engine_ids.end()) {
+    return;  // idempotent re-subscribe
+  }
+  iface.engine_ids[key] =
+      add_entry(msg.filter, from, /*from_broker=*/true, 0);
+  // Propagate onward, but never back where it came from.
+  refresh_all_neighbors_except(from);
+}
+
+void Broker::on_broker_unsubscribe(sim::NodeId from,
+                                   const UnsubscribeMsg& msg) {
+  ++stats_.subs_received;
+  const auto iface_it = broker_ifaces_.find(from);
+  if (iface_it == broker_ifaces_.end()) return;
+  const auto key_it = iface_it->second.engine_ids.find(msg.filter.key());
+  if (key_it == iface_it->second.engine_ids.end()) return;
+  remove_entry(key_it->second);
+  iface_it->second.engine_ids.erase(key_it);
+  refresh_all_neighbors_except(from);
+}
+
+void Broker::on_publish(sim::NodeId from, const Event& event) {
+  ++stats_.pubs_received;
+  ++stats_.matches_run;
+  std::vector<SubscriptionId> engine_hits;
+  matcher_->match(event, engine_hits);
+
+  // Group matches by interface; an event crosses each interface once.
+  std::unordered_map<sim::NodeId, std::vector<SubscriptionId>> client_hits;
+  std::unordered_map<sim::NodeId, bool> broker_hits;
+  for (const std::uint64_t engine_id : engine_hits) {
+    const EngineEntry& entry = entries_.at(engine_id);
+    if (entry.iface == from) continue;  // never echo back
+    if (entry.from_broker) {
+      broker_hits[entry.iface] = true;
+    } else {
+      client_hits[entry.iface].push_back(entry.client_sub);
+    }
+  }
+  for (const auto& [neighbor, _] : broker_hits) {
+    ++stats_.pubs_forwarded;
+    net_.send(id_, neighbor, std::string(kTypePublish), PublishMsg{event},
+              event.wire_size() + 8);
+  }
+  for (auto& [client, subs] : client_hits) {
+    ++stats_.deliveries;
+    const std::size_t bytes = event.wire_size() + 8 * subs.size() + 8;
+    net_.send(id_, client, std::string(kTypeDeliver),
+              DeliverMsg{event, std::move(subs)}, bytes);
+  }
+}
+
+std::map<std::string, Filter> Broker::filters_not_from(
+    sim::NodeId excluded) const {
+  std::map<std::string, Filter> out;
+  for (const auto& [engine_id, entry] : entries_) {
+    if (entry.iface == excluded) continue;
+    out.try_emplace(entry.filter.key(), entry.filter);
+  }
+  return out;
+}
+
+std::map<std::string, Filter> Broker::minimal_cover(
+    std::map<std::string, Filter> filters) {
+  std::map<std::string, Filter> out;
+  for (const auto& [key, filter] : filters) {
+    bool dominated = false;
+    for (const auto& [other_key, other] : filters) {
+      if (other_key == key) continue;
+      if (!other.covers(filter)) continue;
+      // `other` covers us. Drop `filter` unless the two are equivalent and
+      // we are the canonical (lexicographically first) representative.
+      if (!filter.covers(other) || other_key < key) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.emplace(key, filter);
+  }
+  return out;
+}
+
+void Broker::refresh_neighbor(sim::NodeId neighbor) {
+  BrokerIface& iface = broker_ifaces_.at(neighbor);
+  std::map<std::string, Filter> desired = filters_not_from(neighbor);
+  if (config_.covering_enabled) desired = minimal_cover(std::move(desired));
+
+  // Send subscriptions that became necessary.
+  for (const auto& [key, filter] : desired) {
+    if (iface.forwarded.contains(key)) continue;
+    ++stats_.subs_forwarded;
+    net_.send(id_, neighbor, std::string(kTypeSubscribe),
+              SubscribeMsg{filter}, filter.wire_size() + 8);
+    iface.forwarded.emplace(key, filter);
+  }
+  // Retract subscriptions that are no longer needed (or now covered).
+  for (auto it = iface.forwarded.begin(); it != iface.forwarded.end();) {
+    if (desired.contains(it->first)) {
+      ++it;
+      continue;
+    }
+    ++stats_.unsubs_forwarded;
+    net_.send(id_, neighbor, std::string(kTypeUnsubscribe),
+              UnsubscribeMsg{it->second}, it->second.wire_size() + 8);
+    it = iface.forwarded.erase(it);
+  }
+}
+
+void Broker::refresh_all_neighbors_except(sim::NodeId except) {
+  for (const sim::NodeId neighbor : neighbors_) {
+    if (neighbor != except) refresh_neighbor(neighbor);
+  }
+}
+
+std::size_t Broker::table_size() const noexcept { return entries_.size(); }
+
+std::size_t Broker::forwarded_size(sim::NodeId neighbor) const {
+  const auto it = broker_ifaces_.find(neighbor);
+  return it == broker_ifaces_.end() ? 0 : it->second.forwarded.size();
+}
+
+}  // namespace reef::pubsub

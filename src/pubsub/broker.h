@@ -1,0 +1,132 @@
+// Content-based pub/sub broker (Siena-style subscription forwarding).
+//
+// Brokers form an *acyclic* overlay. Each broker keeps, per interface
+// (neighbor broker or attached client), the set of filters reachable
+// through that interface, and forwards a publication out of every
+// interface with at least one matching filter (except the one it arrived
+// on). Subscriptions are flooded toward all brokers, pruned by the
+// covering relation: a filter is not forwarded to a neighbor if a filter
+// already forwarded to that neighbor covers it. The pruning is the
+// classic Siena optimization and can be disabled for the ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pubsub/matcher.h"
+#include "pubsub/messages.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace reef::pubsub {
+
+class Broker final : public sim::Node {
+ public:
+  struct Config {
+    /// Covering-based pruning of forwarded subscriptions (ablation knob).
+    bool covering_enabled = true;
+    /// Counting-index matcher (true) vs brute-force scan (false).
+    bool use_counting_matcher = true;
+  };
+
+  struct Stats {
+    std::uint64_t subs_received = 0;    ///< control msgs in (sub+unsub)
+    std::uint64_t subs_forwarded = 0;   ///< SubscribeMsg sent to neighbors
+    std::uint64_t unsubs_forwarded = 0; ///< UnsubscribeMsg sent to neighbors
+    std::uint64_t pubs_received = 0;
+    std::uint64_t pubs_forwarded = 0;   ///< PublishMsg sent to neighbors
+    std::uint64_t deliveries = 0;       ///< DeliverMsg sent to clients
+    std::uint64_t matches_run = 0;      ///< matcher invocations
+  };
+
+  Broker(sim::Simulator& sim, sim::Network& net, std::string name);
+  Broker(sim::Simulator& sim, sim::Network& net, std::string name,
+         Config config);
+
+  sim::NodeId id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+
+  /// Declares `other` a neighbor of this broker (one direction; the
+  /// overlay helper wires both). The resulting graph must stay acyclic.
+  void add_neighbor(Broker& other);
+
+  /// Registers an attached client so deliveries can reach it. Called by
+  /// Client::connect.
+  void attach_client(sim::NodeId client);
+
+  void handle_message(const sim::Message& msg) override;
+
+  // --- introspection --------------------------------------------------------
+  const Stats& stats() const noexcept { return stats_; }
+  /// Total filters stored across all interfaces (routing-table size).
+  std::size_t table_size() const noexcept;
+  /// Filters currently forwarded to (i.e. requested from) a neighbor.
+  std::size_t forwarded_size(sim::NodeId neighbor) const;
+  std::size_t neighbor_count() const noexcept { return neighbors_.size(); }
+  const std::vector<sim::NodeId>& neighbors() const noexcept {
+    return neighbors_;
+  }
+
+ private:
+  struct ClientIface {
+    std::unordered_map<SubscriptionId, std::uint64_t> engine_ids;
+  };
+  struct BrokerIface {
+    /// Aggregated filters received from this neighbor, by canonical key.
+    std::unordered_map<std::string, std::uint64_t> engine_ids;
+    /// Filters we have forwarded *to* this neighbor, by canonical key.
+    std::unordered_map<std::string, Filter> forwarded;
+  };
+  struct EngineEntry {
+    Filter filter;
+    sim::NodeId iface = sim::kNoNode;
+    bool from_broker = false;
+    SubscriptionId client_sub = 0;  // valid when !from_broker
+  };
+
+  void on_client_subscribe(sim::NodeId from, const ClientSubscribeMsg& msg);
+  void on_client_unsubscribe(sim::NodeId from,
+                             const ClientUnsubscribeMsg& msg);
+  void on_broker_subscribe(sim::NodeId from, const SubscribeMsg& msg);
+  void on_broker_unsubscribe(sim::NodeId from, const UnsubscribeMsg& msg);
+  void on_publish(sim::NodeId from, const Event& event);
+
+  std::uint64_t add_entry(Filter filter, sim::NodeId iface, bool from_broker,
+                          SubscriptionId client_sub);
+  void remove_entry(std::uint64_t engine_id);
+
+  /// Recomputes the set of filters that should be forwarded to `neighbor`
+  /// and sends the subscribe/unsubscribe diff.
+  void refresh_neighbor(sim::NodeId neighbor);
+  void refresh_all_neighbors_except(sim::NodeId except);
+
+  /// Filters visible on interfaces other than `excluded` (deduplicated by
+  /// canonical key).
+  std::map<std::string, Filter> filters_not_from(sim::NodeId excluded) const;
+
+  /// Reduces a key->filter set to its maximal elements under covering.
+  static std::map<std::string, Filter> minimal_cover(
+      std::map<std::string, Filter> filters);
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  std::string name_;
+  Config config_;
+  sim::NodeId id_;
+
+  std::vector<sim::NodeId> neighbors_;
+  std::unordered_map<sim::NodeId, BrokerIface> broker_ifaces_;
+  std::unordered_map<sim::NodeId, ClientIface> client_ifaces_;
+
+  std::unique_ptr<Matcher> matcher_;
+  std::unordered_map<std::uint64_t, EngineEntry> entries_;
+  std::uint64_t next_engine_id_ = 1;
+
+  Stats stats_;
+};
+
+}  // namespace reef::pubsub

@@ -1,0 +1,85 @@
+#include "pubsub/client.h"
+
+#include <cassert>
+#include <memory>
+#include <unordered_set>
+
+#include "util/log.h"
+
+namespace reef::pubsub {
+
+Client::Client(sim::Simulator& sim, sim::Network& net, std::string name)
+    : sim_(sim), net_(net), name_(std::move(name)) {
+  id_ = net_.attach(*this, name_);
+}
+
+void Client::connect(Broker& broker) {
+  broker_ = broker.id();
+  broker.attach_client(id_);
+}
+
+SubscriptionId Client::subscribe(Filter filter, Handler handler) {
+  assert(connected() && "subscribe before connect");
+  const SubscriptionId sub_id =
+      (static_cast<std::uint64_t>(id_) << 32) | next_sub_++;
+  handlers_.emplace(sub_id, std::move(handler));
+  net_.send(id_, broker_, std::string(kTypeClientSubscribe),
+            ClientSubscribeMsg{sub_id, filter}, filter.wire_size() + 16);
+  return sub_id;
+}
+
+std::vector<SubscriptionId> Client::subscribe_any(
+    std::vector<Filter> filters, Handler handler) {
+  // Share one dedup set across the branch subscriptions: events carry a
+  // publisher-assigned id, so an event matching several branches is
+  // delivered in one DeliverMsg listing each branch — the shared set makes
+  // the user handler fire once.
+  auto seen = std::make_shared<std::unordered_set<EventId>>();
+  auto shared_handler = std::make_shared<Handler>(std::move(handler));
+  std::vector<SubscriptionId> ids;
+  ids.reserve(filters.size());
+  for (auto& filter : filters) {
+    ids.push_back(subscribe(
+        std::move(filter),
+        [seen, shared_handler](const Event& event, SubscriptionId sub) {
+          if (!seen->insert(event.id()).second) return;
+          if (*shared_handler) (*shared_handler)(event, sub);
+        }));
+  }
+  return ids;
+}
+
+void Client::unsubscribe(SubscriptionId id) {
+  if (handlers_.erase(id) == 0) return;
+  net_.send(id_, broker_, std::string(kTypeClientUnsubscribe),
+            ClientUnsubscribeMsg{id}, 16);
+}
+
+void Client::publish(Event event) {
+  assert(connected() && "publish before connect");
+  event.set_id((static_cast<std::uint64_t>(id_) << 32) | next_event_id_++);
+  ++published_;
+  const std::size_t bytes = event.wire_size() + 8;
+  net_.send(id_, broker_, std::string(kTypePublish),
+            PublishMsg{std::move(event)}, bytes);
+}
+
+void Client::handle_message(const sim::Message& msg) {
+  if (msg.type != kTypeDeliver) {
+    util::log_warn("client") << name_ << ": unexpected message " << msg.type;
+    return;
+  }
+  const auto& deliver = std::any_cast<const DeliverMsg&>(msg.payload);
+  for (const SubscriptionId sub_id : deliver.matched) {
+    const auto it = handlers_.find(sub_id);
+    if (it == handlers_.end()) continue;  // already unsubscribed: drop
+    ++deliveries_;
+    if (it->second) {
+      it->second(deliver.event, sub_id);
+    } else {
+      inbox_.emplace_back(deliver.event, sub_id);
+    }
+  }
+}
+
+}  // namespace reef::pubsub

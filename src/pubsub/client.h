@@ -1,0 +1,81 @@
+// Pub/sub client endpoint: the API surface application code uses to talk
+// to a broker (subscribe / unsubscribe / publish) over the simulated
+// network. The Reef subscription frontend and the feed proxy are built on
+// this class.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pubsub/broker.h"
+#include "pubsub/messages.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace reef::pubsub {
+
+class Client final : public sim::Node {
+ public:
+  /// Invoked once per delivered event per matching subscription.
+  using Handler = std::function<void(const Event&, SubscriptionId)>;
+
+  Client(sim::Simulator& sim, sim::Network& net, std::string name);
+
+  sim::NodeId id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+
+  /// Connects to a broker. A client talks to exactly one broker; calling
+  /// again rebinds new operations to the new broker (existing
+  /// subscriptions stay on the old one and should be unsubscribed first).
+  void connect(Broker& broker);
+  bool connected() const noexcept { return broker_ != sim::kNoNode; }
+
+  /// Registers `filter`; `handler` (optional) runs on each delivery.
+  /// Returns the id used for unsubscribe. Requires connect() first.
+  SubscriptionId subscribe(Filter filter, Handler handler = {});
+
+  /// Disjunctive subscription sugar: places one subscription per filter
+  /// sharing `handler`, deduplicating deliveries by event id so an event
+  /// matching several branches fires the handler once. Returns the ids
+  /// (retract each to fully unsubscribe).
+  std::vector<SubscriptionId> subscribe_any(std::vector<Filter> filters,
+                                            Handler handler);
+
+  /// Retracts a subscription made by this client; unknown ids are ignored.
+  void unsubscribe(SubscriptionId id);
+
+  /// Publishes an event into the substrate via the connected broker.
+  void publish(Event event);
+
+  void handle_message(const sim::Message& msg) override;
+
+  // --- introspection --------------------------------------------------------
+  std::uint64_t deliveries() const noexcept { return deliveries_; }
+  std::uint64_t published() const noexcept { return published_; }
+  std::size_t active_subscriptions() const noexcept {
+    return handlers_.size();
+  }
+  /// Events delivered for subscriptions with no handler accumulate here.
+  const std::vector<std::pair<Event, SubscriptionId>>& inbox() const noexcept {
+    return inbox_;
+  }
+  void clear_inbox() { inbox_.clear(); }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  std::string name_;
+  sim::NodeId id_;
+  sim::NodeId broker_ = sim::kNoNode;
+  std::unordered_map<SubscriptionId, Handler> handlers_;
+  std::uint32_t next_sub_ = 1;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t published_ = 0;
+  std::uint64_t next_event_id_ = 1;
+  std::vector<std::pair<Event, SubscriptionId>> inbox_;
+};
+
+}  // namespace reef::pubsub

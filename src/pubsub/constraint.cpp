@@ -1,0 +1,218 @@
+#include "pubsub/constraint.h"
+
+namespace reef::pubsub {
+
+std::string_view op_name(Op op) noexcept {
+  switch (op) {
+    case Op::kEq:
+      return "=";
+    case Op::kNe:
+      return "!=";
+    case Op::kLt:
+      return "<";
+    case Op::kLe:
+      return "<=";
+    case Op::kGt:
+      return ">";
+    case Op::kGe:
+      return ">=";
+    case Op::kPrefix:
+      return "=^";
+    case Op::kSuffix:
+      return "=$";
+    case Op::kContains:
+      return "=*";
+    case Op::kExists:
+      return "any";
+  }
+  return "?";
+}
+
+namespace {
+
+bool string_pair(const Value& a, const Value& b) noexcept {
+  return a.is_string() && b.is_string();
+}
+
+}  // namespace
+
+bool Constraint::matches(const Value& v) const noexcept {
+  using enum Op;
+  switch (op_) {
+    case kExists:
+      return !v.is_null();
+    case kEq:
+      return v.equals(value_);
+    case kNe: {
+      const auto c = Value::compare(v, value_);
+      return c.has_value() && *c != std::strong_ordering::equal;
+    }
+    case kLt: {
+      const auto c = Value::compare(v, value_);
+      return c.has_value() && *c == std::strong_ordering::less;
+    }
+    case kLe: {
+      const auto c = Value::compare(v, value_);
+      return c.has_value() && *c != std::strong_ordering::greater;
+    }
+    case kGt: {
+      const auto c = Value::compare(v, value_);
+      return c.has_value() && *c == std::strong_ordering::greater;
+    }
+    case kGe: {
+      const auto c = Value::compare(v, value_);
+      return c.has_value() && *c != std::strong_ordering::less;
+    }
+    case kPrefix:
+      return string_pair(v, value_) &&
+             v.as_string().starts_with(value_.as_string());
+    case kSuffix:
+      return string_pair(v, value_) &&
+             v.as_string().ends_with(value_.as_string());
+    case kContains:
+      return string_pair(v, value_) &&
+             v.as_string().find(value_.as_string()) != std::string::npos;
+  }
+  return false;
+}
+
+bool Constraint::covers(const Constraint& other) const noexcept {
+  using enum Op;
+  if (attribute_ != other.attribute_) return false;
+  if (op_ == kExists) return true;  // every matching value is present
+  if (*this == other) return true;
+
+  const Value& a = value_;        // our bound
+  const Value& b = other.value_;  // their bound
+  const auto cmp = Value::compare(a, b);
+  const bool comparable = cmp.has_value();
+  const bool a_lt_b = comparable && *cmp == std::strong_ordering::less;
+  const bool a_eq_b = comparable && *cmp == std::strong_ordering::equal;
+  const bool a_gt_b = comparable && *cmp == std::strong_ordering::greater;
+
+  switch (op_) {
+    case kEq:
+      // eq(a) covers eq(b) iff the bounds are equal (cross-type numeric ok).
+      return other.op_ == kEq && a_eq_b;
+
+    case kNe:
+      switch (other.op_) {
+        case kNe:
+          return a_eq_b;
+        case kEq:
+          return comparable && !a_eq_b;
+        case kLt:  // all v < b; none can equal a when a >= b
+          return a_gt_b || a_eq_b;
+        case kLe:
+          return a_gt_b;
+        case kGt:
+          return a_lt_b || a_eq_b;
+        case kGe:
+          return a_lt_b;
+        case kPrefix:  // strings with prefix b never equal a when a lacks it
+          return string_pair(a, b) && !a.as_string().starts_with(b.as_string());
+        case kSuffix:
+          return string_pair(a, b) && !a.as_string().ends_with(b.as_string());
+        case kContains:
+          return string_pair(a, b) &&
+                 a.as_string().find(b.as_string()) == std::string::npos;
+        default:
+          return false;
+      }
+
+    case kLt:
+      switch (other.op_) {
+        case kLt:
+          return a_gt_b || a_eq_b;  // b <= a
+        case kLe:
+          return a_gt_b;  // b < a
+        case kEq:
+          return a_gt_b;  // b < a
+        default:
+          return false;
+      }
+    case kLe:
+      switch (other.op_) {
+        case kLt:  // v < b and b <= a  =>  v < a <= a
+          return a_gt_b || a_eq_b;
+        case kLe:
+          return a_gt_b || a_eq_b;
+        case kEq:
+          return a_gt_b || a_eq_b;
+        default:
+          return false;
+      }
+    case kGt:
+      switch (other.op_) {
+        case kGt:
+          return a_lt_b || a_eq_b;  // b >= a
+        case kGe:
+          return a_lt_b;  // b > a
+        case kEq:
+          return a_lt_b;  // b > a
+        default:
+          return false;
+      }
+    case kGe:
+      switch (other.op_) {
+        case kGt:
+          return a_lt_b || a_eq_b;
+        case kGe:
+          return a_lt_b || a_eq_b;
+        case kEq:
+          return a_lt_b || a_eq_b;
+        default:
+          return false;
+      }
+
+    case kPrefix:
+      if (!string_pair(a, b)) return false;
+      switch (other.op_) {
+        case kPrefix:
+          return b.as_string().starts_with(a.as_string());
+        case kEq:
+          return b.as_string().starts_with(a.as_string());
+        default:
+          return false;
+      }
+    case kSuffix:
+      if (!string_pair(a, b)) return false;
+      switch (other.op_) {
+        case kSuffix:
+          return b.as_string().ends_with(a.as_string());
+        case kEq:
+          return b.as_string().ends_with(a.as_string());
+        default:
+          return false;
+      }
+    case kContains:
+      if (!string_pair(a, b)) return false;
+      switch (other.op_) {
+        case kContains:
+        case kPrefix:
+        case kSuffix:
+        case kEq:
+          // Any string that contains / starts with / ends with / equals b
+          // certainly contains b, hence contains a whenever a ⊆ b.
+          return b.as_string().find(a.as_string()) != std::string::npos;
+        default:
+          return false;
+      }
+    case kExists:
+      return true;  // handled above; keep the compiler satisfied
+  }
+  return false;
+}
+
+std::string Constraint::to_string() const {
+  std::string out = attribute_;
+  out += ' ';
+  out += op_name(op_);
+  if (op_ != Op::kExists) {
+    out += ' ';
+    out += value_.to_string();
+  }
+  return out;
+}
+
+}  // namespace reef::pubsub

@@ -1,0 +1,103 @@
+// Attribute constraints: the atoms of the subscription language.
+//
+// A constraint names an attribute, an operator, and (except for `exists`) a
+// comparison value. Besides evaluation against event values, constraints
+// implement the *covering* relation used by the broker overlay to prune
+// routing state: c1 covers c2 iff every value matching c2 also matches c1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "pubsub/value.h"
+
+namespace reef::pubsub {
+
+/// Comparison operators supported by the subscription language.
+enum class Op : std::uint8_t {
+  kEq,        ///< equal (numeric cross-type, string, bool)
+  kNe,        ///< not equal (compatible types only)
+  kLt,        ///< less than
+  kLe,        ///< less or equal
+  kGt,        ///< greater than
+  kGe,        ///< greater or equal
+  kPrefix,    ///< string starts-with
+  kSuffix,    ///< string ends-with
+  kContains,  ///< string substring
+  kExists,    ///< attribute is present (any value)
+};
+
+std::string_view op_name(Op op) noexcept;
+
+/// A single predicate over one named attribute. Value-semantic.
+class Constraint {
+ public:
+  Constraint(std::string attribute, Op op, Value value = Value())
+      : attribute_(std::move(attribute)), value_(std::move(value)), op_(op) {}
+
+  const std::string& attribute() const noexcept { return attribute_; }
+  Op op() const noexcept { return op_; }
+  const Value& value() const noexcept { return value_; }
+
+  /// True iff an event value `v` satisfies this constraint. Incompatible
+  /// types never match (e.g. `price < 5` against "abc" is false).
+  bool matches(const Value& v) const noexcept;
+
+  /// Sound covering test: returns true only if *every* value that matches
+  /// `other` also matches `*this`. May return false for some true covering
+  /// pairs (conservative), never the reverse. Constraints on different
+  /// attributes never cover each other.
+  bool covers(const Constraint& other) const noexcept;
+
+  std::string to_string() const;
+
+  /// Approximate wire size, used for routing-traffic accounting.
+  std::size_t wire_size() const noexcept {
+    return 3 + attribute_.size() + value_.wire_size();
+  }
+
+  friend bool operator==(const Constraint& a, const Constraint& b) noexcept {
+    return a.op_ == b.op_ && a.attribute_ == b.attribute_ &&
+           a.value_ == b.value_;
+  }
+
+ private:
+  std::string attribute_;
+  Value value_;
+  Op op_;
+};
+
+// Convenience factories matching the subscription-language surface.
+inline Constraint eq(std::string attr, Value v) {
+  return Constraint(std::move(attr), Op::kEq, std::move(v));
+}
+inline Constraint ne(std::string attr, Value v) {
+  return Constraint(std::move(attr), Op::kNe, std::move(v));
+}
+inline Constraint lt(std::string attr, Value v) {
+  return Constraint(std::move(attr), Op::kLt, std::move(v));
+}
+inline Constraint le(std::string attr, Value v) {
+  return Constraint(std::move(attr), Op::kLe, std::move(v));
+}
+inline Constraint gt(std::string attr, Value v) {
+  return Constraint(std::move(attr), Op::kGt, std::move(v));
+}
+inline Constraint ge(std::string attr, Value v) {
+  return Constraint(std::move(attr), Op::kGe, std::move(v));
+}
+inline Constraint prefix(std::string attr, std::string p) {
+  return Constraint(std::move(attr), Op::kPrefix, Value(std::move(p)));
+}
+inline Constraint suffix(std::string attr, std::string s) {
+  return Constraint(std::move(attr), Op::kSuffix, Value(std::move(s)));
+}
+inline Constraint contains(std::string attr, std::string s) {
+  return Constraint(std::move(attr), Op::kContains, Value(std::move(s)));
+}
+inline Constraint exists(std::string attr) {
+  return Constraint(std::move(attr), Op::kExists);
+}
+
+}  // namespace reef::pubsub

@@ -1,0 +1,32 @@
+#include "pubsub/event.h"
+
+namespace reef::pubsub {
+
+const Value* Event::find(std::string_view name) const noexcept {
+  const auto it = attrs_.find(name);
+  return it == attrs_.end() ? nullptr : &it->second;
+}
+
+std::size_t Event::wire_size() const noexcept {
+  std::size_t bytes = 16;  // envelope: id + count + framing
+  for (const auto& [name, value] : attrs_) {
+    bytes += 2 + name.size() + value.wire_size();
+  }
+  return bytes;
+}
+
+std::string Event::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : attrs_) {
+    if (!first) out += ", ";
+    first = false;
+    out += name;
+    out += '=';
+    out += value.to_string();
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace reef::pubsub

@@ -1,0 +1,63 @@
+// Events (notifications) for the content-based pub/sub substrate: a set of
+// typed name-value attributes plus a monotone sequence id for tracing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "pubsub/value.h"
+
+namespace reef::pubsub {
+
+/// Monotone identifier for an event instance (assigned by publishers).
+using EventId = std::uint64_t;
+
+/// An immutable-after-construction notification. Attributes are kept in a
+/// sorted map so textual forms and wire sizes are canonical.
+class Event {
+ public:
+  Event() = default;
+
+  /// Fluent construction: Event().with("symbol", "ACME").with("price", 12.5)
+  Event&& with(std::string name, Value value) && {
+    attrs_.insert_or_assign(std::move(name), std::move(value));
+    return std::move(*this);
+  }
+  Event& with(std::string name, Value value) & {
+    attrs_.insert_or_assign(std::move(name), std::move(value));
+    return *this;
+  }
+
+  /// Attribute lookup; returns nullptr when absent.
+  const Value* find(std::string_view name) const noexcept;
+
+  bool has(std::string_view name) const noexcept { return find(name); }
+  std::size_t size() const noexcept { return attrs_.size(); }
+  bool empty() const noexcept { return attrs_.empty(); }
+
+  const std::map<std::string, Value, std::less<>>& attributes()
+      const noexcept {
+    return attrs_;
+  }
+
+  EventId id() const noexcept { return id_; }
+  void set_id(EventId id) noexcept { id_ = id; }
+
+  /// Approximate wire size in bytes for traffic accounting.
+  std::size_t wire_size() const noexcept;
+
+  /// Canonical text, e.g. {price=12.5, symbol="ACME"}.
+  std::string to_string() const;
+
+  friend bool operator==(const Event& a, const Event& b) noexcept {
+    return a.attrs_ == b.attrs_;
+  }
+
+ private:
+  std::map<std::string, Value, std::less<>> attrs_;
+  EventId id_ = 0;
+};
+
+}  // namespace reef::pubsub

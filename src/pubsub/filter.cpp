@@ -1,0 +1,90 @@
+#include "pubsub/filter.h"
+
+#include <algorithm>
+
+namespace reef::pubsub {
+
+namespace {
+
+/// Stable ordering for canonical form: attribute, then op, then value text.
+bool constraint_less(const Constraint& a, const Constraint& b) {
+  if (a.attribute() != b.attribute()) return a.attribute() < b.attribute();
+  if (a.op() != b.op()) return a.op() < b.op();
+  return a.value().to_string() < b.value().to_string();
+}
+
+}  // namespace
+
+Filter::Filter(std::vector<Constraint> constraints)
+    : constraints_(std::move(constraints)) {
+  canonicalize();
+}
+
+Filter&& Filter::and_(Constraint c) && {
+  constraints_.push_back(std::move(c));
+  canonicalize();
+  return std::move(*this);
+}
+
+Filter& Filter::and_(Constraint c) & {
+  constraints_.push_back(std::move(c));
+  canonicalize();
+  return *this;
+}
+
+void Filter::canonicalize() {
+  std::sort(constraints_.begin(), constraints_.end(), constraint_less);
+  constraints_.erase(std::unique(constraints_.begin(), constraints_.end()),
+                     constraints_.end());
+  key_.clear();
+}
+
+bool Filter::matches(const Event& event) const noexcept {
+  for (const auto& c : constraints_) {
+    const Value* v = event.find(c.attribute());
+    if (v == nullptr || !c.matches(*v)) return false;
+  }
+  return true;
+}
+
+bool Filter::covers(const Filter& other) const noexcept {
+  // Every constraint of ours must be implied by some constraint of theirs
+  // on the same attribute. (Constraints are sorted by attribute, but a
+  // linear scan is fine at subscription-table sizes; the matcher handles
+  // the hot path.)
+  for (const auto& ours : constraints_) {
+    bool covered = false;
+    for (const auto& theirs : other.constraints_) {
+      if (ours.covers(theirs)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+std::string Filter::to_string() const {
+  if (constraints_.empty()) return "[*]";
+  std::string out = "[";
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    if (i != 0) out += " && ";
+    out += constraints_[i].to_string();
+  }
+  out += ']';
+  return out;
+}
+
+const std::string& Filter::key() const {
+  if (key_.empty()) key_ = to_string();
+  return key_;
+}
+
+std::size_t Filter::wire_size() const noexcept {
+  std::size_t bytes = 8;  // envelope
+  for (const auto& c : constraints_) bytes += c.wire_size();
+  return bytes;
+}
+
+}  // namespace reef::pubsub

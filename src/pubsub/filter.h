@@ -1,0 +1,63 @@
+// Filters: conjunctions of constraints — the subscription language of the
+// substrate. A filter matches an event iff every constraint is satisfied
+// by the event's value for that attribute (absent attribute => no match).
+//
+// Filters carry the covering relation up from constraints: f1 covers f2 iff
+// every event matching f2 matches f1. The broker overlay uses covering to
+// avoid propagating subscriptions that are already implied upstream.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pubsub/constraint.h"
+#include "pubsub/event.h"
+
+namespace reef::pubsub {
+
+class Filter {
+ public:
+  Filter() = default;
+  explicit Filter(std::vector<Constraint> constraints);
+
+  /// Fluent building: Filter().and_(eq("symbol","ACME")).and_(gt("price",5))
+  Filter&& and_(Constraint c) &&;
+  Filter& and_(Constraint c) &;
+
+  const std::vector<Constraint>& constraints() const noexcept {
+    return constraints_;
+  }
+  bool empty() const noexcept { return constraints_.empty(); }
+  std::size_t size() const noexcept { return constraints_.size(); }
+
+  /// True iff every constraint is satisfied by `event`. The empty filter
+  /// matches every event (universal subscription).
+  bool matches(const Event& event) const noexcept;
+
+  /// Sound covering test: true only if every event matching `other` also
+  /// matches this filter. Conservative (sufficient condition: each of our
+  /// constraints is covered by some constraint of `other` on the same
+  /// attribute). The empty filter covers everything.
+  bool covers(const Filter& other) const noexcept;
+
+  /// Canonical text form; doubles as a stable identity key for routing
+  /// tables (constraints are kept sorted).
+  std::string to_string() const;
+
+  /// Canonical identity key (same as to_string but cheaper to compare).
+  const std::string& key() const;
+
+  std::size_t wire_size() const noexcept;
+
+  friend bool operator==(const Filter& a, const Filter& b) noexcept {
+    return a.constraints_ == b.constraints_;
+  }
+
+ private:
+  void canonicalize();
+
+  std::vector<Constraint> constraints_;
+  mutable std::string key_;  // lazily rendered canonical form
+};
+
+}  // namespace reef::pubsub

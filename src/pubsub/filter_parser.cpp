@@ -1,0 +1,216 @@
+#include "pubsub/filter_parser.h"
+
+#include <cctype>
+#include <charconv>
+#include <stdexcept>
+
+namespace reef::pubsub {
+
+namespace {
+
+/// Hand-rolled recursive-descent scanner; inputs are short (subscription
+/// strings), so clarity beats cleverness.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  ParseResult run() {
+    skip_space();
+    // "[*]" and "[ ... ]" forms round-trip Filter::to_string().
+    bool bracketed = false;
+    if (peek() == '[') {
+      ++pos_;
+      bracketed = true;
+      skip_space();
+      if (peek() == '*') {
+        ++pos_;
+        skip_space();
+        if (!consume(']')) return error("expected ']' after '*'");
+        skip_space();
+        if (pos_ != text_.size()) return error("trailing input");
+        return Filter{};
+      }
+    }
+    std::vector<Constraint> constraints;
+    while (true) {
+      auto constraint = parse_constraint();
+      if (auto* err = std::get_if<ParseError>(&constraint)) return *err;
+      constraints.push_back(std::get<Constraint>(std::move(constraint)));
+      skip_space();
+      if (pos_ + 1 < text_.size() && text_[pos_] == '&' &&
+          text_[pos_ + 1] == '&') {
+        pos_ += 2;
+        skip_space();
+        continue;
+      }
+      break;
+    }
+    if (bracketed) {
+      if (!consume(']')) return error("expected closing ']'");
+      skip_space();
+    }
+    if (pos_ != text_.size()) return error("trailing input");
+    return Filter(std::move(constraints));
+  }
+
+ private:
+  using ConstraintResult = std::variant<Constraint, ParseError>;
+
+  char peek() const noexcept {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  ParseError error(std::string message) const {
+    return ParseError{std::move(message), pos_};
+  }
+
+  static bool is_attr_start(char c) noexcept {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  }
+  static bool is_attr_char(char c) noexcept {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.';
+  }
+
+  std::string parse_identifier() {
+    std::string out;
+    if (!is_attr_start(peek())) return out;
+    while (pos_ < text_.size() && is_attr_char(text_[pos_])) {
+      out.push_back(text_[pos_++]);
+    }
+    return out;
+  }
+
+  ConstraintResult parse_constraint() {
+    skip_space();
+    const std::string first = parse_identifier();
+    if (first.empty()) return error("expected attribute name");
+    skip_space();
+
+    // "has attr" form.
+    if (first == "has") {
+      const std::string attr = parse_identifier();
+      if (attr.empty()) return error("expected attribute after 'has'");
+      return exists(attr);
+    }
+    // "attr any" form (Filter::to_string round trip).
+    {
+      const std::size_t mark = pos_;
+      const std::string maybe_any = parse_identifier();
+      if (maybe_any == "any") return exists(first);
+      pos_ = mark;
+    }
+
+    // Operator.
+    Op op;
+    if (consume('=')) {
+      if (consume('^')) {
+        op = Op::kPrefix;
+      } else if (consume('$')) {
+        op = Op::kSuffix;
+      } else if (consume('*')) {
+        op = Op::kContains;
+      } else {
+        op = Op::kEq;
+      }
+    } else if (consume('!')) {
+      if (!consume('=')) return error("expected '=' after '!'");
+      op = Op::kNe;
+    } else if (consume('<')) {
+      op = consume('=') ? Op::kLe : Op::kLt;
+    } else if (consume('>')) {
+      op = consume('=') ? Op::kGe : Op::kGt;
+    } else {
+      return error("expected operator");
+    }
+    skip_space();
+
+    // Value.
+    if (peek() == '"') {
+      ++pos_;
+      std::string value;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+        value.push_back(text_[pos_++]);
+      }
+      if (!consume('"')) return error("unterminated string");
+      if (op == Op::kPrefix || op == Op::kSuffix || op == Op::kContains ||
+          op == Op::kEq || op == Op::kNe || op == Op::kLt || op == Op::kLe ||
+          op == Op::kGt || op == Op::kGe) {
+        return Constraint(first, op, Value(std::move(value)));
+      }
+      return error("operator does not accept a string");
+    }
+    // true/false
+    if (is_attr_start(peek())) {
+      const std::string word = parse_identifier();
+      if (word == "true") return Constraint(first, op, Value(true));
+      if (word == "false") return Constraint(first, op, Value(false));
+      return error("unquoted value (strings need quotes)");
+    }
+    // number
+    const std::size_t start = pos_;
+    if (peek() == '-' || peek() == '+') ++pos_;
+    bool is_float = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '-' || text_[pos_] == '+') &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      if (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E') {
+        is_float = true;
+      }
+      ++pos_;
+    }
+    if (pos_ == start) return error("expected value");
+    const std::string_view number = text_.substr(start, pos_ - start);
+    if (is_float) {
+      double parsed = 0.0;
+      const auto [ptr, ec] =
+          std::from_chars(number.data(), number.data() + number.size(),
+                          parsed);
+      if (ec != std::errc{} || ptr != number.data() + number.size()) {
+        return error("bad number");
+      }
+      return Constraint(first, op, Value(parsed));
+    }
+    std::int64_t parsed = 0;
+    const auto [ptr, ec] =
+        std::from_chars(number.data(), number.data() + number.size(), parsed);
+    if (ec != std::errc{} || ptr != number.data() + number.size()) {
+      return error("bad number");
+    }
+    return Constraint(first, op, Value(parsed));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ParseResult parse_filter(std::string_view text) {
+  return Parser(text).run();
+}
+
+Filter parse_filter_or_throw(std::string_view text) {
+  ParseResult result = parse_filter(text);
+  if (auto* err = std::get_if<ParseError>(&result)) {
+    throw std::invalid_argument("parse_filter: " + err->message + " at " +
+                                std::to_string(err->position) + " in '" +
+                                std::string(text) + "'");
+  }
+  return std::get<Filter>(std::move(result));
+}
+
+}  // namespace reef::pubsub

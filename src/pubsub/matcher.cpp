@@ -1,0 +1,123 @@
+#include "pubsub/matcher.h"
+
+#include <algorithm>
+
+namespace reef::pubsub {
+
+// --- BruteForceMatcher ------------------------------------------------------
+
+void BruteForceMatcher::add(SubscriptionId id, Filter filter) {
+  filters_.insert_or_assign(id, std::move(filter));
+}
+
+void BruteForceMatcher::remove(SubscriptionId id) { filters_.erase(id); }
+
+void BruteForceMatcher::match(const Event& event,
+                              std::vector<SubscriptionId>& out) const {
+  for (const auto& [id, filter] : filters_) {
+    if (filter.matches(event)) out.push_back(id);
+  }
+}
+
+// --- IndexMatcher -----------------------------------------------------------
+
+Value IndexMatcher::canonical(const Value& v) {
+  if (const auto n = v.numeric()) return Value(*n);
+  return v;
+}
+
+void IndexMatcher::add(SubscriptionId id, Filter filter) {
+  remove(id);  // replace semantics
+  Entry entry;
+  entry.filter = std::move(filter);
+  if (entry.filter.empty()) {
+    universal_.push_back(id);
+    filters_.emplace(id, std::move(entry));
+    return;
+  }
+  // Anchor on the equality constraint whose bucket is currently smallest;
+  // absent any equality constraint, fall back to a scan list keyed by the
+  // first constraint's attribute.
+  const Constraint* best = nullptr;
+  std::size_t best_size = ~std::size_t{0};
+  for (const auto& c : entry.filter.constraints()) {
+    if (c.op() != Op::kEq) continue;
+    std::size_t bucket = 0;
+    if (const auto attr_it = eq_.find(c.attribute()); attr_it != eq_.end()) {
+      if (const auto value_it = attr_it->second.find(canonical(c.value()));
+          value_it != attr_it->second.end()) {
+        bucket = value_it->second.size();
+      }
+    }
+    if (bucket < best_size) {
+      best_size = bucket;
+      best = &c;
+    }
+  }
+  if (best != nullptr) {
+    entry.eq_anchor = true;
+    entry.anchor_attr = best->attribute();
+    entry.anchor_value = canonical(best->value());
+    eq_[entry.anchor_attr][entry.anchor_value].push_back(id);
+    ++eq_count_;
+  } else {
+    entry.anchor_attr = entry.filter.constraints().front().attribute();
+    scan_[entry.anchor_attr].push_back(id);
+    ++scan_count_;
+  }
+  filters_.emplace(id, std::move(entry));
+}
+
+void IndexMatcher::remove(SubscriptionId id) {
+  const auto it = filters_.find(id);
+  if (it == filters_.end()) return;
+  const Entry& entry = it->second;
+  if (entry.filter.empty()) {
+    std::erase(universal_, id);
+  } else if (entry.eq_anchor) {
+    auto& by_value = eq_.at(entry.anchor_attr);
+    auto& bucket = by_value.at(entry.anchor_value);
+    std::erase(bucket, id);
+    if (bucket.empty()) by_value.erase(entry.anchor_value);
+    if (by_value.empty()) eq_.erase(entry.anchor_attr);
+    --eq_count_;
+  } else {
+    auto& list = scan_.at(entry.anchor_attr);
+    std::erase(list, id);
+    if (list.empty()) scan_.erase(entry.anchor_attr);
+    --scan_count_;
+  }
+  filters_.erase(it);
+}
+
+void IndexMatcher::match(const Event& event,
+                         std::vector<SubscriptionId>& out) const {
+  out.insert(out.end(), universal_.begin(), universal_.end());
+  // Probe the anchors reachable from the event's own attributes; each
+  // candidate is evaluated fully. Every filter lives under exactly one
+  // anchor, so no deduplication is needed, and a matching filter's anchor
+  // constraint is by definition satisfied by the event — the probe always
+  // finds it.
+  for (const auto& [attr, value] : event.attributes()) {
+    if (const auto attr_it = eq_.find(attr); attr_it != eq_.end()) {
+      if (const auto value_it = attr_it->second.find(canonical(value));
+          value_it != attr_it->second.end()) {
+        for (const SubscriptionId id : value_it->second) {
+          if (filters_.at(id).filter.matches(event)) out.push_back(id);
+        }
+      }
+    }
+    if (const auto scan_it = scan_.find(attr); scan_it != scan_.end()) {
+      for (const SubscriptionId id : scan_it->second) {
+        if (filters_.at(id).filter.matches(event)) out.push_back(id);
+      }
+    }
+  }
+}
+
+std::unique_ptr<Matcher> make_matcher(bool use_index) {
+  if (use_index) return std::make_unique<IndexMatcher>();
+  return std::make_unique<BruteForceMatcher>();
+}
+
+}  // namespace reef::pubsub

@@ -1,0 +1,55 @@
+// Wire protocol payloads exchanged between pub/sub clients and brokers.
+// Payloads travel inside sim::Message::payload (std::any); the `type`
+// strings below tag them for traffic accounting.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "pubsub/event.h"
+#include "pubsub/filter.h"
+#include "pubsub/matcher.h"
+
+namespace reef::pubsub {
+
+/// Broker-to-broker subscription propagation (aggregated per filter).
+struct SubscribeMsg {
+  Filter filter;
+};
+
+/// Broker-to-broker subscription retraction.
+struct UnsubscribeMsg {
+  Filter filter;
+};
+
+/// Client-to-broker subscription with the client's own id for the filter.
+struct ClientSubscribeMsg {
+  SubscriptionId sub_id = 0;
+  Filter filter;
+};
+
+/// Client-to-broker retraction by id.
+struct ClientUnsubscribeMsg {
+  SubscriptionId sub_id = 0;
+};
+
+/// A publication travelling client->broker or broker->broker.
+struct PublishMsg {
+  Event event;
+};
+
+/// Broker-to-client delivery; lists the client's subscription ids the event
+/// matched (the frontend uses these for its closed-loop bookkeeping).
+struct DeliverMsg {
+  Event event;
+  std::vector<SubscriptionId> matched;
+};
+
+inline constexpr std::string_view kTypeSubscribe = "pubsub.sub";
+inline constexpr std::string_view kTypeUnsubscribe = "pubsub.unsub";
+inline constexpr std::string_view kTypeClientSubscribe = "pubsub.csub";
+inline constexpr std::string_view kTypeClientUnsubscribe = "pubsub.cunsub";
+inline constexpr std::string_view kTypePublish = "pubsub.pub";
+inline constexpr std::string_view kTypeDeliver = "pubsub.deliver";
+
+}  // namespace reef::pubsub

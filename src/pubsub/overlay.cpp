@@ -1,0 +1,102 @@
+#include "pubsub/overlay.h"
+
+namespace reef::pubsub {
+
+Overlay::Overlay(sim::Simulator& sim, sim::Network& net,
+                 Broker::Config config)
+    : sim_(sim), net_(net), config_(config) {}
+
+std::size_t Overlay::add_broker() {
+  const std::size_t index = brokers_.size();
+  brokers_.push_back(std::make_unique<Broker>(
+      sim_, net_, "broker-" + std::to_string(index), config_));
+  uf_parent_.push_back(index);
+  return index;
+}
+
+std::size_t Overlay::find_root(std::size_t v) {
+  while (uf_parent_[v] != v) {
+    uf_parent_[v] = uf_parent_[uf_parent_[v]];
+    v = uf_parent_[v];
+  }
+  return v;
+}
+
+void Overlay::link(std::size_t a, std::size_t b, sim::Time latency) {
+  if (a >= brokers_.size() || b >= brokers_.size() || a == b) {
+    throw std::invalid_argument("Overlay::link: bad broker index");
+  }
+  const std::size_t ra = find_root(a);
+  const std::size_t rb = find_root(b);
+  if (ra == rb) {
+    throw std::invalid_argument(
+        "Overlay::link would create a cycle; the routing protocol requires "
+        "an acyclic overlay");
+  }
+  uf_parent_[ra] = rb;
+  net_.set_latency(brokers_[a]->id(), brokers_[b]->id(), latency);
+  brokers_[a]->add_neighbor(*brokers_[b]);
+  brokers_[b]->add_neighbor(*brokers_[a]);
+}
+
+Overlay Overlay::chain(sim::Simulator& sim, sim::Network& net, std::size_t n,
+                       Broker::Config config) {
+  Overlay overlay(sim, net, config);
+  for (std::size_t i = 0; i < n; ++i) overlay.add_broker();
+  for (std::size_t i = 1; i < n; ++i) overlay.link(i - 1, i);
+  return overlay;
+}
+
+Overlay Overlay::star(sim::Simulator& sim, sim::Network& net, std::size_t n,
+                      Broker::Config config) {
+  Overlay overlay(sim, net, config);
+  for (std::size_t i = 0; i < n; ++i) overlay.add_broker();
+  for (std::size_t i = 1; i < n; ++i) overlay.link(0, i);
+  return overlay;
+}
+
+Overlay Overlay::tree(sim::Simulator& sim, sim::Network& net, std::size_t n,
+                      std::size_t fanout, Broker::Config config) {
+  if (fanout == 0) throw std::invalid_argument("tree fanout must be > 0");
+  Overlay overlay(sim, net, config);
+  for (std::size_t i = 0; i < n; ++i) overlay.add_broker();
+  for (std::size_t i = 1; i < n; ++i) overlay.link((i - 1) / fanout, i);
+  return overlay;
+}
+
+Overlay Overlay::random_tree(sim::Simulator& sim, sim::Network& net,
+                             std::size_t n, util::Rng& rng,
+                             Broker::Config config) {
+  Overlay overlay(sim, net, config);
+  for (std::size_t i = 0; i < n; ++i) overlay.add_broker();
+  for (std::size_t i = 1; i < n; ++i) {
+    overlay.link(rng.index(i), i);
+  }
+  return overlay;
+}
+
+std::size_t Overlay::total_table_size() const {
+  std::size_t total = 0;
+  for (const auto& b : brokers_) total += b->table_size();
+  return total;
+}
+
+std::uint64_t Overlay::total_subs_forwarded() const {
+  std::uint64_t total = 0;
+  for (const auto& b : brokers_) total += b->stats().subs_forwarded;
+  return total;
+}
+
+std::uint64_t Overlay::total_pubs_forwarded() const {
+  std::uint64_t total = 0;
+  for (const auto& b : brokers_) total += b->stats().pubs_forwarded;
+  return total;
+}
+
+std::uint64_t Overlay::total_deliveries() const {
+  std::uint64_t total = 0;
+  for (const auto& b : brokers_) total += b->stats().deliveries;
+  return total;
+}
+
+}  // namespace reef::pubsub

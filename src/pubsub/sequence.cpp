@@ -1,0 +1,62 @@
+#include "pubsub/sequence.h"
+
+namespace reef::pubsub {
+
+SequenceDetector::SequenceDetector(sim::Simulator& sim, Filter first,
+                                   Filter second, sim::Time window,
+                                   std::string join_attribute,
+                                   SequenceHandler handler)
+    : sim_(sim),
+      first_(std::move(first)),
+      second_(std::move(second)),
+      window_(window),
+      join_attribute_(std::move(join_attribute)),
+      handler_(std::move(handler)) {}
+
+Client::Handler SequenceDetector::first_handler() {
+  return [this](const Event& event, SubscriptionId) { on_first(event); };
+}
+
+Client::Handler SequenceDetector::second_handler() {
+  return [this](const Event& event, SubscriptionId) { on_second(event); };
+}
+
+void SequenceDetector::expire_old() {
+  const sim::Time cutoff = sim_.now() - window_;
+  while (!pending_.empty() && pending_.front().at < cutoff) {
+    pending_.pop_front();
+    ++expired_;
+  }
+}
+
+std::optional<Value> SequenceDetector::join_value(
+    const Event& event, const std::string& attribute) {
+  const Value* value = event.find(attribute);
+  if (value == nullptr) return std::nullopt;
+  return *value;
+}
+
+void SequenceDetector::on_first(const Event& event) {
+  if (!first_.matches(event)) return;
+  expire_old();
+  pending_.push_back(Pending{event, sim_.now()});
+}
+
+void SequenceDetector::on_second(const Event& event) {
+  if (!second_.matches(event)) return;
+  expire_old();
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (!join_attribute_.empty()) {
+      const auto a = join_value(it->event, join_attribute_);
+      const auto b = join_value(event, join_attribute_);
+      if (!a || !b || !a->equals(*b)) continue;
+    }
+    ++matches_;
+    const Event head = std::move(it->event);
+    pending_.erase(it);  // each pending first matches at most once
+    if (handler_) handler_(head, event);
+    return;
+  }
+}
+
+}  // namespace reef::pubsub

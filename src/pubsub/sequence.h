@@ -1,0 +1,76 @@
+// Client-side stateful subscription helper (§2.1 motivates automation by
+// pointing at event algebras like Cayuga whose "stateful subscriptions ...
+// span multiple events"). SequenceDetector implements the core binary
+// operator of such algebras — "A followed by B within T", optionally
+// joined on a shared attribute — on top of plain filter subscriptions, so
+// Reef recommenders can emit composite triggers without broker support:
+//
+//   SequenceDetector seq(sim, f_quake, f_tsunami, 2h, "region",
+//                        [](const Event& a, const Event& b) { ... });
+//   client.subscribe(seq.first_filter(), seq.first_handler());
+//   client.subscribe(seq.second_filter(), seq.second_handler());
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "pubsub/client.h"
+#include "sim/simulator.h"
+
+namespace reef::pubsub {
+
+class SequenceDetector {
+ public:
+  /// Fires with the pair (first event, second event) that completed the
+  /// sequence.
+  using SequenceHandler = std::function<void(const Event&, const Event&)>;
+
+  /// `join_attribute` (optional): the second event must carry the same
+  /// value for this attribute as the pending first event (Cayuga-style
+  /// parametrization). Empty string disables the join.
+  SequenceDetector(sim::Simulator& sim, Filter first, Filter second,
+                   sim::Time window, std::string join_attribute,
+                   SequenceHandler handler);
+
+  const Filter& first_filter() const noexcept { return first_; }
+  const Filter& second_filter() const noexcept { return second_; }
+
+  /// Handlers to register with a Client for the two legs. (The detector
+  /// does not own a client so it composes with any subscription plumbing,
+  /// including the Reef frontend.)
+  Client::Handler first_handler();
+  Client::Handler second_handler();
+
+  /// Direct feeds for non-Client integrations and tests.
+  void on_first(const Event& event);
+  void on_second(const Event& event);
+
+  std::size_t pending() const noexcept { return pending_.size(); }
+  std::uint64_t matches() const noexcept { return matches_; }
+  std::uint64_t expired() const noexcept { return expired_; }
+
+ private:
+  struct Pending {
+    Event event;
+    sim::Time at = 0;
+  };
+
+  void expire_old();
+  static std::optional<Value> join_value(const Event& event,
+                                         const std::string& attribute);
+
+  sim::Simulator& sim_;
+  Filter first_;
+  Filter second_;
+  sim::Time window_;
+  std::string join_attribute_;
+  SequenceHandler handler_;
+  std::deque<Pending> pending_;
+  std::uint64_t matches_ = 0;
+  std::uint64_t expired_ = 0;
+};
+
+}  // namespace reef::pubsub

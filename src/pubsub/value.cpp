@@ -1,0 +1,84 @@
+#include "pubsub/value.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace reef::pubsub {
+
+std::optional<std::strong_ordering> Value::compare(const Value& a,
+                                                   const Value& b) noexcept {
+  if (a.is_numeric() && b.is_numeric()) {
+    const double x = *a.numeric();
+    const double y = *b.numeric();
+    if (std::isnan(x) || std::isnan(y)) return std::nullopt;
+    if (x < y) return std::strong_ordering::less;
+    if (x > y) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+  if (a.is_string() && b.is_string()) {
+    const int c = a.as_string().compare(b.as_string());
+    if (c < 0) return std::strong_ordering::less;
+    if (c > 0) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+  if (a.is_bool() && b.is_bool()) {
+    if (a.as_bool() == b.as_bool()) return std::strong_ordering::equal;
+    return a.as_bool() ? std::strong_ordering::greater
+                       : std::strong_ordering::less;
+  }
+  return std::nullopt;
+}
+
+std::size_t Value::wire_size() const noexcept {
+  switch (type()) {
+    case Type::kNull:
+      return 1;
+    case Type::kBool:
+      return 1;
+    case Type::kInt:
+    case Type::kDouble:
+      return 8;
+    case Type::kString:
+      return 4 + as_string().size();
+  }
+  return 1;
+}
+
+std::string Value::to_string() const {
+  switch (type()) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return as_bool() ? "true" : "false";
+    case Type::kInt:
+      return std::to_string(as_int());
+    case Type::kDouble:
+      return util::format_double(as_double(), 6);
+    case Type::kString:
+      return "\"" + as_string() + "\"";
+  }
+  return "?";
+}
+
+std::uint64_t Value::hash() const noexcept {
+  const auto tag = static_cast<std::uint64_t>(type());
+  switch (type()) {
+    case Type::kNull:
+      return util::hash_combine(tag, 0);
+    case Type::kBool:
+      return util::hash_combine(tag, as_bool() ? 1 : 2);
+    case Type::kInt:
+      // Hash ints through their double value so 3 and 3.0 (which compare
+      // equal) hash equal too.
+      return util::hash_combine(
+          3, std::hash<double>{}(static_cast<double>(as_int())));
+    case Type::kDouble:
+      return util::hash_combine(3, std::hash<double>{}(as_double()));
+    case Type::kString:
+      return util::hash_combine(tag, util::fnv1a64(as_string()));
+  }
+  return tag;
+}
+
+}  // namespace reef::pubsub

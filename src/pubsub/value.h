@@ -1,0 +1,90 @@
+// Typed attribute values for the content-based publish-subscribe substrate.
+//
+// Events are sets of name-value pairs (Siena-style); values are one of
+// {bool, int, double, string}. Numeric values of different representations
+// compare by value (int 3 == double 3.0), strings only compare to strings.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "util/hash.h"
+
+namespace reef::pubsub {
+
+/// A single attribute value. Value-semantic, ordered, hashable.
+class Value {
+ public:
+  enum class Type : std::uint8_t { kNull, kBool, kInt, kDouble, kString };
+
+  Value() noexcept : data_(std::monostate{}) {}
+  Value(bool v) noexcept : data_(v) {}                     // NOLINT(google-explicit-constructor)
+  Value(std::int64_t v) noexcept : data_(v) {}             // NOLINT(google-explicit-constructor)
+  Value(int v) noexcept : data_(std::int64_t{v}) {}        // NOLINT(google-explicit-constructor)
+  Value(double v) noexcept : data_(v) {}                   // NOLINT(google-explicit-constructor)
+  Value(std::string v) noexcept : data_(std::move(v)) {}   // NOLINT(google-explicit-constructor)
+  Value(const char* v) : data_(std::string(v)) {}          // NOLINT(google-explicit-constructor)
+
+  Type type() const noexcept {
+    return static_cast<Type>(data_.index());
+  }
+  bool is_null() const noexcept { return type() == Type::kNull; }
+  bool is_numeric() const noexcept {
+    return type() == Type::kInt || type() == Type::kDouble;
+  }
+  bool is_string() const noexcept { return type() == Type::kString; }
+  bool is_bool() const noexcept { return type() == Type::kBool; }
+
+  /// Accessors; calling the wrong one is a programming error (asserts in
+  /// debug, undefined in release — callers check type() first).
+  bool as_bool() const { return std::get<bool>(data_); }
+  std::int64_t as_int() const { return std::get<std::int64_t>(data_); }
+  double as_double() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+
+  /// Numeric view: int or double widened to double; nullopt otherwise.
+  std::optional<double> numeric() const noexcept {
+    if (type() == Type::kInt) return static_cast<double>(as_int());
+    if (type() == Type::kDouble) return as_double();
+    return std::nullopt;
+  }
+
+  /// Three-way comparison for *compatible* values: numerics compare by
+  /// value across int/double; strings with strings; bools with bools.
+  /// Returns nullopt for incompatible or null operands.
+  static std::optional<std::strong_ordering> compare(const Value& a,
+                                                     const Value& b) noexcept;
+
+  /// Equality in the pub/sub sense (uses `compare`; incompatible => false).
+  bool equals(const Value& other) const noexcept {
+    const auto c = compare(*this, other);
+    return c.has_value() && *c == std::strong_ordering::equal;
+  }
+
+  /// Strict equality used for container semantics: type AND value equal.
+  friend bool operator==(const Value& a, const Value& b) noexcept {
+    return a.data_ == b.data_;
+  }
+
+  /// Approximate wire size in bytes, used for traffic accounting.
+  std::size_t wire_size() const noexcept;
+
+  std::string to_string() const;
+
+  std::uint64_t hash() const noexcept;
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, double, std::string> data_;
+};
+
+}  // namespace reef::pubsub
+
+template <>
+struct std::hash<reef::pubsub::Value> {
+  std::size_t operator()(const reef::pubsub::Value& v) const noexcept {
+    return static_cast<std::size_t>(v.hash());
+  }
+};

@@ -1,0 +1,171 @@
+#include "reef/centralized.h"
+
+#include <any>
+
+#include "util/log.h"
+
+namespace reef::core {
+
+CentralizedServer::CentralizedServer(sim::Simulator& sim, sim::Network& net,
+                                     const web::SyntheticWeb& web,
+                                     Config config)
+    : sim_(sim),
+      net_(net),
+      config_(config),
+      web_(web),
+      crawler_(web),
+      topic_(config.topic),
+      content_(config.content),
+      collaborative_(config.collaborative) {
+  id_ = net_.attach(*this, "reef-server");
+  analysis_timer_ = sim_.every(config_.analysis_interval,
+                               config_.analysis_interval,
+                               [this] { run_analysis_cycle(); });
+  if (config_.collaborative_interval > 0) {
+    collaborative_timer_ = sim_.every(config_.collaborative_interval,
+                                      config_.collaborative_interval,
+                                      [this] { run_collaborative_cycle(); });
+  }
+}
+
+CentralizedServer::~CentralizedServer() {
+  sim_.cancel(analysis_timer_);
+  if (collaborative_timer_ != 0) sim_.cancel(collaborative_timer_);
+}
+
+void CentralizedServer::register_user(attention::UserId user,
+                                      sim::NodeId frontend_node) {
+  frontends_[user] = frontend_node;
+}
+
+void CentralizedServer::handle_message(const sim::Message& msg) {
+  if (msg.type == attention::kTypeAttentionBatch) {
+    on_attention_batch(
+        std::any_cast<const attention::ClickBatch&>(msg.payload));
+  } else if (msg.type == kTypeFeedback) {
+    on_feedback(std::any_cast<const FeedbackMsg&>(msg.payload));
+  } else {
+    util::log_warn("reef-server") << "unknown message " << msg.type;
+  }
+}
+
+void CentralizedServer::on_attention_batch(
+    const attention::ClickBatch& batch) {
+  ++stats_.batches_received;
+  auto& db = click_db_[batch.user];
+  for (const auto& click : batch.clicks) {
+    ++stats_.clicks_stored;
+    stats_.storage_bytes += click.wire_size();
+    db.push_back(click);
+    topic_.on_click(batch.user, click.uri);
+    crawl_queue_.push_back(click);
+  }
+}
+
+void CentralizedServer::on_feedback(const FeedbackMsg& msg) {
+  for (const auto& row : msg.rows) {
+    topic_.on_feedback(msg.user, row.feed_url, row.delivered, row.clicked);
+  }
+  // Recommendations resulting from feedback (unsubscribes) go out on the
+  // next analysis cycle together with everything else.
+}
+
+void CentralizedServer::run_analysis_cycle() {
+  // Crawl everything queued since the last cycle.
+  std::unordered_set<attention::UserId> touched;
+  while (!crawl_queue_.empty()) {
+    const attention::Click click = std::move(crawl_queue_.front());
+    crawl_queue_.pop_front();
+    web::CrawlResult result = crawler_.crawl(click.uri);
+    touched.insert(click.user);
+    const std::string& host = click.uri.host();
+
+    if (result.fetched && !result.feed_urls.empty()) {
+      // Feed knowledge is server-wide: once discovered, every registered
+      // user's visit counts can trigger recommendations for this host.
+      auto& known = known_feeds_[host];
+      bool grew = false;
+      for (const auto& url : result.feed_urls) {
+        if (std::find(known.begin(), known.end(), url) == known.end()) {
+          known.push_back(url);
+          grew = true;
+        }
+      }
+      if (grew) {
+        for (const auto& [user, node] : frontends_) {
+          topic_.on_feeds_found(user, host, known);
+          touched.insert(user);
+        }
+      }
+    } else if (const auto it = known_feeds_.find(host);
+               it != known_feeds_.end()) {
+      topic_.on_feeds_found(click.user, host, it->second);
+    }
+
+    // Content profile: every content click contributes terms. A duplicate
+    // URI was fetched before, so the server parses its stored copy (no new
+    // network traffic; the synthetic web regenerates pages
+    // deterministically, standing in for the server's page store).
+    if (result.fetched && !result.terms.empty()) {
+      content_.add_page(click.user, result.terms);
+    } else if (result.duplicate &&
+               result.host_flag == web::HostFlag::kClean) {
+      if (const auto page = web_.fetch(click.uri);
+          page && !page->terms.empty()) {
+        content_.add_page(click.user, page->terms);
+      }
+    }
+  }
+  // Push any pending recommendations.
+  for (const attention::UserId user : touched) {
+    send_recommendations(user, topic_.take(user));
+  }
+  // Users whose feedback generated unsubscribes but who had no new clicks:
+  for (const auto& [user, node] : frontends_) {
+    if (touched.contains(user)) continue;
+    send_recommendations(user, topic_.take(user));
+  }
+}
+
+void CentralizedServer::run_collaborative_cycle() {
+  for (const auto& [user, feeds] : user_feeds_) {
+    collaborative_.set_profile(user, feeds);
+  }
+  for (const auto& [user, node] : frontends_) {
+    std::vector<Recommendation> recs = collaborative_.recommend_for(user);
+    if (recs.empty()) continue;
+    stats_.collaborative_recs += recs.size();
+    // Track them as subscribed so they are not re-recommended forever.
+    for (const auto& rec : recs) user_feeds_[user].insert(rec.feed_url);
+    send_recommendations(user, std::move(recs));
+  }
+}
+
+void CentralizedServer::send_recommendations(attention::UserId user,
+                                             std::vector<Recommendation> recs) {
+  if (recs.empty()) return;
+  const auto it = frontends_.find(user);
+  if (it == frontends_.end()) return;
+  for (const auto& rec : recs) {
+    if (rec.action == RecAction::kSubscribe && !rec.feed_url.empty()) {
+      user_feeds_[user].insert(rec.feed_url);
+    } else if (rec.action == RecAction::kUnsubscribe) {
+      user_feeds_[user].erase(rec.feed_url);
+    }
+  }
+  stats_.recommendations_sent += recs.size();
+  ++stats_.recommendation_msgs;
+  RecommendationMsg msg{std::move(recs)};
+  const std::size_t bytes = msg.wire_size();
+  net_.send(id_, it->second, std::string(kTypeRecommendation),
+            std::move(msg), bytes);
+}
+
+const std::vector<attention::Click>& CentralizedServer::user_clicks(
+    attention::UserId user) const {
+  static const std::vector<attention::Click> kEmpty;
+  const auto it = click_db_.find(user);
+  return it == click_db_.end() ? kEmpty : it->second;
+}
+
+}  // namespace reef::core

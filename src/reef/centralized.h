@@ -1,0 +1,114 @@
+// Centralized Reef server (Fig. 1, §3).
+//
+// One server node receives attention batches from every user's recorder
+// (step 1), stores the clicks, periodically crawls the visited URIs,
+// parses pages for feeds and keywords, runs the topic / content /
+// collaborative recommenders, and pushes recommendations back to each
+// user's subscription frontend (step 2). The frontend then performs the
+// sub/unsub operations (step 3) and receives events (step 4) directly
+// from the pub/sub substrate — the server is never on the event path.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "attention/click.h"
+#include "attention/parser.h"
+#include "reef/collaborative.h"
+#include "reef/content_recommender.h"
+#include "reef/frontend.h"
+#include "reef/topic_recommender.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "web/crawler.h"
+
+namespace reef::core {
+
+class CentralizedServer final : public sim::Node {
+ public:
+  struct Config {
+    /// Crawl + recommend cycle period ("batched for periodic crawling").
+    sim::Time analysis_interval = 30 * sim::kMinute;
+    /// Collaborative group recommendations run this often (0 = disabled).
+    sim::Time collaborative_interval = 24 * sim::kHour;
+    TopicRecommender::Config topic;
+    ContentRecommender::Config content;
+    GroupProfiler::Config collaborative;
+  };
+
+  struct Stats {
+    std::uint64_t batches_received = 0;
+    std::uint64_t clicks_stored = 0;
+    std::uint64_t storage_bytes = 0;      ///< attention DB growth
+    std::uint64_t recommendations_sent = 0;
+    std::uint64_t recommendation_msgs = 0;
+    std::uint64_t collaborative_recs = 0;
+  };
+
+  CentralizedServer(sim::Simulator& sim, sim::Network& net,
+                    const web::SyntheticWeb& web, Config config);
+  ~CentralizedServer();
+  CentralizedServer(const CentralizedServer&) = delete;
+  CentralizedServer& operator=(const CentralizedServer&) = delete;
+
+  sim::NodeId id() const noexcept { return id_; }
+
+  /// Registers a user's frontend client node so recommendations can be
+  /// pushed to it.
+  void register_user(attention::UserId user, sim::NodeId frontend_node);
+
+  void handle_message(const sim::Message& msg) override;
+
+  /// Runs one analysis cycle immediately (also runs on the timer).
+  void run_analysis_cycle();
+  /// Runs one collaborative cycle immediately.
+  void run_collaborative_cycle();
+
+  const Stats& stats() const noexcept { return stats_; }
+  const web::Crawler& crawler() const noexcept { return crawler_; }
+  TopicRecommender& topic_recommender() noexcept { return topic_; }
+  ContentRecommender& content_recommender() noexcept { return content_; }
+  GroupProfiler& group_profiler() noexcept { return collaborative_; }
+  /// All clicks stored for a user (the server-side attention database).
+  const std::vector<attention::Click>& user_clicks(
+      attention::UserId user) const;
+
+ private:
+  void on_attention_batch(const attention::ClickBatch& batch);
+  void on_feedback(const FeedbackMsg& msg);
+  void send_recommendations(attention::UserId user,
+                            std::vector<Recommendation> recs);
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  sim::NodeId id_;
+  Config config_;
+  const web::SyntheticWeb& web_;
+  web::Crawler crawler_;
+  attention::FeedUrlParser feed_parser_;
+  attention::KeywordParser keyword_parser_;
+  TopicRecommender topic_;
+  ContentRecommender content_;
+  GroupProfiler collaborative_;
+
+  std::unordered_map<attention::UserId, sim::NodeId> frontends_;
+  std::unordered_map<attention::UserId, std::vector<attention::Click>>
+      click_db_;
+  /// Server-wide feed knowledge: host -> feeds discovered by any crawl.
+  std::unordered_map<std::string, std::vector<std::string>> known_feeds_;
+  /// (user, uri) pairs waiting for the next crawl cycle.
+  std::deque<attention::Click> crawl_queue_;
+  /// Feeds each user is known to be subscribed to (for collaborative
+  /// profiles), updated from recommendations we sent.
+  std::unordered_map<attention::UserId, std::unordered_set<std::string>>
+      user_feeds_;
+
+  sim::TimerId analysis_timer_ = 0;
+  sim::TimerId collaborative_timer_ = 0;
+  Stats stats_;
+};
+
+}  // namespace reef::core

@@ -1,0 +1,102 @@
+#include "reef/collaborative.h"
+
+#include <algorithm>
+
+#include "feeds/feed_events_proxy.h"
+
+namespace reef::core {
+
+void GroupProfiler::set_profile(attention::UserId user,
+                                std::unordered_set<std::string> interests) {
+  profiles_[user] = std::move(interests);
+}
+
+double GroupProfiler::similarity(attention::UserId a,
+                                 attention::UserId b) const {
+  const auto it_a = profiles_.find(a);
+  const auto it_b = profiles_.find(b);
+  if (it_a == profiles_.end() || it_b == profiles_.end()) return 0.0;
+  const auto& small = it_a->second.size() <= it_b->second.size()
+                          ? it_a->second
+                          : it_b->second;
+  const auto& large = it_a->second.size() <= it_b->second.size()
+                          ? it_b->second
+                          : it_a->second;
+  if (large.empty()) return 0.0;
+  std::size_t common = 0;
+  for (const auto& key : small) {
+    if (large.contains(key)) ++common;
+  }
+  const std::size_t unioned = small.size() + large.size() - common;
+  return unioned == 0 ? 0.0
+                      : static_cast<double>(common) /
+                            static_cast<double>(unioned);
+}
+
+std::vector<std::vector<attention::UserId>> GroupProfiler::groups() const {
+  std::vector<attention::UserId> users;
+  users.reserve(profiles_.size());
+  for (const auto& [user, profile] : profiles_) users.push_back(user);
+  std::sort(users.begin(), users.end());
+
+  std::vector<std::vector<attention::UserId>> out;
+  std::unordered_set<attention::UserId> assigned;
+  for (const attention::UserId seed : users) {
+    if (assigned.contains(seed)) continue;
+    std::vector<attention::UserId> group{seed};
+    assigned.insert(seed);
+    for (const attention::UserId candidate : users) {
+      if (assigned.contains(candidate)) continue;
+      if (similarity(seed, candidate) >= config_.similarity_threshold) {
+        group.push_back(candidate);
+        assigned.insert(candidate);
+      }
+    }
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
+std::vector<Recommendation> GroupProfiler::recommend_for(
+    attention::UserId user) const {
+  const auto profile_it = profiles_.find(user);
+  if (profile_it == profiles_.end()) return {};
+
+  // Find the user's group.
+  std::vector<attention::UserId> peers;
+  for (const auto& group : groups()) {
+    if (std::find(group.begin(), group.end(), user) != group.end()) {
+      peers = group;
+      break;
+    }
+  }
+
+  // Count supporters per feed among the peers (excluding the user).
+  std::unordered_map<std::string, std::uint32_t> support;
+  for (const attention::UserId peer : peers) {
+    if (peer == user) continue;
+    for (const auto& feed : profiles_.at(peer)) ++support[feed];
+  }
+
+  std::vector<Recommendation> recs;
+  for (const auto& [feed, supporters] : support) {
+    if (supporters < config_.min_supporters) continue;
+    if (profile_it->second.contains(feed)) continue;
+    Recommendation rec;
+    rec.action = RecAction::kSubscribe;
+    rec.filter = feeds::feed_filter(feed);
+    rec.feed_url = feed;
+    rec.reason = "popular in interest group (" +
+                 std::to_string(supporters) + " members)";
+    rec.score = supporters;
+    recs.push_back(std::move(rec));
+  }
+  std::sort(recs.begin(), recs.end(),
+            [](const Recommendation& a, const Recommendation& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.feed_url < b.feed_url;
+            });
+  return recs;
+}
+
+}  // namespace reef::core

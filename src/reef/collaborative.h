@@ -1,0 +1,58 @@
+// Collaborative (group-based) recommendation (§2, §4, §5.2).
+//
+// Following the I-SPY idea the paper cites, users are clustered into
+// interest communities by the overlap of their subscription/visit
+// profiles, and feeds popular within a community are recommended to
+// members who lack them. The centralized server runs this over all users;
+// distributed peers approximate it by gossiping profiles inside a group.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "attention/click.h"
+#include "reef/recommendation.h"
+
+namespace reef::core {
+
+class GroupProfiler {
+ public:
+  struct Config {
+    /// Minimum Jaccard similarity to join a community.
+    double similarity_threshold = 0.12;
+    /// A feed is recommended to the group once this many members have it.
+    std::uint32_t min_supporters = 2;
+  };
+
+  GroupProfiler() = default;
+  explicit GroupProfiler(Config config) : config_(config) {}
+
+  /// Replaces the profile of a user: the set of feeds they are subscribed
+  /// to (plus optionally hosts they frequent — any string keys work).
+  void set_profile(attention::UserId user,
+                   std::unordered_set<std::string> interests);
+
+  /// Jaccard similarity of two user profiles (0 when either is unknown).
+  double similarity(attention::UserId a, attention::UserId b) const;
+
+  /// Greedy community detection: seeds a group with the first unassigned
+  /// user, adds every user whose similarity to the seed passes the
+  /// threshold. Deterministic (users processed in ascending id order).
+  std::vector<std::vector<attention::UserId>> groups() const;
+
+  /// Feeds subscribed by >= min_supporters members of `user`'s group that
+  /// `user` lacks, as subscribe recommendations (score = supporter count).
+  std::vector<Recommendation> recommend_for(attention::UserId user) const;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  std::unordered_map<attention::UserId, std::unordered_set<std::string>>
+      profiles_;
+};
+
+}  // namespace reef::core

@@ -1,0 +1,81 @@
+#include "reef/content_recommender.h"
+
+namespace reef::core {
+
+void ContentRecommender::add_page(attention::UserId user,
+                                  const std::vector<std::string>& terms) {
+  ir::TermFreqs freqs;
+  for (const auto& term : terms) ++freqs[term];
+  background_.add_document(freqs);
+
+  auto [it, inserted] = users_.try_emplace(user);
+  UserState& state = it->second;
+  if (inserted) {
+    state.rng = util::Rng(config_.seed ^ (0x9e37u * (user + 1)));
+  }
+  state.stats.add_document(freqs);
+  // Reservoir sampling keeps an unbiased page sample at O(1) memory.
+  ++state.pages;
+  if (config_.diversity_sample > 0) {
+    if (state.sample.size() < config_.diversity_sample) {
+      state.sample.push_back(std::move(freqs));
+    } else {
+      const std::uint64_t slot =
+          state.rng.uniform_u64(0, state.pages - 1);
+      if (slot < state.sample.size()) {
+        state.sample[static_cast<std::size_t>(slot)] = std::move(freqs);
+      }
+    }
+  }
+}
+
+std::size_t ContentRecommender::pages_seen(attention::UserId user) const {
+  const auto it = users_.find(user);
+  return it == users_.end() ? 0 : it->second.stats.documents();
+}
+
+std::vector<ir::ScoredTerm> ContentRecommender::build_query(
+    attention::UserId user, std::size_t n) const {
+  if (n == 0) n = config_.query_terms;
+  const auto it = users_.find(user);
+  if (it == users_.end()) return {};
+  return ir::select_terms(background_, it->second.stats, config_.selector, n);
+}
+
+std::vector<ir::ScoredTerm> ContentRecommender::build_query_diverse(
+    attention::UserId user, std::size_t n, double lambda) const {
+  if (n == 0) n = config_.query_terms;
+  const auto it = users_.find(user);
+  if (it == users_.end()) return {};
+  const auto candidates = ir::select_terms(background_, it->second.stats,
+                                           config_.selector, n * 3);
+  return ir::diversify_terms(candidates, it->second.sample, lambda, n);
+}
+
+std::vector<ir::RankedDoc> ContentRecommender::rank_archive(
+    attention::UserId user, const ir::Corpus& archive, std::size_t n) const {
+  const auto query = build_query(user, n);
+  std::vector<std::string> terms;
+  terms.reserve(query.size());
+  for (const auto& [term, score] : query) terms.push_back(term);
+  return ir::Bm25(archive, config_.bm25).rank(terms);
+}
+
+std::vector<Recommendation> ContentRecommender::content_subscriptions(
+    attention::UserId user, const std::string& stream,
+    std::size_t max_terms) const {
+  std::vector<Recommendation> recs;
+  for (const auto& [term, score] : build_query(user, max_terms)) {
+    Recommendation rec;
+    rec.action = RecAction::kSubscribe;
+    rec.filter = pubsub::Filter()
+                     .and_(pubsub::eq("stream", stream))
+                     .and_(pubsub::contains("text", term));
+    rec.reason = "content query term '" + term + "'";
+    rec.score = score;
+    recs.push_back(std::move(rec));
+  }
+  return recs;
+}
+
+}  // namespace reef::core

@@ -1,0 +1,101 @@
+// Content-based subscription recommender (§3.3).
+//
+// Accumulates the pages each user attended to, builds a top-N term query
+// with the (TF-integrated) Offer Weight selector, and uses it two ways:
+//
+//   1. to rank a document archive with BM25 (the paper's video-news case
+//      study: "the queries determined the order in which news stories
+//      were returned"), and
+//   2. to derive content-based pub/sub subscriptions: one substring
+//      filter per query term over the event's text attribute, so future
+//      matching stories are pushed as they are published.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "attention/click.h"
+#include "ir/bm25.h"
+#include "ir/corpus.h"
+#include "ir/term_weighting.h"
+#include "reef/recommendation.h"
+#include "util/rng.h"
+
+namespace reef::core {
+
+class ContentRecommender {
+ public:
+  struct Config {
+    std::size_t query_terms = 30;  ///< the paper's optimum N
+    ir::TermSelector selector = ir::TermSelector::kTfOfferWeight;
+    ir::Bm25Params bm25;
+    /// Per-user reservoir of page samples kept for co-occurrence-based
+    /// query diversification (build_query_diverse). 0 disables sampling.
+    std::size_t diversity_sample = 300;
+    std::uint64_t seed = 0xd1ce;
+  };
+
+  ContentRecommender() = default;
+  explicit ContentRecommender(Config config) : config_(config) {}
+
+  /// Accumulates one attended page into the user's profile (terms are the
+  /// analyzed page text) and into the shared background statistics.
+  void add_page(attention::UserId user,
+                const std::vector<std::string>& terms);
+
+  std::size_t pages_seen(attention::UserId user) const;
+  /// Shared background statistics over everything all users attended to
+  /// (the centralized server's view; a distributed peer holds only its own
+  /// user's pages). O(vocabulary) memory — pages are not retained.
+  const ir::TermStatsAccumulator& background() const noexcept {
+    return background_;
+  }
+  /// Per-user term statistics; nullptr for unknown users. Used by the
+  /// update filter to judge incoming events against the user's profile.
+  const ir::TermStatsAccumulator* user_stats(attention::UserId user) const {
+    const auto it = users_.find(user);
+    return it == users_.end() ? nullptr : &it->second.stats;
+  }
+
+  /// Builds the user's top-`n` query (n=0 uses config.query_terms).
+  std::vector<ir::ScoredTerm> build_query(attention::UserId user,
+                                          std::size_t n = 0) const;
+
+  /// Diversity-aware query (§3.3 open problem): over-selects 3n candidate
+  /// terms, then applies maximal-marginal-relevance over the user's page
+  /// reservoir so the query spans distinct interest clusters instead of
+  /// being dominated by the largest one. lambda=1 reduces to build_query.
+  std::vector<ir::ScoredTerm> build_query_diverse(attention::UserId user,
+                                                  std::size_t n = 0,
+                                                  double lambda = 0.7) const;
+
+  /// Ranks an archive corpus with BM25 against the user's query.
+  std::vector<ir::RankedDoc> rank_archive(attention::UserId user,
+                                          const ir::Corpus& archive,
+                                          std::size_t n = 0) const;
+
+  /// Derives per-term content subscriptions over events shaped
+  /// {stream=<stream>, text=<terms>} — one contains-filter per term.
+  std::vector<Recommendation> content_subscriptions(
+      attention::UserId user, const std::string& stream,
+      std::size_t max_terms = 10) const;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  struct UserState {
+    ir::TermStatsAccumulator stats;
+    /// Reservoir sample of page term-vectors for diversification.
+    std::vector<ir::TermFreqs> sample;
+    std::uint64_t pages = 0;
+    util::Rng rng{0xd1ce};
+  };
+
+  Config config_;
+  ir::TermStatsAccumulator background_;
+  std::unordered_map<attention::UserId, UserState> users_;
+};
+
+}  // namespace reef::core

@@ -1,0 +1,153 @@
+#include "reef/distributed.h"
+
+#include <any>
+
+#include "util/log.h"
+
+namespace reef::core {
+
+DistributedPeer::DistributedPeer(sim::Simulator& sim, sim::Network& net,
+                                 const web::SyntheticWeb& web,
+                                 pubsub::Broker& broker,
+                                 attention::UserId user, Config config)
+    : sim_(sim),
+      net_(net),
+      web_(web),
+      user_(user),
+      config_(config),
+      cache_(config.cache_pages),
+      frontend_(sim, net, broker, user, config.frontend),
+      recorder_(sim, user, config.recorder,
+                // The sink stays local: clicks are processed on-host and
+                // never leave the machine.
+                [this](attention::ClickBatch&& batch) {
+                  for (const auto& click : batch.clicks) {
+                    process_click(click);
+                  }
+                  apply_pending();
+                }),
+      topic_(config.topic),
+      content_(config.content),
+      update_filter_(config.update_filter) {
+  id_ = net_.attach(*this, "peer-" + std::to_string(user));
+  frontend_.set_attention_hook(
+      [this](const util::Uri& uri) { browse(uri, true); });
+  if (config_.update_filter.min_score > 0.0) {
+    // §3.2 extension: judge every incoming event against the profile the
+    // content recommender accumulates from this user's own pages.
+    frontend_.set_display_predicate([this](const pubsub::Event& event) {
+      const auto* profile = content_.user_stats(user_);
+      if (profile == nullptr) return true;
+      return update_filter_.should_display(event, *profile,
+                                           content_.background());
+    });
+  }
+  frontend_.set_feedback_sink(
+      [this](FeedbackMsg&& msg) {
+        for (const auto& row : msg.rows) {
+          topic_.on_feedback(user_, row.feed_url, row.delivered, row.clicked);
+        }
+        apply_pending();
+      },
+      config.feedback_interval);
+  if (config_.gossip_interval > 0) {
+    gossip_timer_ = sim_.every(config_.gossip_interval,
+                               config_.gossip_interval,
+                               [this] { send_gossip(); });
+  }
+}
+
+DistributedPeer::~DistributedPeer() {
+  if (gossip_timer_ != 0) sim_.cancel(gossip_timer_);
+}
+
+void DistributedPeer::add_group_peer(sim::NodeId peer) {
+  group_peers_.push_back(peer);
+}
+
+void DistributedPeer::browse(const util::Uri& uri, bool from_notification) {
+  if (const auto page = web_.fetch(uri)) cache_.put(*page);
+  recorder_.record(uri, from_notification);
+}
+
+void DistributedPeer::process_click(const attention::Click& click) {
+  ++visits_[click.uri.host()];
+  topic_.on_click(user_, click.uri);
+  if (classifier_.should_skip(click.uri.host())) return;
+  // Parse from the browser cache — no crawl traffic (§4).
+  auto page = cache_.get(click.uri);
+  if (!page) {
+    ++stats_.cache_misses_skipped;
+    return;
+  }
+  ++stats_.pages_parsed_from_cache;
+  const web::Site* site = page->site;
+  if (site != nullptr && site->kind != web::SiteKind::kContent) {
+    classifier_.record(click.uri.host(), site->kind == web::SiteKind::kAd
+                                             ? web::HostFlag::kAd
+                                             : web::HostFlag::kSpam);
+    return;
+  }
+  attention::Click click_copy = click;
+  const auto tokens = feed_parser_.parse(click_copy, &*page);
+  std::vector<std::string> feed_urls;
+  feed_urls.reserve(tokens.size());
+  for (const auto& token : tokens) {
+    if (token.name == "feed") feed_urls.push_back(token.value.as_string());
+  }
+  if (!feed_urls.empty()) {
+    topic_.on_feeds_found(user_, click.uri.host(), feed_urls);
+  }
+  if (!page->terms.empty()) content_.add_page(user_, page->terms);
+}
+
+void DistributedPeer::apply_pending() {
+  frontend_.apply_all(topic_.take(user_));
+}
+
+void DistributedPeer::send_gossip() {
+  if (group_peers_.empty()) return;
+  GossipMsg msg;
+  msg.user = user_;
+  // The frontend is authoritative for what is actually subscribed.
+  msg.feeds = frontend_.subscribed_feeds();
+  if (msg.feeds.empty()) return;
+  for (const sim::NodeId peer : group_peers_) {
+    GossipMsg copy = msg;
+    const std::size_t bytes = copy.wire_size();
+    ++stats_.gossip_sent;
+    net_.send(id_, peer, std::string(kTypeGossip), std::move(copy), bytes);
+  }
+}
+
+void DistributedPeer::handle_message(const sim::Message& msg) {
+  if (msg.type != kTypeGossip) {
+    util::log_warn("peer") << "unknown message " << msg.type;
+    return;
+  }
+  const auto& gossip = std::any_cast<const GossipMsg&>(msg.payload);
+  ++stats_.gossip_received;
+  for (const auto& url : gossip.feeds) {
+    if (frontend_.is_subscribed_to_feed(url)) continue;
+    const auto uri = util::Uri::parse(url);
+    if (!uri) continue;
+    const auto it = visits_.find(uri->host());
+    const std::uint64_t local_visits = it == visits_.end() ? 0 : it->second;
+    if (local_visits < config_.gossip_min_visits) continue;
+    Recommendation rec;
+    rec.action = RecAction::kSubscribe;
+    rec.filter = feeds::feed_filter(url);
+    rec.feed_url = url;
+    rec.reason = "gossiped by peer " + std::to_string(gossip.user);
+    rec.score = static_cast<double>(local_visits);
+    ++stats_.gossip_adopted;
+    frontend_.apply(rec);
+  }
+}
+
+std::uint64_t DistributedPeer::visits(const std::string& host) const {
+  const auto it = visits_.find(host);
+  return it == visits_.end() ? 0 : it->second;
+}
+
+}  // namespace reef::core

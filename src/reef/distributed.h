@@ -1,0 +1,127 @@
+// A peer in the *distributed* design (Fig. 2, §4): attention recorder,
+// attention parser, recommendation service AND subscription frontend all
+// run on the user's host. Attention data never leaves the machine; pages
+// are parsed out of the browser cache instead of being re-crawled; the
+// only inter-peer traffic is the optional recommendation gossip within an
+// interest group (§5.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "attention/parser.h"
+#include "attention/recorder.h"
+#include "reef/content_recommender.h"
+#include "reef/frontend.h"
+#include "reef/topic_recommender.h"
+#include "reef/update_filter.h"
+#include "sim/network.h"
+#include "web/browser_cache.h"
+#include "web/ad_classifier.h"
+#include "web/web.h"
+
+namespace reef::core {
+
+/// Peer-to-peer profile exchange: the sender's current feed set.
+struct GossipMsg {
+  attention::UserId user = 0;
+  std::vector<std::string> feeds;
+
+  std::size_t wire_size() const noexcept {
+    std::size_t bytes = 16;
+    for (const auto& f : feeds) bytes += f.size() + 4;
+    return bytes;
+  }
+};
+
+inline constexpr std::string_view kTypeGossip = "reef.gossip";
+
+class DistributedPeer final : public sim::Node {
+ public:
+  struct Config {
+    attention::AttentionRecorder::Config recorder;
+    SubscriptionFrontend::Config frontend;
+    TopicRecommender::Config topic;
+    ContentRecommender::Config content;
+    /// Profile gossip period within the interest group (0 = disabled).
+    sim::Time gossip_interval = 12 * sim::kHour;
+    sim::Time feedback_interval = 12 * sim::kHour;
+    std::size_t cache_pages = 4000;
+    /// Adopt a gossiped feed when its site was visited at least this many
+    /// times locally (the peer signal substitutes for repeat visits).
+    std::uint64_t gossip_min_visits = 1;
+    /// Attention-based update filtering (§3.2 extension). min_score 0
+    /// (default) disables it; positive values suppress events whose text
+    /// does not resemble the user's attention profile.
+    UpdateFilter::Config update_filter{.min_score = 0.0};
+  };
+
+  struct Stats {
+    std::uint64_t pages_parsed_from_cache = 0;
+    std::uint64_t cache_misses_skipped = 0;
+    std::uint64_t gossip_sent = 0;
+    std::uint64_t gossip_received = 0;
+    std::uint64_t gossip_adopted = 0;
+  };
+
+  DistributedPeer(sim::Simulator& sim, sim::Network& net,
+                  const web::SyntheticWeb& web, pubsub::Broker& broker,
+                  attention::UserId user, Config config);
+  ~DistributedPeer();
+  DistributedPeer(const DistributedPeer&) = delete;
+  DistributedPeer& operator=(const DistributedPeer&) = delete;
+
+  sim::NodeId id() const noexcept { return id_; }
+  attention::UserId user() const noexcept { return user_; }
+
+  void set_proxy(sim::NodeId proxy) { frontend_.set_proxy(proxy); }
+  /// Adds a group member to gossip with (their node id).
+  void add_group_peer(sim::NodeId peer);
+
+  /// One browser navigation; the entire Reef pipeline runs locally.
+  void browse(const util::Uri& uri, bool from_notification = false);
+
+  void handle_message(const sim::Message& msg) override;
+
+  SubscriptionFrontend& frontend() noexcept { return frontend_; }
+  attention::AttentionRecorder& recorder() noexcept { return recorder_; }
+  TopicRecommender& topic_recommender() noexcept { return topic_; }
+  ContentRecommender& content_recommender() noexcept { return content_; }
+  const UpdateFilter& update_filter() const noexcept {
+    return update_filter_;
+  }
+  web::BrowserCache& cache() noexcept { return cache_; }
+  const Stats& stats() const noexcept { return stats_; }
+  /// Host visit counts (used by tests and the gossip-adoption policy).
+  std::uint64_t visits(const std::string& host) const;
+
+ private:
+  void process_click(const attention::Click& click);
+  void apply_pending();
+  void send_gossip();
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  const web::SyntheticWeb& web_;
+  attention::UserId user_;
+  sim::NodeId id_;
+  Config config_;
+
+  web::BrowserCache cache_;
+  web::AdClassifier classifier_;
+  attention::FeedUrlParser feed_parser_;
+  SubscriptionFrontend frontend_;
+  attention::AttentionRecorder recorder_;
+  TopicRecommender topic_;
+  ContentRecommender content_;
+  UpdateFilter update_filter_;
+
+  std::unordered_map<std::string, std::uint64_t> visits_;
+  std::vector<sim::NodeId> group_peers_;
+  sim::TimerId gossip_timer_ = 0;
+  Stats stats_;
+};
+
+}  // namespace reef::core

@@ -1,0 +1,186 @@
+#include "reef/frontend.h"
+
+#include "util/log.h"
+
+namespace reef::core {
+
+SubscriptionFrontend::SubscriptionFrontend(sim::Simulator& sim,
+                                           sim::Network& net,
+                                           pubsub::Broker& broker,
+                                           attention::UserId user,
+                                           Config config)
+    : sim_(sim),
+      net_(net),
+      user_(user),
+      config_(config),
+      client_(sim, net, "frontend-" + std::to_string(user)) {
+  client_.connect(broker);
+}
+
+SubscriptionFrontend::~SubscriptionFrontend() {
+  if (feedback_timer_ != 0) sim_.cancel(feedback_timer_);
+}
+
+void SubscriptionFrontend::set_feedback_sink(FeedbackSink sink,
+                                             sim::Time interval) {
+  feedback_sink_ = std::move(sink);
+  if (feedback_timer_ != 0) sim_.cancel(feedback_timer_);
+  feedback_timer_ =
+      sim_.every(interval, interval, [this] { emit_feedback(); });
+}
+
+void SubscriptionFrontend::apply(const Recommendation& rec) {
+  if (rec.action == RecAction::kSubscribe) {
+    if (!rec.feed_url.empty()) {
+      if (feed_subs_.contains(rec.feed_url)) return;  // already placed
+      const auto sub_id = client_.subscribe(
+          rec.filter,
+          [this](const pubsub::Event& event, pubsub::SubscriptionId) {
+            on_deliver(event);
+          });
+      feed_subs_.emplace(rec.feed_url, sub_id);
+      if (proxy_ != sim::kNoNode) {
+        net_.send(client_.id(), proxy_,
+                  std::string(feeds::kTypeWatchFeed),
+                  feeds::WatchFeedMsg{rec.feed_url},
+                  24 + rec.feed_url.size());
+      }
+    } else {
+      if (other_subs_.contains(rec.filter.key())) return;
+      const auto sub_id = client_.subscribe(
+          rec.filter,
+          [this](const pubsub::Event& event, pubsub::SubscriptionId) {
+            on_deliver(event);
+          });
+      other_subs_.emplace(rec.filter.key(), sub_id);
+    }
+    ++stats_.subscribes_applied;
+    return;
+  }
+
+  // Unsubscribe
+  if (!rec.feed_url.empty()) {
+    const auto it = feed_subs_.find(rec.feed_url);
+    if (it == feed_subs_.end()) return;
+    client_.unsubscribe(it->second);
+    feed_subs_.erase(it);
+    if (proxy_ != sim::kNoNode) {
+      net_.send(client_.id(), proxy_, std::string(feeds::kTypeUnwatchFeed),
+                feeds::UnwatchFeedMsg{rec.feed_url},
+                24 + rec.feed_url.size());
+    }
+  } else {
+    const auto it = other_subs_.find(rec.filter.key());
+    if (it == other_subs_.end()) return;
+    client_.unsubscribe(it->second);
+    other_subs_.erase(it);
+  }
+  ++stats_.unsubscribes_applied;
+}
+
+void SubscriptionFrontend::apply_all(const std::vector<Recommendation>& recs) {
+  for (const auto& rec : recs) apply(rec);
+}
+
+void SubscriptionFrontend::on_deliver(const pubsub::Event& event) {
+  // Dedup: overlapping content subscriptions may match the same story.
+  if (const pubsub::Value* guid = event.find("guid");
+      guid != nullptr && guid->is_string()) {
+    if (!seen_guids_.emplace(guid->as_string(), true).second) return;
+  }
+  ++stats_.events_received;
+  SidebarEntry entry;
+  entry.entry_id = next_entry_++;
+  entry.event = event;
+  entry.arrived = sim_.now();
+  if (const pubsub::Value* feed = event.find("feed");
+      feed != nullptr && feed->is_string()) {
+    entry.feed_url = feed->as_string();
+    ++tallies_[entry.feed_url].delivered;
+    tallies_[entry.feed_url].feed_url = entry.feed_url;
+  }
+  // Update filtering (§3.2 extension): irrelevant events never reach the
+  // sidebar. They still counted as delivered above, so a feed that only
+  // produces suppressed events will eventually be unsubscribed by the
+  // closed loop.
+  if (display_predicate_ && !display_predicate_(event)) {
+    ++suppressed_by_filter_;
+    return;
+  }
+  sidebar_.push_back(std::move(entry));
+  prune_expired();
+  while (sidebar_.size() > config_.sidebar_capacity) {
+    ++stats_.expired;
+    sidebar_.pop_front();
+  }
+}
+
+void SubscriptionFrontend::prune_expired() {
+  const sim::Time cutoff = sim_.now() - config_.event_ttl;
+  while (!sidebar_.empty() && sidebar_.front().arrived < cutoff) {
+    ++stats_.expired;
+    sidebar_.pop_front();
+  }
+}
+
+const std::deque<SubscriptionFrontend::SidebarEntry>&
+SubscriptionFrontend::sidebar() {
+  prune_expired();
+  return sidebar_;
+}
+
+void SubscriptionFrontend::drop_entry(
+    std::deque<SidebarEntry>::iterator it, bool clicked) {
+  if (clicked) {
+    if (!it->feed_url.empty()) ++tallies_[it->feed_url].clicked;
+    ++stats_.clicked;
+    if (attention_hook_) {
+      if (const pubsub::Value* link = it->event.find("link");
+          link != nullptr && link->is_string()) {
+        if (const auto uri = util::Uri::parse(link->as_string())) {
+          attention_hook_(*uri);
+        }
+      }
+    }
+  } else {
+    ++stats_.dismissed;
+  }
+  sidebar_.erase(it);
+}
+
+void SubscriptionFrontend::click_entry(std::uint64_t entry_id) {
+  for (auto it = sidebar_.begin(); it != sidebar_.end(); ++it) {
+    if (it->entry_id == entry_id) {
+      drop_entry(it, /*clicked=*/true);
+      return;
+    }
+  }
+}
+
+void SubscriptionFrontend::dismiss_entry(std::uint64_t entry_id) {
+  for (auto it = sidebar_.begin(); it != sidebar_.end(); ++it) {
+    if (it->entry_id == entry_id) {
+      drop_entry(it, /*clicked=*/false);
+      return;
+    }
+  }
+}
+
+std::vector<std::string> SubscriptionFrontend::subscribed_feeds() const {
+  std::vector<std::string> urls;
+  urls.reserve(feed_subs_.size());
+  for (const auto& [url, sub] : feed_subs_) urls.push_back(url);
+  std::sort(urls.begin(), urls.end());
+  return urls;
+}
+
+void SubscriptionFrontend::emit_feedback() {
+  if (!feedback_sink_ || tallies_.empty()) return;
+  FeedbackMsg msg;
+  msg.user = user_;
+  msg.rows.reserve(tallies_.size());
+  for (const auto& [url, row] : tallies_) msg.rows.push_back(row);
+  feedback_sink_(std::move(msg));
+}
+
+}  // namespace reef::core

@@ -1,0 +1,168 @@
+// Subscription frontend (§2.2, §3.1): executes recommendations against the
+// pub/sub substrate (and the FeedEvents proxy for feed subscriptions),
+// and models the sidebar where delivered events are displayed:
+//
+//   "The events from subscriptions are displayed in a sidebar ... The
+//    user may click on the event to view it in the browsing panel or
+//    click on a button to delete it. If the user ignores the event for a
+//    certain period of time, it expires and disappears from the list."
+//
+// Clicking an entry reports the opened link to the attention hook — that
+// is the closed loop: the click lands in the attention recorder and reads
+// as positive feedback. Per-feed delivered/clicked tallies are pushed to
+// the recommendation service periodically for unsubscribe decisions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "attention/click.h"
+#include "feeds/feed_events_proxy.h"
+#include "pubsub/client.h"
+#include "reef/recommendation.h"
+
+namespace reef::core {
+
+/// One row of per-feed closed-loop statistics.
+struct FeedbackRow {
+  std::string feed_url;
+  std::uint64_t delivered = 0;
+  std::uint64_t clicked = 0;
+};
+
+/// Frontend -> recommendation service feedback push.
+struct FeedbackMsg {
+  attention::UserId user = 0;
+  std::vector<FeedbackRow> rows;
+
+  std::size_t wire_size() const noexcept {
+    std::size_t bytes = 16;
+    for (const auto& r : rows) bytes += 20 + r.feed_url.size();
+    return bytes;
+  }
+};
+
+inline constexpr std::string_view kTypeFeedback = "reef.feedback";
+
+class SubscriptionFrontend {
+ public:
+  struct Config {
+    /// Ignored events disappear after this long.
+    sim::Time event_ttl = 8 * sim::kHour;
+    /// Sidebar holds at most this many entries (oldest expire early).
+    std::size_t sidebar_capacity = 50;
+  };
+
+  struct SidebarEntry {
+    std::uint64_t entry_id = 0;
+    pubsub::Event event;
+    sim::Time arrived = 0;
+    std::string feed_url;  ///< empty for non-feed events
+  };
+
+  struct Stats {
+    std::uint64_t events_received = 0;
+    std::uint64_t clicked = 0;
+    std::uint64_t dismissed = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t subscribes_applied = 0;
+    std::uint64_t unsubscribes_applied = 0;
+  };
+
+  /// Reports a click on a delivered event (the closed loop back into the
+  /// attention recorder): URI opened + from_notification flag.
+  using AttentionHook = std::function<void(const util::Uri&)>;
+  /// Receives the periodic closed-loop statistics.
+  using FeedbackSink = std::function<void(FeedbackMsg&&)>;
+
+  SubscriptionFrontend(sim::Simulator& sim, sim::Network& net,
+                       pubsub::Broker& broker, attention::UserId user,
+                       Config config);
+  ~SubscriptionFrontend();
+  SubscriptionFrontend(const SubscriptionFrontend&) = delete;
+  SubscriptionFrontend& operator=(const SubscriptionFrontend&) = delete;
+
+  /// Wires the FeedEvents proxy used for feed recommendations (watch /
+  /// unwatch travel as network messages so their cost is metered).
+  void set_proxy(sim::NodeId proxy) { proxy_ = proxy; }
+  void set_attention_hook(AttentionHook hook) {
+    attention_hook_ = std::move(hook);
+  }
+  void set_feedback_sink(FeedbackSink sink, sim::Time interval);
+
+  /// Optional update filter (§3.2 extension): events for which the
+  /// predicate returns false are suppressed before reaching the sidebar.
+  /// Suppressed events still count as delivered for the closed loop.
+  using DisplayPredicate = std::function<bool(const pubsub::Event&)>;
+  void set_display_predicate(DisplayPredicate predicate) {
+    display_predicate_ = std::move(predicate);
+  }
+  std::uint64_t suppressed_by_filter() const noexcept {
+    return suppressed_by_filter_;
+  }
+
+  /// Executes a recommendation (subscribe or unsubscribe).
+  void apply(const Recommendation& rec);
+  void apply_all(const std::vector<Recommendation>& recs);
+
+  bool is_subscribed_to_feed(const std::string& url) const {
+    return feed_subs_.contains(url);
+  }
+  std::size_t active_feed_subscriptions() const noexcept {
+    return feed_subs_.size();
+  }
+  /// URLs of all feeds currently subscribed (sorted, deterministic).
+  std::vector<std::string> subscribed_feeds() const;
+
+  /// Current sidebar (expired entries pruned on access).
+  const std::deque<SidebarEntry>& sidebar();
+  /// Opens an entry: reports the link to the attention hook, removes the
+  /// entry, counts the click for the entry's feed. Unknown ids ignored.
+  void click_entry(std::uint64_t entry_id);
+  /// Deletes an entry without opening it.
+  void dismiss_entry(std::uint64_t entry_id);
+
+  /// Forces a feedback push now (also runs on the configured interval).
+  void emit_feedback();
+
+  const Stats& stats() const noexcept { return stats_; }
+  attention::UserId user() const noexcept { return user_; }
+  pubsub::Client& client() noexcept { return client_; }
+
+ private:
+  void on_deliver(const pubsub::Event& event);
+  void prune_expired();
+  void drop_entry(std::deque<SidebarEntry>::iterator it, bool clicked);
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  attention::UserId user_;
+  Config config_;
+  pubsub::Client client_;
+  sim::NodeId proxy_ = sim::kNoNode;
+  AttentionHook attention_hook_;
+  FeedbackSink feedback_sink_;
+  DisplayPredicate display_predicate_;
+  std::uint64_t suppressed_by_filter_ = 0;
+  sim::TimerId feedback_timer_ = 0;
+
+  /// feed url -> pub/sub subscription id
+  std::unordered_map<std::string, pubsub::SubscriptionId> feed_subs_;
+  /// non-feed filters by canonical key
+  std::unordered_map<std::string, pubsub::SubscriptionId> other_subs_;
+  /// per-feed closed-loop tallies
+  std::unordered_map<std::string, FeedbackRow> tallies_;
+  /// seen event guids (dedup across overlapping content subscriptions)
+  std::unordered_map<std::string, bool> seen_guids_;
+
+  std::deque<SidebarEntry> sidebar_;
+  std::uint64_t next_entry_ = 1;
+  Stats stats_;
+};
+
+}  // namespace reef::core

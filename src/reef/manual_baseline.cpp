@@ -1,0 +1,44 @@
+#include "reef/manual_baseline.h"
+
+namespace reef::core {
+
+const std::vector<std::pair<std::string, sim::Time>>
+    ManualSubscriptionBaseline::kEmptyLog;
+
+ManualSubscriptionBaseline::ManualSubscriptionBaseline()
+    : ManualSubscriptionBaseline(Config{}) {}
+
+ManualSubscriptionBaseline::ManualSubscriptionBaseline(Config config)
+    : config_(config), rng_(config.seed) {}
+
+std::vector<std::string> ManualSubscriptionBaseline::on_visit(
+    attention::UserId user, const std::string& host,
+    const std::vector<std::string>& feeds_on_site, sim::Time now) {
+  UserState& state = users_[user];
+  const std::uint64_t visits = ++state.visits[host];
+  std::vector<std::string> subscribed_now;
+  if (visits < config_.visits_to_notice || feeds_on_site.empty()) {
+    return subscribed_now;
+  }
+  if (!rng_.chance(config_.notice_probability)) return subscribed_now;
+  for (const auto& url : feeds_on_site) {
+    if (!state.subscribed.insert(url).second) continue;
+    state.log.emplace_back(url, now);
+    subscribed_now.push_back(url);
+  }
+  return subscribed_now;
+}
+
+std::size_t ManualSubscriptionBaseline::subscriptions(
+    attention::UserId user) const {
+  const auto it = users_.find(user);
+  return it == users_.end() ? 0 : it->second.subscribed.size();
+}
+
+const std::vector<std::pair<std::string, sim::Time>>&
+ManualSubscriptionBaseline::log(attention::UserId user) const {
+  const auto it = users_.find(user);
+  return it == users_.end() ? kEmptyLog : it->second.log;
+}
+
+}  // namespace reef::core

@@ -1,0 +1,63 @@
+// Manual-subscription baseline.
+//
+// The paper's motivation (§1) is that "having to manage subscriptions
+// manually ... can discourage users from using a notification system".
+// This baseline models what a diligent-but-human user achieves without
+// Reef: they only subscribe to a feed when a site has become an obvious
+// habit (many visits) AND they notice the feed (probabilistic, since feed
+// autodiscovery is invisible in most browsers). Comparing its discovered-
+// feed count and time-to-subscribe against the automatic recommender
+// quantifies the benefit of automation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "attention/click.h"
+#include "util/rng.h"
+
+namespace reef::core {
+
+class ManualSubscriptionBaseline {
+ public:
+  struct Config {
+    /// A human only bothers after this many visits to the same site.
+    std::uint64_t visits_to_notice = 10;
+    /// Even then, the feed icon is noticed with this probability per
+    /// qualifying visit.
+    double notice_probability = 0.15;
+    std::uint64_t seed = 0x3a2a1;
+  };
+
+  ManualSubscriptionBaseline();
+  explicit ManualSubscriptionBaseline(Config config);
+
+  /// Feed one visit; `feeds_on_site` is what autodiscovery would expose.
+  /// Returns the feeds the user subscribes to at this moment (usually
+  /// empty).
+  std::vector<std::string> on_visit(
+      attention::UserId user, const std::string& host,
+      const std::vector<std::string>& feeds_on_site, sim::Time now);
+
+  std::size_t subscriptions(attention::UserId user) const;
+  /// Time of each manual subscription (for time-to-subscribe comparisons).
+  const std::vector<std::pair<std::string, sim::Time>>& log(
+      attention::UserId user) const;
+
+ private:
+  struct UserState {
+    std::unordered_map<std::string, std::uint64_t> visits;
+    std::unordered_set<std::string> subscribed;
+    std::vector<std::pair<std::string, sim::Time>> log;
+  };
+
+  Config config_;
+  util::Rng rng_;
+  std::unordered_map<attention::UserId, UserState> users_;
+  static const std::vector<std::pair<std::string, sim::Time>> kEmptyLog;
+};
+
+}  // namespace reef::core

@@ -1,0 +1,50 @@
+// Recommendations: the currency between the recommendation service and the
+// subscription frontend (§2.2). A recommendation either asks the frontend
+// to place a subscription (with everything needed to do so: the pub/sub
+// filter and, for feed subscriptions, the feed URL to register at the
+// push proxy) or to retract one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pubsub/filter.h"
+
+namespace reef::core {
+
+enum class RecAction : std::uint8_t { kSubscribe, kUnsubscribe };
+
+struct Recommendation {
+  RecAction action = RecAction::kSubscribe;
+  /// The pub/sub filter to place or retract.
+  pubsub::Filter filter;
+  /// Non-empty for Web-feed subscriptions: the URL to watch/unwatch at the
+  /// FeedEvents proxy.
+  std::string feed_url;
+  /// Which recommender produced this and why (diagnostics, tests).
+  std::string reason;
+  /// Relative confidence (recommender-specific scale).
+  double score = 0.0;
+
+  std::size_t wire_size() const noexcept {
+    return 16 + filter.wire_size() + feed_url.size() + reason.size();
+  }
+};
+
+/// Server -> frontend push of recommendations (centralized design, Fig. 1
+/// step 2).
+struct RecommendationMsg {
+  std::vector<Recommendation> recommendations;
+
+  std::size_t wire_size() const noexcept {
+    std::size_t bytes = 16;
+    for (const auto& r : recommendations) bytes += r.wire_size();
+    return bytes;
+  }
+};
+
+inline constexpr std::string_view kTypeRecommendation = "reef.recommend";
+
+}  // namespace reef::core

@@ -1,0 +1,89 @@
+#include "reef/topic_recommender.h"
+
+#include "feeds/feed_events_proxy.h"
+
+namespace reef::core {
+
+void TopicRecommender::on_click(attention::UserId user,
+                                const util::Uri& uri) {
+  UserState& state = users_[user];
+  ++state.visits[uri.host()];
+  maybe_recommend_host(state, uri.host());
+}
+
+void TopicRecommender::on_feeds_found(
+    attention::UserId user, const std::string& host,
+    const std::vector<std::string>& feed_urls) {
+  UserState& state = users_[user];
+  auto& known = state.feeds_by_host[host];
+  for (const auto& url : feed_urls) {
+    if (std::find(known.begin(), known.end(), url) == known.end()) {
+      known.push_back(url);
+    }
+  }
+  maybe_recommend_host(state, host);
+}
+
+void TopicRecommender::maybe_recommend_host(UserState& state,
+                                            const std::string& host) {
+  const auto visits_it = state.visits.find(host);
+  if (visits_it == state.visits.end() ||
+      visits_it->second < config_.min_site_visits) {
+    return;
+  }
+  const auto feeds_it = state.feeds_by_host.find(host);
+  if (feeds_it == state.feeds_by_host.end()) return;
+  for (const auto& url : feeds_it->second) {
+    if (state.recommended.contains(url) || state.retracted.contains(url)) {
+      continue;
+    }
+    state.recommended.insert(url);
+    ++state.total_subscribes;
+    Recommendation rec;
+    rec.action = RecAction::kSubscribe;
+    rec.filter = feeds::feed_filter(url);
+    rec.feed_url = url;
+    rec.reason = "feed on site visited " +
+                 std::to_string(visits_it->second) + " times";
+    rec.score = static_cast<double>(visits_it->second);
+    state.pending.push_back(std::move(rec));
+  }
+}
+
+void TopicRecommender::on_feedback(attention::UserId user,
+                                   const std::string& feed_url,
+                                   std::uint64_t delivered,
+                                   std::uint64_t clicked) {
+  UserState& state = users_[user];
+  if (!state.recommended.contains(feed_url)) return;
+  if (delivered < config_.min_deliveries_for_unsub) return;
+  const double ctr =
+      static_cast<double>(clicked) / static_cast<double>(delivered);
+  if (ctr > config_.max_ignored_ctr) return;
+  state.recommended.erase(feed_url);
+  state.retracted.insert(feed_url);
+  Recommendation rec;
+  rec.action = RecAction::kUnsubscribe;
+  rec.filter = feeds::feed_filter(feed_url);
+  rec.feed_url = feed_url;
+  rec.reason = "ignored " + std::to_string(delivered - clicked) + " of " +
+               std::to_string(delivered) + " deliveries";
+  rec.score = ctr;
+  state.pending.push_back(std::move(rec));
+}
+
+std::vector<Recommendation> TopicRecommender::take(attention::UserId user) {
+  const auto it = users_.find(user);
+  if (it == users_.end()) return {};
+  std::vector<Recommendation> out = std::move(it->second.pending);
+  it->second.pending.clear();
+  return out;
+}
+
+std::uint64_t TopicRecommender::total_recommended(
+    attention::UserId user) const {
+  const auto it = users_.find(user);
+  return it == users_.end() ? 0 : it->second.total_subscribes;
+}
+
+}  // namespace reef::core

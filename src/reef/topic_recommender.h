@@ -1,0 +1,74 @@
+// Topic-based subscription recommender (§3.2).
+//
+// Tracks, per user, how often each Web server was visited and which feeds
+// were discovered there (by the crawler centrally or the cache-parser
+// locally). When a server crosses the visit threshold, its feeds become
+// subscribe recommendations — each feed recommended at most once per
+// user. Closed-loop feedback (deliveries vs. clicks per subscription)
+// produces unsubscribe recommendations for feeds the user keeps ignoring,
+// implementing §2.2's "closed-loop system that requires no explicit user
+// feedback".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "attention/click.h"
+#include "reef/recommendation.h"
+
+namespace reef::core {
+
+class TopicRecommender {
+ public:
+  struct Config {
+    /// A server's feeds are recommended once the user visited it this
+    /// many times ("users tend to visit the same sources repeatedly").
+    std::uint64_t min_site_visits = 2;
+    /// Unsubscribe when at least this many events were delivered...
+    std::uint64_t min_deliveries_for_unsub = 12;
+    /// ...and the click-through rate stayed below this bound.
+    double max_ignored_ctr = 0.05;
+  };
+
+  TopicRecommender() = default;
+  explicit TopicRecommender(Config config) : config_(config) {}
+
+  /// Feed one user click (visit counting).
+  void on_click(attention::UserId user, const util::Uri& uri);
+
+  /// Report feeds discovered on `host` (crawler / cache-parser output).
+  void on_feeds_found(attention::UserId user, const std::string& host,
+                      const std::vector<std::string>& feed_urls);
+
+  /// Closed-loop statistics for an active feed subscription.
+  void on_feedback(attention::UserId user, const std::string& feed_url,
+                   std::uint64_t delivered, std::uint64_t clicked);
+
+  /// Drains pending recommendations for `user`.
+  std::vector<Recommendation> take(attention::UserId user);
+
+  /// Total subscribe recommendations ever produced for `user`.
+  std::uint64_t total_recommended(attention::UserId user) const;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  struct UserState {
+    std::unordered_map<std::string, std::uint64_t> visits;       // host -> n
+    std::unordered_map<std::string, std::vector<std::string>> feeds_by_host;
+    std::unordered_set<std::string> recommended;  // feed URLs, sub'd once
+    std::unordered_set<std::string> retracted;    // don't re-recommend
+    std::vector<Recommendation> pending;
+    std::uint64_t total_subscribes = 0;
+  };
+
+  void maybe_recommend_host(UserState& state, const std::string& host);
+
+  Config config_;
+  std::unordered_map<attention::UserId, UserState> users_;
+};
+
+}  // namespace reef::core

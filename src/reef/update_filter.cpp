@@ -1,0 +1,51 @@
+#include "reef/update_filter.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace reef::core {
+
+double UpdateFilter::score(const std::vector<std::string>& terms,
+                           const ir::TermStatsAccumulator& user,
+                           const ir::TermStatsAccumulator& background,
+                           std::uint32_t min_profile_tf) {
+  if (terms.empty() || user.documents() == 0) return 0.0;
+  const double user_docs = static_cast<double>(user.documents());
+  const double background_docs =
+      static_cast<double>(std::max<std::size_t>(background.documents(), 1));
+  double total = 0.0;
+  for (const auto& term : terms) {
+    const auto it = user.evidence().find(term);
+    if (it == user.evidence().end()) continue;
+    const auto& evidence = it->second;
+    if (evidence.raw_tf < min_profile_tf) continue;
+    // Affinity: how broadly the user attends to this term, discounted by
+    // how unavoidable the term is in general language.
+    const double affinity =
+        static_cast<double>(evidence.doc_count) / user_docs;
+    const double idf =
+        std::log(background_docs / (1.0 + background.df(term)));
+    total += affinity * std::max(idf, 0.0);
+  }
+  return total / static_cast<double>(terms.size()) * 100.0;
+}
+
+bool UpdateFilter::should_display(const pubsub::Event& event,
+                                  const ir::TermStatsAccumulator& user,
+                                  const ir::TermStatsAccumulator& background) {
+  if (config_.min_score <= 0.0) return true;
+  const pubsub::Value* text = event.find("text");
+  if (text == nullptr || !text->is_string()) return true;
+  ++stats_.scored;
+  std::vector<std::string> terms;
+  for (const auto piece : util::split_whitespace(text->as_string())) {
+    terms.emplace_back(piece);
+  }
+  const double s = score(terms, user, background, config_.min_profile_tf);
+  if (s >= config_.min_score) return true;
+  ++stats_.suppressed;
+  return false;
+}
+
+}  // namespace reef::core

@@ -1,0 +1,65 @@
+// Attention-based filtering of updates — the §3.2 future-work item:
+// "Even though most feeds are updated infrequently, we still found enough
+//  feeds to overwhelm any user with updates. We are currently
+//  investigating approaches to using attention data for filtering of
+//  updates and for removing subscriptions."
+//
+// The unsubscription half is the closed loop in TopicRecommender; this is
+// the filtering half: each incoming event's text is scored against the
+// user's term profile (the same attention-derived statistics the content
+// recommender maintains), and events below a relevance threshold are
+// suppressed from the sidebar instead of competing for the user's
+// attention.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/term_weighting.h"
+#include "pubsub/event.h"
+
+namespace reef::core {
+
+class UpdateFilter {
+ public:
+  struct Config {
+    /// Events scoring below this are suppressed. 0 disables filtering.
+    double min_score = 0.35;
+    /// Terms with fewer user occurrences than this carry no evidence
+    /// (guards against one-off noise in the profile).
+    std::uint32_t min_profile_tf = 2;
+  };
+
+  struct Stats {
+    std::uint64_t scored = 0;
+    std::uint64_t suppressed = 0;
+  };
+
+  UpdateFilter() = default;
+  explicit UpdateFilter(Config config) : config_(config) {}
+
+  /// Relevance of a term sequence to the user profile: the mean, over the
+  /// event's terms, of the user's affinity for the term discounted by how
+  /// common the term is in the background collection. Roughly "how much
+  /// of this text is vocabulary this user dwells on".
+  static double score(const std::vector<std::string>& terms,
+                      const ir::TermStatsAccumulator& user,
+                      const ir::TermStatsAccumulator& background,
+                      std::uint32_t min_profile_tf = 2);
+
+  /// Splits an event's "text" attribute and scores it. Events without a
+  /// text attribute pass (nothing to judge them by).
+  bool should_display(const pubsub::Event& event,
+                      const ir::TermStatsAccumulator& user,
+                      const ir::TermStatsAccumulator& background);
+
+  const Config& config() const noexcept { return config_; }
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  Config config_;
+  Stats stats_;
+};
+
+}  // namespace reef::core

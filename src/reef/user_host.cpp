@@ -1,0 +1,62 @@
+#include "reef/user_host.h"
+
+#include <any>
+
+#include "util/log.h"
+
+namespace reef::core {
+
+UserHost::UserHost(sim::Simulator& sim, sim::Network& net,
+                   const web::SyntheticWeb& web, pubsub::Broker& broker,
+                   attention::UserId user, Config config)
+    : sim_(sim),
+      net_(net),
+      web_(web),
+      user_(user),
+      cache_(config.cache_pages),
+      frontend_(sim, net, broker, user, config.frontend),
+      recorder_(
+          sim, user, config.recorder,
+          // Recorder sink: ship batches to the server once connected.
+          [this](attention::ClickBatch&& batch) {
+            if (server_ == sim::kNoNode) return;
+            const std::size_t bytes = batch.wire_size();
+            net_.send(id_, server_,
+                      std::string(attention::kTypeAttentionBatch),
+                      std::move(batch), bytes);
+          }) {
+  id_ = net_.attach(*this, "user-host-" + std::to_string(user));
+  // Closed loop: clicking a sidebar event opens the link in the browser.
+  frontend_.set_attention_hook(
+      [this](const util::Uri& uri) { browse(uri, true); });
+  frontend_.set_feedback_sink(
+      [this](FeedbackMsg&& msg) {
+        if (server_ == sim::kNoNode) return;
+        const std::size_t bytes = msg.wire_size();
+        net_.send(id_, server_, std::string(kTypeFeedback), std::move(msg),
+                  bytes);
+      },
+      config.feedback_interval);
+}
+
+void UserHost::connect(sim::NodeId server, sim::NodeId proxy) {
+  server_ = server;
+  frontend_.set_proxy(proxy);
+}
+
+void UserHost::browse(const util::Uri& uri, bool from_notification) {
+  if (const auto page = web_.fetch(uri)) cache_.put(*page);
+  recorder_.record(uri, from_notification);
+}
+
+void UserHost::handle_message(const sim::Message& msg) {
+  if (msg.type != kTypeRecommendation) {
+    util::log_warn("user-host") << "unknown message " << msg.type;
+    return;
+  }
+  const auto& rec_msg = std::any_cast<const RecommendationMsg&>(msg.payload);
+  recommendations_received_ += rec_msg.recommendations.size();
+  frontend_.apply_all(rec_msg.recommendations);
+}
+
+}  // namespace reef::core

@@ -1,0 +1,66 @@
+// A user's machine in the *centralized* design (Fig. 1): it runs only the
+// thin components — attention recorder (browser extension) and
+// subscription frontend — while parsing and recommendation happen at the
+// server. The host node receives RecommendationMsg pushes and applies
+// them; clicking sidebar events loops back into the recorder.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "attention/recorder.h"
+#include "reef/frontend.h"
+#include "sim/network.h"
+#include "web/browser_cache.h"
+#include "web/web.h"
+
+namespace reef::core {
+
+class UserHost final : public sim::Node {
+ public:
+  struct Config {
+    attention::AttentionRecorder::Config recorder;
+    SubscriptionFrontend::Config frontend;
+    /// How often closed-loop statistics are pushed to the server.
+    sim::Time feedback_interval = 12 * sim::kHour;
+    std::size_t cache_pages = 4000;
+  };
+
+  UserHost(sim::Simulator& sim, sim::Network& net,
+           const web::SyntheticWeb& web, pubsub::Broker& broker,
+           attention::UserId user, Config config);
+
+  sim::NodeId id() const noexcept { return id_; }
+  attention::UserId user() const noexcept { return user_; }
+
+  /// Wires the Reef server (attention batches + feedback go there) and
+  /// the FeedEvents proxy (watch/unwatch for feed subscriptions).
+  void connect(sim::NodeId server, sim::NodeId proxy);
+
+  /// One browser navigation: the page is rendered (cached) and the
+  /// request is logged by the attention recorder.
+  void browse(const util::Uri& uri, bool from_notification = false);
+
+  void handle_message(const sim::Message& msg) override;
+
+  SubscriptionFrontend& frontend() noexcept { return frontend_; }
+  attention::AttentionRecorder& recorder() noexcept { return recorder_; }
+  web::BrowserCache& cache() noexcept { return cache_; }
+  std::uint64_t recommendations_received() const noexcept {
+    return recommendations_received_;
+  }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  const web::SyntheticWeb& web_;
+  attention::UserId user_;
+  sim::NodeId id_;
+  sim::NodeId server_ = sim::kNoNode;
+  web::BrowserCache cache_;
+  SubscriptionFrontend frontend_;
+  attention::AttentionRecorder recorder_;
+  std::uint64_t recommendations_received_ = 0;
+};
+
+}  // namespace reef::core

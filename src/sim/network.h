@@ -1,0 +1,135 @@
+// Simulated message-passing network.
+//
+// Nodes attach to a Network and exchange asynchronous messages; the network
+// delays each message by a per-link latency plus deterministic jitter and
+// meters every message for the traffic-accounting experiments (E4, E6).
+// Failure injection (node crash, link partition) is built in because the
+// paper's distributed design is motivated by eliminating the centralized
+// single point of failure.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace reef::sim {
+
+/// Dense node identifier assigned by Network::attach.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0xffffffff;
+
+/// A message in flight. `bytes` is the logical wire size used for traffic
+/// accounting; `payload` carries an arbitrary value the receiver casts back
+/// (each protocol in this repo documents its payload types).
+struct Message {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  std::string type;
+  std::size_t bytes = 0;
+  std::any payload;
+};
+
+/// Interface for anything that can receive messages from the network.
+/// Implementations must outlive the Network they attach to.
+class Node {
+ public:
+  virtual ~Node() = default;
+  /// Called exactly once per delivered message, at delivery time.
+  virtual void handle_message(const Message& msg) = 0;
+};
+
+/// Point-to-point message-passing substrate with latency, jitter, traffic
+/// metering, and failure injection. All state changes are deterministic
+/// given the seed.
+class Network {
+ public:
+  struct Config {
+    Time default_latency = 20 * kMillisecond;
+    /// Jitter drawn uniformly from [0, jitter_fraction * latency].
+    double jitter_fraction = 0.25;
+    /// When true (default), deliveries on each directed (from, to) pair are
+    /// never reordered: a message sent later is delivered no earlier than
+    /// one sent before it (TCP-like). Protocol code in pubsub/ relies on
+    /// this for subscription control traffic.
+    bool fifo_links = true;
+    std::uint64_t seed = 42;
+  };
+
+  Network(Simulator& sim, Config config);
+
+  /// Registers a node (non-owning) and returns its id. `name` labels the
+  /// node in stats output.
+  NodeId attach(Node& node, std::string name);
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  const std::string& node_name(NodeId id) const { return names_.at(id); }
+
+  /// Overrides the symmetric latency of the (a, b) link.
+  void set_latency(NodeId a, NodeId b, Time latency);
+
+  /// Blocks or unblocks the (a, b) link (messages in either direction are
+  /// dropped while blocked).
+  void set_partitioned(NodeId a, NodeId b, bool blocked);
+
+  /// Marks a node down/up. Messages to a down node are dropped at delivery
+  /// time (so a crash mid-flight loses in-flight traffic, as in life).
+  void set_node_up(NodeId id, bool up);
+  bool node_up(NodeId id) const { return up_.at(id); }
+
+  /// Sends a message; it will be delivered via Node::handle_message after
+  /// the link latency (+jitter). Self-sends are delivered asynchronously
+  /// with zero latency. Returns the delivery time, or nullopt if the
+  /// message was dropped at send time (unknown destination).
+  std::optional<Time> send(NodeId from, NodeId to, std::string type,
+                           std::any payload, std::size_t bytes);
+
+  // --- traffic accounting -------------------------------------------------
+  std::uint64_t total_messages() const noexcept { return total_messages_; }
+  std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+  std::uint64_t dropped_messages() const noexcept { return dropped_; }
+  /// Message and byte counts keyed by message type.
+  const util::Counter& messages_by_type() const noexcept { return by_type_; }
+  const util::Counter& bytes_by_type() const noexcept {
+    return bytes_by_type_;
+  }
+  /// Bytes received per node (for the centralized-vs-distributed load
+  /// comparison).
+  std::uint64_t bytes_received(NodeId id) const;
+  std::uint64_t messages_received(NodeId id) const;
+  void reset_stats();
+
+ private:
+  static std::uint64_t link_key(NodeId a, NodeId b) noexcept {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+  Time latency_between(NodeId a, NodeId b) noexcept;
+
+  Simulator& sim_;
+  Config config_;
+  util::Rng rng_;
+  std::vector<Node*> nodes_;
+  std::vector<std::string> names_;
+  std::vector<bool> up_;
+  std::unordered_map<std::uint64_t, Time> link_latency_;
+  std::unordered_map<std::uint64_t, bool> partitioned_;
+  /// Last scheduled delivery time per *directed* (from, to) pair, for FIFO.
+  std::unordered_map<std::uint64_t, Time> last_delivery_;
+
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t dropped_ = 0;
+  util::Counter by_type_;
+  util::Counter bytes_by_type_;
+  std::vector<std::uint64_t> bytes_received_;
+  std::vector<std::uint64_t> messages_received_;
+};
+
+}  // namespace reef::sim

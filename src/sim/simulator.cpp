@@ -1,0 +1,91 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+
+namespace reef::sim {
+
+std::string format_time(Time t) {
+  const bool negative = t < 0;
+  if (negative) t = -t;
+  const Time days = t / kDay;
+  const Time hours = (t % kDay) / kHour;
+  const Time minutes = (t % kHour) / kMinute;
+  const Time seconds = (t % kMinute) / kSecond;
+  const Time millis = (t % kSecond) / kMillisecond;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s%lldd %02lld:%02lld:%02lld.%03lld",
+                negative ? "-" : "", static_cast<long long>(days),
+                static_cast<long long>(hours), static_cast<long long>(minutes),
+                static_cast<long long>(seconds),
+                static_cast<long long>(millis));
+  return buf;
+}
+
+void Simulator::at(Time when, std::function<void()> fn) {
+  assert(fn);
+  if (when < now_) when = now_;
+  queue_.push(Entry{when, next_seq_++, std::move(fn), 0, 0});
+}
+
+TimerId Simulator::every(Time first, Time period, std::function<void()> fn) {
+  assert(fn);
+  if (period <= 0) throw std::invalid_argument("every: period must be > 0");
+  const TimerId id = next_timer_++;
+  if (first < now_) first = now_;
+  queue_.push(Entry{first, next_seq_++, std::move(fn), id, period});
+  return id;
+}
+
+void Simulator::execute(Entry entry) {
+  now_ = entry.when;
+  if (entry.timer != 0) {
+    if (const auto it = cancelled_.find(entry.timer);
+        it != cancelled_.end()) {
+      cancelled_.erase(it);
+      return;  // cancelled periodic timer: drop without running
+    }
+    // Reschedule before running so the callback may cancel its own timer.
+    Entry next = entry;
+    next.when = entry.when + entry.period;
+    next.seq = next_seq_++;
+    queue_.push(std::move(next));
+  }
+  ++executed_;
+  entry.fn();
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  execute(std::move(entry));
+  return true;
+}
+
+std::size_t Simulator::run_until(Time until) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    execute(std::move(entry));
+    ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (step()) {
+    if (++n > max_events) {
+      throw std::runtime_error(
+          "Simulator::run exceeded max_events; "
+          "did a periodic timer leak into run()?");
+    }
+  }
+  return n;
+}
+
+}  // namespace reef::sim

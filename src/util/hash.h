@@ -1,0 +1,29 @@
+// Small, dependency-free hashing helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace reef::util {
+
+/// 64-bit FNV-1a over an arbitrary byte string. Stable across platforms,
+/// used wherever a deterministic content hash is needed (e.g. mapping a
+/// URL to a synthetic page, deduplicating feed items).
+constexpr std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Combines a hash with another value (boost-style mix, 64-bit).
+constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                     std::uint64_t value) noexcept {
+  value *= 0xff51afd7ed558ccdULL;
+  value ^= value >> 33;
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace reef::util

@@ -1,0 +1,40 @@
+#include "util/log.h"
+
+#include <atomic>
+
+namespace reef::util {
+
+namespace {
+std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+
+constexpr std::string_view level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_threshold() noexcept {
+  return g_threshold.load(std::memory_order_relaxed);
+}
+
+void set_log_threshold(LogLevel level) noexcept {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+void emit(LogLevel level, std::string_view component, std::string_view text) {
+  std::cerr << '[' << level_name(level) << "] " << component << ": " << text
+            << '\n';
+}
+}  // namespace detail
+
+}  // namespace reef::util

@@ -1,0 +1,61 @@
+// Minimal leveled logger. Benches and examples print structured tables to
+// stdout; the logger is for diagnostics and goes to stderr so it never
+// pollutes experiment output.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace reef::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are discarded.
+LogLevel log_threshold() noexcept;
+void set_log_threshold(LogLevel level) noexcept;
+
+namespace detail {
+void emit(LogLevel level, std::string_view component, std::string_view text);
+}
+
+/// Streams a single log line on destruction, e.g.:
+///   Logger(LogLevel::kInfo, "broker") << "routed " << n << " events";
+class Logger {
+ public:
+  Logger(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+  ~Logger() {
+    if (level_ >= log_threshold()) {
+      detail::emit(level_, component_, stream_.str());
+    }
+  }
+
+  template <typename T>
+  Logger& operator<<(const T& value) {
+    if (level_ >= log_threshold()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+
+inline Logger log_debug(std::string_view component) {
+  return Logger(LogLevel::kDebug, component);
+}
+inline Logger log_info(std::string_view component) {
+  return Logger(LogLevel::kInfo, component);
+}
+inline Logger log_warn(std::string_view component) {
+  return Logger(LogLevel::kWarn, component);
+}
+inline Logger log_error(std::string_view component) {
+  return Logger(LogLevel::kError, component);
+}
+
+}  // namespace reef::util

@@ -1,0 +1,208 @@
+// Deterministic pseudo-random number generation for all Reef simulations.
+//
+// Every stochastic component in this repository draws from util::Rng seeded
+// with an explicit 64-bit seed, so whole experiments are reproducible
+// byte-for-byte. The generator is xoshiro256** (Blackman & Vigna), seeded
+// via splitmix64 as its authors recommend; it is small, fast, and has no
+// global state.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace reef::util {
+
+/// Advances a splitmix64 state and returns the next 64-bit output.
+/// Used for seeding and for cheap stateless hashing of seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic PRNG (xoshiro256**) with convenience distributions.
+///
+/// Value-semantic: copying an Rng forks the stream (both copies produce the
+/// same subsequent values). Use `fork(tag)` to derive independent
+/// sub-streams for sub-components from one master seed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Constructs a generator from a 64-bit seed. Equal seeds produce equal
+  /// streams on every platform.
+  explicit Rng(std::uint64_t seed = 0x5eedULL) noexcept { reseed(seed); }
+
+  /// Re-initializes the state from `seed`, discarding the current stream.
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derives an independent generator for a sub-component. The derived
+  /// stream depends on both this generator's original seed and `tag`, but
+  /// does not consume numbers from this stream.
+  [[nodiscard]] Rng fork(std::uint64_t tag) const noexcept {
+    std::uint64_t sm = state_[0] ^ (tag * 0x9e3779b97f4a7c15ULL) ^ state_[3];
+    return Rng{splitmix64(sm)};
+  }
+
+  /// UniformRandomBitGenerator interface: next raw 64-bit value.
+  std::uint64_t operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept {
+    const std::uint64_t span = hi - lo;
+    if (span == max()) return (*this)();
+    // Debiased modulo (Lemire-style rejection kept simple and portable).
+    const std::uint64_t bound = span + 1;
+    const std::uint64_t limit = max() - max() % bound;
+    std::uint64_t x = (*this)();
+    while (x >= limit) x = (*this)();
+    return lo + x % bound;
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) noexcept {
+    return static_cast<std::size_t>(uniform_u64(0, n - 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) noexcept { return uniform01() < p; }
+
+  /// Exponentially distributed value with the given rate (mean 1/rate).
+  double exponential(double rate) noexcept {
+    double u = uniform01();
+    while (u <= 0.0) u = uniform01();
+    return -std::log(u) / rate;
+  }
+
+  /// Standard normal via Box–Muller (no cached second value, keeps state
+  /// minimal and deterministic under forking).
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept {
+    double u1 = uniform01();
+    while (u1 <= 0.0) u1 = uniform01();
+    const double u2 = uniform01();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * r * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Poisson-distributed count with the given mean. Uses Knuth's method for
+  /// small means and a normal approximation above 64 (adequate for
+  /// workload generation).
+  std::uint64_t poisson(double mean) noexcept {
+    if (mean <= 0.0) return 0;
+    if (mean > 64.0) {
+      const double v = normal(mean, std::sqrt(mean));
+      return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+    }
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double product = uniform01();
+    while (product > limit) {
+      ++k;
+      product *= uniform01();
+    }
+    return k;
+  }
+
+  /// Geometric number of failures before first success, success prob p.
+  std::uint64_t geometric(double p) noexcept {
+    if (p >= 1.0) return 0;
+    double u = uniform01();
+    while (u <= 0.0) u = uniform01();
+    return static_cast<std::uint64_t>(std::log(u) / std::log(1.0 - p));
+  }
+
+  /// Picks a uniformly random element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) noexcept {
+    return items[index(items.size())];
+  }
+  template <typename T>
+  const T& pick(const std::vector<T>& items) noexcept {
+    return items[index(items.size())];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+/// Samples from a Zipf(s) distribution over ranks {0, .., n-1} using a
+/// precomputed CDF. Rank 0 is the most popular item. Used for site
+/// popularity, term frequencies, and feed update rates.
+class ZipfSampler {
+ public:
+  /// Builds the sampler for `n` ranks with exponent `s` (s=0 is uniform;
+  /// larger s concentrates mass on low ranks). Requires n > 0.
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draws one rank in [0, size()).
+  std::size_t sample(Rng& rng) const noexcept;
+
+  /// Probability mass of a given rank.
+  double pmf(std::size_t rank) const noexcept;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+};
+
+/// Samples from an arbitrary discrete distribution given non-negative
+/// weights (not necessarily normalized).
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(std::span<const double> weights);
+
+  std::size_t sample(Rng& rng) const noexcept;
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace reef::util

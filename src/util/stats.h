@@ -1,0 +1,78 @@
+// Lightweight descriptive statistics used by benches and experiment
+// harnesses (means, percentiles, histograms, counters).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace reef::util {
+
+/// Accumulates samples and reports summary statistics. Samples are kept so
+/// exact percentiles can be computed; intended for experiment-sized data
+/// (millions of points at most).
+class Summary {
+ public:
+  void add(double sample);
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+  double stddev() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+  /// Exact percentile by nearest-rank; q in [0, 100].
+  double percentile(double q) const;
+  double median() const { return percentile(50.0); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge buckets. Useful for latency and inter-arrival plots in benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double sample) noexcept;
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const noexcept { return counts_[i]; }
+  double bucket_lo(std::size_t i) const noexcept;
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Renders an ASCII bar chart (one line per bucket), for bench output.
+  std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Ordered string-keyed counters: the workhorse for experiment tallies
+/// (requests per server class, feeds per site, etc.).
+class Counter {
+ public:
+  void add(const std::string& key, std::uint64_t n = 1) { counts_[key] += n; }
+  std::uint64_t get(const std::string& key) const;
+  std::uint64_t total() const noexcept;
+  std::size_t distinct() const noexcept { return counts_.size(); }
+  const std::map<std::string, std::uint64_t>& items() const noexcept {
+    return counts_;
+  }
+
+  /// Keys sorted by descending count (ties broken by key).
+  std::vector<std::pair<std::string, std::uint64_t>> top(std::size_t k) const;
+
+ private:
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+}  // namespace reef::util

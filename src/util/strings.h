@@ -1,0 +1,38 @@
+// String helpers used throughout Reef (tokenization lives in ir/, these are
+// the generic pieces).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reef::util {
+
+/// ASCII lower-casing (the simulation vocabulary is ASCII by construction).
+std::string to_lower(std::string_view text);
+
+/// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view text, char delim);
+
+/// Splits on any run of whitespace; empty fields are dropped.
+std::vector<std::string_view> split_whitespace(std::string_view text);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text) noexcept;
+
+/// Joins pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+/// True if `text` contains `needle` (case-sensitive).
+inline bool contains(std::string_view text, std::string_view needle) noexcept {
+  return text.find(needle) != std::string_view::npos;
+}
+
+/// Renders a double with fixed precision (no locale surprises).
+std::string format_double(double value, int precision);
+
+/// Renders a count with thousands separators, e.g. 77283 -> "77,283".
+std::string with_commas(std::uint64_t value);
+
+}  // namespace reef::util

@@ -1,0 +1,63 @@
+// A minimal URI type sufficient for the Reef attention pipeline.
+//
+// The attention recorder logs outgoing HTTP request URIs; the parser and
+// ad-classifier key on host names and paths. We implement the subset of
+// RFC 3986 that matters for that pipeline: scheme://host[:port]/path?query.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace reef::util {
+
+/// Parsed, normalized URI. Value type; comparable and hashable.
+class Uri {
+ public:
+  Uri() = default;
+
+  /// Parses a URI string. Returns std::nullopt when the input lacks a
+  /// scheme or host. Scheme and host are lower-cased; an absent path
+  /// normalizes to "/"; default ports (http:80, https:443) are dropped.
+  static std::optional<Uri> parse(std::string_view text);
+
+  /// Builds a URI from parts (already-normalized inputs expected).
+  static Uri from_parts(std::string scheme, std::string host,
+                        std::uint16_t port, std::string path,
+                        std::string query);
+
+  const std::string& scheme() const noexcept { return scheme_; }
+  const std::string& host() const noexcept { return host_; }
+  /// Port (0 means the scheme default was used and elided).
+  std::uint16_t port() const noexcept { return port_; }
+  const std::string& path() const noexcept { return path_; }
+  const std::string& query() const noexcept { return query_; }
+
+  /// The registrable site key used to aggregate clicks per Web server,
+  /// e.g. "news.example.org". (The paper counts "distinct Web servers";
+  /// we use host as that unit.)
+  const std::string& server_key() const noexcept { return host_; }
+
+  /// Canonical textual form.
+  std::string to_string() const;
+
+  friend bool operator==(const Uri& a, const Uri& b) noexcept = default;
+  friend auto operator<=>(const Uri& a, const Uri& b) noexcept = default;
+
+ private:
+  std::string scheme_;
+  std::string host_;
+  std::uint16_t port_ = 0;
+  std::string path_ = "/";
+  std::string query_;
+};
+
+}  // namespace reef::util
+
+template <>
+struct std::hash<reef::util::Uri> {
+  std::size_t operator()(const reef::util::Uri& uri) const noexcept {
+    return std::hash<std::string>{}(uri.to_string());
+  }
+};

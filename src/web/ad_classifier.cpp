@@ -1,0 +1,76 @@
+#include "web/ad_classifier.h"
+
+#include <array>
+
+#include "util/strings.h"
+
+namespace reef::web {
+
+const char* host_flag_name(HostFlag flag) noexcept {
+  switch (flag) {
+    case HostFlag::kUnknown:
+      return "unknown";
+    case HostFlag::kClean:
+      return "clean";
+    case HostFlag::kAd:
+      return "ad";
+    case HostFlag::kSpam:
+      return "spam";
+    case HostFlag::kMultimedia:
+      return "multimedia";
+  }
+  return "?";
+}
+
+HostFlag AdClassifier::classify_host_name(std::string_view host) noexcept {
+  static constexpr std::array<std::string_view, 8> kAdPatterns = {
+      "ads",     "adserv",    "track", "metrics",
+      "banner",  "click",     "pixel-tag", "doubleplus"};
+  static constexpr std::array<std::string_view, 4> kSpamPatterns = {
+      "free-prize", "casino-win", "cheap-deal", "best-offer"};
+  for (const auto pattern : kSpamPatterns) {
+    if (host.find(pattern) != std::string_view::npos) return HostFlag::kSpam;
+  }
+  for (const auto pattern : kAdPatterns) {
+    if (host.find(pattern) != std::string_view::npos) return HostFlag::kAd;
+  }
+  return HostFlag::kUnknown;
+}
+
+HostFlag AdClassifier::flag(std::string_view host) const {
+  const auto it = flags_.find(std::string(host));
+  return it == flags_.end() ? HostFlag::kUnknown : it->second;
+}
+
+void AdClassifier::record(std::string_view host, HostFlag new_flag) {
+  auto [it, inserted] = flags_.emplace(std::string(host), new_flag);
+  if (inserted) return;
+  // Escalate only: clean/unknown can become flagged, never the reverse.
+  if (it->second == HostFlag::kClean || it->second == HostFlag::kUnknown) {
+    it->second = new_flag;
+  }
+}
+
+bool AdClassifier::should_skip(std::string_view host) const {
+  const HostFlag recorded = flag(host);
+  if (recorded == HostFlag::kAd || recorded == HostFlag::kSpam ||
+      recorded == HostFlag::kMultimedia) {
+    return true;
+  }
+  if (recorded == HostFlag::kClean) return false;
+  const HostFlag heuristic = classify_host_name(host);
+  return heuristic == HostFlag::kAd || heuristic == HostFlag::kSpam;
+}
+
+std::size_t AdClassifier::flagged_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [host, flag] : flags_) {
+    if (flag == HostFlag::kAd || flag == HostFlag::kSpam ||
+        flag == HostFlag::kMultimedia) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace reef::web

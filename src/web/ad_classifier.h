@@ -1,0 +1,52 @@
+// Ad/spam/multimedia classification of visited hosts (§3.1).
+//
+// The paper's crawler analyzes fetched pages, "looks for ad servers and
+// spam sites, as well as multimedia, and flags them as such in the
+// database, ensuring they will not be crawled again". We model that as a
+// heuristic host classifier (pattern rules, like public ad-block lists)
+// plus a persistent flag store fed by crawl results; once flagged, a host
+// is never re-crawled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace reef::web {
+
+enum class HostFlag : std::uint8_t {
+  kUnknown,
+  kClean,
+  kAd,
+  kSpam,
+  kMultimedia,
+};
+
+const char* host_flag_name(HostFlag flag) noexcept;
+
+class AdClassifier {
+ public:
+  /// Pure-pattern heuristic on the host name (stateless): returns kAd or
+  /// kSpam when a known pattern matches, kUnknown otherwise.
+  static HostFlag classify_host_name(std::string_view host) noexcept;
+
+  /// Current flag for a host (kUnknown if never seen).
+  HostFlag flag(std::string_view host) const;
+
+  /// Records a flag for a host (crawler feedback). Flags only escalate:
+  /// once ad/spam/multimedia, a host never reverts to clean.
+  void record(std::string_view host, HostFlag flag);
+
+  /// True when the host should be skipped by the crawler (flagged
+  /// ad/spam/multimedia, either by pattern or by record()).
+  bool should_skip(std::string_view host) const;
+
+  std::size_t flagged_count() const noexcept;
+  std::size_t known_count() const noexcept { return flags_.size(); }
+
+ private:
+  std::unordered_map<std::string, HostFlag> flags_;
+};
+
+}  // namespace reef::web

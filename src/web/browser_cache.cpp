@@ -1,0 +1,38 @@
+#include "web/browser_cache.h"
+
+namespace reef::web {
+
+BrowserCache::BrowserCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void BrowserCache::put(const WebPage& page) {
+  const std::string key = page.uri.to_string();
+  if (const auto it = map_.find(key); it != map_.end()) {
+    it->second->page = page;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, page});
+  map_.emplace(key, lru_.begin());
+  if (map_.size() > capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+std::optional<WebPage> BrowserCache::get(const util::Uri& uri) {
+  const auto it = map_.find(uri.to_string());
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->page;
+}
+
+bool BrowserCache::contains(const util::Uri& uri) const {
+  return map_.contains(uri.to_string());
+}
+
+}  // namespace reef::web

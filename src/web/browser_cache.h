@@ -1,0 +1,56 @@
+// Per-user browser cache (§4): in the distributed design "crawling of
+// documents fetched by the user is typically unnecessary as they may be
+// available from the browser's cache. Thus, network load is reduced."
+//
+// LRU cache keyed by URI; the distributed Reef peer consults it before
+// issuing any network fetch, and the hit/miss counters feed the E4
+// centralized-vs-distributed network-load comparison.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "web/web.h"
+
+namespace reef::web {
+
+class BrowserCache {
+ public:
+  /// `capacity` = maximum cached pages (LRU eviction).
+  explicit BrowserCache(std::size_t capacity = 5000);
+
+  /// Records a page the browser just rendered.
+  void put(const WebPage& page);
+
+  /// Cache lookup; refreshes recency on hit.
+  std::optional<WebPage> get(const util::Uri& uri);
+
+  bool contains(const util::Uri& uri) const;
+
+  std::size_t size() const noexcept { return map_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  double hit_rate() const noexcept {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) /
+                                  static_cast<double>(total);
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    WebPage page;
+  };
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace reef::web

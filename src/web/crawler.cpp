@@ -1,0 +1,70 @@
+#include "web/crawler.h"
+
+namespace reef::web {
+
+Crawler::Crawler(const SyntheticWeb& web) : web_(web) {}
+
+CrawlResult Crawler::crawl(const util::Uri& uri) {
+  CrawlResult result;
+  result.uri = uri;
+  ++stats_.requested;
+
+  if (classifier_.should_skip(uri.host())) {
+    result.host_flag = classifier_.flag(uri.host());
+    if (result.host_flag == HostFlag::kUnknown) {
+      result.host_flag = AdClassifier::classify_host_name(uri.host());
+    }
+    ++stats_.skipped_flagged;
+    return result;
+  }
+  if (!crawled_.insert(uri.to_string()).second) {
+    ++stats_.skipped_duplicate;
+    result.duplicate = true;
+    result.host_flag = classifier_.flag(uri.host());
+    return result;
+  }
+
+  const auto page = web_.fetch(uri);
+  if (!page) {
+    ++stats_.unknown_host;
+    return result;
+  }
+  result.fetched = true;
+  result.bytes = page->bytes;
+  ++stats_.fetched;
+  stats_.bytes_fetched += page->bytes;
+
+  // Classify from the fetched page (ground truth is visible to the crawler
+  // the same way a human-built rule set would see it: by site behaviour).
+  switch (page->site->kind) {
+    case SiteKind::kAd:
+      result.host_flag = HostFlag::kAd;
+      break;
+    case SiteKind::kSpam:
+      result.host_flag = HostFlag::kSpam;
+      break;
+    case SiteKind::kContent:
+      result.host_flag =
+          page->site->multimedia ? HostFlag::kMultimedia : HostFlag::kClean;
+      break;
+  }
+  classifier_.record(uri.host(), result.host_flag);
+
+  if (result.host_flag == HostFlag::kClean ||
+      result.host_flag == HostFlag::kMultimedia) {
+    result.feed_urls = page->feed_links;
+    stats_.feeds_found += page->feed_links.size();
+    result.terms = page->terms;
+  }
+  return result;
+}
+
+std::vector<CrawlResult> Crawler::crawl_batch(
+    const std::vector<util::Uri>& uris) {
+  std::vector<CrawlResult> results;
+  results.reserve(uris.size());
+  for (const auto& uri : uris) results.push_back(crawl(uri));
+  return results;
+}
+
+}  // namespace reef::web

@@ -1,0 +1,60 @@
+// The Reef server's crawler (§3.1): retrieves pages the users visited,
+// classifies hosts (ad / spam / multimedia), extracts feed autodiscovery
+// links and page keywords, and never re-crawls flagged hosts or
+// already-crawled URIs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "web/ad_classifier.h"
+#include "web/web.h"
+
+namespace reef::web {
+
+/// Outcome of crawling one URI.
+struct CrawlResult {
+  util::Uri uri;
+  HostFlag host_flag = HostFlag::kUnknown;
+  bool fetched = false;            ///< false when skipped or unknown host
+  bool duplicate = false;          ///< true when the URI was crawled before
+  bool from_cache = false;         ///< true when served by a BrowserCache
+  std::vector<std::string> feed_urls;   ///< autodiscovery links found
+  std::vector<std::string> terms;       ///< analyzed page terms
+  std::size_t bytes = 0;           ///< network bytes this crawl cost
+};
+
+class Crawler {
+ public:
+  struct Stats {
+    std::uint64_t requested = 0;     ///< URIs submitted
+    std::uint64_t fetched = 0;       ///< pages actually retrieved
+    std::uint64_t skipped_flagged = 0;
+    std::uint64_t skipped_duplicate = 0;
+    std::uint64_t unknown_host = 0;
+    std::uint64_t bytes_fetched = 0;
+    std::uint64_t feeds_found = 0;   ///< non-distinct autodiscovery hits
+  };
+
+  explicit Crawler(const SyntheticWeb& web);
+
+  /// Crawls one URI, honoring the flag store and the crawled-set. The
+  /// classifier is shared state: flagging feeds back into future skips.
+  CrawlResult crawl(const util::Uri& uri);
+
+  /// Batch convenience (the Reef server crawls click batches).
+  std::vector<CrawlResult> crawl_batch(const std::vector<util::Uri>& uris);
+
+  const AdClassifier& classifier() const noexcept { return classifier_; }
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  const SyntheticWeb& web_;
+  AdClassifier classifier_;
+  std::unordered_set<std::string> crawled_;
+  Stats stats_;
+};
+
+}  // namespace reef::web

@@ -1,0 +1,165 @@
+#include "web/topic_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace reef::web {
+
+namespace {
+// Syllable inventory for pronounceable, stem-stable synthetic words.
+// All syllables are consonant+vowel(+consonant) so Porter stemming leaves
+// the generated words untouched in practice.
+constexpr const char* kOnsets[] = {"b",  "d",  "f",  "g",  "k",  "l",
+                                   "m",  "n",  "p",  "r",  "s",  "t",
+                                   "v",  "z",  "br", "dr", "gr", "kr",
+                                   "pl", "st", "tr", "sk"};
+constexpr const char* kNuclei[] = {"a", "e", "i", "o", "u", "ai", "ou", "ea"};
+constexpr const char* kCodas[] = {"",  "n", "m", "r", "l",
+                                  "k", "t", "x", "th"};
+}  // namespace
+
+Vocabulary::Vocabulary(std::size_t size, std::uint64_t seed) {
+  words_.reserve(size);
+  util::Rng rng(seed);
+  std::unordered_set<std::string> seen;
+  // Deterministic generation with rejection of duplicates and of words that
+  // collide with stopwords.
+  while (words_.size() < size) {
+    std::string word;
+    const std::size_t syllables = 2 + rng.index(2);  // 2-3 syllables
+    for (std::size_t s = 0; s < syllables; ++s) {
+      word += kOnsets[rng.index(std::size(kOnsets))];
+      word += kNuclei[rng.index(std::size(kNuclei))];
+      if (s + 1 == syllables) word += kCodas[rng.index(std::size(kCodas))];
+    }
+    if (!seen.insert(word).second) continue;
+    words_.push_back(std::move(word));
+  }
+}
+
+double TopicMixture::similarity(const TopicMixture& a, const TopicMixture& b) {
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (const auto& [topic_a, weight_a] : a.components) {
+    na += weight_a * weight_a;
+    for (const auto& [topic_b, weight_b] : b.components) {
+      if (topic_a == topic_b) dot += weight_a * weight_b;
+    }
+  }
+  for (const auto& [topic_b, weight_b] : b.components) nb += weight_b * weight_b;
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+TopicModel::TopicModel() : TopicModel(Config{}) {}
+
+TopicModel::TopicModel(Config config)
+    : config_(config),
+      vocab_(config.vocabulary_size, config.seed ^ 0x5a5a5a5a),
+      topic_word_sampler_(config.words_per_topic, config.topic_zipf),
+      background_sampler_(config.vocabulary_size, config.background_zipf) {
+  if (config_.words_per_topic > config_.vocabulary_size) {
+    throw std::invalid_argument("words_per_topic exceeds vocabulary");
+  }
+  util::Rng rng(config.seed);
+
+  // Background order: fixed permutation so that background popularity is
+  // unrelated to word index (and thus to topic membership).
+  background_order_.resize(config_.vocabulary_size);
+  std::iota(background_order_.begin(), background_order_.end(), 0u);
+  rng.shuffle(background_order_);
+
+  // Each topic samples its core words without replacement from the whole
+  // vocabulary; overlap between topics arises naturally by collision.
+  topic_words_.resize(config_.topic_count);
+  for (auto& words : topic_words_) {
+    std::vector<std::uint32_t> all(config_.vocabulary_size);
+    std::iota(all.begin(), all.end(), 0u);
+    // Partial Fisher-Yates: take the first words_per_topic of a shuffle.
+    for (std::size_t i = 0; i < config_.words_per_topic; ++i) {
+      const std::size_t j = i + rng.index(all.size() - i);
+      std::swap(all[i], all[j]);
+    }
+    words.assign(all.begin(),
+                 all.begin() + static_cast<std::ptrdiff_t>(
+                                   config_.words_per_topic));
+  }
+}
+
+const std::string& TopicModel::sample_topic_word(TopicId topic,
+                                                 util::Rng& rng) const {
+  const auto& words = topic_words_.at(topic);
+  return vocab_.word(words[topic_word_sampler_.sample(rng)]);
+}
+
+const std::string& TopicModel::sample_background_word(util::Rng& rng) const {
+  return vocab_.word(background_order_[background_sampler_.sample(rng)]);
+}
+
+std::vector<std::string> TopicModel::generate_terms(
+    const TopicMixture& mixture, std::size_t length,
+    double background_fraction, util::Rng& rng) const {
+  std::vector<std::string> terms;
+  terms.reserve(length);
+  std::vector<double> weights;
+  weights.reserve(mixture.components.size());
+  for (const auto& [topic, weight] : mixture.components) {
+    weights.push_back(weight);
+  }
+  const bool has_topics = !weights.empty();
+  const util::DiscreteSampler component_sampler =
+      has_topics ? util::DiscreteSampler(weights)
+                 : util::DiscreteSampler(std::vector<double>{1.0});
+  for (std::size_t i = 0; i < length; ++i) {
+    if (!has_topics || rng.chance(background_fraction)) {
+      terms.push_back(sample_background_word(rng));
+    } else {
+      const std::size_t component = component_sampler.sample(rng);
+      terms.push_back(
+          sample_topic_word(mixture.components[component].first, rng));
+    }
+  }
+  return terms;
+}
+
+TopicMixture TopicModel::random_mixture(std::size_t k, util::Rng& rng,
+                                        double decay) const {
+  k = std::min(k, topic_count());
+  TopicMixture mixture;
+  std::vector<bool> used(topic_count(), false);
+  double total = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    TopicId topic = 0;
+    do {
+      topic = static_cast<TopicId>(rng.index(topic_count()));
+    } while (used[topic]);
+    used[topic] = true;
+    // Exponentially decaying weights give one dominant interest plus minor
+    // ones, matching how the paper describes diverse user interests.
+    const double weight = std::pow(decay, static_cast<double>(i)) *
+                          (0.75 + 0.5 * rng.uniform01());
+    mixture.components.emplace_back(topic, weight);
+    total += weight;
+  }
+  for (auto& [topic, weight] : mixture.components) weight /= total;
+  std::sort(mixture.components.begin(), mixture.components.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return mixture;
+}
+
+std::vector<std::string> TopicModel::topic_core(TopicId topic,
+                                                std::size_t top_n) const {
+  const auto& words = topic_words_.at(topic);
+  std::vector<std::string> out;
+  const std::size_t n = std::min(top_n, words.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(vocab_.word(words[i]));
+  return out;
+}
+
+}  // namespace reef::web

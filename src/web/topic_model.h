@@ -1,0 +1,103 @@
+// Synthetic language model for the Web/video simulation.
+//
+// The paper's content experiments run over real Web pages and broadcast-
+// news transcripts, which we do not have offline. We substitute a topic
+// model: a deterministic vocabulary of pronounceable synthetic words, a
+// set of topics (each a Zipf distribution over its own word subset plus
+// overlap), and a background distribution. Pages and video stories draw
+// their text from a topic mixture plus background noise — exactly the
+// structure (topical core + common-language noise) that drives the term-
+// selection and BM25 behaviour measured in §3.3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace reef::web {
+
+/// Deterministic synthetic vocabulary: word(i) is stable across runs and
+/// platforms and tokenizes/stems to itself (lower-case letters only).
+class Vocabulary {
+ public:
+  explicit Vocabulary(std::size_t size, std::uint64_t seed = 0x90cab);
+
+  std::size_t size() const noexcept { return words_.size(); }
+  const std::string& word(std::size_t i) const { return words_.at(i); }
+  const std::vector<std::string>& words() const noexcept { return words_; }
+
+ private:
+  std::vector<std::string> words_;
+};
+
+/// Identifier of a topic within a TopicModel.
+using TopicId = std::uint32_t;
+
+/// A sparse topic mixture: (topic, weight) pairs, weights summing to ~1.
+struct TopicMixture {
+  std::vector<std::pair<TopicId, double>> components;
+
+  /// Cosine-style similarity of two sparse mixtures in topic space.
+  static double similarity(const TopicMixture& a, const TopicMixture& b);
+};
+
+/// K topics over a shared vocabulary. Each topic owns a "core" block of
+/// words (Zipf-weighted) plus samples from the global background; text
+/// generation mixes topic draws with background noise.
+class TopicModel {
+ public:
+  struct Config {
+    std::size_t vocabulary_size = 8000;
+    std::size_t topic_count = 50;
+    std::size_t words_per_topic = 150;
+    /// Zipf exponent for within-topic word popularity.
+    double topic_zipf = 1.25;
+    /// Zipf exponent for the background (general-language) distribution.
+    double background_zipf = 1.0;
+    std::uint64_t seed = 0x70b1c;
+  };
+
+  TopicModel();
+  explicit TopicModel(Config config);
+
+  std::size_t topic_count() const noexcept { return topic_words_.size(); }
+  const Vocabulary& vocabulary() const noexcept { return vocab_; }
+
+  /// Draws one word from a topic's distribution.
+  const std::string& sample_topic_word(TopicId topic, util::Rng& rng) const;
+
+  /// Draws one word from the background distribution.
+  const std::string& sample_background_word(util::Rng& rng) const;
+
+  /// Generates `length` terms: with probability `background_fraction` a
+  /// background word, otherwise a word from a mixture component chosen by
+  /// weight. Returns space-joined text (feed it to ir::analyze or use the
+  /// terms directly).
+  std::vector<std::string> generate_terms(const TopicMixture& mixture,
+                                          std::size_t length,
+                                          double background_fraction,
+                                          util::Rng& rng) const;
+
+  /// Draws a random sparse mixture with `k` components (weights normalized,
+  /// descending). `decay` sets how fast component weights fall off: small
+  /// values give one dominant topic, values near 1 give balanced interests.
+  TopicMixture random_mixture(std::size_t k, util::Rng& rng,
+                              double decay = 0.55) const;
+
+  /// The `top_n` most probable core words of a topic (for tests/debug).
+  std::vector<std::string> topic_core(TopicId topic, std::size_t top_n) const;
+
+ private:
+  Config config_;
+  Vocabulary vocab_;
+  /// topic -> word indices (rank order: index 0 is the most likely word)
+  std::vector<std::vector<std::uint32_t>> topic_words_;
+  util::ZipfSampler topic_word_sampler_;
+  util::ZipfSampler background_sampler_;
+  /// background rank -> word index (a fixed permutation)
+  std::vector<std::uint32_t> background_order_;
+};
+
+}  // namespace reef::web

@@ -1,0 +1,169 @@
+#include "web/web.h"
+
+#include <cassert>
+
+#include "util/hash.h"
+
+namespace reef::web {
+
+const char* site_kind_name(SiteKind kind) noexcept {
+  switch (kind) {
+    case SiteKind::kContent:
+      return "content";
+    case SiteKind::kAd:
+      return "ad";
+    case SiteKind::kSpam:
+      return "spam";
+  }
+  return "?";
+}
+
+namespace {
+
+// Host-name fragments. Content hosts look like "daily-copper.example.org";
+// ad hosts deliberately carry the tell-tale substrings real ad/tracking
+// networks use, which the heuristic side of the AdClassifier keys on.
+constexpr const char* kContentWords[] = {
+    "daily",  "copper", "north",  "harbor", "pixel",  "river", "summit",
+    "cedar",  "falcon", "lumen",  "quartz", "ember",  "atlas", "breeze",
+    "violet", "marble", "meadow", "comet",  "signal", "fjord", "tundra",
+    "aurora", "bright", "canyon", "delta",  "ridge",  "polar", "sable"};
+constexpr const char* kContentTlds[] = {"example.org", "example.com",
+                                        "example.net", "example.no"};
+constexpr const char* kAdPatterns[] = {"ads",     "adserv", "track",
+                                       "metrics", "banner", "click",
+                                       "pixel-tag", "doubleplus"};
+constexpr const char* kSpamPatterns[] = {"free-prize", "casino-win",
+                                         "cheap-deal", "best-offer"};
+
+std::string make_content_host(std::uint32_t index, util::Rng& rng) {
+  std::string host;
+  host += kContentWords[rng.index(std::size(kContentWords))];
+  host += '-';
+  host += kContentWords[rng.index(std::size(kContentWords))];
+  host += std::to_string(index);
+  host += '.';
+  host += kContentTlds[rng.index(std::size(kContentTlds))];
+  return host;
+}
+
+std::string make_ad_host(std::uint32_t index, util::Rng& rng) {
+  std::string host;
+  host += kAdPatterns[rng.index(std::size(kAdPatterns))];
+  host += std::to_string(index);
+  host += ".example-net.com";
+  return host;
+}
+
+std::string make_spam_host(std::uint32_t index, util::Rng& rng) {
+  std::string host;
+  host += kSpamPatterns[rng.index(std::size(kSpamPatterns))];
+  host += std::to_string(index);
+  host += ".example-biz.com";
+  return host;
+}
+
+}  // namespace
+
+SyntheticWeb::SyntheticWeb(const TopicModel& topics, Config config)
+    : topics_(topics), config_(config) {
+  build_sites(config);
+}
+
+void SyntheticWeb::build_sites(Config config) {
+  util::Rng rng(config.seed);
+  sites_.reserve(config.content_sites + config.ad_sites + config.spam_sites);
+
+  for (std::size_t i = 0; i < config.content_sites; ++i) {
+    Site site;
+    site.index = static_cast<std::uint32_t>(sites_.size());
+    site.host = make_content_host(site.index, rng);
+    site.kind = SiteKind::kContent;
+    const std::size_t topic_k = 1 + rng.index(config.max_topics_per_site);
+    site.topics = topics_.random_mixture(topic_k, rng);
+    site.multimedia = rng.chance(config.multimedia_fraction);
+    if (rng.chance(config.feed_site_fraction)) {
+      // Geometric-ish count with the configured mean, clamped to [1, 3].
+      std::size_t feeds = 1;
+      while (feeds < 3 &&
+             rng.chance((config.mean_feeds_per_site - 1.0) / 2.0)) {
+        ++feeds;
+      }
+      static constexpr const char* kFeedNames[] = {"index", "news",
+                                                   "comments"};
+      for (std::size_t f = 0; f < feeds; ++f) {
+        site.feed_urls.push_back("http://" + site.host + "/feeds/" +
+                                 kFeedNames[f] + ".rss");
+      }
+      total_feeds_ += feeds;
+    }
+    content_indices_.push_back(site.index);
+    by_host_.emplace(site.host, site.index);
+    sites_.push_back(std::move(site));
+    ++content_count_;
+  }
+
+  for (std::size_t i = 0; i < config.ad_sites; ++i) {
+    Site site;
+    site.index = static_cast<std::uint32_t>(sites_.size());
+    site.host = make_ad_host(site.index, rng);
+    site.kind = SiteKind::kAd;
+    ad_indices_.push_back(site.index);
+    by_host_.emplace(site.host, site.index);
+    sites_.push_back(std::move(site));
+    ++ad_count_;
+  }
+
+  for (std::size_t i = 0; i < config.spam_sites; ++i) {
+    Site site;
+    site.index = static_cast<std::uint32_t>(sites_.size());
+    site.host = make_spam_host(site.index, rng);
+    site.kind = SiteKind::kSpam;
+    by_host_.emplace(site.host, site.index);
+    sites_.push_back(std::move(site));
+  }
+}
+
+const Site* SyntheticWeb::find_site(std::string_view host) const {
+  const auto it = by_host_.find(std::string(host));
+  return it == by_host_.end() ? nullptr : &sites_[it->second];
+}
+
+util::Uri SyntheticWeb::page_uri(const Site& site,
+                                 std::uint64_t page_number) const {
+  return util::Uri::from_parts("http", site.host, 0,
+                               "/page/" + std::to_string(page_number), "");
+}
+
+std::optional<WebPage> SyntheticWeb::fetch(const util::Uri& uri) const {
+  const Site* site = find_site(uri.host());
+  if (site == nullptr) return std::nullopt;
+
+  WebPage page;
+  page.uri = uri;
+  page.site = site;
+
+  // Deterministic per-page stream: content depends only on the URI.
+  util::Rng rng(util::fnv1a64(uri.to_string()) ^ config_.seed);
+
+  if (site->kind != SiteKind::kContent) {
+    // Ad and spam responses are tiny and content-free.
+    page.bytes = 200 + rng.index(800);
+    return page;
+  }
+  if (site->multimedia) {
+    page.bytes = 100'000 + rng.index(900'000);
+    page.feed_links = site->feed_urls;
+    return page;  // no text terms: flagged as multimedia, not indexed
+  }
+  const std::size_t length =
+      config_.page_length_min +
+      rng.index(config_.page_length_max - config_.page_length_min + 1);
+  page.terms = topics_.generate_terms(site->topics, length,
+                                      config_.page_background_fraction, rng);
+  page.feed_links = site->feed_urls;
+  page.bytes = 2'000 + 8 * length + rng.index(4'000);
+  return page;
+}
+
+}  // namespace reef::web

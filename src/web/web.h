@@ -1,0 +1,117 @@
+// The synthetic Web: sites, pages, and deterministic page generation.
+//
+// Sites come in three kinds — content, ad, and spam — matching the classes
+// the paper's crawler distinguishes (§3.1: "It looks for ad servers and
+// spam sites, as well as multimedia, and flags them"). Content sites carry
+// a topic mixture and may expose Web feeds via autodiscovery links on
+// every page. Page text is generated deterministically from the page URI,
+// so the centralized crawler and a user's browser cache observe identical
+// content.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/uri.h"
+#include "web/topic_model.h"
+
+namespace reef::web {
+
+enum class SiteKind : std::uint8_t { kContent, kAd, kSpam };
+
+const char* site_kind_name(SiteKind kind) noexcept;
+
+/// Static description of one Web server.
+struct Site {
+  std::uint32_t index = 0;
+  std::string host;
+  SiteKind kind = SiteKind::kContent;
+  TopicMixture topics;           ///< empty for ad/spam sites
+  std::vector<std::string> feed_urls;  ///< advertised via autodiscovery
+  /// True if the site mainly serves multimedia (flagged, not crawled for
+  /// text). Only content sites can be multimedia.
+  bool multimedia = false;
+};
+
+/// A materialized page: text terms plus autodiscovery feed links plus
+/// outbound ad requests a browser would trigger when rendering it.
+struct WebPage {
+  util::Uri uri;
+  const Site* site = nullptr;
+  std::vector<std::string> terms;       ///< analyzed content terms
+  std::vector<std::string> feed_links;  ///< feed URLs discoverable here
+  std::size_t bytes = 0;                ///< simulated transfer size
+};
+
+/// Generator + registry for the simulated Web.
+class SyntheticWeb {
+ public:
+  struct Config {
+    std::size_t content_sites = 4200;
+    std::size_t ad_sites = 2200;
+    std::size_t spam_sites = 150;
+    /// Fraction of content sites that expose at least one feed.
+    double feed_site_fraction = 0.385;
+    /// Among feed-bearing sites: expected feeds per site (1..3).
+    double mean_feeds_per_site = 1.35;
+    /// Fraction of content sites that are multimedia-heavy.
+    double multimedia_fraction = 0.04;
+    /// Topics mixed into each content site (1..k).
+    std::size_t max_topics_per_site = 3;
+    std::size_t page_length_min = 120;
+    std::size_t page_length_max = 420;
+    /// Fraction of page terms drawn from the background distribution.
+    double page_background_fraction = 0.45;
+    std::uint64_t seed = 0x3eb517e5;
+  };
+
+  SyntheticWeb(const TopicModel& topics, Config config);
+
+  const TopicModel& topic_model() const noexcept { return topics_; }
+
+  std::size_t site_count() const noexcept { return sites_.size(); }
+  std::size_t content_site_count() const noexcept { return content_count_; }
+  std::size_t ad_site_count() const noexcept { return ad_count_; }
+
+  const Site& site(std::size_t index) const { return sites_.at(index); }
+  /// Lookup by host; nullptr when unknown.
+  const Site* find_site(std::string_view host) const;
+
+  /// Indices of all content sites (for workload generation).
+  const std::vector<std::uint32_t>& content_sites() const noexcept {
+    return content_indices_;
+  }
+  const std::vector<std::uint32_t>& ad_sites() const noexcept {
+    return ad_indices_;
+  }
+
+  /// Deterministically materializes the page at `uri` (same URI -> same
+  /// page forever). Unknown host returns nullopt.
+  std::optional<WebPage> fetch(const util::Uri& uri) const;
+
+  /// A browsable URI on the given site (path chosen by `page_number`).
+  util::Uri page_uri(const Site& site, std::uint64_t page_number) const;
+
+  /// Total number of distinct feeds across all sites.
+  std::size_t total_feeds() const noexcept { return total_feeds_; }
+
+ private:
+  void build_sites(Config config);
+
+  const TopicModel& topics_;
+  Config config_;
+  std::vector<Site> sites_;
+  std::vector<std::uint32_t> content_indices_;
+  std::vector<std::uint32_t> ad_indices_;
+  std::unordered_map<std::string, std::uint32_t> by_host_;
+  std::size_t content_count_ = 0;
+  std::size_t ad_count_ = 0;
+  std::size_t total_feeds_ = 0;
+};
+
+}  // namespace reef::web

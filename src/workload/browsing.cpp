@@ -1,0 +1,141 @@
+#include "workload/browsing.h"
+
+#include <algorithm>
+
+namespace reef::workload {
+
+BrowsingGenerator::BrowsingGenerator(const web::SyntheticWeb& web,
+                                     Config config)
+    : web_(web),
+      config_(config),
+      favorite_sampler_(std::max<std::size_t>(config.favorites_per_user, 1),
+                        config.favorite_zipf),
+      ad_sampler_(std::max<std::size_t>(web.ad_sites().size(), 1),
+                  config.ad_zipf),
+      rng_(config.seed) {
+  users_.reserve(config.users);
+  for (std::size_t u = 0; u < config.users; ++u) {
+    util::Rng user_rng = rng_.fork(0x1000 + u);
+    users_.push_back(make_user_profile(static_cast<attention::UserId>(u),
+                                       web_, config.favorites_per_user,
+                                       user_rng));
+  }
+}
+
+util::Uri BrowsingGenerator::content_visit_uri(const web::Site& site,
+                                               util::Rng& rng) const {
+  // Users revisit a small rotating pool of pages per site, weighted toward
+  // the front page (geometric), so URI-level revisits occur (cache hits,
+  // crawler dedup).
+  const std::uint64_t page =
+      std::min<std::uint64_t>(rng.geometric(0.25), config_.pages_per_site - 1);
+  return web_.page_uri(site, page);
+}
+
+void BrowsingGenerator::append_session(const UserProfile& user,
+                                       sim::Time start, util::Rng& rng,
+                                       bool with_ads,
+                                       std::vector<Visit>& out) {
+  const std::size_t clicks =
+      1 + rng.geometric(1.0 / std::max(config_.clicks_per_session_mean, 1.0));
+  sim::Time at = start;
+  const auto emit_content_click = [&](const web::Site& site) {
+    out.push_back(Visit{user.id, content_visit_uri(site, rng), at, false});
+    if (with_ads) {
+      // Rendering the page triggers ad requests against Zipf-popular ad
+      // networks; each impression URI is unique (never deduped).
+      const std::uint64_t ads = rng.poisson(config_.ads_per_content_click);
+      for (std::uint64_t a = 0; a < ads; ++a) {
+        const auto& ad_sites = web_.ad_sites();
+        const web::Site& ad_site =
+            web_.site(ad_sites[ad_sampler_.sample(rng)]);
+        util::Uri ad_uri = util::Uri::from_parts(
+            "http", ad_site.host, 0,
+            "/imp/" + std::to_string(rng.uniform_u64(0, 1'000'000'000)), "");
+        out.push_back(Visit{user.id, std::move(ad_uri),
+                            at + static_cast<sim::Time>(a + 1) * 50 *
+                                     sim::kMillisecond,
+                            true});
+      }
+    }
+    // Dwell time between content clicks: 10-120 s.
+    at += 10 * sim::kSecond +
+          static_cast<sim::Time>(rng.uniform01() * 110.0 *
+                                 static_cast<double>(sim::kSecond));
+  };
+
+  const web::Site* current = nullptr;
+  for (std::size_t c = 0; c < clicks; ++c) {
+    // Choose the site: stay, explore, or pick a favorite. Exploration is a
+    // one-page bounce: random long-tail sites do not get session locality
+    // (this is what produces the paper's large visited-once population).
+    if (current == nullptr || !rng.chance(config_.site_locality)) {
+      if (rng.chance(config_.explore_probability)) {
+        const auto& all = web_.content_sites();
+        emit_content_click(web_.site(all[rng.index(all.size())]));
+        current = nullptr;
+        continue;
+      }
+      const std::size_t rank = favorite_sampler_.sample(rng);
+      current = &web_.site(
+          user.favorite_sites[std::min(rank,
+                                       user.favorite_sites.size() - 1)]);
+    }
+    emit_content_click(*current);
+  }
+}
+
+std::vector<Visit> BrowsingGenerator::generate_trace() {
+  std::vector<Visit> trace;
+  const auto total_days = static_cast<std::size_t>(config_.days);
+  for (const UserProfile& user : users_) {
+    util::Rng rng = rng_.fork(0x2000 + user.id);
+    for (std::size_t day = 0; day < total_days; ++day) {
+      const std::uint64_t sessions = rng.poisson(config_.sessions_per_day);
+      for (std::uint64_t s = 0; s < sessions; ++s) {
+        // Sessions land in a 16-hour waking window.
+        const sim::Time start =
+            static_cast<sim::Time>(day) * sim::kDay + 6 * sim::kHour +
+            static_cast<sim::Time>(rng.uniform01() * 16.0 *
+                                   static_cast<double>(sim::kHour));
+        append_session(user, start, rng, /*with_ads=*/true, trace);
+      }
+    }
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const Visit& a, const Visit& b) { return a.at < b.at; });
+  return trace;
+}
+
+std::vector<Visit> BrowsingGenerator::generate_single_user_trace(
+    std::size_t content_pages, double days, bool with_ads) {
+  std::vector<Visit> trace;
+  const UserProfile& user = users_.front();
+  util::Rng rng = rng_.fork(0x3000);
+  std::size_t content_emitted = 0;
+  std::size_t day = 0;
+  const auto total_days = static_cast<std::size_t>(days);
+  while (content_emitted < content_pages) {
+    const sim::Time start =
+        static_cast<sim::Time>(day % std::max<std::size_t>(total_days, 1)) *
+            sim::kDay +
+        6 * sim::kHour +
+        static_cast<sim::Time>(rng.uniform01() * 16.0 *
+                               static_cast<double>(sim::kHour));
+    std::vector<Visit> session;
+    append_session(user, start, rng, with_ads, session);
+    for (auto& visit : session) {
+      if (!visit.is_ad) {
+        if (content_emitted >= content_pages) break;
+        ++content_emitted;
+      }
+      trace.push_back(std::move(visit));
+    }
+    ++day;
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const Visit& a, const Visit& b) { return a.at < b.at; });
+  return trace;
+}
+
+}  // namespace reef::workload

@@ -1,0 +1,85 @@
+// Browsing-trace generation, calibrated to the §3.2 statistics.
+//
+// The model: each user runs several sessions per day; a session is a burst
+// of content-page visits with site locality (most clicks stay on the
+// current site). A visit goes to a favorite site (Zipf over the user's
+// affinity-ranked favorites) or, with a small probability, explores a
+// uniformly random long-tail site (these produce the once-visited server
+// population). Rendering a content page triggers a Poisson number of ad
+// requests against a Zipf-popular ad-server universe — that is where the
+// paper's "70% of requests were to advertisement servers" comes from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attention/click.h"
+#include "util/rng.h"
+#include "web/web.h"
+#include "workload/user_profile.h"
+
+namespace reef::workload {
+
+/// One generated browser request.
+struct Visit {
+  attention::UserId user = 0;
+  util::Uri uri;
+  sim::Time at = 0;
+  bool is_ad = false;
+};
+
+class BrowsingGenerator {
+ public:
+  struct Config {
+    std::size_t users = 5;
+    double days = 70.0;
+    /// Sessions per user-day (Poisson).
+    double sessions_per_day = 6.3;
+    /// Content clicks per session: 1 + geometric(mean-1).
+    double clicks_per_session_mean = 11.0;
+    /// Ad requests triggered per content page (Poisson).
+    double ads_per_content_click = 2.33;
+    /// Probability a click leaves the favorites for a random tail site.
+    double explore_probability = 0.11;
+    /// Probability the next click stays on the current site.
+    double site_locality = 0.60;
+    std::size_t favorites_per_user = 170;
+    /// Zipf exponent over the favorite ranking.
+    double favorite_zipf = 0.95;
+    /// Zipf exponent over ad-server popularity.
+    double ad_zipf = 1.32;
+    /// Pages a user rotates through on one site.
+    std::size_t pages_per_site = 30;
+    std::uint64_t seed = 0xb20053;
+  };
+
+  BrowsingGenerator(const web::SyntheticWeb& web, Config config);
+
+  const std::vector<UserProfile>& users() const noexcept { return users_; }
+  const Config& config() const noexcept { return config_; }
+
+  /// Generates the full multi-user trace, sorted by timestamp.
+  std::vector<Visit> generate_trace();
+
+  /// Generates a single-user trace with an exact number of content pages
+  /// (the §3.3 workload: one user, >10,000 pages, six weeks). Ad requests
+  /// are omitted (the content pipeline ignores them anyway) unless
+  /// `with_ads` is set.
+  std::vector<Visit> generate_single_user_trace(std::size_t content_pages,
+                                                double days, bool with_ads);
+
+ private:
+  util::Uri content_visit_uri(const web::Site& site, util::Rng& rng) const;
+  void append_session(const UserProfile& user, sim::Time start,
+                      util::Rng& rng, bool with_ads,
+                      std::vector<Visit>& out);
+
+  const web::SyntheticWeb& web_;
+  Config config_;
+  std::vector<UserProfile> users_;
+  util::ZipfSampler favorite_sampler_;
+  util::ZipfSampler ad_sampler_;
+  util::Rng rng_;
+};
+
+}  // namespace reef::workload

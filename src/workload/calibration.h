@@ -1,0 +1,51 @@
+// Calibration targets for the §3.2 experiment (E1/E3).
+//
+// The paper reports, for 5 users over 10 weeks:
+//   * >77,000 requests
+//   * 2,528 distinct Web servers          (stated total)
+//   * 70% of requests to 1,713 ad servers
+//   * 807 servers visited only once
+//   * 906 "remaining" servers, carrying 424 distinct RSS feeds
+//   * ~1 new feed recommendation per user per day (§6)
+//
+// NOTE ON CONSISTENCY: the paper's own server counts do not add up —
+// 1,713 (ads) + 807 (once) + 906 (remaining) = 3,426 ≠ 2,528. No disjoint
+// or overlapping reading reconciles them (ads alone exceed total minus
+// remaining). We therefore calibrate the generator to the *breakdown*
+// (the numbers the discovery pipeline actually consumes: ad share, ad
+// server count, once-visited count, remaining count, feed count) and
+// report the derived total alongside the paper's stated 2,528. See
+// EXPERIMENTS.md for the discussion.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace reef::workload {
+
+struct PaperTargets {
+  std::uint64_t total_requests = 77'000;  // ">77000": lower bound
+  std::size_t stated_distinct_servers = 2'528;
+  double ad_request_fraction = 0.70;
+  std::size_t ad_servers = 1'713;
+  std::size_t visited_once = 807;
+  std::size_t remaining_servers = 906;
+  std::size_t feeds_found = 424;
+  double recommendations_per_user_day = 1.0;
+  std::size_t users = 5;
+  double days = 70.0;
+};
+
+/// §3.3 targets: one user, six weeks, >10,000 pages; 500 video stories;
+/// precision improvement +12% at N=5 terms, peaking at +34% at N=30, and
+/// positive for every N in [5, 500].
+struct ContentTargets {
+  std::size_t pages = 10'000;
+  double days = 42.0;
+  std::size_t stories = 500;
+  double improvement_at_5 = 0.12;
+  double improvement_at_30 = 0.34;
+  std::size_t optimal_terms = 30;
+};
+
+}  // namespace reef::workload

@@ -1,0 +1,162 @@
+#include "workload/driver.h"
+
+#include <algorithm>
+
+namespace reef::workload {
+
+ReefExperiment::ReefExperiment(Config config)
+    : config_(config), behavior_rng_(config.seed ^ 0xbe4a) {
+  build();
+}
+
+ReefExperiment::~ReefExperiment() = default;
+
+void ReefExperiment::build() {
+  // Derive component seeds from the master seed so one knob reseeds all.
+  config_.topics.seed = config_.seed ^ 0x7091c;
+  config_.web.seed = config_.seed ^ 0x3eb;
+  config_.feeds.seed = config_.seed ^ 0xfeed;
+  config_.browsing.seed = config_.seed ^ 0xb205;
+  config_.net.seed = config_.seed ^ 0x4e7;
+
+  topics_ = std::make_unique<web::TopicModel>(config_.topics);
+  web_ = std::make_unique<web::SyntheticWeb>(*topics_, config_.web);
+  net_ = std::make_unique<sim::Network>(sim_, config_.net);
+  feeds_ = std::make_unique<feeds::FeedService>(*web_, config_.feeds);
+  overlay_ = std::make_unique<pubsub::Overlay>(
+      pubsub::Overlay::chain(sim_, *net_, std::max<std::size_t>(
+                                               config_.brokers, 1)));
+  proxy_ = std::make_unique<feeds::FeedEventsProxy>(
+      sim_, *net_, *feeds_, overlay_->broker(0), config_.proxy);
+  browsing_ = std::make_unique<BrowsingGenerator>(*web_, config_.browsing);
+
+  const std::size_t user_count = browsing_->users().size();
+  if (config_.mode == Mode::kCentralized) {
+    server_ = std::make_unique<core::CentralizedServer>(sim_, *net_, *web_,
+                                                        config_.server);
+    hosts_.reserve(user_count);
+    for (std::size_t u = 0; u < user_count; ++u) {
+      auto& broker =
+          overlay_->broker(u % overlay_->size());
+      auto host = std::make_unique<core::UserHost>(
+          sim_, *net_, *web_, broker, static_cast<attention::UserId>(u),
+          config_.host);
+      host->connect(server_->id(), proxy_->id());
+      server_->register_user(static_cast<attention::UserId>(u), host->id());
+      hosts_.push_back(std::move(host));
+    }
+  } else {
+    peers_.reserve(user_count);
+    for (std::size_t u = 0; u < user_count; ++u) {
+      auto& broker = overlay_->broker(u % overlay_->size());
+      auto peer = std::make_unique<core::DistributedPeer>(
+          sim_, *net_, *web_, broker, static_cast<attention::UserId>(u),
+          config_.peer);
+      peer->set_proxy(proxy_->id());
+      peers_.push_back(std::move(peer));
+    }
+    // Interest groups: peers with similar topic mixtures gossip.
+    for (std::size_t a = 0; a < user_count; ++a) {
+      for (std::size_t b = a + 1; b < user_count; ++b) {
+        const double sim_ab = web::TopicMixture::similarity(
+            browsing_->users()[a].interests, browsing_->users()[b].interests);
+        if (sim_ab >= config_.peer_group_threshold) {
+          peers_[a]->add_group_peer(peers_[b]->id());
+          peers_[b]->add_group_peer(peers_[a]->id());
+        }
+      }
+    }
+  }
+  trace_ = browsing_->generate_trace();
+}
+
+core::SubscriptionFrontend& ReefExperiment::frontend(std::size_t i) {
+  if (config_.mode == Mode::kCentralized) return hosts_.at(i)->frontend();
+  return peers_.at(i)->frontend();
+}
+
+void ReefExperiment::browse(std::size_t user_index, const util::Uri& uri) {
+  if (config_.mode == Mode::kCentralized) {
+    hosts_[user_index]->browse(uri);
+  } else {
+    peers_[user_index]->browse(uri);
+  }
+}
+
+void ReefExperiment::schedule_trace() {
+  for (const Visit& visit : trace_) {
+    sim_.at(visit.at, [this, user = static_cast<std::size_t>(visit.user),
+                       uri = visit.uri] { browse(user, uri); });
+  }
+}
+
+void ReefExperiment::schedule_sidebar_behavior() {
+  const std::size_t user_count = browsing_->users().size();
+  for (std::size_t u = 0; u < user_count; ++u) {
+    sim_.every(
+        config_.sidebar_check_interval + static_cast<sim::Time>(u) *
+                                             sim::kMinute,
+        config_.sidebar_check_interval, [this, u] {
+          core::SubscriptionFrontend& fe = frontend(u);
+          const UserProfile& user = browsing_->users()[u];
+          // Snapshot ids first: clicking mutates the sidebar.
+          struct Pending {
+            std::uint64_t id;
+            double interest;
+          };
+          std::vector<Pending> entries;
+          for (const auto& entry : fe.sidebar()) {
+            double interest = 0.0;
+            if (const pubsub::Value* site = entry.event.find("site");
+                site != nullptr && site->is_string()) {
+              if (const web::Site* s = web_->find_site(site->as_string())) {
+                interest = web::TopicMixture::similarity(user.interests,
+                                                         s->topics);
+              }
+            }
+            entries.push_back(Pending{entry.entry_id, interest});
+          }
+          for (const auto& [id, interest] : entries) {
+            // Users open a minority of notifications, preferring the ones
+            // whose source site matches their interests.
+            if (interest >= config_.click_threshold &&
+                behavior_rng_.chance(std::min(0.55, interest * 0.9))) {
+              fe.click_entry(id);
+            } else if (behavior_rng_.chance(config_.dismiss_probability)) {
+              fe.dismiss_entry(id);
+            }
+          }
+        });
+  }
+}
+
+void ReefExperiment::run() {
+  if (ran_) return;
+  ran_ = true;
+  schedule_trace();
+  schedule_sidebar_behavior();
+  const sim::Time end = trace_.empty() ? 0 : trace_.back().at;
+  sim_.run_until(end + config_.drain);
+}
+
+attention::LogStats ReefExperiment::trace_stats() const {
+  attention::LogStats stats(*web_);
+  for (const Visit& visit : trace_) {
+    stats.add(attention::Click{visit.user, visit.uri, visit.at, false});
+  }
+  return stats;
+}
+
+std::size_t ReefExperiment::feeds_on_remaining_servers(
+    std::uint64_t min_visits) const {
+  const attention::LogStats stats = trace_stats();
+  std::size_t feeds = 0;
+  for (const auto& host : stats.remaining_hosts(min_visits)) {
+    if (const web::Site* site = web_->find_site(host)) {
+      feeds += site->feed_urls.size();
+    }
+  }
+  return feeds;
+}
+
+}  // namespace reef::workload

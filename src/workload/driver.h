@@ -1,0 +1,133 @@
+// End-to-end experiment harness.
+//
+// Builds the whole stack — topic model, synthetic Web, feed population,
+// broker overlay, FeedEvents proxy, and either the centralized server with
+// thin user hosts (Fig. 1) or autonomous distributed peers (Fig. 2) —
+// replays a generated browsing trace through it on simulated time, and
+// models sidebar behaviour (users periodically open interesting delivered
+// events, which feeds the closed loop, and ignore the rest until expiry).
+// Benches and examples configure one of these and read the counters.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "attention/log_stats.h"
+#include "feeds/feed_events_proxy.h"
+#include "feeds/feed_service.h"
+#include "pubsub/overlay.h"
+#include "reef/centralized.h"
+#include "reef/distributed.h"
+#include "reef/user_host.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "workload/browsing.h"
+#include "workload/video_archive.h"
+
+namespace reef::workload {
+
+class ReefExperiment {
+ public:
+  enum class Mode { kCentralized, kDistributed };
+
+  struct Config {
+    Mode mode = Mode::kCentralized;
+    std::uint64_t seed = 42;
+
+    web::TopicModel::Config topics;
+    web::SyntheticWeb::Config web;
+    feeds::FeedService::Config feeds;
+    feeds::FeedEventsProxy::Config proxy;
+    BrowsingGenerator::Config browsing;
+    core::CentralizedServer::Config server;
+    core::UserHost::Config host;
+    core::DistributedPeer::Config peer;
+    sim::Network::Config net;
+
+    /// Brokers in the pub/sub overlay (chain topology; users round-robin).
+    std::size_t brokers = 1;
+
+    /// Sidebar behaviour: how often users look at the sidebar...
+    sim::Time sidebar_check_interval = 4 * sim::kHour;
+    /// ...the interest level (user-topics x event-site-topics similarity)
+    /// above which they may click an entry...
+    double click_threshold = 0.25;
+    /// ...and the chance an uninteresting entry is dismissed per check.
+    double dismiss_probability = 0.2;
+    /// Peers whose interest similarity passes this form a gossip group.
+    double peer_group_threshold = 0.25;
+
+    /// Extra simulated time after the last click (lets feeds deliver).
+    sim::Time drain = 2 * sim::kDay;
+  };
+
+  explicit ReefExperiment(Config config);
+  ~ReefExperiment();
+  ReefExperiment(const ReefExperiment&) = delete;
+  ReefExperiment& operator=(const ReefExperiment&) = delete;
+
+  /// Replays the whole trace and drains. Idempotent: second call no-ops.
+  void run();
+
+  // --- component access (valid after construction) -------------------------
+  sim::Simulator& simulator() noexcept { return sim_; }
+  sim::Network& network() noexcept { return *net_; }
+  const web::SyntheticWeb& web() const noexcept { return *web_; }
+  const web::TopicModel& topic_model() const noexcept { return *topics_; }
+  feeds::FeedService& feed_service() noexcept { return *feeds_; }
+  feeds::FeedEventsProxy& proxy() noexcept { return *proxy_; }
+  pubsub::Broker& broker(std::size_t i = 0) { return overlay_->broker(i); }
+  pubsub::Overlay& overlay() noexcept { return *overlay_; }
+  BrowsingGenerator& browsing() noexcept { return *browsing_; }
+  const std::vector<Visit>& trace() const noexcept { return trace_; }
+
+  /// Centralized server (null in distributed mode).
+  core::CentralizedServer* server() noexcept { return server_.get(); }
+  /// User hosts (centralized mode; empty otherwise).
+  core::UserHost& host(std::size_t i) { return *hosts_.at(i); }
+  std::size_t host_count() const noexcept { return hosts_.size(); }
+  /// Peers (distributed mode; empty otherwise).
+  core::DistributedPeer& peer(std::size_t i) { return *peers_.at(i); }
+  std::size_t peer_count() const noexcept { return peers_.size(); }
+
+  const std::vector<UserProfile>& users() const {
+    return browsing_->users();
+  }
+
+  /// Frontend of user `i`, regardless of mode.
+  core::SubscriptionFrontend& frontend(std::size_t i);
+
+  /// §3.2-style aggregate statistics over the generated trace.
+  attention::LogStats trace_stats() const;
+
+  /// Distinct feeds on the "remaining" (non-ad, visited >= min_visits)
+  /// servers of the trace — the paper's "424 distinct RSS feeds".
+  std::size_t feeds_on_remaining_servers(std::uint64_t min_visits = 2) const;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  void build();
+  void schedule_trace();
+  void schedule_sidebar_behavior();
+  void browse(std::size_t user_index, const util::Uri& uri);
+
+  Config config_;
+  sim::Simulator sim_;
+  std::unique_ptr<web::TopicModel> topics_;
+  std::unique_ptr<web::SyntheticWeb> web_;
+  std::unique_ptr<sim::Network> net_;
+  std::unique_ptr<feeds::FeedService> feeds_;
+  std::unique_ptr<pubsub::Overlay> overlay_;
+  std::unique_ptr<feeds::FeedEventsProxy> proxy_;
+  std::unique_ptr<BrowsingGenerator> browsing_;
+  std::unique_ptr<core::CentralizedServer> server_;
+  std::vector<std::unique_ptr<core::UserHost>> hosts_;
+  std::vector<std::unique_ptr<core::DistributedPeer>> peers_;
+  std::vector<Visit> trace_;
+  util::Rng behavior_rng_;
+  bool ran_ = false;
+};
+
+}  // namespace reef::workload

@@ -1,0 +1,47 @@
+#include "workload/user_profile.h"
+
+#include <algorithm>
+
+namespace reef::workload {
+
+UserProfile make_user_profile(attention::UserId id,
+                              const web::SyntheticWeb& web,
+                              std::size_t favorites, util::Rng& rng) {
+  UserProfile profile;
+  profile.id = id;
+  const std::size_t interest_topics = 3 + rng.index(3);  // 3-5 topics
+  // Users' interests are deliberately flatter than site mixtures: the
+  // paper notes users "have many diverse interests" (§3.3), which is what
+  // makes small term budgets insufficient.
+  profile.interests =
+      web.topic_model().random_mixture(interest_topics, rng, 0.8);
+
+  // Score every content site: topic affinity dominates, with enough noise
+  // that two similar users get overlapping-but-distinct favorite lists.
+  struct Scored {
+    std::uint32_t site = 0;
+    double score = 0.0;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(web.content_sites().size());
+  for (const std::uint32_t index : web.content_sites()) {
+    const web::Site& site = web.site(index);
+    const double affinity =
+        web::TopicMixture::similarity(profile.interests, site.topics);
+    const double noise = rng.uniform01();
+    scored.push_back(Scored{index, affinity * 2.0 + noise * 0.6});
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.site < b.site;
+  });
+
+  const std::size_t count = std::min(favorites, scored.size());
+  profile.favorite_sites.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    profile.favorite_sites.push_back(scored[i].site);
+  }
+  return profile;
+}
+
+}  // namespace reef::workload

@@ -1,0 +1,31 @@
+// Synthetic users: a sparse topic-interest mixture plus an ordered list of
+// favorite sites biased toward those interests. The browsing generator
+// samples revisits from the favorites (Zipf over affinity rank) and
+// explorations from the long tail.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attention/click.h"
+#include "util/rng.h"
+#include "web/topic_model.h"
+#include "web/web.h"
+
+namespace reef::workload {
+
+struct UserProfile {
+  attention::UserId id = 0;
+  web::TopicMixture interests;
+  /// Content-site indices ordered by affinity (favorites[0] = most liked).
+  std::vector<std::uint32_t> favorite_sites;
+};
+
+/// Builds a user: 3-5 interest topics; favorites chosen by site-interest
+/// similarity with popularity noise so users with shared interests share
+/// favorites (enabling collaborative effects) without being identical.
+UserProfile make_user_profile(attention::UserId id,
+                              const web::SyntheticWeb& web,
+                              std::size_t favorites, util::Rng& rng);
+
+}  // namespace reef::workload

@@ -1,0 +1,66 @@
+#include "workload/video_archive.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace reef::workload {
+
+VideoArchive::VideoArchive(const web::TopicModel& topics, Config config) {
+  util::Rng rng(config.seed);
+  story_topics_.reserve(config.stories);
+  for (std::size_t i = 0; i < config.stories; ++i) {
+    const std::size_t k = 1 + rng.index(config.max_topics_per_story);
+    web::TopicMixture mixture = topics.random_mixture(k, rng);
+    const std::size_t length =
+        config.terms_min +
+        rng.index(config.terms_max - config.terms_min + 1);
+    const std::vector<std::string> terms = topics.generate_terms(
+        mixture, length, config.background_fraction, rng);
+    corpus_.add(ir::Document::from_terms(i, terms));
+    story_topics_.push_back(std::move(mixture));
+  }
+}
+
+std::vector<std::size_t> VideoArchive::airing_order() const {
+  std::vector<std::size_t> order(corpus_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  return order;
+}
+
+std::vector<double> VideoArchive::interest_scores(
+    const web::TopicMixture& interests, double rater_noise,
+    std::uint64_t seed) const {
+  util::Rng rng(seed);
+  std::vector<double> scores;
+  scores.reserve(story_topics_.size());
+  for (const auto& story : story_topics_) {
+    const double affinity = web::TopicMixture::similarity(interests, story);
+    scores.push_back(affinity + rng.normal(0.0, rater_noise));
+  }
+  return scores;
+}
+
+std::vector<bool> VideoArchive::relevant_set(
+    const std::vector<double>& scores, double fraction) {
+  std::vector<std::size_t> order = ideal_ranking(scores);
+  const auto cutoff = static_cast<std::size_t>(
+      fraction * static_cast<double>(scores.size()));
+  std::vector<bool> relevant(scores.size(), false);
+  for (std::size_t i = 0; i < cutoff && i < order.size(); ++i) {
+    relevant[order[i]] = true;
+  }
+  return relevant;
+}
+
+std::vector<std::size_t> VideoArchive::ideal_ranking(
+    const std::vector<double>& scores) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return scores[a] > scores[b];
+                   });
+  return order;
+}
+
+}  // namespace reef::workload

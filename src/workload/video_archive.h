@@ -1,0 +1,66 @@
+// The video-news archive for the §3.3 experiment.
+//
+// The paper used 500 stories from the TRECVid 2004 ABC/CNN dataset plus a
+// human interest ranking from the test user. We substitute: 500 synthetic
+// stories drawn from the same topic model as the Web (so browsing topics
+// and story topics live in one space), and ground-truth interest computed
+// as the similarity between the user's interest mixture and the story's
+// topic mixture, perturbed by rater noise. "Airing order" is the story
+// index order, which is independent of any particular user's interests —
+// the same property the broadcast order had.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/corpus.h"
+#include "util/rng.h"
+#include "web/topic_model.h"
+
+namespace reef::workload {
+
+class VideoArchive {
+ public:
+  struct Config {
+    std::size_t stories = 500;
+    std::size_t terms_min = 80;
+    std::size_t terms_max = 240;
+    /// Fraction of a story transcript that is background language.
+    double background_fraction = 0.35;
+    std::size_t max_topics_per_story = 2;
+    std::uint64_t seed = 0x51de0;
+  };
+
+  VideoArchive(const web::TopicModel& topics, Config config);
+
+  std::size_t size() const noexcept { return corpus_.size(); }
+  /// Story transcripts as an IR corpus (story i = corpus doc i).
+  const ir::Corpus& corpus() const noexcept { return corpus_; }
+  const web::TopicMixture& story_topics(std::size_t i) const {
+    return story_topics_.at(i);
+  }
+
+  /// The order the stories aired (the §3.3 baseline ranking).
+  std::vector<std::size_t> airing_order() const;
+
+  /// Ground-truth interest score per story for a user: topic similarity
+  /// plus N(0, rater_noise). Deterministic for a given seed.
+  std::vector<double> interest_scores(const web::TopicMixture& interests,
+                                      double rater_noise,
+                                      std::uint64_t seed) const;
+
+  /// Binary relevance: the top `fraction` of stories by score.
+  static std::vector<bool> relevant_set(const std::vector<double>& scores,
+                                        double fraction);
+
+  /// Stories sorted by descending score (the user's ideal ranking).
+  static std::vector<std::size_t> ideal_ranking(
+      const std::vector<double>& scores);
+
+ private:
+  ir::Corpus corpus_;
+  std::vector<web::TopicMixture> story_topics_;
+};
+
+}  // namespace reef::workload

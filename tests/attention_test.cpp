@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "attention/log_stats.h"
+#include "attention/parser.h"
+#include "attention/recorder.h"
+#include "sim/simulator.h"
+
+namespace reef::attention {
+namespace {
+
+util::Uri uri(const std::string& text) { return *util::Uri::parse(text); }
+
+// --- AttentionRecorder ------------------------------------------------------------
+
+TEST(Recorder, FlushesOnBatchSize) {
+  sim::Simulator sim;
+  std::vector<ClickBatch> batches;
+  AttentionRecorder::Config config;
+  config.batch_max = 3;
+  AttentionRecorder recorder(
+      sim, 7, config, [&](ClickBatch&& b) { batches.push_back(std::move(b)); });
+  recorder.record(uri("http://a.example/1"));
+  recorder.record(uri("http://a.example/2"));
+  EXPECT_TRUE(batches.empty());
+  recorder.record(uri("http://a.example/3"));
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].user, 7u);
+  EXPECT_EQ(batches[0].clicks.size(), 3u);
+  EXPECT_EQ(batches[0].clicks[1].uri.to_string(), "http://a.example/2");
+}
+
+TEST(Recorder, FlushesOnTimer) {
+  sim::Simulator sim;
+  std::vector<ClickBatch> batches;
+  AttentionRecorder::Config config;
+  config.batch_max = 1000;
+  config.flush_interval = 5 * sim::kMinute;
+  AttentionRecorder recorder(
+      sim, 1, config, [&](ClickBatch&& b) { batches.push_back(std::move(b)); });
+  recorder.record(uri("http://a.example/1"));
+  sim.run_until(6 * sim::kMinute);
+  ASSERT_EQ(batches.size(), 1u);
+  // Timer with nothing pending does not emit empty batches.
+  sim.run_until(20 * sim::kMinute);
+  EXPECT_EQ(batches.size(), 1u);
+}
+
+TEST(Recorder, KeepsHistoryAndMarksNotificationClicks) {
+  sim::Simulator sim;
+  AttentionRecorder recorder(sim, 1, {}, [](ClickBatch&&) {});
+  recorder.record(uri("http://a.example/1"), false);
+  recorder.record(uri("http://a.example/2"), true);
+  ASSERT_EQ(recorder.history().size(), 2u);
+  EXPECT_FALSE(recorder.history()[0].from_notification);
+  EXPECT_TRUE(recorder.history()[1].from_notification);
+  EXPECT_EQ(recorder.clicks_recorded(), 2u);
+}
+
+TEST(Recorder, HistoryDisabledKeepsNothing) {
+  sim::Simulator sim;
+  AttentionRecorder::Config config;
+  config.keep_history = false;
+  AttentionRecorder recorder(sim, 1, config, [](ClickBatch&&) {});
+  recorder.record(uri("http://a.example/1"));
+  EXPECT_TRUE(recorder.history().empty());
+}
+
+TEST(Recorder, ClickTimestampsComeFromSimClock) {
+  sim::Simulator sim;
+  std::vector<ClickBatch> batches;
+  AttentionRecorder recorder(
+      sim, 1, {}, [&](ClickBatch&& b) { batches.push_back(std::move(b)); });
+  sim.at(42 * sim::kSecond,
+         [&] { recorder.record(uri("http://a.example/1")); });
+  sim.run_until(sim::kMinute);
+  recorder.flush();
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].clicks[0].at, 42 * sim::kSecond);
+}
+
+// --- Parsers ----------------------------------------------------------------------
+
+web::WebPage page_with(std::vector<std::string> feeds,
+                       std::vector<std::string> terms) {
+  web::WebPage page;
+  page.uri = uri("http://s.example/p");
+  page.feed_links = std::move(feeds);
+  page.terms = std::move(terms);
+  return page;
+}
+
+TEST(FeedUrlParser, EmitsFeedTokens) {
+  FeedUrlParser parser;
+  const auto page =
+      page_with({"http://s.example/a.rss", "http://s.example/b.rss"}, {});
+  const Click click{1, uri("http://s.example/p"), 0, false};
+  const auto tokens = parser.parse(click, &page);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].name, "feed");
+  EXPECT_EQ(tokens[0].value.as_string(), "http://s.example/a.rss");
+  EXPECT_TRUE(parser.parse(click, nullptr).empty());
+}
+
+TEST(KeywordParser, EmitsNonStopwordTerms) {
+  KeywordParser parser;
+  const auto page = page_with({}, {"the", "storm", "and", "coast"});
+  const Click click{1, uri("http://s.example/p"), 0, false};
+  const auto tokens = parser.parse(click, &page);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].value.as_string(), "storm");
+  EXPECT_EQ(tokens[1].value.as_string(), "coast");
+}
+
+TEST(QueryStringParser, ExtractsAnalyzedSearchTerms) {
+  QueryStringParser parser;
+  const Click click{
+      1, uri("http://search.example/find?q=storm+warnings&page=2"), 0,
+      false};
+  const auto tokens = parser.parse(click, nullptr);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].name, "term");
+  EXPECT_EQ(tokens[0].value.as_string(), "storm");
+  EXPECT_EQ(tokens[1].value.as_string(), "warn");  // stemmed
+}
+
+TEST(QueryStringParser, RecognizesAlternateKeysAndIgnoresOthers) {
+  QueryStringParser parser;
+  const Click with_search{
+      1, uri("http://search.example/?search=copper+mines"), 0, false};
+  EXPECT_EQ(parser.parse(with_search, nullptr).size(), 2u);
+  const Click no_query{1, uri("http://search.example/plain"), 0, false};
+  EXPECT_TRUE(parser.parse(no_query, nullptr).empty());
+  const Click other_params{
+      1, uri("http://search.example/?page=2&sort=asc"), 0, false};
+  EXPECT_TRUE(parser.parse(other_params, nullptr).empty());
+}
+
+TEST(QueryStringParser, DropsStopwordsFromQueries) {
+  QueryStringParser parser;
+  const Click click{
+      1, uri("http://search.example/?q=the+best+storm"), 0, false};
+  const auto tokens = parser.parse(click, nullptr);
+  ASSERT_EQ(tokens.size(), 2u);  // "the" dropped
+  EXPECT_EQ(tokens[0].value.as_string(), "best");
+  EXPECT_EQ(tokens[1].value.as_string(), "storm");
+}
+
+TEST(StockSymbolParser, MatchesPathAndTerms) {
+  StockSymbolParser parser({"ACME", "XYZ"});
+  const auto page = page_with({}, {"buy", "acme", "now"});
+  const Click click{1, uri("http://quotes.example/quote/xyz"), 0, false};
+  const auto tokens = parser.parse(click, &page);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].name, "symbol");
+  EXPECT_EQ(tokens[0].value.as_string(), "XYZ");   // from URI path
+  EXPECT_EQ(tokens[1].value.as_string(), "ACME");  // from page terms
+}
+
+TEST(StockSymbolParser, NoPageStillParsesUri) {
+  StockSymbolParser parser({"ACME"});
+  const Click click{1, uri("http://quotes.example/quote/acme"), 0, false};
+  const auto tokens = parser.parse(click, nullptr);
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].value.as_string(), "ACME");
+}
+
+// --- LogStats ---------------------------------------------------------------------
+
+TEST(LogStats, ClassifiesAndCounts) {
+  web::TopicModel::Config tc;
+  tc.vocabulary_size = 300;
+  tc.topic_count = 4;
+  tc.words_per_topic = 40;
+  const web::TopicModel topics(tc);
+  web::SyntheticWeb::Config wc;
+  wc.content_sites = 10;
+  wc.ad_sites = 5;
+  wc.spam_sites = 0;
+  const web::SyntheticWeb web(topics, wc);
+
+  LogStats stats(web);
+  const web::Site& content = web.site(web.content_sites()[0]);
+  const web::Site& content2 = web.site(web.content_sites()[1]);
+  const web::Site& ad = web.site(web.ad_sites()[0]);
+
+  // content visited twice, content2 once, ad three times
+  stats.add(Click{0, web.page_uri(content, 0), 0, false});
+  stats.add(Click{0, web.page_uri(content, 1), 0, false});
+  stats.add(Click{0, web.page_uri(content2, 0), 0, false});
+  for (int i = 0; i < 3; ++i) {
+    stats.add(Click{0, web.page_uri(ad, i), 0, false});
+  }
+
+  EXPECT_EQ(stats.total_requests(), 6u);
+  EXPECT_EQ(stats.distinct_servers(), 3u);
+  EXPECT_EQ(stats.ad_requests(), 3u);
+  EXPECT_DOUBLE_EQ(stats.ad_request_fraction(), 0.5);
+  EXPECT_EQ(stats.ad_servers(), 1u);
+  EXPECT_EQ(stats.visited_once(), 1u);  // content2
+  EXPECT_EQ(stats.remaining_servers(2), 1u);  // content
+  const auto hosts = stats.remaining_hosts(2);
+  ASSERT_EQ(hosts.size(), 1u);
+  EXPECT_EQ(hosts[0], content.host);
+}
+
+TEST(LogStats, UnknownHostsAreCountedButNotAds) {
+  web::TopicModel::Config tc;
+  tc.vocabulary_size = 300;
+  tc.topic_count = 4;
+  tc.words_per_topic = 40;
+  const web::TopicModel topics(tc);
+  web::SyntheticWeb::Config wc;
+  wc.content_sites = 2;
+  wc.ad_sites = 1;
+  const web::SyntheticWeb web(topics, wc);
+  LogStats stats(web);
+  stats.add(Click{0, uri("http://offsite.example/x"), 0, false});
+  EXPECT_EQ(stats.total_requests(), 1u);
+  EXPECT_EQ(stats.ad_requests(), 0u);
+  EXPECT_EQ(stats.remaining_servers(1), 0u);  // unknown != content
+}
+
+}  // namespace
+}  // namespace reef::attention

@@ -1,0 +1,214 @@
+// Tests for the paper's future-work extensions: attention-based update
+// filtering (§3.2) and diversity-aware query construction (§3.3).
+#include <gtest/gtest.h>
+
+#include "feeds/feed_events_proxy.h"
+#include "ir/term_weighting.h"
+#include "pubsub/client.h"
+#include "reef/content_recommender.h"
+#include "reef/frontend.h"
+#include "reef/update_filter.h"
+
+namespace reef::core {
+namespace {
+
+// --- UpdateFilter -------------------------------------------------------------
+
+struct Profiles {
+  ir::TermStatsAccumulator user;
+  ir::TermStatsAccumulator background;
+
+  Profiles() {
+    // User reads about storms; background is mostly cooking.
+    for (int i = 0; i < 20; ++i) {
+      user.add_document({"storm", "coast", "wind", "common"});
+      background.add_document({"recipe", "cook", "dinner", "common"});
+      background.add_document({"storm", "coast", "wind", "common"});
+      for (int j = 0; j < 8; ++j) {
+        background.add_document({"politics", "vote", "common", "word"});
+      }
+    }
+  }
+};
+
+TEST(UpdateFilter, ScoresOnTopicTextHigherThanOffTopic) {
+  const Profiles p;
+  const double on_topic = UpdateFilter::score(
+      {"storm", "coast", "damage"}, p.user, p.background);
+  const double off_topic = UpdateFilter::score(
+      {"recipe", "dinner", "cook"}, p.user, p.background);
+  EXPECT_GT(on_topic, off_topic);
+  EXPECT_GT(on_topic, 0.0);
+  EXPECT_EQ(off_topic, 0.0);  // user never attended to those terms
+}
+
+TEST(UpdateFilter, CommonTermsCarryLittleWeight) {
+  const Profiles p;
+  // "common" is in every user page but also ubiquitous in the background.
+  const double common_only =
+      UpdateFilter::score({"common"}, p.user, p.background);
+  const double topical =
+      UpdateFilter::score({"storm"}, p.user, p.background);
+  EXPECT_GT(topical, common_only * 2);
+}
+
+TEST(UpdateFilter, EmptyProfilesScoreZero) {
+  ir::TermStatsAccumulator empty;
+  ir::TermStatsAccumulator background;
+  background.add_document({"x"});
+  EXPECT_EQ(UpdateFilter::score({"storm"}, empty, background), 0.0);
+  const Profiles p;
+  EXPECT_EQ(UpdateFilter::score({}, p.user, p.background), 0.0);
+}
+
+TEST(UpdateFilter, MinProfileTfGuardsOneOffNoise) {
+  ir::TermStatsAccumulator user;
+  ir::TermStatsAccumulator background;
+  user.add_document({"fluke"});  // seen exactly once
+  for (int i = 0; i < 10; ++i) background.add_document({"pad"});
+  EXPECT_EQ(UpdateFilter::score({"fluke"}, user, background, 2), 0.0);
+  EXPECT_GT(UpdateFilter::score({"fluke"}, user, background, 1), 0.0);
+}
+
+TEST(UpdateFilter, ShouldDisplayRespectsThresholdAndCounts) {
+  const Profiles p;
+  UpdateFilter::Config config;
+  config.min_score = 0.5;
+  UpdateFilter filter(config);
+  const pubsub::Event on_topic =
+      pubsub::Event().with("text", "storm coast damage");
+  const pubsub::Event off_topic =
+      pubsub::Event().with("text", "recipe dinner cook");
+  EXPECT_TRUE(filter.should_display(on_topic, p.user, p.background));
+  EXPECT_FALSE(filter.should_display(off_topic, p.user, p.background));
+  EXPECT_EQ(filter.stats().scored, 2u);
+  EXPECT_EQ(filter.stats().suppressed, 1u);
+  // Events without text pass.
+  EXPECT_TRUE(filter.should_display(pubsub::Event().with("seq", 1), p.user,
+                                    p.background));
+}
+
+TEST(UpdateFilter, DisabledThresholdPassesEverything) {
+  const Profiles p;
+  UpdateFilter::Config config;
+  config.min_score = 0.0;
+  UpdateFilter filter(config);
+  EXPECT_TRUE(filter.should_display(
+      pubsub::Event().with("text", "recipe dinner"), p.user, p.background));
+  EXPECT_EQ(filter.stats().scored, 0u);
+}
+
+// --- Frontend display predicate ---------------------------------------------------
+
+TEST(FrontendDisplayPredicate, SuppressedEventsStillCountForClosedLoop) {
+  sim::Simulator sim;
+  sim::Network::Config net_config;
+  net_config.default_latency = sim::kMillisecond;
+  net_config.jitter_fraction = 0.0;
+  sim::Network net(sim, net_config);
+  pubsub::Broker broker(sim, net, "b");
+  pubsub::Client publisher(sim, net, "p");
+  publisher.connect(broker);
+
+  SubscriptionFrontend fe(sim, net, broker, 1, {});
+  fe.set_display_predicate([](const pubsub::Event& event) {
+    const auto* seq = event.find("seq");
+    return seq != nullptr && seq->as_int() % 2 == 0;  // only even items
+  });
+  Recommendation rec;
+  rec.action = RecAction::kSubscribe;
+  rec.filter = feeds::feed_filter("http://s/f.rss");
+  rec.feed_url = "http://s/f.rss";
+  fe.apply(rec);
+  sim.run_until(sim.now() + sim::kSecond);
+
+  for (int i = 0; i < 6; ++i) {
+    publisher.publish(pubsub::Event()
+                          .with("stream", "feed")
+                          .with("feed", "http://s/f.rss")
+                          .with("guid", "g" + std::to_string(i))
+                          .with("seq", i));
+  }
+  sim.run_until(sim.now() + sim::kSecond);
+  EXPECT_EQ(fe.sidebar().size(), 3u);           // 0, 2, 4 displayed
+  EXPECT_EQ(fe.suppressed_by_filter(), 3u);     // 1, 3, 5 suppressed
+  EXPECT_EQ(fe.stats().events_received, 6u);    // all counted as delivered
+  fe.emit_feedback();
+  // Closed-loop tallies include suppressed deliveries.
+  std::vector<FeedbackMsg> reports;
+  fe.set_feedback_sink(
+      [&](FeedbackMsg&& msg) { reports.push_back(std::move(msg)); },
+      sim::kDay);
+  fe.emit_feedback();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].rows[0].delivered, 6u);
+}
+
+// --- diversify_terms ----------------------------------------------------------------
+
+TEST(DiversifyTerms, SpreadsAcrossCooccurrenceClusters) {
+  // Two disjoint clusters: {a1, a2, a3} co-occur, {b1, b2} co-occur.
+  std::vector<ir::TermFreqs> sample;
+  for (int i = 0; i < 10; ++i) {
+    sample.push_back({{"a1", 1}, {"a2", 1}, {"a3", 1}});
+    sample.push_back({{"b1", 1}, {"b2", 1}});
+  }
+  // Scores favor the A cluster 3:1.
+  const std::vector<ir::ScoredTerm> candidates{
+      {"a1", 10.0}, {"a2", 9.5}, {"a3", 9.0}, {"b1", 6.0}, {"b2", 5.5}};
+
+  // Plain top-3 (lambda=1) is all-A.
+  const auto plain = ir::diversify_terms(candidates, sample, 1.0, 3);
+  ASSERT_EQ(plain.size(), 3u);
+  EXPECT_EQ(plain[0].term, "a1");
+  EXPECT_EQ(plain[1].term, "a2");
+  EXPECT_EQ(plain[2].term, "a3");
+
+  // Diversified top-3 pulls in the B cluster.
+  const auto diverse = ir::diversify_terms(candidates, sample, 0.5, 3);
+  ASSERT_EQ(diverse.size(), 3u);
+  bool has_b = false;
+  for (const auto& t : diverse) {
+    if (t.term == "b1" || t.term == "b2") has_b = true;
+  }
+  EXPECT_TRUE(has_b);
+  EXPECT_EQ(diverse[0].term, "a1");  // best term always picked first
+}
+
+TEST(DiversifyTerms, DegenerateInputs) {
+  EXPECT_TRUE(ir::diversify_terms({}, {}, 0.5, 3).empty());
+  const std::vector<ir::ScoredTerm> one{{"x", 1.0}};
+  const auto picked = ir::diversify_terms(one, {}, 0.5, 5);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0].term, "x");
+  EXPECT_TRUE(ir::diversify_terms(one, {}, 0.5, 0).empty());
+}
+
+TEST(ContentRecommenderDiverse, QueryCoversSecondaryInterest) {
+  ContentRecommender rec;
+  // Dominant interest: storms (30 pages); minor interest: markets (10).
+  for (int i = 0; i < 30; ++i) {
+    rec.add_page(1, {"storm", "coast", "wind", "surge", "gale"});
+  }
+  for (int i = 0; i < 10; ++i) {
+    rec.add_page(1, {"market", "stock", "trade"});
+  }
+  for (int i = 0; i < 40; ++i) {
+    rec.add_page(2, {"filler", "other", "text"});  // background user
+  }
+  const auto plain = rec.build_query(1, 5);
+  const auto diverse = rec.build_query_diverse(1, 5, 0.4);
+  ASSERT_EQ(diverse.size(), 5u);
+  const auto count_market_terms = [](const std::vector<ir::ScoredTerm>& q) {
+    std::size_t n = 0;
+    for (const auto& t : q) {
+      if (t.term == "market" || t.term == "stock" || t.term == "trade") ++n;
+    }
+    return n;
+  };
+  EXPECT_GE(count_market_terms(diverse), count_market_terms(plain));
+  EXPECT_GE(count_market_terms(diverse), 1u);
+}
+
+}  // namespace
+}  // namespace reef::core

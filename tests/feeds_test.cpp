@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include "feeds/direct_poller.h"
+#include "feeds/feed_events_proxy.h"
+#include "feeds/feed_service.h"
+#include "pubsub/client.h"
+#include "sim/simulator.h"
+
+namespace reef::feeds {
+namespace {
+
+struct World {
+  web::TopicModel topics;
+  web::SyntheticWeb web;
+  FeedService feeds;
+
+  World()
+      : topics(small_topics()),
+        web(topics, feedy_web()),
+        feeds(web, FeedService::Config{}) {}
+
+  static web::TopicModel::Config small_topics() {
+    web::TopicModel::Config config;
+    config.vocabulary_size = 400;
+    config.topic_count = 6;
+    config.words_per_topic = 50;
+    return config;
+  }
+  static web::SyntheticWeb::Config feedy_web() {
+    web::SyntheticWeb::Config config;
+    config.content_sites = 40;
+    config.ad_sites = 5;
+    config.spam_sites = 2;
+    config.feed_site_fraction = 1.0;  // every site has feeds
+    config.multimedia_fraction = 0.0;
+    return config;
+  }
+};
+
+TEST(FeedService, RegistersAllAdvertisedFeeds) {
+  World w;
+  EXPECT_EQ(w.feeds.feed_count(), w.web.total_feeds());
+  EXPECT_GE(w.feeds.feed_count(), 40u);
+  for (const auto& url : w.feeds.feed_urls()) {
+    EXPECT_TRUE(w.feeds.has_feed(url));
+    EXPECT_GT(w.feeds.rate_per_day(url), 0.0);
+  }
+  EXPECT_FALSE(w.feeds.has_feed("http://nowhere.example/feed.rss"));
+  EXPECT_EQ(w.feeds.rate_per_day("http://nowhere.example/feed.rss"), 0.0);
+}
+
+TEST(FeedService, PollReturnsMonotoneItems) {
+  World w;
+  const std::string url = w.feeds.feed_urls()[0];
+  // After 100 days at any positive rate there should be items.
+  const PollResult first = w.feeds.poll(url, 0, 100 * sim::kDay);
+  ASSERT_TRUE(first.found);
+  ASSERT_FALSE(first.items.empty());
+  for (std::size_t i = 1; i < first.items.size(); ++i) {
+    EXPECT_EQ(first.items[i].seq, first.items[i - 1].seq + 1);
+    EXPECT_GE(first.items[i].published_at, first.items[i - 1].published_at);
+  }
+  EXPECT_EQ(first.latest_seq, first.items.back().seq);
+
+  // Polling again with since = latest returns nothing new.
+  const PollResult second = w.feeds.poll(url, first.latest_seq,
+                                         100 * sim::kDay);
+  EXPECT_TRUE(second.items.empty());
+  EXPECT_GT(second.bytes, 0u);  // the document still costs bytes
+}
+
+TEST(FeedService, WindowBoundsReturnedItems) {
+  World w;
+  const std::string url = w.feeds.feed_urls()[0];
+  const PollResult result = w.feeds.poll(url, 0, 3650 * sim::kDay);
+  EXPECT_LE(result.items.size(), FeedService::Config{}.window);
+}
+
+TEST(FeedService, UnknownFeedIsNotFound) {
+  World w;
+  const PollResult result = w.feeds.poll("http://x/y.rss", 0, sim::kDay);
+  EXPECT_FALSE(result.found);
+  EXPECT_TRUE(result.items.empty());
+}
+
+TEST(FeedService, ItemsCarrySiteTopicsAndLinks) {
+  World w;
+  const std::string url = w.feeds.feed_urls()[0];
+  const PollResult result = w.feeds.poll(url, 0, 200 * sim::kDay);
+  ASSERT_FALSE(result.items.empty());
+  const FeedItem& item = result.items.back();
+  EXPECT_EQ(item.feed_url, url);
+  EXPECT_FALSE(item.terms.empty());
+  EXPECT_TRUE(item.link.starts_with("http://"));
+  EXPECT_TRUE(item.guid.starts_with(url));
+}
+
+TEST(FeedService, DeterministicAcrossInstances) {
+  World a;
+  World b;
+  const std::string url = a.feeds.feed_urls()[0];
+  const PollResult ra = a.feeds.poll(url, 0, 50 * sim::kDay);
+  const PollResult rb = b.feeds.poll(url, 0, 50 * sim::kDay);
+  ASSERT_EQ(ra.items.size(), rb.items.size());
+  for (std::size_t i = 0; i < ra.items.size(); ++i) {
+    EXPECT_EQ(ra.items[i].guid, rb.items[i].guid);
+    EXPECT_EQ(ra.items[i].terms, rb.items[i].terms);
+  }
+}
+
+TEST(FeedService, StatsAccumulate) {
+  World w;
+  const std::string url = w.feeds.feed_urls()[0];
+  w.feeds.poll(url, 0, sim::kDay);
+  w.feeds.poll(url, 0, sim::kDay);
+  EXPECT_EQ(w.feeds.stats().polls, 2u);
+  EXPECT_GT(w.feeds.stats().bytes_served, 0u);
+  w.feeds.reset_stats();
+  EXPECT_EQ(w.feeds.stats().polls, 0u);
+}
+
+// --- helpers --------------------------------------------------------------------
+
+TEST(FeedEvent, ShapeAndFilterMatch) {
+  FeedItem item;
+  item.feed_url = "http://s.example/feeds/index.rss";
+  item.guid = item.feed_url + "#7";
+  item.seq = 7;
+  item.link = "http://s.example/story/7";
+  item.terms = {"storm", "coast"};
+  const pubsub::Event event = make_feed_event(item, "s.example");
+  EXPECT_TRUE(feed_filter(item.feed_url).matches(event));
+  EXPECT_FALSE(feed_filter("http://other/feed.rss").matches(event));
+  EXPECT_EQ(event.find("seq")->as_int(), 7);
+  EXPECT_EQ(event.find("text")->as_string(), "storm coast");
+}
+
+// --- FeedEventsProxy ---------------------------------------------------------------
+
+struct ProxyWorld : World {
+  sim::Simulator sim;
+  sim::Network net;
+  pubsub::Broker broker;
+  FeedEventsProxy proxy;
+
+  ProxyWorld()
+      : net(sim, quiet()),
+        broker(sim, net, "b0"),
+        proxy(sim, net, feeds, broker, proxy_config()) {}
+
+  static sim::Network::Config quiet() {
+    sim::Network::Config config;
+    config.default_latency = sim::kMillisecond;
+    config.jitter_fraction = 0.0;
+    return config;
+  }
+  static FeedEventsProxy::Config proxy_config() {
+    FeedEventsProxy::Config config;
+    config.poll_interval = sim::kHour;
+    return config;
+  }
+};
+
+TEST(FeedEventsProxy, PublishesNewItemsToSubscribers) {
+  ProxyWorld w;
+  const std::string url = w.feeds.feed_urls()[0];
+
+  pubsub::Client sub(w.sim, w.net, "sub");
+  sub.connect(w.broker);
+  std::vector<pubsub::Event> got;
+  sub.subscribe(feed_filter(url),
+                [&](const pubsub::Event& e, pubsub::SubscriptionId) {
+                  got.push_back(e);
+                });
+  w.proxy.watch(url);
+  // Run long enough for the feed to emit something (rates are >= 0.02/day,
+  // but this feed's rate is known to the service).
+  const double rate = w.feeds.rate_per_day(url);
+  const auto horizon = static_cast<sim::Time>(
+      (30.0 / rate) * static_cast<double>(sim::kDay));
+  w.sim.run_until(horizon);
+  EXPECT_FALSE(got.empty());
+  EXPECT_EQ(w.proxy.stats().items_published, got.size());
+  // Every delivered event belongs to the watched feed.
+  for (const auto& e : got) {
+    EXPECT_EQ(e.find("feed")->as_string(), url);
+  }
+}
+
+TEST(FeedEventsProxy, WatchRefcountsAcrossUsers) {
+  ProxyWorld w;
+  const std::string url = w.feeds.feed_urls()[0];
+  w.proxy.watch(url);
+  w.proxy.watch(url);
+  EXPECT_EQ(w.proxy.watched_count(), 1u);
+  w.proxy.unwatch(url);
+  EXPECT_EQ(w.proxy.watched_count(), 1u);  // still one watcher
+  w.proxy.unwatch(url);
+  EXPECT_EQ(w.proxy.watched_count(), 0u);
+}
+
+TEST(FeedEventsProxy, PollsEachFeedOncePerIntervalRegardlessOfWatchers) {
+  ProxyWorld w;
+  const std::string url = w.feeds.feed_urls()[0];
+  w.proxy.watch(url);
+  w.proxy.watch(url);
+  w.proxy.watch(url);
+  w.feeds.reset_stats();
+  w.sim.run_until(w.sim.now() + 10 * sim::kHour + sim::kMinute);
+  // ~10 poll cycles for 3 watchers of 1 feed => ~10 polls, not 30.
+  EXPECT_LE(w.feeds.stats().polls, 11u);
+  EXPECT_GE(w.feeds.stats().polls, 9u);
+}
+
+TEST(FeedEventsProxy, WatchUnwatchViaNetworkMessages) {
+  ProxyWorld w;
+  const std::string url = w.feeds.feed_urls()[0];
+  pubsub::Client user(w.sim, w.net, "user");
+  w.net.send(user.id(), w.proxy.id(), std::string(kTypeWatchFeed),
+             WatchFeedMsg{url}, 32);
+  w.sim.run_until(w.sim.now() + sim::kSecond);
+  EXPECT_EQ(w.proxy.watched_count(), 1u);
+  EXPECT_EQ(w.proxy.stats().watch_requests, 1u);
+  w.net.send(user.id(), w.proxy.id(), std::string(kTypeUnwatchFeed),
+             UnwatchFeedMsg{url}, 32);
+  w.sim.run_until(w.sim.now() + sim::kSecond);
+  EXPECT_EQ(w.proxy.watched_count(), 0u);
+}
+
+TEST(FeedEventsProxy, NewWatcherStartsFromHeadNotHistory) {
+  ProxyWorld w;
+  const std::string url = w.feeds.feed_urls()[0];
+  // Let the feed accumulate history first.
+  w.sim.run_until(100 * sim::kDay);
+  pubsub::Client sub(w.sim, w.net, "sub");
+  sub.connect(w.broker);
+  int got = 0;
+  sub.subscribe(feed_filter(url),
+                [&](const pubsub::Event&, pubsub::SubscriptionId) { ++got; });
+  w.proxy.watch(url);
+  w.sim.run_until(w.sim.now() + 2 * sim::kHour);
+  // At most a couple of *new* items in 2h; the backlog must not flood in.
+  EXPECT_LE(got, 2);
+}
+
+// --- DirectPoller (baseline) -------------------------------------------------------
+
+TEST(DirectPoller, PollsPerSubscriberScaleLinearly) {
+  World w;
+  sim::Simulator sim;
+  const std::string url = w.feeds.feed_urls()[0];
+
+  std::vector<std::unique_ptr<DirectPoller>> pollers;
+  for (int i = 0; i < 5; ++i) {
+    auto p = std::make_unique<DirectPoller>(sim, w.feeds, sim::kHour);
+    p->subscribe(url);
+    pollers.push_back(std::move(p));
+  }
+  w.feeds.reset_stats();
+  sim.run_until(10 * sim::kHour + sim::kMinute);
+  // 5 pollers x ~10 cycles => ~50 polls (compare proxy test above).
+  EXPECT_GE(w.feeds.stats().polls, 45u);
+  EXPECT_LE(w.feeds.stats().polls, 55u);
+}
+
+TEST(DirectPoller, DeliversItemsViaHandler) {
+  World w;
+  sim::Simulator sim;
+  const std::string url = w.feeds.feed_urls()[0];
+  std::vector<FeedItem> got;
+  DirectPoller poller(sim, w.feeds, sim::kHour,
+                      [&](const FeedItem& item) { got.push_back(item); });
+  poller.subscribe(url);
+  const double rate = w.feeds.rate_per_day(url);
+  sim.run_until(static_cast<sim::Time>((20.0 / rate) *
+                                       static_cast<double>(sim::kDay)));
+  EXPECT_FALSE(got.empty());
+  EXPECT_EQ(poller.stats().items_received, got.size());
+  // Unsubscribe stops further items.
+  poller.unsubscribe(url);
+  const std::size_t before = got.size();
+  sim.run_until(sim.now() + static_cast<sim::Time>(
+                                (20.0 / rate) *
+                                static_cast<double>(sim::kDay)));
+  EXPECT_EQ(got.size(), before);
+}
+
+}  // namespace
+}  // namespace reef::feeds

@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include "pubsub/client.h"
+#include "pubsub/overlay.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace reef::pubsub {
+namespace {
+
+struct Harness {
+  sim::Simulator sim;
+  sim::Network net;
+  explicit Harness(sim::Network::Config config = fast()) : net(sim, config) {}
+  static sim::Network::Config fast() {
+    sim::Network::Config config;
+    config.default_latency = sim::kMillisecond;
+    config.jitter_fraction = 0.0;
+    return config;
+  }
+  void settle() { sim.run_until(sim.now() + 10 * sim::kSecond); }
+};
+
+Filter stock(const std::string& sym) {
+  return Filter().and_(eq("sym", sym));
+}
+
+TEST(Broker, LocalDeliveryThroughSingleBroker) {
+  Harness h;
+  Broker broker(h.sim, h.net, "b0");
+  Client pub(h.sim, h.net, "pub");
+  Client sub(h.sim, h.net, "sub");
+  pub.connect(broker);
+  sub.connect(broker);
+
+  std::vector<Event> got;
+  sub.subscribe(stock("ACME"),
+                [&](const Event& e, SubscriptionId) { got.push_back(e); });
+  h.settle();
+  pub.publish(Event().with("sym", "ACME").with("price", 10.0));
+  pub.publish(Event().with("sym", "OTHER").with("price", 10.0));
+  h.settle();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].find("sym")->as_string(), "ACME");
+  EXPECT_EQ(sub.deliveries(), 1u);
+}
+
+TEST(Broker, PublisherDoesNotReceiveOwnEcho) {
+  Harness h;
+  Broker broker(h.sim, h.net, "b0");
+  Client both(h.sim, h.net, "both");
+  both.connect(broker);
+  int self_got = 0;
+  both.subscribe(stock("A"),
+                 [&](const Event&, SubscriptionId) { ++self_got; });
+  h.settle();
+  both.publish(Event().with("sym", "A"));
+  h.settle();
+  // Events are not echoed to the interface they arrived from.
+  EXPECT_EQ(self_got, 0);
+}
+
+TEST(Broker, RoutesAcrossChain) {
+  Harness h;
+  Overlay overlay = Overlay::chain(h.sim, h.net, 4);
+  Client pub(h.sim, h.net, "pub");
+  Client sub(h.sim, h.net, "sub");
+  pub.connect(overlay.broker(0));
+  sub.connect(overlay.broker(3));
+
+  int got = 0;
+  sub.subscribe(stock("ACME"), [&](const Event&, SubscriptionId) { ++got; });
+  h.settle();
+  pub.publish(Event().with("sym", "ACME"));
+  h.settle();
+  EXPECT_EQ(got, 1);
+  // Subscription propagated along the chain.
+  EXPECT_GE(overlay.broker(0).table_size(), 1u);
+}
+
+TEST(Broker, PublicationNotForwardedWithoutSubscribers) {
+  Harness h;
+  Overlay overlay = Overlay::chain(h.sim, h.net, 3);
+  Client pub(h.sim, h.net, "pub");
+  pub.connect(overlay.broker(0));
+  h.settle();
+  pub.publish(Event().with("sym", "A"));
+  h.settle();
+  EXPECT_EQ(overlay.total_pubs_forwarded(), 0u);
+  EXPECT_EQ(overlay.broker(1).stats().pubs_received, 0u);
+}
+
+TEST(Broker, UnsubscribeStopsDelivery) {
+  Harness h;
+  Overlay overlay = Overlay::chain(h.sim, h.net, 2);
+  Client pub(h.sim, h.net, "pub");
+  Client sub(h.sim, h.net, "sub");
+  pub.connect(overlay.broker(0));
+  sub.connect(overlay.broker(1));
+  int got = 0;
+  const auto id = sub.subscribe(stock("A"),
+                                [&](const Event&, SubscriptionId) { ++got; });
+  h.settle();
+  pub.publish(Event().with("sym", "A"));
+  h.settle();
+  EXPECT_EQ(got, 1);
+
+  sub.unsubscribe(id);
+  h.settle();
+  pub.publish(Event().with("sym", "A"));
+  h.settle();
+  EXPECT_EQ(got, 1);
+  // Routing state fully retracted on both brokers.
+  EXPECT_EQ(overlay.broker(0).table_size(), 0u);
+  EXPECT_EQ(overlay.broker(1).table_size(), 0u);
+}
+
+TEST(Broker, CoveringPrunesForwardedSubscriptions) {
+  Harness h;
+  Overlay overlay = Overlay::chain(h.sim, h.net, 2);
+  Client sub(h.sim, h.net, "sub");
+  sub.connect(overlay.broker(1));
+
+  // Broad filter first; narrower ones are covered and must not be
+  // forwarded to broker 0.
+  sub.subscribe(Filter().and_(eq("stream", "feed")));
+  h.settle();
+  EXPECT_EQ(overlay.broker(1).forwarded_size(overlay.broker(0).id()), 1u);
+
+  sub.subscribe(Filter()
+                    .and_(eq("stream", "feed"))
+                    .and_(eq("feed", "http://x/a.rss")));
+  sub.subscribe(Filter()
+                    .and_(eq("stream", "feed"))
+                    .and_(eq("feed", "http://x/b.rss")));
+  h.settle();
+  EXPECT_EQ(overlay.broker(1).forwarded_size(overlay.broker(0).id()), 1u);
+  EXPECT_EQ(overlay.broker(0).table_size(), 1u);
+}
+
+TEST(Broker, UncoveringResendsOnBroadUnsubscribe) {
+  Harness h;
+  Overlay overlay = Overlay::chain(h.sim, h.net, 2);
+  Client sub(h.sim, h.net, "sub");
+  sub.connect(overlay.broker(1));
+
+  const auto broad = sub.subscribe(Filter().and_(eq("stream", "feed")));
+  const Filter narrow_filter =
+      Filter().and_(eq("stream", "feed")).and_(eq("feed", "http://x/a.rss"));
+  sub.subscribe(narrow_filter);
+  h.settle();
+  EXPECT_EQ(overlay.broker(1).forwarded_size(overlay.broker(0).id()), 1u);
+
+  // Retracting the broad filter must re-expose the narrow one upstream.
+  sub.unsubscribe(broad);
+  h.settle();
+  EXPECT_EQ(overlay.broker(1).forwarded_size(overlay.broker(0).id()), 1u);
+  EXPECT_EQ(overlay.broker(0).table_size(), 1u);
+
+  // And events for the narrow filter still flow.
+  Client pub(h.sim, h.net, "pub");
+  pub.connect(overlay.broker(0));
+  int got = 0;
+  // reuse the narrow subscription: count deliveries to the client
+  sub.subscribe(narrow_filter,
+                [&](const Event&, SubscriptionId) { ++got; });
+  h.settle();
+  pub.publish(Event()
+                  .with("stream", "feed")
+                  .with("feed", "http://x/a.rss"));
+  h.settle();
+  EXPECT_GE(got, 1);
+}
+
+TEST(Broker, CoveringDisabledForwardsEverything) {
+  Broker::Config no_cover;
+  no_cover.covering_enabled = false;
+  Harness h;
+  Overlay overlay(h.sim, h.net, no_cover);
+  overlay.add_broker();
+  overlay.add_broker();
+  overlay.link(0, 1);
+  Client sub(h.sim, h.net, "sub");
+  sub.connect(overlay.broker(1));
+  sub.subscribe(Filter().and_(eq("stream", "feed")));
+  sub.subscribe(
+      Filter().and_(eq("stream", "feed")).and_(eq("feed", "http://x/a.rss")));
+  h.settle();
+  EXPECT_EQ(overlay.broker(1).forwarded_size(overlay.broker(0).id()), 2u);
+}
+
+TEST(Broker, StarTopologyDeliversToAllInterestedLeaves) {
+  Harness h;
+  Overlay overlay = Overlay::star(h.sim, h.net, 5);
+  Client pub(h.sim, h.net, "pub");
+  pub.connect(overlay.broker(1));
+  std::vector<std::unique_ptr<Client>> subs;
+  int total = 0;
+  for (std::size_t i = 2; i < 5; ++i) {
+    auto c = std::make_unique<Client>(h.sim, h.net, "s" + std::to_string(i));
+    c->connect(overlay.broker(i));
+    c->subscribe(stock("A"), [&](const Event&, SubscriptionId) { ++total; });
+    subs.push_back(std::move(c));
+  }
+  h.settle();
+  pub.publish(Event().with("sym", "A"));
+  h.settle();
+  EXPECT_EQ(total, 3);
+}
+
+TEST(Broker, IdenticalFiltersFromManyClientsAggregated) {
+  Harness h;
+  Overlay overlay = Overlay::chain(h.sim, h.net, 2);
+  std::vector<std::unique_ptr<Client>> subs;
+  for (int i = 0; i < 5; ++i) {
+    auto c = std::make_unique<Client>(h.sim, h.net, "c" + std::to_string(i));
+    c->connect(overlay.broker(1));
+    c->subscribe(stock("A"));
+    subs.push_back(std::move(c));
+  }
+  h.settle();
+  // Five client subscriptions, one forwarded filter.
+  EXPECT_EQ(overlay.broker(1).forwarded_size(overlay.broker(0).id()), 1u);
+}
+
+TEST(Client, SubscribeAnyDeduplicatesAcrossBranches) {
+  Harness h;
+  Broker broker(h.sim, h.net, "b0");
+  Client pub(h.sim, h.net, "pub");
+  Client sub(h.sim, h.net, "sub");
+  pub.connect(broker);
+  sub.connect(broker);
+
+  int fired = 0;
+  const auto ids = sub.subscribe_any(
+      {Filter().and_(contains("text", "storm")),
+       Filter().and_(contains("text", "coast"))},
+      [&](const Event&, SubscriptionId) { ++fired; });
+  EXPECT_EQ(ids.size(), 2u);
+  h.settle();
+
+  // Matches both branches: handler fires once.
+  pub.publish(Event().with("text", "storm hits coast"));
+  // Matches one branch: fires once.
+  pub.publish(Event().with("text", "coast is clear"));
+  // Matches neither: no fire.
+  pub.publish(Event().with("text", "sunny day"));
+  h.settle();
+  EXPECT_EQ(fired, 2);
+
+  for (const auto id : ids) sub.unsubscribe(id);
+  h.settle();
+  pub.publish(Event().with("text", "storm again"));
+  h.settle();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Broker, CrashedBrokerDropsTrafficUntilRestored) {
+  Harness h;
+  Overlay overlay = Overlay::chain(h.sim, h.net, 3);
+  Client pub(h.sim, h.net, "pub");
+  Client sub(h.sim, h.net, "sub");
+  pub.connect(overlay.broker(0));
+  sub.connect(overlay.broker(2));
+  int got = 0;
+  sub.subscribe(stock("A"), [&](const Event&, SubscriptionId) { ++got; });
+  h.settle();
+
+  // Kill the middle broker: events are lost in transit (pub/sub gives no
+  // delivery guarantee across failures).
+  h.net.set_node_up(overlay.broker(1).id(), false);
+  pub.publish(Event().with("sym", "A"));
+  h.settle();
+  EXPECT_EQ(got, 0);
+
+  // Restore it: routing state is still in place (brokers keep their
+  // tables), so new publications flow again.
+  h.net.set_node_up(overlay.broker(1).id(), true);
+  pub.publish(Event().with("sym", "A"));
+  h.settle();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Overlay, LinkRejectsCycles) {
+  Harness h;
+  Overlay overlay(h.sim, h.net);
+  overlay.add_broker();
+  overlay.add_broker();
+  overlay.add_broker();
+  overlay.link(0, 1);
+  overlay.link(1, 2);
+  EXPECT_THROW(overlay.link(0, 2), std::invalid_argument);
+  EXPECT_THROW(overlay.link(0, 0), std::invalid_argument);
+}
+
+TEST(Overlay, TopologiesAreAcyclicAndConnected) {
+  Harness h;
+  const Overlay tree = Overlay::tree(h.sim, h.net, 7, 2);
+  EXPECT_EQ(tree.size(), 7u);
+  util::Rng rng(3);
+  Harness h2;
+  const Overlay random = Overlay::random_tree(h2.sim, h2.net, 10, rng);
+  EXPECT_EQ(random.size(), 10u);
+  std::size_t degree_total = 0;
+  for (std::size_t i = 0; i < random.size(); ++i) {
+    degree_total += random.broker(i).neighbor_count();
+  }
+  EXPECT_EQ(degree_total, 2 * (random.size() - 1));  // n-1 edges
+}
+
+TEST(Broker, BruteForceMatcherConfigWorksEndToEnd) {
+  Broker::Config config;
+  config.use_counting_matcher = false;
+  Harness h;
+  Broker broker(h.sim, h.net, "b", config);
+  Client pub(h.sim, h.net, "p");
+  Client sub(h.sim, h.net, "s");
+  pub.connect(broker);
+  sub.connect(broker);
+  int got = 0;
+  sub.subscribe(stock("A"), [&](const Event&, SubscriptionId) { ++got; });
+  h.settle();
+  pub.publish(Event().with("sym", "A"));
+  h.settle();
+  EXPECT_EQ(got, 1);
+}
+
+}  // namespace
+}  // namespace reef::pubsub

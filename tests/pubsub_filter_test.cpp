@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include "pubsub/constraint.h"
+#include "pubsub/event.h"
+#include "pubsub/filter.h"
+#include "util/rng.h"
+
+namespace reef::pubsub {
+namespace {
+
+// --- Value --------------------------------------------------------------------
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(42).is_numeric());
+  EXPECT_TRUE(Value(4.2).is_numeric());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_EQ(Value(42).as_int(), 42);
+  EXPECT_EQ(Value("x").as_string(), "x");
+}
+
+TEST(Value, CrossTypeNumericEquality) {
+  EXPECT_TRUE(Value(3).equals(Value(3.0)));
+  EXPECT_TRUE(Value(3.0).equals(Value(3)));
+  EXPECT_FALSE(Value(3).equals(Value(3.5)));
+  // strict operator== distinguishes representations
+  EXPECT_FALSE(Value(3) == Value(3.0));
+  EXPECT_TRUE(Value(3) == Value(3));
+}
+
+TEST(Value, CrossTypeNumericHashEquality) {
+  EXPECT_EQ(Value(3).hash(), Value(3.0).hash());
+}
+
+TEST(Value, IncompatibleComparisonsReturnNullopt) {
+  EXPECT_FALSE(Value::compare(Value("a"), Value(1)).has_value());
+  EXPECT_FALSE(Value::compare(Value(true), Value(1)).has_value());
+  EXPECT_FALSE(Value::compare(Value(), Value(1)).has_value());
+}
+
+TEST(Value, Ordering) {
+  EXPECT_EQ(*Value::compare(Value(1), Value(2)), std::strong_ordering::less);
+  EXPECT_EQ(*Value::compare(Value("b"), Value("a")),
+            std::strong_ordering::greater);
+  EXPECT_EQ(*Value::compare(Value(2.5), Value(2.5)),
+            std::strong_ordering::equal);
+  EXPECT_EQ(*Value::compare(Value(false), Value(true)),
+            std::strong_ordering::less);
+}
+
+TEST(Event, BuildLookupAndCanonicalText) {
+  const Event e = Event().with("b", 2).with("a", "x").with("b", 3);
+  EXPECT_EQ(e.size(), 2u);  // b overwritten
+  ASSERT_NE(e.find("b"), nullptr);
+  EXPECT_EQ(e.find("b")->as_int(), 3);
+  EXPECT_EQ(e.find("missing"), nullptr);
+  EXPECT_EQ(e.to_string(), "{a=\"x\", b=3}");
+  EXPECT_GT(e.wire_size(), 0u);
+}
+
+// --- Constraint matching ------------------------------------------------------
+
+TEST(Constraint, NumericOperators) {
+  EXPECT_TRUE(eq("p", 5).matches(Value(5.0)));
+  EXPECT_FALSE(eq("p", 5).matches(Value(6)));
+  EXPECT_TRUE(ne("p", 5).matches(Value(6)));
+  EXPECT_FALSE(ne("p", 5).matches(Value(5)));
+  EXPECT_FALSE(ne("p", 5).matches(Value("abc")));  // incompatible: no match
+  EXPECT_TRUE(lt("p", 5).matches(Value(4)));
+  EXPECT_FALSE(lt("p", 5).matches(Value(5)));
+  EXPECT_TRUE(le("p", 5).matches(Value(5)));
+  EXPECT_TRUE(gt("p", 5).matches(Value(5.1)));
+  EXPECT_TRUE(ge("p", 5).matches(Value(5)));
+  EXPECT_FALSE(ge("p", 5).matches(Value(4.9)));
+}
+
+TEST(Constraint, StringOperators) {
+  EXPECT_TRUE(prefix("u", "http://a").matches(Value("http://a/b")));
+  EXPECT_FALSE(prefix("u", "http://a").matches(Value("https://a")));
+  EXPECT_TRUE(suffix("u", ".rss").matches(Value("feed.rss")));
+  EXPECT_FALSE(suffix("u", ".rss").matches(Value("feed.atom")));
+  EXPECT_TRUE(contains("t", "news").matches(Value("the news today")));
+  EXPECT_FALSE(contains("t", "news").matches(Value("weather")));
+  EXPECT_FALSE(contains("t", "news").matches(Value(42)));  // non-string
+  EXPECT_TRUE(lt("s", "b").matches(Value("a")));  // lexicographic
+}
+
+TEST(Constraint, ExistsMatchesAnyValue) {
+  EXPECT_TRUE(exists("x").matches(Value(1)));
+  EXPECT_TRUE(exists("x").matches(Value("s")));
+  EXPECT_TRUE(exists("x").matches(Value(false)));
+  EXPECT_FALSE(exists("x").matches(Value()));
+}
+
+// --- Covering: directed examples ------------------------------------------------
+
+TEST(Covering, ExistsCoversEverything) {
+  EXPECT_TRUE(exists("p").covers(eq("p", 5)));
+  EXPECT_TRUE(exists("p").covers(lt("p", 5)));
+  EXPECT_TRUE(exists("p").covers(contains("p", "x")));
+  EXPECT_FALSE(exists("q").covers(eq("p", 5)));  // different attribute
+}
+
+TEST(Covering, RangeExamples) {
+  EXPECT_TRUE(lt("p", 10).covers(lt("p", 5)));
+  EXPECT_TRUE(lt("p", 10).covers(le("p", 9)));
+  EXPECT_TRUE(lt("p", 10).covers(eq("p", 3)));
+  EXPECT_FALSE(lt("p", 10).covers(le("p", 10)));
+  EXPECT_FALSE(lt("p", 10).covers(lt("p", 11)));
+  EXPECT_TRUE(ge("p", 5).covers(gt("p", 5)));
+  EXPECT_TRUE(ge("p", 5).covers(eq("p", 5)));
+  EXPECT_FALSE(gt("p", 5).covers(eq("p", 5)));
+  EXPECT_TRUE(le("p", 5).covers(le("p", 5)));
+}
+
+TEST(Covering, NeExamples) {
+  EXPECT_TRUE(ne("p", 5).covers(eq("p", 4)));
+  EXPECT_FALSE(ne("p", 5).covers(eq("p", 5)));
+  EXPECT_TRUE(ne("p", 5).covers(lt("p", 5)));
+  EXPECT_FALSE(ne("p", 5).covers(lt("p", 6)));
+  EXPECT_TRUE(ne("u", "x").covers(prefix("u", "y")));
+  EXPECT_FALSE(ne("u", "yz").covers(prefix("u", "y")));
+}
+
+TEST(Covering, StringExamples) {
+  EXPECT_TRUE(prefix("u", "http://").covers(prefix("u", "http://a.com")));
+  EXPECT_FALSE(prefix("u", "http://a.com").covers(prefix("u", "http://")));
+  EXPECT_TRUE(prefix("u", "ab").covers(eq("u", "abc")));
+  EXPECT_TRUE(suffix("u", ".rss").covers(eq("u", "feed.rss")));
+  EXPECT_TRUE(contains("u", "b").covers(contains("u", "abc")));
+  EXPECT_FALSE(contains("u", "abc").covers(contains("u", "b")));
+  EXPECT_TRUE(contains("u", "b").covers(prefix("u", "abc")));
+  EXPECT_TRUE(contains("u", "b").covers(eq("u", "abc")));
+}
+
+TEST(Covering, CrossTypeNumericEq) {
+  EXPECT_TRUE(eq("p", 3).covers(eq("p", 3.0)));
+  EXPECT_TRUE(eq("p", 3.0).covers(eq("p", 3)));
+}
+
+// --- Covering soundness (property) ----------------------------------------------
+//
+// For randomly generated constraint pairs, whenever covers() claims c1
+// covers c2, no probe value may match c2 without matching c1.
+
+class CoveringProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+Constraint random_constraint(util::Rng& rng) {
+  static const std::vector<std::string> attrs{"p"};
+  const auto op = static_cast<Op>(rng.index(10));
+  const bool string_flavored =
+      op == Op::kPrefix || op == Op::kSuffix || op == Op::kContains;
+  Value value;
+  if (string_flavored || rng.chance(0.4)) {
+    static const std::vector<std::string> strings{
+        "a", "b", "ab", "abc", "bc", "x", "http://a", "http://b", ""};
+    value = Value(strings[rng.index(strings.size())]);
+  } else if (rng.chance(0.5)) {
+    value = Value(static_cast<std::int64_t>(rng.uniform_u64(0, 8)));
+  } else {
+    value = Value(static_cast<double>(rng.uniform_u64(0, 8)) + 0.5);
+  }
+  return Constraint("p", op, value);
+}
+
+std::vector<Value> probe_values() {
+  std::vector<Value> probes;
+  for (int i = -1; i <= 9; ++i) probes.emplace_back(std::int64_t{i});
+  for (double d : {-0.5, 0.5, 1.5, 2.5, 3.5, 4.5, 7.5, 8.5}) {
+    probes.emplace_back(d);
+  }
+  for (const char* s : {"", "a", "b", "ab", "abc", "abcd", "bc", "x", "xa",
+                        "http://a", "http://a/b", "http://b"}) {
+    probes.emplace_back(s);
+  }
+  probes.emplace_back(true);
+  probes.emplace_back(false);
+  return probes;
+}
+
+TEST_P(CoveringProperty, CoversImpliesImplication) {
+  util::Rng rng(GetParam());
+  const auto probes = probe_values();
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Constraint c1 = random_constraint(rng);
+    const Constraint c2 = random_constraint(rng);
+    if (!c1.covers(c2)) continue;
+    for (const Value& v : probes) {
+      if (c2.matches(v)) {
+        EXPECT_TRUE(c1.matches(v))
+            << c1.to_string() << " claims to cover " << c2.to_string()
+            << " but value " << v.to_string() << " matches only the latter";
+      }
+    }
+  }
+}
+
+TEST_P(CoveringProperty, CoveringIsReflexive) {
+  util::Rng rng(GetParam() ^ 0xabc);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Constraint c = random_constraint(rng);
+    EXPECT_TRUE(c.covers(c)) << c.to_string();
+  }
+}
+
+TEST_P(CoveringProperty, CoveringIsTransitiveOnSamples) {
+  util::Rng rng(GetParam() ^ 0xdef);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const Constraint a = random_constraint(rng);
+    const Constraint b = random_constraint(rng);
+    const Constraint c = random_constraint(rng);
+    if (a.covers(b) && b.covers(c)) {
+      // Transitivity must hold semantically; verify via probes.
+      for (const Value& v : probe_values()) {
+        if (c.matches(v)) {
+          EXPECT_TRUE(a.matches(v))
+              << a.to_string() << " > " << b.to_string() << " > "
+              << c.to_string() << " broken at " << v.to_string();
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoveringProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// --- Filter ---------------------------------------------------------------------
+
+TEST(Filter, EmptyMatchesEverythingAndCoversEverything) {
+  const Filter empty;
+  EXPECT_TRUE(empty.matches(Event()));
+  EXPECT_TRUE(empty.matches(Event().with("x", 1)));
+  EXPECT_TRUE(empty.covers(Filter().and_(eq("x", 1))));
+  EXPECT_FALSE(Filter().and_(eq("x", 1)).covers(empty));
+  EXPECT_EQ(empty.to_string(), "[*]");
+}
+
+TEST(Filter, ConjunctionRequiresAllConstraints) {
+  const Filter f =
+      Filter().and_(eq("sym", "ACME")).and_(gt("price", 10.0));
+  EXPECT_TRUE(f.matches(Event().with("sym", "ACME").with("price", 11)));
+  EXPECT_FALSE(f.matches(Event().with("sym", "ACME").with("price", 9)));
+  EXPECT_FALSE(f.matches(Event().with("sym", "X").with("price", 11)));
+  EXPECT_FALSE(f.matches(Event().with("price", 11)));  // missing attribute
+}
+
+TEST(Filter, CanonicalizationSortsAndDedupes) {
+  const Filter a = Filter().and_(gt("p", 1)).and_(eq("a", 2)).and_(gt("p", 1));
+  const Filter b = Filter().and_(eq("a", 2)).and_(gt("p", 1));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.key(), b.key());
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(Filter, CoveringExamples) {
+  const Filter broad = Filter().and_(eq("stream", "feed"));
+  const Filter narrow =
+      Filter().and_(eq("stream", "feed")).and_(eq("feed", "http://x/f.rss"));
+  EXPECT_TRUE(broad.covers(narrow));
+  EXPECT_FALSE(narrow.covers(broad));
+  EXPECT_TRUE(narrow.covers(narrow));
+}
+
+TEST(Filter, CoveringSoundOnEvents) {
+  util::Rng rng(77);
+  const auto probes = probe_values();
+  for (int trial = 0; trial < 1500; ++trial) {
+    std::vector<Constraint> c1s, c2s;
+    for (std::size_t i = 0; i < 1 + rng.index(2); ++i) {
+      c1s.push_back(random_constraint(rng));
+    }
+    for (std::size_t i = 0; i < 1 + rng.index(2); ++i) {
+      c2s.push_back(random_constraint(rng));
+    }
+    const Filter f1(c1s);
+    const Filter f2(c2s);
+    if (!f1.covers(f2)) continue;
+    for (const Value& v : probes) {
+      const Event e = Event().with("p", v);
+      if (f2.matches(e)) {
+        EXPECT_TRUE(f1.matches(e))
+            << f1.to_string() << " vs " << f2.to_string() << " at "
+            << v.to_string();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reef::pubsub

@@ -1,0 +1,138 @@
+// Property tests of the broker overlay: on random tree topologies with
+// random subscriber placement, matching events reach every interested
+// client exactly once, covering on/off never changes delivery semantics,
+// and unsubscription drains all routing state.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "pubsub/client.h"
+#include "pubsub/overlay.h"
+#include "util/rng.h"
+
+namespace reef::pubsub {
+namespace {
+
+struct Scenario {
+  sim::Simulator sim;
+  sim::Network net;
+  std::unique_ptr<Overlay> overlay;
+  std::vector<std::unique_ptr<Client>> clients;
+  /// client index -> set of feed ids subscribed
+  std::vector<std::vector<std::size_t>> interests;
+  std::map<std::pair<std::size_t, std::size_t>, int> deliveries;
+
+  explicit Scenario(std::uint64_t seed, bool covering)
+      : net(sim, net_config(seed)) {
+    util::Rng rng(seed);
+    Broker::Config broker_config;
+    broker_config.covering_enabled = covering;
+    const std::size_t brokers = 2 + rng.index(7);
+    overlay = std::make_unique<Overlay>(
+        Overlay::random_tree(sim, net, brokers, rng, broker_config));
+
+    const std::size_t client_count = 3 + rng.index(8);
+    const std::size_t feed_universe = 5;
+    for (std::size_t c = 0; c < client_count; ++c) {
+      auto client = std::make_unique<Client>(sim, net,
+                                             "c" + std::to_string(c));
+      client->connect(overlay->broker(rng.index(brokers)));
+      std::vector<std::size_t> feeds;
+      const std::size_t n_subs = 1 + rng.index(3);
+      for (std::size_t s = 0; s < n_subs; ++s) {
+        const std::size_t feed = rng.index(feed_universe);
+        if (std::find(feeds.begin(), feeds.end(), feed) != feeds.end()) {
+          continue;
+        }
+        feeds.push_back(feed);
+        client->subscribe(
+            Filter().and_(eq("feed", static_cast<std::int64_t>(feed))),
+            [this, c, feed](const Event&, SubscriptionId) {
+              ++deliveries[{c, feed}];
+            });
+      }
+      interests.push_back(std::move(feeds));
+      clients.push_back(std::move(client));
+    }
+    sim.run_until(sim.now() + sim::kMinute);
+  }
+
+  static sim::Network::Config net_config(std::uint64_t seed) {
+    sim::Network::Config config;
+    config.default_latency = sim::kMillisecond;
+    config.jitter_fraction = 0.5;
+    config.seed = seed;
+    return config;
+  }
+};
+
+class OverlayProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OverlayProperty, ExactlyOnceDeliveryToAllInterestedClients) {
+  for (const bool covering : {true, false}) {
+    Scenario scenario(GetParam(), covering);
+    // One publisher per broker so events enter at every point of the tree.
+    std::vector<std::unique_ptr<Client>> publishers;
+    for (std::size_t b = 0; b < scenario.overlay->size(); ++b) {
+      auto p = std::make_unique<Client>(scenario.sim, scenario.net,
+                                        "p" + std::to_string(b));
+      p->connect(scenario.overlay->broker(b));
+      publishers.push_back(std::move(p));
+    }
+    scenario.sim.run_until(scenario.sim.now() + sim::kMinute);
+
+    util::Rng rng(GetParam() ^ 0xfeed);
+    std::vector<int> published_per_feed(5, 0);
+    for (int i = 0; i < 40; ++i) {
+      const std::size_t feed = rng.index(5);
+      const std::size_t broker = rng.index(publishers.size());
+      publishers[broker]->publish(
+          Event().with("feed", static_cast<std::int64_t>(feed)));
+      ++published_per_feed[feed];
+    }
+    scenario.sim.run_until(scenario.sim.now() + sim::kMinute);
+
+    for (std::size_t c = 0; c < scenario.clients.size(); ++c) {
+      for (const std::size_t feed : scenario.interests[c]) {
+        EXPECT_EQ((scenario.deliveries[{c, feed}]), published_per_feed[feed])
+            << "client " << c << " feed " << feed << " covering="
+            << covering;
+      }
+      // No spurious deliveries for feeds the client never subscribed to.
+      int total = 0;
+      for (const auto& [key, count] : scenario.deliveries) {
+        if (key.first == c) total += count;
+      }
+      int expected = 0;
+      for (const std::size_t feed : scenario.interests[c]) {
+        expected += published_per_feed[feed];
+      }
+      EXPECT_EQ(total, expected) << "client " << c;
+    }
+  }
+}
+
+TEST_P(OverlayProperty, UnsubscribeDrainsAllRoutingState) {
+  Scenario scenario(GetParam(), true);
+  // An extra client subscribes to every feed, then retracts everything;
+  // the overlay-wide routing state must shrink back.
+  auto extra = std::make_unique<Client>(scenario.sim, scenario.net, "extra");
+  extra->connect(scenario.overlay->broker(0));
+  std::vector<SubscriptionId> ids;
+  for (int feed = 0; feed < 5; ++feed) {
+    ids.push_back(extra->subscribe(
+        Filter().and_(eq("feed", static_cast<std::int64_t>(feed)))));
+  }
+  scenario.sim.run_until(scenario.sim.now() + sim::kMinute);
+  const std::size_t with_extra = scenario.overlay->total_table_size();
+  for (const auto id : ids) extra->unsubscribe(id);
+  scenario.sim.run_until(scenario.sim.now() + sim::kMinute);
+  EXPECT_LT(scenario.overlay->total_table_size(), with_extra);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OverlayProperty,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace
+}  // namespace reef::pubsub

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "pubsub/filter_parser.h"
+#include "util/rng.h"
+
+namespace reef::pubsub {
+namespace {
+
+Filter parse(std::string_view text) { return parse_filter_or_throw(text); }
+
+TEST(FilterParser, SingleEqualityString) {
+  const Filter f = parse("stream = \"feed\"");
+  EXPECT_TRUE(f.matches(Event().with("stream", "feed")));
+  EXPECT_FALSE(f.matches(Event().with("stream", "video")));
+}
+
+TEST(FilterParser, Conjunction) {
+  const Filter f = parse("symbol = \"ACME\" && price >= 10.5");
+  EXPECT_TRUE(f.matches(Event().with("symbol", "ACME").with("price", 11.0)));
+  EXPECT_FALSE(f.matches(Event().with("symbol", "ACME").with("price", 10.0)));
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(FilterParser, AllOperators) {
+  EXPECT_TRUE(parse("a != 3").matches(Event().with("a", 4)));
+  EXPECT_TRUE(parse("a < 3").matches(Event().with("a", 2)));
+  EXPECT_TRUE(parse("a <= 3").matches(Event().with("a", 3)));
+  EXPECT_TRUE(parse("a > 3").matches(Event().with("a", 4)));
+  EXPECT_TRUE(parse("a >= 3").matches(Event().with("a", 3)));
+  EXPECT_TRUE(parse("u =^ \"http://\"").matches(
+      Event().with("u", "http://x.org/")));
+  EXPECT_TRUE(parse("u =$ \".rss\"").matches(Event().with("u", "f.rss")));
+  EXPECT_TRUE(
+      parse("t =* \"storm\"").matches(Event().with("t", "big storm now")));
+}
+
+TEST(FilterParser, HasAndAnyForms) {
+  const Filter has = parse("has link");
+  EXPECT_TRUE(has.matches(Event().with("link", "x")));
+  EXPECT_FALSE(has.matches(Event().with("other", "x")));
+  const Filter any = parse("link any");
+  EXPECT_EQ(has, any);
+}
+
+TEST(FilterParser, Booleans) {
+  EXPECT_TRUE(parse("flag = true").matches(Event().with("flag", true)));
+  EXPECT_FALSE(parse("flag = true").matches(Event().with("flag", false)));
+  EXPECT_TRUE(parse("flag != false").matches(Event().with("flag", true)));
+}
+
+TEST(FilterParser, NumbersIntFloatNegativeExponent) {
+  EXPECT_TRUE(parse("a = -5").matches(Event().with("a", -5)));
+  EXPECT_TRUE(parse("a = 2.5").matches(Event().with("a", 2.5)));
+  EXPECT_TRUE(parse("a < 1e3").matches(Event().with("a", 999)));
+  EXPECT_TRUE(parse("a > -1.5e-2").matches(Event().with("a", 0)));
+}
+
+TEST(FilterParser, StringEscapes) {
+  const Filter f = parse(R"(t = "say \"hi\"")");
+  EXPECT_TRUE(f.matches(Event().with("t", "say \"hi\"")));
+}
+
+TEST(FilterParser, DottedAttributeNames) {
+  EXPECT_TRUE(parse("meta.source = \"cnn\"")
+                  .matches(Event().with("meta.source", "cnn")));
+}
+
+TEST(FilterParser, WhitespaceInsensitive) {
+  EXPECT_EQ(parse("a=1&&b=2"), parse("  a = 1   &&   b = 2  "));
+}
+
+TEST(FilterParser, EmptyFilterForm) {
+  const Filter f = parse("[*]");
+  EXPECT_TRUE(f.empty());
+  EXPECT_TRUE(f.matches(Event()));
+}
+
+TEST(FilterParser, Errors) {
+  const auto expect_error = [](std::string_view text) {
+    const ParseResult result = parse_filter(text);
+    EXPECT_TRUE(std::holds_alternative<ParseError>(result)) << text;
+  };
+  expect_error("");
+  expect_error("= 5");
+  expect_error("a 5");           // missing operator
+  expect_error("a = ");          // missing value
+  expect_error("a = bare");      // unquoted string
+  expect_error("a = \"open");    // unterminated string
+  expect_error("a ! 5");         // bad operator
+  expect_error("a = 5 &&");      // dangling conjunction
+  expect_error("a = 5 extra");   // trailing input
+  expect_error("has ");          // missing attribute
+  expect_error("[a = 5");        // unclosed bracket
+}
+
+TEST(FilterParser, ErrorPositionsPointAtOffendingToken) {
+  const ParseResult result = parse_filter("a = 5 && b ? 3");
+  const auto* err = std::get_if<ParseError>(&result);
+  ASSERT_NE(err, nullptr);
+  EXPECT_GE(err->position, 11u);
+}
+
+TEST(FilterParser, RoundTripThroughToString) {
+  // Filters of every operator survive to_string -> parse -> equality.
+  const std::vector<Filter> cases = {
+      Filter(),
+      Filter().and_(eq("a", 1)),
+      Filter().and_(eq("s", "x")).and_(ne("s", "y")),
+      Filter()
+          .and_(ge("price", 10.5))
+          .and_(lt("price", 99))
+          .and_(prefix("u", "http://"))
+          .and_(suffix("u", ".rss"))
+          .and_(contains("t", "storm"))
+          .and_(exists("link")),
+      Filter().and_(eq("flag", true)).and_(ne("other", false)),
+  };
+  for (const Filter& original : cases) {
+    const Filter reparsed = parse(original.to_string());
+    EXPECT_EQ(original, reparsed) << original.to_string();
+  }
+}
+
+TEST(FilterParser, RoundTripRandomFilters) {
+  util::Rng rng(1234);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<Constraint> cs;
+    const std::size_t n = 1 + rng.index(4);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string attr(1, static_cast<char>('a' + rng.index(4)));
+      switch (rng.index(5)) {
+        case 0:
+          cs.push_back(eq(attr, static_cast<std::int64_t>(rng.index(100))));
+          break;
+        case 1:
+          cs.push_back(
+              ge(attr, static_cast<double>(rng.index(100)) + 0.25));
+          break;
+        case 2:
+          cs.push_back(contains(attr, "t" + std::to_string(rng.index(10))));
+          break;
+        case 3:
+          cs.push_back(exists(attr));
+          break;
+        default:
+          cs.push_back(ne(attr, rng.chance(0.5)));
+          break;
+      }
+    }
+    const Filter original(std::move(cs));
+    EXPECT_EQ(original, parse(original.to_string()))
+        << original.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace reef::pubsub

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "pubsub/sequence.h"
+
+namespace reef::pubsub {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  std::vector<std::pair<Event, Event>> fired;
+
+  SequenceDetector make(sim::Time window, std::string join = "") {
+    return SequenceDetector(
+        sim, Filter().and_(eq("type", "quake")),
+        Filter().and_(eq("type", "tsunami")), window, std::move(join),
+        [this](const Event& a, const Event& b) { fired.emplace_back(a, b); });
+  }
+};
+
+TEST(SequenceDetector, FiresOnOrderedPairWithinWindow) {
+  Fixture f;
+  auto seq = f.make(sim::kHour);
+  seq.on_first(Event().with("type", "quake").with("mag", 7.0));
+  f.sim.run_until(30 * sim::kMinute);
+  seq.on_second(Event().with("type", "tsunami"));
+  ASSERT_EQ(f.fired.size(), 1u);
+  EXPECT_EQ(f.fired[0].first.find("mag")->as_double(), 7.0);
+  EXPECT_EQ(seq.matches(), 1u);
+  EXPECT_EQ(seq.pending(), 0u);
+}
+
+TEST(SequenceDetector, DoesNotFireOutsideWindow) {
+  Fixture f;
+  auto seq = f.make(sim::kHour);
+  seq.on_first(Event().with("type", "quake"));
+  f.sim.run_until(2 * sim::kHour);
+  seq.on_second(Event().with("type", "tsunami"));
+  EXPECT_TRUE(f.fired.empty());
+  EXPECT_EQ(seq.expired(), 1u);
+}
+
+TEST(SequenceDetector, OrderMatters) {
+  Fixture f;
+  auto seq = f.make(sim::kHour);
+  seq.on_second(Event().with("type", "tsunami"));  // B before A: no match
+  seq.on_first(Event().with("type", "quake"));
+  EXPECT_TRUE(f.fired.empty());
+  EXPECT_EQ(seq.pending(), 1u);
+}
+
+TEST(SequenceDetector, NonMatchingEventsIgnored) {
+  Fixture f;
+  auto seq = f.make(sim::kHour);
+  seq.on_first(Event().with("type", "weather"));  // fails first filter
+  seq.on_second(Event().with("type", "tsunami"));
+  EXPECT_TRUE(f.fired.empty());
+  EXPECT_EQ(seq.pending(), 0u);
+}
+
+TEST(SequenceDetector, JoinAttributeParametrizesTheSequence) {
+  Fixture f;
+  auto seq = f.make(sim::kHour, "region");
+  seq.on_first(Event().with("type", "quake").with("region", "north"));
+  seq.on_second(Event().with("type", "tsunami").with("region", "south"));
+  EXPECT_TRUE(f.fired.empty());  // regions differ
+  seq.on_second(Event().with("type", "tsunami").with("region", "north"));
+  ASSERT_EQ(f.fired.size(), 1u);
+  EXPECT_EQ(f.fired[0].second.find("region")->as_string(), "north");
+}
+
+TEST(SequenceDetector, EachPendingFirstMatchesOnce) {
+  Fixture f;
+  auto seq = f.make(sim::kHour);
+  seq.on_first(Event().with("type", "quake").with("id", 1));
+  seq.on_second(Event().with("type", "tsunami"));
+  seq.on_second(Event().with("type", "tsunami"));
+  EXPECT_EQ(f.fired.size(), 1u);  // second tsunami finds no pending quake
+}
+
+TEST(SequenceDetector, MultiplePendingMatchOldestFirst) {
+  Fixture f;
+  auto seq = f.make(sim::kHour);
+  seq.on_first(Event().with("type", "quake").with("id", 1));
+  f.sim.run_until(sim::kMinute);
+  seq.on_first(Event().with("type", "quake").with("id", 2));
+  seq.on_second(Event().with("type", "tsunami"));
+  ASSERT_EQ(f.fired.size(), 1u);
+  EXPECT_EQ(f.fired[0].first.find("id")->as_int(), 1);
+  EXPECT_EQ(seq.pending(), 1u);  // quake 2 still armed
+}
+
+TEST(SequenceDetector, WorksEndToEndThroughClientSubscriptions) {
+  sim::Simulator sim;
+  sim::Network::Config net_config;
+  net_config.default_latency = sim::kMillisecond;
+  net_config.jitter_fraction = 0.0;
+  sim::Network net(sim, net_config);
+  Broker broker(sim, net, "b");
+  Client pub(sim, net, "p");
+  Client sub(sim, net, "s");
+  pub.connect(broker);
+  sub.connect(broker);
+
+  int fired = 0;
+  SequenceDetector seq(
+      sim, Filter().and_(eq("type", "quake")),
+      Filter().and_(eq("type", "tsunami")), sim::kHour, "region",
+      [&](const Event&, const Event&) { ++fired; });
+  sub.subscribe(seq.first_filter(), seq.first_handler());
+  sub.subscribe(seq.second_filter(), seq.second_handler());
+  sim.run_until(sim.now() + sim::kSecond);
+
+  pub.publish(Event().with("type", "quake").with("region", "north"));
+  sim.run_until(sim.now() + sim::kSecond);
+  pub.publish(Event().with("type", "tsunami").with("region", "north"));
+  sim.run_until(sim.now() + sim::kSecond);
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace reef::pubsub

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "feeds/feed_events_proxy.h"
+#include "pubsub/client.h"
+#include "reef/frontend.h"
+#include "sim/simulator.h"
+
+namespace reef::core {
+namespace {
+
+struct World {
+  sim::Simulator sim;
+  sim::Network net;
+  pubsub::Broker broker;
+  pubsub::Client publisher;
+
+  World()
+      : net(sim, quiet()), broker(sim, net, "b0"),
+        publisher(sim, net, "pub") {
+    publisher.connect(broker);
+  }
+  static sim::Network::Config quiet() {
+    sim::Network::Config config;
+    config.default_latency = sim::kMillisecond;
+    config.jitter_fraction = 0.0;
+    return config;
+  }
+  void settle() { sim.run_until(sim.now() + sim::kSecond); }
+
+  static Recommendation feed_rec(const std::string& url) {
+    Recommendation rec;
+    rec.action = RecAction::kSubscribe;
+    rec.filter = feeds::feed_filter(url);
+    rec.feed_url = url;
+    return rec;
+  }
+  static Recommendation feed_unrec(const std::string& url) {
+    Recommendation rec = feed_rec(url);
+    rec.action = RecAction::kUnsubscribe;
+    return rec;
+  }
+  pubsub::Event feed_event(const std::string& url, int seq) {
+    return pubsub::Event()
+        .with("stream", "feed")
+        .with("feed", url)
+        .with("site", "s.example")
+        .with("guid", url + "#" + std::to_string(seq))
+        .with("seq", seq)
+        .with("link", "http://s.example/story/" + std::to_string(seq))
+        .with("text", "storm coast");
+  }
+};
+
+TEST(Frontend, SubscribeReceivesEventsInSidebar) {
+  World w;
+  SubscriptionFrontend fe(w.sim, w.net, w.broker, 1, {});
+  const std::string url = "http://s.example/f.rss";
+  fe.apply(World::feed_rec(url));
+  w.settle();
+  EXPECT_TRUE(fe.is_subscribed_to_feed(url));
+  EXPECT_EQ(fe.active_feed_subscriptions(), 1u);
+
+  w.publisher.publish(w.feed_event(url, 1));
+  w.settle();
+  ASSERT_EQ(fe.sidebar().size(), 1u);
+  EXPECT_EQ(fe.stats().events_received, 1u);
+  EXPECT_EQ(fe.sidebar().front().feed_url, url);
+}
+
+TEST(Frontend, DuplicateSubscribeIsIdempotent) {
+  World w;
+  SubscriptionFrontend fe(w.sim, w.net, w.broker, 1, {});
+  fe.apply(World::feed_rec("http://s.example/f.rss"));
+  fe.apply(World::feed_rec("http://s.example/f.rss"));
+  EXPECT_EQ(fe.active_feed_subscriptions(), 1u);
+  EXPECT_EQ(fe.stats().subscribes_applied, 1u);
+}
+
+TEST(Frontend, UnsubscribeStopsEvents) {
+  World w;
+  SubscriptionFrontend fe(w.sim, w.net, w.broker, 1, {});
+  const std::string url = "http://s.example/f.rss";
+  fe.apply(World::feed_rec(url));
+  w.settle();
+  fe.apply(World::feed_unrec(url));
+  w.settle();
+  EXPECT_FALSE(fe.is_subscribed_to_feed(url));
+  w.publisher.publish(w.feed_event(url, 1));
+  w.settle();
+  EXPECT_TRUE(fe.sidebar().empty());
+  EXPECT_EQ(fe.stats().unsubscribes_applied, 1u);
+}
+
+TEST(Frontend, ProxyWatchAndUnwatchMessagesSent) {
+  World w;
+  // A fake proxy node that records watch/unwatch.
+  struct FakeProxy : sim::Node {
+    int watches = 0;
+    int unwatches = 0;
+    void handle_message(const sim::Message& msg) override {
+      if (msg.type == feeds::kTypeWatchFeed) ++watches;
+      if (msg.type == feeds::kTypeUnwatchFeed) ++unwatches;
+    }
+  } proxy;
+  const sim::NodeId proxy_id = w.net.attach(proxy, "fake-proxy");
+  SubscriptionFrontend fe(w.sim, w.net, w.broker, 1, {});
+  fe.set_proxy(proxy_id);
+  fe.apply(World::feed_rec("http://s.example/f.rss"));
+  w.settle();
+  EXPECT_EQ(proxy.watches, 1);
+  fe.apply(World::feed_unrec("http://s.example/f.rss"));
+  w.settle();
+  EXPECT_EQ(proxy.unwatches, 1);
+}
+
+TEST(Frontend, ClickReportsLinkToAttentionHook) {
+  World w;
+  SubscriptionFrontend fe(w.sim, w.net, w.broker, 1, {});
+  std::vector<std::string> opened;
+  fe.set_attention_hook(
+      [&](const util::Uri& uri) { opened.push_back(uri.to_string()); });
+  const std::string url = "http://s.example/f.rss";
+  fe.apply(World::feed_rec(url));
+  w.settle();
+  w.publisher.publish(w.feed_event(url, 5));
+  w.settle();
+  ASSERT_EQ(fe.sidebar().size(), 1u);
+  fe.click_entry(fe.sidebar().front().entry_id);
+  ASSERT_EQ(opened.size(), 1u);
+  EXPECT_EQ(opened[0], "http://s.example/story/5");
+  EXPECT_TRUE(fe.sidebar().empty());
+  EXPECT_EQ(fe.stats().clicked, 1u);
+}
+
+TEST(Frontend, DismissRemovesWithoutClick) {
+  World w;
+  SubscriptionFrontend fe(w.sim, w.net, w.broker, 1, {});
+  const std::string url = "http://s.example/f.rss";
+  fe.apply(World::feed_rec(url));
+  w.settle();
+  w.publisher.publish(w.feed_event(url, 1));
+  w.settle();
+  fe.dismiss_entry(fe.sidebar().front().entry_id);
+  EXPECT_EQ(fe.stats().dismissed, 1u);
+  EXPECT_EQ(fe.stats().clicked, 0u);
+  // Unknown ids are ignored.
+  fe.dismiss_entry(999);
+  fe.click_entry(999);
+}
+
+TEST(Frontend, IgnoredEventsExpireAfterTtl) {
+  World w;
+  SubscriptionFrontend::Config config;
+  config.event_ttl = sim::kHour;
+  SubscriptionFrontend fe(w.sim, w.net, w.broker, 1, config);
+  const std::string url = "http://s.example/f.rss";
+  fe.apply(World::feed_rec(url));
+  w.settle();
+  w.publisher.publish(w.feed_event(url, 1));
+  w.settle();
+  EXPECT_EQ(fe.sidebar().size(), 1u);
+  w.sim.run_until(w.sim.now() + 2 * sim::kHour);
+  EXPECT_TRUE(fe.sidebar().empty());
+  EXPECT_EQ(fe.stats().expired, 1u);
+}
+
+TEST(Frontend, SidebarCapacityEvictsOldest) {
+  World w;
+  SubscriptionFrontend::Config config;
+  config.sidebar_capacity = 3;
+  SubscriptionFrontend fe(w.sim, w.net, w.broker, 1, config);
+  const std::string url = "http://s.example/f.rss";
+  fe.apply(World::feed_rec(url));
+  w.settle();
+  for (int i = 0; i < 5; ++i) w.publisher.publish(w.feed_event(url, i));
+  w.settle();
+  EXPECT_EQ(fe.sidebar().size(), 3u);
+  EXPECT_EQ(fe.stats().expired, 2u);
+  // Oldest evicted: remaining entries are the last three.
+  EXPECT_EQ(fe.sidebar().front().event.find("seq")->as_int(), 2);
+}
+
+TEST(Frontend, DedupsByGuidAcrossOverlappingSubscriptions) {
+  World w;
+  SubscriptionFrontend fe(w.sim, w.net, w.broker, 1, {});
+  // Two content subscriptions that both match the same story.
+  Recommendation r1;
+  r1.filter = pubsub::Filter()
+                  .and_(pubsub::eq("stream", "feed"))
+                  .and_(pubsub::contains("text", "storm"));
+  Recommendation r2;
+  r2.filter = pubsub::Filter()
+                  .and_(pubsub::eq("stream", "feed"))
+                  .and_(pubsub::contains("text", "coast"));
+  fe.apply(r1);
+  fe.apply(r2);
+  w.settle();
+  w.publisher.publish(w.feed_event("http://s.example/f.rss", 1));
+  w.settle();
+  EXPECT_EQ(fe.sidebar().size(), 1u);  // guid dedup
+}
+
+TEST(Frontend, FeedbackAggregatesDeliveredAndClicked) {
+  World w;
+  SubscriptionFrontend fe(w.sim, w.net, w.broker, 1, {});
+  std::vector<FeedbackMsg> reports;
+  fe.set_feedback_sink(
+      [&](FeedbackMsg&& msg) { reports.push_back(std::move(msg)); },
+      sim::kDay);
+  const std::string url = "http://s.example/f.rss";
+  fe.apply(World::feed_rec(url));
+  w.settle();
+  for (int i = 0; i < 4; ++i) w.publisher.publish(w.feed_event(url, i));
+  w.settle();
+  fe.click_entry(fe.sidebar().front().entry_id);
+  fe.emit_feedback();
+  ASSERT_FALSE(reports.empty());
+  const FeedbackMsg& msg = reports.back();
+  EXPECT_EQ(msg.user, 1u);
+  ASSERT_EQ(msg.rows.size(), 1u);
+  EXPECT_EQ(msg.rows[0].feed_url, url);
+  EXPECT_EQ(msg.rows[0].delivered, 4u);
+  EXPECT_EQ(msg.rows[0].clicked, 1u);
+}
+
+}  // namespace
+}  // namespace reef::core

@@ -1,0 +1,366 @@
+// End-to-end integration: the full Fig. 1 (centralized) and Fig. 2
+// (distributed) dataflows on a miniature world — browse, analyze,
+// recommend, subscribe, publish, deliver, click, feed back.
+#include <gtest/gtest.h>
+
+#include "feeds/feed_events_proxy.h"
+#include "reef/centralized.h"
+#include "reef/distributed.h"
+#include "reef/user_host.h"
+#include "sim/simulator.h"
+
+namespace reef::core {
+namespace {
+
+struct MiniWorld {
+  web::TopicModel topics;
+  web::SyntheticWeb web;
+  sim::Simulator sim;
+  sim::Network net;
+  feeds::FeedService feeds;
+  pubsub::Broker broker;
+  feeds::FeedEventsProxy proxy;
+
+  MiniWorld()
+      : topics(topic_config()),
+        web(topics, web_config()),
+        net(sim, net_config()),
+        feeds(web, feeds_config()),
+        broker(sim, net, "b0"),
+        proxy(sim, net, feeds, broker, proxy_config()) {}
+
+  static web::TopicModel::Config topic_config() {
+    web::TopicModel::Config config;
+    config.vocabulary_size = 400;
+    config.topic_count = 6;
+    config.words_per_topic = 50;
+    return config;
+  }
+  static web::SyntheticWeb::Config web_config() {
+    web::SyntheticWeb::Config config;
+    config.content_sites = 30;
+    config.ad_sites = 5;
+    config.spam_sites = 2;
+    config.feed_site_fraction = 1.0;
+    config.multimedia_fraction = 0.0;
+    return config;
+  }
+  static sim::Network::Config net_config() {
+    sim::Network::Config config;
+    config.default_latency = sim::kMillisecond;
+    config.jitter_fraction = 0.0;
+    return config;
+  }
+  static feeds::FeedService::Config feeds_config() {
+    feeds::FeedService::Config config;
+    // Fast feeds so deliveries happen within the test horizon.
+    config.log_rate_mu = 2.5;  // e^2.5 ~ 12 items/day
+    config.log_rate_sigma = 0.2;
+    return config;
+  }
+  static feeds::FeedEventsProxy::Config proxy_config() {
+    feeds::FeedEventsProxy::Config config;
+    config.poll_interval = 30 * sim::kMinute;
+    return config;
+  }
+  const web::Site& feed_site() {
+    for (const auto index : web.content_sites()) {
+      if (!web.site(index).feed_urls.empty()) return web.site(index);
+    }
+    throw std::runtime_error("no feed site");
+  }
+};
+
+CentralizedServer::Config fast_server() {
+  CentralizedServer::Config config;
+  config.analysis_interval = 10 * sim::kMinute;
+  config.collaborative_interval = 6 * sim::kHour;
+  return config;
+}
+
+TEST(CentralizedSystem, FullLoopFromBrowsingToSidebar) {
+  MiniWorld w;
+  CentralizedServer server(w.sim, w.net, w.web, fast_server());
+  UserHost host(w.sim, w.net, w.web, w.broker, 0, {});
+  host.connect(server.id(), w.proxy.id());
+  server.register_user(0, host.id());
+
+  const web::Site& site = w.feed_site();
+  // Two visits cross the recommendation threshold.
+  host.browse(w.web.page_uri(site, 0));
+  host.browse(w.web.page_uri(site, 1));
+  host.recorder().flush();
+  w.sim.run_until(w.sim.now() + sim::kHour);
+
+  // Step 1-3 complete: attention shipped, crawled, recommended, applied.
+  EXPECT_GE(server.stats().batches_received, 1u);
+  EXPECT_GE(server.stats().clicks_stored, 2u);
+  EXPECT_GE(host.recommendations_received(), site.feed_urls.size());
+  EXPECT_TRUE(host.frontend().is_subscribed_to_feed(site.feed_urls[0]));
+  EXPECT_EQ(w.proxy.watched_count(), site.feed_urls.size());
+
+  // Step 4: events flow to the sidebar as feeds publish.
+  w.sim.run_until(w.sim.now() + 3 * sim::kDay);
+  EXPECT_GT(host.frontend().stats().events_received, 0u);
+}
+
+TEST(CentralizedSystem, AdRequestsNeverProduceRecommendations) {
+  MiniWorld w;
+  CentralizedServer server(w.sim, w.net, w.web, fast_server());
+  UserHost host(w.sim, w.net, w.web, w.broker, 0, {});
+  host.connect(server.id(), w.proxy.id());
+  server.register_user(0, host.id());
+
+  const web::Site& ad = w.web.site(w.web.ad_sites()[0]);
+  for (int i = 0; i < 10; ++i) host.browse(w.web.page_uri(ad, i));
+  host.recorder().flush();
+  w.sim.run_until(w.sim.now() + sim::kHour);
+  EXPECT_EQ(host.recommendations_received(), 0u);
+  EXPECT_EQ(server.crawler().stats().fetched, 0u);  // ads pattern-skipped
+}
+
+TEST(CentralizedSystem, ClickingSidebarFeedsBackIntoAttention) {
+  MiniWorld w;
+  CentralizedServer server(w.sim, w.net, w.web, fast_server());
+  UserHost host(w.sim, w.net, w.web, w.broker, 0, {});
+  host.connect(server.id(), w.proxy.id());
+  server.register_user(0, host.id());
+
+  const web::Site& site = w.feed_site();
+  host.browse(w.web.page_uri(site, 0));
+  host.browse(w.web.page_uri(site, 1));
+  host.recorder().flush();
+  // Advance in small steps and click as soon as an event is displayed
+  // (before the sidebar TTL expires it).
+  for (int step = 0; step < 72 && host.frontend().sidebar().empty(); ++step) {
+    w.sim.run_until(w.sim.now() + sim::kHour);
+  }
+  auto& sidebar = host.frontend().sidebar();
+  ASSERT_FALSE(sidebar.empty());
+  const std::uint64_t clicks_before = host.recorder().clicks_recorded();
+  host.frontend().click_entry(sidebar.front().entry_id);
+  // The click landed in the recorder, flagged as notification-driven.
+  EXPECT_EQ(host.recorder().clicks_recorded(), clicks_before + 1);
+  EXPECT_TRUE(host.recorder().history().back().from_notification);
+}
+
+TEST(CentralizedSystem, CollaborativeSpreadsFeedsWithinGroup) {
+  MiniWorld w;
+  CentralizedServer::Config config = fast_server();
+  config.collaborative.similarity_threshold = 0.05;
+  config.collaborative.min_supporters = 2;
+  CentralizedServer server(w.sim, w.net, w.web, config);
+
+  // Three users; two browse the same feed site; the third shares one other
+  // site with them (enough profile overlap to group).
+  std::vector<std::unique_ptr<UserHost>> hosts;
+  for (attention::UserId u = 0; u < 3; ++u) {
+    auto host = std::make_unique<UserHost>(w.sim, w.net, w.web, w.broker, u,
+                                           UserHost::Config{});
+    host->connect(server.id(), w.proxy.id());
+    server.register_user(u, host->id());
+    hosts.push_back(std::move(host));
+  }
+  const web::Site& hot = w.feed_site();
+  // Find a second distinct feed site for the shared baseline profile.
+  const web::Site* shared = nullptr;
+  for (const auto index : w.web.content_sites()) {
+    const web::Site& s = w.web.site(index);
+    if (!s.feed_urls.empty() && s.index != hot.index) {
+      shared = &s;
+      break;
+    }
+  }
+  ASSERT_NE(shared, nullptr);
+
+  for (attention::UserId u = 0; u < 3; ++u) {
+    hosts[u]->browse(w.web.page_uri(*shared, 0));
+    hosts[u]->browse(w.web.page_uri(*shared, 1));
+  }
+  // Only users 0 and 1 frequent the hot site.
+  for (attention::UserId u = 0; u < 2; ++u) {
+    hosts[u]->browse(w.web.page_uri(hot, 0));
+    hosts[u]->browse(w.web.page_uri(hot, 1));
+  }
+  for (auto& host : hosts) host->recorder().flush();
+  w.sim.run_until(w.sim.now() + 2 * sim::kDay);
+
+  // User 2 never visited `hot`, yet the group recommendation subscribed
+  // them to its feed.
+  EXPECT_TRUE(hosts[2]->frontend().is_subscribed_to_feed(hot.feed_urls[0]));
+  EXPECT_GT(server.stats().collaborative_recs, 0u);
+}
+
+TEST(CentralizedSystem, ClosedLoopUnsubscribesIgnoredFeeds) {
+  MiniWorld w;
+  CentralizedServer::Config config = fast_server();
+  config.topic.min_deliveries_for_unsub = 5;
+  CentralizedServer server(w.sim, w.net, w.web, config);
+  UserHost::Config host_config;
+  host_config.feedback_interval = 6 * sim::kHour;
+  UserHost host(w.sim, w.net, w.web, w.broker, 0, host_config);
+  host.connect(server.id(), w.proxy.id());
+  server.register_user(0, host.id());
+
+  const web::Site& site = w.feed_site();
+  host.browse(w.web.page_uri(site, 0));
+  host.browse(w.web.page_uri(site, 1));
+  host.recorder().flush();
+  w.sim.run_until(w.sim.now() + sim::kHour);
+  ASSERT_GT(host.frontend().active_feed_subscriptions(), 0u);
+
+  // The user never clicks anything; with ~12 items/day the feed crosses
+  // the delivery threshold quickly and the server retracts it.
+  w.sim.run_until(w.sim.now() + 4 * sim::kDay);
+  EXPECT_EQ(host.frontend().active_feed_subscriptions(), 0u);
+  EXPECT_GT(host.frontend().stats().unsubscribes_applied, 0u);
+  // And the events stop coming.
+  const auto delivered = host.frontend().stats().events_received;
+  w.sim.run_until(w.sim.now() + 2 * sim::kDay);
+  EXPECT_EQ(host.frontend().stats().events_received, delivered);
+  // The proxy stopped polling the feed too (unwatch propagated).
+  EXPECT_EQ(w.proxy.watched_count(), 0u);
+}
+
+TEST(DistributedSystem, UpdateFilterSuppressesOffProfileEvents) {
+  MiniWorld w;
+  DistributedPeer::Config config;
+  config.update_filter.min_score = 10.0;
+  DistributedPeer peer(w.sim, w.net, w.web, w.broker, 0, config);
+  peer.set_proxy(w.proxy.id());
+
+  const web::Site& site = w.feed_site();
+  peer.browse(w.web.page_uri(site, 0));
+  peer.browse(w.web.page_uri(site, 1));
+  peer.recorder().flush();
+  w.sim.run_until(w.sim.now() + sim::kMinute);
+  ASSERT_GT(peer.frontend().active_feed_subscriptions(), 0u);
+
+  // Inject an off-profile event directly into the substrate for the
+  // subscribed feed: it must be scored and suppressed.
+  pubsub::Client publisher(w.sim, w.net, "pub");
+  publisher.connect(w.broker);
+  const std::string feed_url = peer.frontend().subscribed_feeds()[0];
+  publisher.publish(pubsub::Event()
+                        .with("stream", "feed")
+                        .with("feed", feed_url)
+                        .with("site", site.host)
+                        .with("guid", "injected-1")
+                        .with("link", "http://" + site.host + "/story/x")
+                        .with("text", "zzz yyy xxx www vvv uuu"));
+  w.sim.run_until(w.sim.now() + sim::kMinute);
+  EXPECT_EQ(peer.frontend().suppressed_by_filter(), 1u);
+  EXPECT_TRUE(peer.frontend().sidebar().empty());
+  // ...but it still counted as a delivery for the closed loop.
+  EXPECT_EQ(peer.frontend().stats().events_received, 1u);
+}
+
+TEST(DistributedSystem, LocalPipelineSubscribesWithoutAnyServer) {
+  MiniWorld w;
+  DistributedPeer peer(w.sim, w.net, w.web, w.broker, 0, {});
+  peer.set_proxy(w.proxy.id());
+
+  const web::Site& site = w.feed_site();
+  peer.browse(w.web.page_uri(site, 0));
+  peer.browse(w.web.page_uri(site, 1));
+  peer.recorder().flush();
+  w.sim.run_until(w.sim.now() + sim::kMinute);
+
+  EXPECT_TRUE(peer.frontend().is_subscribed_to_feed(site.feed_urls[0]));
+  EXPECT_GT(peer.stats().pages_parsed_from_cache, 0u);
+  // Attention never crossed the network: the only traffic is pub/sub
+  // control and proxy watch messages.
+  EXPECT_EQ(w.net.messages_by_type().get(
+                std::string(attention::kTypeAttentionBatch)),
+            0u);
+}
+
+TEST(DistributedSystem, GossipSpreadsFeedsToVisitorsOfSameSite) {
+  MiniWorld w;
+  DistributedPeer::Config config;
+  config.gossip_interval = sim::kHour;
+  DistributedPeer a(w.sim, w.net, w.web, w.broker, 0, config);
+  DistributedPeer b(w.sim, w.net, w.web, w.broker, 1, config);
+  a.set_proxy(w.proxy.id());
+  b.set_proxy(w.proxy.id());
+  a.add_group_peer(b.id());
+  b.add_group_peer(a.id());
+
+  const web::Site& site = w.feed_site();
+  // A crosses the threshold and subscribes; B visited once only.
+  a.browse(w.web.page_uri(site, 0));
+  a.browse(w.web.page_uri(site, 1));
+  b.browse(w.web.page_uri(site, 0));
+  a.recorder().flush();
+  b.recorder().flush();
+  w.sim.run_until(w.sim.now() + sim::kMinute);
+  ASSERT_TRUE(a.frontend().is_subscribed_to_feed(site.feed_urls[0]));
+  ASSERT_FALSE(b.frontend().is_subscribed_to_feed(site.feed_urls[0]));
+
+  // After a gossip round, B adopts the feed (it visited the site).
+  w.sim.run_until(w.sim.now() + 2 * sim::kHour);
+  EXPECT_TRUE(b.frontend().is_subscribed_to_feed(site.feed_urls[0]));
+  EXPECT_GT(a.stats().gossip_sent, 0u);
+  EXPECT_GT(b.stats().gossip_adopted, 0u);
+}
+
+TEST(DistributedSystem, GossipNotAdoptedForUnvisitedSites) {
+  MiniWorld w;
+  DistributedPeer::Config config;
+  config.gossip_interval = sim::kHour;
+  DistributedPeer a(w.sim, w.net, w.web, w.broker, 0, config);
+  DistributedPeer b(w.sim, w.net, w.web, w.broker, 1, config);
+  a.set_proxy(w.proxy.id());
+  b.set_proxy(w.proxy.id());
+  a.add_group_peer(b.id());
+
+  const web::Site& site = w.feed_site();
+  a.browse(w.web.page_uri(site, 0));
+  a.browse(w.web.page_uri(site, 1));
+  a.recorder().flush();
+  w.sim.run_until(w.sim.now() + 3 * sim::kHour);
+  // B never visited the site: the gossiped feed is ignored.
+  EXPECT_FALSE(b.frontend().is_subscribed_to_feed(site.feed_urls[0]));
+  EXPECT_GT(b.stats().gossip_received, 0u);
+  EXPECT_EQ(b.stats().gossip_adopted, 0u);
+}
+
+TEST(CentralizedVsDistributed, AttentionPrivacyAndCrawlTraffic) {
+  // Centralized run.
+  std::uint64_t central_attention_bytes = 0;
+  std::uint64_t central_crawl_bytes = 0;
+  {
+    MiniWorld w;
+    CentralizedServer server(w.sim, w.net, w.web, fast_server());
+    UserHost host(w.sim, w.net, w.web, w.broker, 0, {});
+    host.connect(server.id(), w.proxy.id());
+    server.register_user(0, host.id());
+    const web::Site& site = w.feed_site();
+    for (int i = 0; i < 20; ++i) host.browse(w.web.page_uri(site, i % 5));
+    host.recorder().flush();
+    w.sim.run_until(w.sim.now() + sim::kDay);
+    central_attention_bytes = w.net.bytes_by_type().get(
+        std::string(attention::kTypeAttentionBatch));
+    central_crawl_bytes = server.crawler().stats().bytes_fetched;
+  }
+  EXPECT_GT(central_attention_bytes, 0u);
+  EXPECT_GT(central_crawl_bytes, 0u);
+
+  // Distributed run of the same workload.
+  {
+    MiniWorld w;
+    DistributedPeer peer(w.sim, w.net, w.web, w.broker, 0, {});
+    peer.set_proxy(w.proxy.id());
+    const web::Site& site = w.feed_site();
+    for (int i = 0; i < 20; ++i) peer.browse(w.web.page_uri(site, i % 5));
+    peer.recorder().flush();
+    w.sim.run_until(w.sim.now() + sim::kDay);
+    EXPECT_EQ(w.net.bytes_by_type().get(
+                  std::string(attention::kTypeAttentionBatch)),
+              0u);
+    EXPECT_EQ(peer.stats().cache_misses_skipped, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace reef::core

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "reef/collaborative.h"
+#include "reef/content_recommender.h"
+#include "reef/frontend.h"
+#include "reef/manual_baseline.h"
+#include "reef/topic_recommender.h"
+
+namespace reef::core {
+namespace {
+
+util::Uri uri(const std::string& text) { return *util::Uri::parse(text); }
+
+// --- TopicRecommender --------------------------------------------------------------
+
+TEST(TopicRecommender, RecommendsAfterVisitThreshold) {
+  TopicRecommender rec;  // min_site_visits = 2
+  const std::string feed = "http://s.example/feeds/index.rss";
+
+  rec.on_click(1, uri("http://s.example/a"));
+  rec.on_feeds_found(1, "s.example", {feed});
+  EXPECT_TRUE(rec.take(1).empty());  // one visit: not yet
+
+  rec.on_click(1, uri("http://s.example/b"));
+  const auto recs = rec.take(1);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].action, RecAction::kSubscribe);
+  EXPECT_EQ(recs[0].feed_url, feed);
+  EXPECT_TRUE(recs[0].filter.matches(pubsub::Event()
+                                         .with("stream", "feed")
+                                         .with("feed", feed)));
+  EXPECT_EQ(rec.total_recommended(1), 1u);
+}
+
+TEST(TopicRecommender, FeedsDiscoveredAfterThresholdAlsoRecommended) {
+  TopicRecommender rec;
+  rec.on_click(1, uri("http://s.example/a"));
+  rec.on_click(1, uri("http://s.example/b"));
+  rec.on_feeds_found(1, "s.example", {"http://s.example/f.rss"});
+  EXPECT_EQ(rec.take(1).size(), 1u);
+}
+
+TEST(TopicRecommender, EachFeedRecommendedOncePerUser) {
+  TopicRecommender rec;
+  const std::string feed = "http://s.example/f.rss";
+  rec.on_click(1, uri("http://s.example/a"));
+  rec.on_click(1, uri("http://s.example/b"));
+  rec.on_feeds_found(1, "s.example", {feed});
+  EXPECT_EQ(rec.take(1).size(), 1u);
+  rec.on_feeds_found(1, "s.example", {feed});
+  rec.on_click(1, uri("http://s.example/c"));
+  EXPECT_TRUE(rec.take(1).empty());
+  // ...but a different user gets their own recommendation.
+  rec.on_click(2, uri("http://s.example/a"));
+  rec.on_click(2, uri("http://s.example/b"));
+  rec.on_feeds_found(2, "s.example", {feed});
+  EXPECT_EQ(rec.take(2).size(), 1u);
+}
+
+TEST(TopicRecommender, ClosedLoopUnsubscribeOnIgnoredFeeds) {
+  TopicRecommender::Config config;
+  config.min_deliveries_for_unsub = 10;
+  config.max_ignored_ctr = 0.05;
+  TopicRecommender rec(config);
+  const std::string feed = "http://s.example/f.rss";
+  rec.on_click(1, uri("http://s.example/a"));
+  rec.on_click(1, uri("http://s.example/b"));
+  rec.on_feeds_found(1, "s.example", {feed});
+  rec.take(1);
+
+  // Healthy CTR: no unsubscribe.
+  rec.on_feedback(1, feed, 20, 5);
+  EXPECT_TRUE(rec.take(1).empty());
+  // Ignored: unsubscribe.
+  rec.on_feedback(1, feed, 40, 1);
+  const auto recs = rec.take(1);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].action, RecAction::kUnsubscribe);
+  EXPECT_EQ(recs[0].feed_url, feed);
+
+  // Retracted feeds are not re-recommended.
+  rec.on_click(1, uri("http://s.example/c"));
+  rec.on_feeds_found(1, "s.example", {feed});
+  EXPECT_TRUE(rec.take(1).empty());
+}
+
+TEST(TopicRecommender, TooFewDeliveriesNoUnsubscribe) {
+  TopicRecommender rec;
+  const std::string feed = "http://s.example/f.rss";
+  rec.on_click(1, uri("http://s.example/a"));
+  rec.on_click(1, uri("http://s.example/b"));
+  rec.on_feeds_found(1, "s.example", {feed});
+  rec.take(1);
+  rec.on_feedback(1, feed, 3, 0);  // below min_deliveries_for_unsub
+  EXPECT_TRUE(rec.take(1).empty());
+}
+
+TEST(TopicRecommender, FeedbackForUnknownFeedIgnored) {
+  TopicRecommender rec;
+  rec.on_feedback(1, "http://never.example/f.rss", 100, 0);
+  EXPECT_TRUE(rec.take(1).empty());
+}
+
+// --- ContentRecommender --------------------------------------------------------------
+
+TEST(ContentRecommender, BuildsTopicalQuery) {
+  ContentRecommender rec;
+  // User 1 reads "storm" pages; the background also has unrelated pages.
+  for (int i = 0; i < 10; ++i) {
+    rec.add_page(1, {"storm", "coast", "wind", "common"});
+    rec.add_page(2, {"recipe", "dinner", "cook", "common"});
+  }
+  const auto query = rec.build_query(1, 3);
+  ASSERT_EQ(query.size(), 3u);
+  std::vector<std::string> terms;
+  for (const auto& [t, s] : query) terms.push_back(t);
+  EXPECT_TRUE(std::find(terms.begin(), terms.end(), "storm") != terms.end());
+  EXPECT_TRUE(std::find(terms.begin(), terms.end(), "recipe") == terms.end());
+  // "common" appears everywhere: must rank below the topical terms.
+  EXPECT_NE(query[0].term, "common");
+  EXPECT_EQ(rec.pages_seen(1), 10u);
+  EXPECT_EQ(rec.background().documents(), 20u);
+}
+
+TEST(ContentRecommender, UnknownUserYieldsEmptyQuery) {
+  ContentRecommender rec;
+  EXPECT_TRUE(rec.build_query(42).empty());
+}
+
+TEST(ContentRecommender, RankArchivePutsMatchingStoriesFirst) {
+  ContentRecommender rec;
+  for (int i = 0; i < 5; ++i) rec.add_page(1, {"storm", "coast", "wind"});
+  ir::Corpus archive;
+  archive.add(ir::Document::from_terms(0, {"recipe", "cook"}));
+  archive.add(ir::Document::from_terms(1, {"storm", "coast", "damage"}));
+  archive.add(ir::Document::from_terms(2, {"vote", "poll"}));
+  const auto ranked = rec.rank_archive(1, archive, 5);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].index, 1u);
+  EXPECT_GT(ranked[0].score, 0.0);
+}
+
+TEST(ContentRecommender, ContentSubscriptionsMatchStories) {
+  ContentRecommender rec;
+  for (int i = 0; i < 5; ++i) rec.add_page(1, {"storm", "coast"});
+  const auto recs = rec.content_subscriptions(1, "video", 2);
+  ASSERT_EQ(recs.size(), 2u);
+  const pubsub::Event story = pubsub::Event()
+                                  .with("stream", "video")
+                                  .with("text", "big storm hits the coast");
+  bool any_match = false;
+  for (const auto& r : recs) {
+    EXPECT_EQ(r.action, RecAction::kSubscribe);
+    EXPECT_TRUE(r.feed_url.empty());
+    if (r.filter.matches(story)) any_match = true;
+  }
+  EXPECT_TRUE(any_match);
+}
+
+// --- GroupProfiler -------------------------------------------------------------------
+
+TEST(GroupProfiler, JaccardSimilarity) {
+  GroupProfiler profiler;
+  profiler.set_profile(1, {"a", "b", "c"});
+  profiler.set_profile(2, {"b", "c", "d"});
+  profiler.set_profile(3, {"x"});
+  EXPECT_DOUBLE_EQ(profiler.similarity(1, 2), 2.0 / 4.0);
+  EXPECT_DOUBLE_EQ(profiler.similarity(1, 3), 0.0);
+  EXPECT_DOUBLE_EQ(profiler.similarity(1, 99), 0.0);  // unknown user
+}
+
+TEST(GroupProfiler, GroupsByThreshold) {
+  GroupProfiler::Config config;
+  config.similarity_threshold = 0.4;
+  GroupProfiler profiler(config);
+  profiler.set_profile(1, {"a", "b", "c"});
+  profiler.set_profile(2, {"a", "b", "d"});  // sim(1,2)=0.5
+  profiler.set_profile(3, {"z"});
+  const auto groups = profiler.groups();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<attention::UserId>{1, 2}));
+  EXPECT_EQ(groups[1], (std::vector<attention::UserId>{3}));
+}
+
+TEST(GroupProfiler, RecommendsFeedsPopularInGroup) {
+  GroupProfiler::Config config;
+  config.similarity_threshold = 0.2;
+  config.min_supporters = 2;
+  GroupProfiler profiler(config);
+  profiler.set_profile(1, {"http://f1", "http://f2"});
+  profiler.set_profile(2, {"http://f1", "http://f2", "http://hot"});
+  profiler.set_profile(3, {"http://f1", "http://f2", "http://hot"});
+  const auto recs = profiler.recommend_for(1);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].feed_url, "http://hot");
+  EXPECT_EQ(recs[0].score, 2.0);
+  // Users 2 and 3 already have it: nothing to recommend.
+  EXPECT_TRUE(profiler.recommend_for(2).empty());
+}
+
+TEST(GroupProfiler, NoRecommendationAcrossGroups) {
+  GroupProfiler::Config config;
+  config.similarity_threshold = 0.9;
+  config.min_supporters = 1;
+  GroupProfiler profiler(config);
+  profiler.set_profile(1, {"a"});
+  profiler.set_profile(2, {"b", "hot"});
+  profiler.set_profile(3, {"c", "hot"});
+  // All in singleton groups: user 1 gets nothing.
+  EXPECT_TRUE(profiler.recommend_for(1).empty());
+}
+
+// --- ManualSubscriptionBaseline --------------------------------------------------------
+
+TEST(ManualBaseline, RequiresManyVisitsAndLuck) {
+  ManualSubscriptionBaseline::Config config;
+  config.visits_to_notice = 3;
+  config.notice_probability = 1.0;  // deterministic for the test
+  ManualSubscriptionBaseline manual(config);
+  const std::vector<std::string> feeds{"http://s/f.rss"};
+  EXPECT_TRUE(manual.on_visit(1, "s", feeds, 0).empty());
+  EXPECT_TRUE(manual.on_visit(1, "s", feeds, 1).empty());
+  const auto got = manual.on_visit(1, "s", feeds, 2);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(manual.subscriptions(1), 1u);
+  // Already subscribed: no duplicates.
+  EXPECT_TRUE(manual.on_visit(1, "s", feeds, 3).empty());
+  ASSERT_EQ(manual.log(1).size(), 1u);
+  EXPECT_EQ(manual.log(1)[0].second, 2);
+}
+
+TEST(ManualBaseline, ZeroNoticeProbabilityNeverSubscribes) {
+  ManualSubscriptionBaseline::Config config;
+  config.visits_to_notice = 1;
+  config.notice_probability = 0.0;
+  ManualSubscriptionBaseline manual(config);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(manual.on_visit(1, "s", {"http://s/f.rss"}, i).empty());
+  }
+  EXPECT_EQ(manual.subscriptions(1), 0u);
+}
+
+}  // namespace
+}  // namespace reef::core

@@ -1,0 +1,370 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/uri.h"
+
+namespace reef::util {
+namespace {
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, CopyForksStream) {
+  Rng a(7);
+  (void)a();
+  Rng b = a;  // copy mid-stream
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng master(99);
+  Rng f1 = master.fork(1);
+  Rng f2 = master.fork(2);
+  Rng f1_again = Rng(99).fork(1);
+  EXPECT_EQ(f1(), f1_again());
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (f1() == f2()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformU64Bounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_u64(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformU64SingletonRange) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform_u64(7, 7), 7u);
+}
+
+TEST(Rng, IndexCoversAllValues) {
+  Rng rng(5);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.index(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ExponentialMeanApproximatesInverseRate) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(3.5));
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(100.0));
+  EXPECT_NEAR(sum / n, 100.0, 2.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(1);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.geometric(0.25));
+  // mean failures = (1-p)/p = 3
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+// --- ZipfSampler ---------------------------------------------------------------
+
+TEST(ZipfSampler, RankZeroMostPopular) {
+  ZipfSampler zipf(100, 1.0);
+  EXPECT_GT(zipf.pmf(0), zipf.pmf(1));
+  EXPECT_GT(zipf.pmf(1), zipf.pmf(50));
+}
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler zipf(50, 1.2);
+  double total = 0.0;
+  for (std::size_t i = 0; i < zipf.size(); ++i) total += zipf.pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, ZeroExponentIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(zipf.pmf(i), 0.1, 1e-9);
+}
+
+TEST(ZipfSampler, EmpiricalFrequencyTracksPmf) {
+  ZipfSampler zipf(20, 1.0);
+  Rng rng(31);
+  std::vector<int> counts(20, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, zipf.pmf(0), 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[5]) / n, zipf.pmf(5), 0.01);
+}
+
+TEST(DiscreteSampler, RespectsWeights) {
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  DiscreteSampler sampler(weights);
+  Rng rng(37);
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.01);
+}
+
+// --- hash ---------------------------------------------------------------------
+
+TEST(Hash, Fnv1aKnownValues) {
+  // FNV-1a 64 reference: empty string hashes to the offset basis.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+  EXPECT_EQ(fnv1a64("reef"), fnv1a64("reef"));
+}
+
+TEST(Hash, CombineOrderMatters) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1), 2),
+            hash_combine(hash_combine(0, 2), 1));
+}
+
+// --- strings --------------------------------------------------------------------
+
+TEST(Strings, ToLower) { EXPECT_EQ(to_lower("AbC-09"), "abc-09"); }
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpty) {
+  const auto parts = split_whitespace("  a\t b \n c ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(77283), "77,283");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+}
+
+// --- uri ------------------------------------------------------------------------
+
+TEST(Uri, ParsesFullForm) {
+  const auto uri = Uri::parse("http://News.Example.org:8080/a/b?q=1#frag");
+  ASSERT_TRUE(uri.has_value());
+  EXPECT_EQ(uri->scheme(), "http");
+  EXPECT_EQ(uri->host(), "news.example.org");
+  EXPECT_EQ(uri->port(), 8080);
+  EXPECT_EQ(uri->path(), "/a/b");
+  EXPECT_EQ(uri->query(), "q=1");
+  EXPECT_EQ(uri->to_string(), "http://news.example.org:8080/a/b?q=1");
+}
+
+TEST(Uri, DefaultPortsElided) {
+  EXPECT_EQ(Uri::parse("http://x.org:80/")->port(), 0);
+  EXPECT_EQ(Uri::parse("https://x.org:443/")->port(), 0);
+  EXPECT_EQ(Uri::parse("http://x.org:8080/")->port(), 8080);
+}
+
+TEST(Uri, MissingPathNormalizesToSlash) {
+  const auto uri = Uri::parse("http://x.org");
+  ASSERT_TRUE(uri.has_value());
+  EXPECT_EQ(uri->path(), "/");
+  EXPECT_EQ(uri->to_string(), "http://x.org/");
+}
+
+TEST(Uri, RejectsMalformed) {
+  EXPECT_FALSE(Uri::parse("").has_value());
+  EXPECT_FALSE(Uri::parse("not a uri").has_value());
+  EXPECT_FALSE(Uri::parse("://x.org/").has_value());
+  EXPECT_FALSE(Uri::parse("http://").has_value());
+}
+
+TEST(Uri, StripsUserinfoAndFragment) {
+  const auto uri = Uri::parse("http://user:pw@x.org/p#frag");
+  ASSERT_TRUE(uri.has_value());
+  EXPECT_EQ(uri->host(), "x.org");
+  EXPECT_EQ(uri->path(), "/p");
+}
+
+TEST(Uri, QueryOnly) {
+  const auto uri = Uri::parse("http://x.org?a=b");
+  ASSERT_TRUE(uri.has_value());
+  EXPECT_EQ(uri->path(), "/");
+  EXPECT_EQ(uri->query(), "a=b");
+}
+
+TEST(Uri, EqualityAndHash) {
+  const auto a = Uri::parse("http://x.org/p");
+  const auto b = Uri::parse("HTTP://X.ORG/p");
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(std::hash<Uri>{}(*a), std::hash<Uri>{}(*b));
+}
+
+// --- stats ----------------------------------------------------------------------
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+}
+
+TEST(Summary, EmptyIsSafe) {
+  Summary s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.percentile(50), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, PercentileAfterInterleavedAdds) {
+  Summary s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  s.add(1.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100.0);  // clamps to first bucket
+  h.add(100.0);   // clamps to last bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(9), 2u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(5), 5.0);
+}
+
+TEST(Counter, TopSortsByCountThenKey) {
+  Counter c;
+  c.add("b", 5);
+  c.add("a", 5);
+  c.add("z", 10);
+  c.add("x");
+  const auto top = c.top(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, "z");
+  EXPECT_EQ(top[1].first, "a");
+  EXPECT_EQ(top[2].first, "b");
+  EXPECT_EQ(c.total(), 21u);
+  EXPECT_EQ(c.distinct(), 4u);
+  EXPECT_EQ(c.get("missing"), 0u);
+}
+
+}  // namespace
+}  // namespace reef::util

@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "web/ad_classifier.h"
+#include "web/browser_cache.h"
+#include "web/crawler.h"
+#include "web/topic_model.h"
+#include "web/web.h"
+
+namespace reef::web {
+namespace {
+
+TopicModel::Config small_topics() {
+  TopicModel::Config config;
+  config.vocabulary_size = 500;
+  config.topic_count = 8;
+  config.words_per_topic = 60;
+  return config;
+}
+
+SyntheticWeb::Config small_web() {
+  SyntheticWeb::Config config;
+  config.content_sites = 60;
+  config.ad_sites = 20;
+  config.spam_sites = 5;
+  return config;
+}
+
+TEST(Vocabulary, DeterministicAndUnique) {
+  const Vocabulary a(200, 1);
+  const Vocabulary b(200, 1);
+  const Vocabulary c(200, 2);
+  EXPECT_EQ(a.words(), b.words());
+  EXPECT_NE(a.words(), c.words());
+  std::set<std::string> unique(a.words().begin(), a.words().end());
+  EXPECT_EQ(unique.size(), 200u);
+}
+
+TEST(Vocabulary, WordsAreTokenizerStable) {
+  const Vocabulary v(100, 3);
+  for (const auto& word : v.words()) {
+    for (const char ch : word) {
+      EXPECT_TRUE(ch >= 'a' && ch <= 'z') << word;
+    }
+    EXPECT_GE(word.size(), 2u);
+  }
+}
+
+TEST(TopicMixture, SimilarityProperties) {
+  TopicMixture a{{{0, 0.7}, {1, 0.3}}};
+  TopicMixture b{{{0, 0.7}, {1, 0.3}}};
+  TopicMixture c{{{2, 1.0}}};
+  EXPECT_NEAR(TopicMixture::similarity(a, b), 1.0, 1e-12);
+  EXPECT_EQ(TopicMixture::similarity(a, c), 0.0);
+  EXPECT_EQ(TopicMixture::similarity(a, TopicMixture{}), 0.0);
+  TopicMixture partial{{{0, 1.0}}};
+  const double s = TopicMixture::similarity(a, partial);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(TopicModel, TopicWordsSkewTowardCore) {
+  const TopicModel model(small_topics());
+  util::Rng rng(7);
+  const auto core = model.topic_core(0, 10);
+  ASSERT_EQ(core.size(), 10u);
+  // Sampling a topic many times should hit its core words often.
+  std::size_t core_hits = 0;
+  const std::set<std::string> core_set(core.begin(), core.end());
+  for (int i = 0; i < 2000; ++i) {
+    if (core_set.contains(model.sample_topic_word(0, rng))) ++core_hits;
+  }
+  EXPECT_GT(core_hits, 400u);  // Zipf mass concentrates early
+}
+
+TEST(TopicModel, GenerateTermsRespectsMixtureAndLength) {
+  const TopicModel model(small_topics());
+  util::Rng rng(9);
+  const TopicMixture mixture{{{0, 1.0}}};
+  const auto terms = model.generate_terms(mixture, 300, 0.0, rng);
+  EXPECT_EQ(terms.size(), 300u);
+  // With background_fraction=0, every term comes from topic 0's word set.
+  const auto all_core = model.topic_core(0, small_topics().words_per_topic);
+  const std::set<std::string> core_set(all_core.begin(), all_core.end());
+  for (const auto& t : terms) EXPECT_TRUE(core_set.contains(t)) << t;
+}
+
+TEST(TopicModel, EmptyMixtureFallsBackToBackground) {
+  const TopicModel model(small_topics());
+  util::Rng rng(11);
+  const auto terms = model.generate_terms(TopicMixture{}, 50, 0.0, rng);
+  EXPECT_EQ(terms.size(), 50u);
+}
+
+TEST(SyntheticWeb, SiteCensusMatchesConfig) {
+  const TopicModel topics(small_topics());
+  const SyntheticWeb web(topics, small_web());
+  EXPECT_EQ(web.content_site_count(), 60u);
+  EXPECT_EQ(web.ad_site_count(), 20u);
+  EXPECT_EQ(web.site_count(), 85u);
+  EXPECT_EQ(web.content_sites().size(), 60u);
+}
+
+TEST(SyntheticWeb, HostLookupRoundTrips) {
+  const TopicModel topics(small_topics());
+  const SyntheticWeb web(topics, small_web());
+  for (std::size_t i = 0; i < web.site_count(); ++i) {
+    const Site* found = web.find_site(web.site(i).host);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->index, web.site(i).index);
+  }
+  EXPECT_EQ(web.find_site("unknown.example"), nullptr);
+}
+
+TEST(SyntheticWeb, FetchIsDeterministicPerUri) {
+  const TopicModel topics(small_topics());
+  const SyntheticWeb web(topics, small_web());
+  const Site& site = web.site(web.content_sites()[0]);
+  const util::Uri uri = web.page_uri(site, 3);
+  const auto a = web.fetch(uri);
+  const auto b = web.fetch(uri);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->terms, b->terms);
+  EXPECT_EQ(a->bytes, b->bytes);
+  // Different pages differ.
+  const auto c = web.fetch(web.page_uri(site, 4));
+  ASSERT_TRUE(c);
+  EXPECT_NE(a->terms, c->terms);
+}
+
+TEST(SyntheticWeb, AdPagesHaveNoContent) {
+  const TopicModel topics(small_topics());
+  const SyntheticWeb web(topics, small_web());
+  const Site& ad = web.site(web.ad_sites()[0]);
+  const auto page = web.fetch(web.page_uri(ad, 0));
+  ASSERT_TRUE(page);
+  EXPECT_TRUE(page->terms.empty());
+  EXPECT_TRUE(page->feed_links.empty());
+}
+
+TEST(SyntheticWeb, FeedLinksAppearOnEveryPageOfFeedSite) {
+  const TopicModel topics(small_topics());
+  const SyntheticWeb web(topics, small_web());
+  for (const auto index : web.content_sites()) {
+    const Site& site = web.site(index);
+    if (site.feed_urls.empty() || site.multimedia) continue;
+    const auto page = web.fetch(web.page_uri(site, 7));
+    ASSERT_TRUE(page);
+    EXPECT_EQ(page->feed_links, site.feed_urls);
+    return;  // one is enough
+  }
+  FAIL() << "no feed-bearing site generated";
+}
+
+TEST(SyntheticWeb, UnknownHostFetchReturnsNullopt) {
+  const TopicModel topics(small_topics());
+  const SyntheticWeb web(topics, small_web());
+  EXPECT_FALSE(
+      web.fetch(*util::Uri::parse("http://nowhere.example/")).has_value());
+}
+
+// --- AdClassifier -----------------------------------------------------------------
+
+TEST(AdClassifier, PatternHeuristics) {
+  EXPECT_EQ(AdClassifier::classify_host_name("ads42.example-net.com"),
+            HostFlag::kAd);
+  EXPECT_EQ(AdClassifier::classify_host_name("track7.example-net.com"),
+            HostFlag::kAd);
+  EXPECT_EQ(AdClassifier::classify_host_name("casino-win3.example-biz.com"),
+            HostFlag::kSpam);
+  EXPECT_EQ(AdClassifier::classify_host_name("daily-copper1.example.org"),
+            HostFlag::kUnknown);
+}
+
+TEST(AdClassifier, RecordedFlagsEscalateOnly) {
+  AdClassifier c;
+  c.record("x.example", HostFlag::kClean);
+  EXPECT_EQ(c.flag("x.example"), HostFlag::kClean);
+  c.record("x.example", HostFlag::kAd);
+  EXPECT_EQ(c.flag("x.example"), HostFlag::kAd);
+  c.record("x.example", HostFlag::kClean);  // cannot undo
+  EXPECT_EQ(c.flag("x.example"), HostFlag::kAd);
+}
+
+TEST(AdClassifier, ShouldSkipCombinesPatternAndRecord) {
+  AdClassifier c;
+  EXPECT_TRUE(c.should_skip("banner9.example-net.com"));  // pattern
+  EXPECT_FALSE(c.should_skip("news.example.org"));
+  c.record("news.example.org", HostFlag::kMultimedia);
+  EXPECT_TRUE(c.should_skip("news.example.org"));  // recorded
+  c.record("fine.example.org", HostFlag::kClean);
+  EXPECT_FALSE(c.should_skip("fine.example.org"));
+  EXPECT_EQ(c.flagged_count(), 1u);
+}
+
+// --- Crawler -----------------------------------------------------------------------
+
+TEST(Crawler, SkipsAdHostsWithoutFetching) {
+  const TopicModel topics(small_topics());
+  const SyntheticWeb web(topics, small_web());
+  Crawler crawler(web);
+  const Site& ad = web.site(web.ad_sites()[0]);
+  const auto result = crawler.crawl(web.page_uri(ad, 0));
+  EXPECT_FALSE(result.fetched);
+  EXPECT_EQ(crawler.stats().fetched, 0u);
+  EXPECT_EQ(crawler.stats().skipped_flagged, 1u);
+}
+
+TEST(Crawler, FetchesContentAndExtractsFeeds) {
+  const TopicModel topics(small_topics());
+  const SyntheticWeb web(topics, small_web());
+  Crawler crawler(web);
+  for (const auto index : web.content_sites()) {
+    const Site& site = web.site(index);
+    if (site.feed_urls.empty() || site.multimedia) continue;
+    const auto result = crawler.crawl(web.page_uri(site, 0));
+    EXPECT_TRUE(result.fetched);
+    EXPECT_EQ(result.host_flag, HostFlag::kClean);
+    EXPECT_EQ(result.feed_urls, site.feed_urls);
+    EXPECT_FALSE(result.terms.empty());
+    EXPECT_GT(crawler.stats().bytes_fetched, 0u);
+    return;
+  }
+  FAIL() << "no feed-bearing site generated";
+}
+
+TEST(Crawler, NeverRecrawlsSameUri) {
+  const TopicModel topics(small_topics());
+  const SyntheticWeb web(topics, small_web());
+  Crawler crawler(web);
+  const Site& site = web.site(web.content_sites()[0]);
+  const util::Uri uri = web.page_uri(site, 0);
+  crawler.crawl(uri);
+  const auto second = crawler.crawl(uri);
+  EXPECT_FALSE(second.fetched);
+  EXPECT_EQ(crawler.stats().skipped_duplicate, 1u);
+  EXPECT_EQ(crawler.stats().fetched, 1u);
+}
+
+TEST(Crawler, FlagsMultimediaAndSkipsThereafter) {
+  TopicModel topics(small_topics());
+  SyntheticWeb::Config config = small_web();
+  config.multimedia_fraction = 1.0;  // every content site is multimedia
+  const SyntheticWeb web(topics, config);
+  Crawler crawler(web);
+  const Site& site = web.site(web.content_sites()[0]);
+  const auto first = crawler.crawl(web.page_uri(site, 0));
+  EXPECT_TRUE(first.fetched);
+  EXPECT_EQ(first.host_flag, HostFlag::kMultimedia);
+  const auto second = crawler.crawl(web.page_uri(site, 1));
+  EXPECT_FALSE(second.fetched);  // host now flagged
+  EXPECT_EQ(crawler.stats().skipped_flagged, 1u);
+}
+
+TEST(Crawler, UnknownHostCounted) {
+  const TopicModel topics(small_topics());
+  const SyntheticWeb web(topics, small_web());
+  Crawler crawler(web);
+  crawler.crawl(*util::Uri::parse("http://nowhere.example/x"));
+  EXPECT_EQ(crawler.stats().unknown_host, 1u);
+}
+
+// --- BrowserCache ---------------------------------------------------------------
+
+WebPage make_page(const std::string& url) {
+  WebPage page;
+  page.uri = *util::Uri::parse(url);
+  page.bytes = 100;
+  return page;
+}
+
+TEST(BrowserCache, HitAndMissAccounting) {
+  BrowserCache cache(10);
+  cache.put(make_page("http://a.example/1"));
+  EXPECT_TRUE(cache.get(*util::Uri::parse("http://a.example/1")).has_value());
+  EXPECT_FALSE(cache.get(*util::Uri::parse("http://a.example/2")).has_value());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(BrowserCache, LruEviction) {
+  BrowserCache cache(2);
+  cache.put(make_page("http://a.example/1"));
+  cache.put(make_page("http://a.example/2"));
+  // touch 1 so 2 becomes the LRU victim
+  cache.get(*util::Uri::parse("http://a.example/1"));
+  cache.put(make_page("http://a.example/3"));
+  EXPECT_TRUE(cache.contains(*util::Uri::parse("http://a.example/1")));
+  EXPECT_FALSE(cache.contains(*util::Uri::parse("http://a.example/2")));
+  EXPECT_TRUE(cache.contains(*util::Uri::parse("http://a.example/3")));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(BrowserCache, PutSameKeyUpdatesInPlace) {
+  BrowserCache cache(2);
+  cache.put(make_page("http://a.example/1"));
+  WebPage updated = make_page("http://a.example/1");
+  updated.bytes = 999;
+  cache.put(updated);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.get(*util::Uri::parse("http://a.example/1"))->bytes, 999u);
+}
+
+}  // namespace
+}  // namespace reef::web
