@@ -22,6 +22,13 @@ void report(const char* title, reef::workload::ReefExperiment& exp) {
   const auto get = [&](std::string_view type) {
     return by_type.get(std::string(type));
   };
+  // Event-path counts use logical units so batch messages (pubbatch /
+  // deliverbatch, the default since per-tick coalescing) contribute one
+  // per event they carry, not one per wire message.
+  const auto& by_units = exp.network().units_by_type();
+  const auto units = [&](std::string_view type) {
+    return by_units.get(std::string(type));
+  };
   std::printf("%s\n", title);
   std::printf("    attention batches (1, Fig.1)        %8llu\n",
               static_cast<unsigned long long>(
@@ -39,10 +46,12 @@ void report(const char* title, reef::workload::ReefExperiment& exp) {
                   get(reef::feeds::kTypeUnwatchFeed)));
   std::printf("    event deliveries (4 / 2)            %8llu\n",
               static_cast<unsigned long long>(
-                  get(reef::pubsub::kTypeDeliver)));
+                  units(reef::pubsub::kTypeDeliver) +
+                  units(reef::pubsub::kTypeDeliverBatch)));
   std::printf("    publications into substrate         %8llu\n",
               static_cast<unsigned long long>(
-                  get(reef::pubsub::kTypePublish)));
+                  units(reef::pubsub::kTypePublish) +
+                  units(reef::pubsub::kTypePublishBatch)));
   std::printf("    peer gossip                         %8llu\n",
               static_cast<unsigned long long>(get(reef::core::kTypeGossip)));
   std::printf("    closed-loop feedback reports        %8llu\n",

@@ -1,16 +1,28 @@
 // E7a — substrate viability: event-matching throughput.
 //
-// google-benchmark microbenchmarks of the two matching engines under a
+// google-benchmark microbenchmarks of the matching engines under a
 // Reef-like filter population (feed-equality subscriptions plus
-// content/range filters), sweeping the subscription-table size. The
-// counting index is the default engine inside every broker; brute force is
-// the ablation baseline.
+// content/range filters), sweeping the subscription-table size. Engines
+// are selected by registry name, so a new engine shows up here without
+// code changes. The batch benchmarks compare the amortized
+// Matcher::match_batch path against a per-event match loop over the same
+// events — the win is the broker's per-tick coalescing made visible.
+//
+// `--smoke` (used by CI) skips google-benchmark and instead runs a quick
+// cross-engine correctness pass plus a single batch-vs-loop timing, so
+// the bench binary can't bit-rot without failing the workflow.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "pubsub/matcher.h"
+#include "pubsub/matcher_registry.h"
 #include "util/rng.h"
 
 namespace {
@@ -73,16 +85,26 @@ Event make_event(std::size_t universe, reef::util::Rng& rng) {
       .with("price", rng.uniform(0, 60));
 }
 
-template <typename MatcherT>
-void bm_match(benchmark::State& state) {
+std::unique_ptr<Matcher> populated_matcher(const std::string& engine,
+                                           std::size_t table_size,
+                                           double content_share,
+                                           reef::util::Rng& rng) {
+  auto matcher = make_matcher(engine);
+  const auto filters = make_filters(table_size, content_share, rng);
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    matcher->add(i + 1, filters[i]);
+  }
+  return matcher;
+}
+
+// --- per-event matching, engine x table size --------------------------------
+
+void bm_match(benchmark::State& state, const std::string& engine) {
   const auto table_size = static_cast<std::size_t>(state.range(0));
   const double content_share = static_cast<double>(state.range(1)) / 100.0;
   reef::util::Rng rng(42);
-  MatcherT matcher;
-  const auto filters = make_filters(table_size, content_share, rng);
-  for (std::size_t i = 0; i < filters.size(); ++i) {
-    matcher.add(i + 1, filters[i]);
-  }
+  const auto matcher =
+      populated_matcher(engine, table_size, content_share, rng);
   std::vector<Event> events;
   for (int i = 0; i < 256; ++i) events.push_back(make_event(table_size, rng));
 
@@ -90,7 +112,7 @@ void bm_match(benchmark::State& state) {
   std::vector<SubscriptionId> hits;
   for (auto _ : state) {
     hits.clear();
-    matcher.match(events[cursor], hits);
+    matcher->match(events[cursor], hits);
     benchmark::DoNotOptimize(hits.data());
     cursor = (cursor + 1) % events.size();
   }
@@ -98,27 +120,88 @@ void bm_match(benchmark::State& state) {
   state.counters["table"] = static_cast<double>(table_size);
 }
 
-void bm_match_counting(benchmark::State& state) {
-  bm_match<IndexMatcher>(state);
-}
-void bm_match_brute(benchmark::State& state) {
-  bm_match<BruteForceMatcher>(state);
-}
-
 // {table size, % content (substring/range) filters}
-BENCHMARK(bm_match_counting)
+BENCHMARK_CAPTURE(bm_match, anchor_index, "anchor-index")
     ->Args({100, 0})
     ->Args({1000, 0})
     ->Args({10000, 0})
     ->Args({50000, 0})
     ->Args({1000, 30})
     ->Args({10000, 30});
-BENCHMARK(bm_match_brute)
+BENCHMARK_CAPTURE(bm_match, counting, "counting")
     ->Args({100, 0})
     ->Args({1000, 0})
     ->Args({10000, 0})
     ->Args({1000, 30})
     ->Args({10000, 30});
+BENCHMARK_CAPTURE(bm_match, brute_force, "brute-force")
+    ->Args({100, 0})
+    ->Args({1000, 0})
+    ->Args({10000, 0})
+    ->Args({1000, 30})
+    ->Args({10000, 30});
+
+// --- batch matching: match_batch vs a per-event loop, engine x batch size ---
+
+void bm_match_loop(benchmark::State& state, const std::string& engine) {
+  const auto table_size = static_cast<std::size_t>(state.range(0));
+  const auto batch_size = static_cast<std::size_t>(state.range(1));
+  reef::util::Rng rng(42);
+  const auto matcher = populated_matcher(engine, table_size, 0.3, rng);
+  std::vector<Event> events;
+  for (int i = 0; i < 256; ++i) events.push_back(make_event(table_size, rng));
+
+  std::size_t cursor = 0;
+  std::vector<SubscriptionId> hits;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      hits.clear();
+      matcher->match(events[(cursor + i) % events.size()], hits);
+      benchmark::DoNotOptimize(hits.data());
+    }
+    cursor = (cursor + batch_size) % events.size();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * batch_size));
+  state.counters["batch"] = static_cast<double>(batch_size);
+}
+
+void bm_match_batch(benchmark::State& state, const std::string& engine) {
+  const auto table_size = static_cast<std::size_t>(state.range(0));
+  const auto batch_size = static_cast<std::size_t>(state.range(1));
+  reef::util::Rng rng(42);
+  const auto matcher = populated_matcher(engine, table_size, 0.3, rng);
+  std::vector<Event> events;
+  for (int i = 0; i < 256; ++i) events.push_back(make_event(table_size, rng));
+
+  std::size_t cursor = 0;
+  std::vector<std::vector<SubscriptionId>> hits;
+  for (auto _ : state) {
+    const std::size_t start = cursor % (events.size() - batch_size + 1);
+    matcher->match_batch(
+        std::span<const Event>(events.data() + start, batch_size), hits);
+    benchmark::DoNotOptimize(hits.data());
+    cursor = (cursor + batch_size) % events.size();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * batch_size));
+  state.counters["batch"] = static_cast<double>(batch_size);
+}
+
+// {table size, batch size}
+#define BATCH_ARGS \
+  ->Args({10000, 8})->Args({10000, 32})->Args({10000, 128})
+BENCHMARK_CAPTURE(bm_match_loop, anchor_index, "anchor-index") BATCH_ARGS;
+BENCHMARK_CAPTURE(bm_match_batch, anchor_index, "anchor-index") BATCH_ARGS;
+BENCHMARK_CAPTURE(bm_match_loop, counting, "counting") BATCH_ARGS;
+BENCHMARK_CAPTURE(bm_match_batch, counting, "counting") BATCH_ARGS;
+BENCHMARK_CAPTURE(bm_match_loop, brute_force, "brute-force")
+    ->Args({2000, 32});
+BENCHMARK_CAPTURE(bm_match_batch, brute_force, "brute-force")
+    ->Args({2000, 32});
+#undef BATCH_ARGS
+
+// --- subscription churn ------------------------------------------------------
 
 void bm_subscription_churn(benchmark::State& state) {
   const auto table_size = static_cast<std::size_t>(state.range(0));
@@ -157,6 +240,98 @@ void bm_covering_check(benchmark::State& state) {
 
 BENCHMARK(bm_covering_check);
 
+// --- --smoke mode (CI) -------------------------------------------------------
+
+int run_smoke() {
+  std::printf("bench_pubsub_matching --smoke\n");
+  reef::util::Rng rng(42);
+  const std::size_t table_size = 5000;
+  const auto filters = make_filters(table_size, 0.3, rng);
+  std::vector<Event> events;
+  for (int i = 0; i < 64; ++i) events.push_back(make_event(table_size, rng));
+
+  // 1. Every registry engine agrees with brute force, per-event and batch.
+  BruteForceMatcher oracle;
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    oracle.add(i + 1, filters[i]);
+  }
+  for (const auto& engine_name : MatcherRegistry::instance().names()) {
+    const auto engine = make_matcher(engine_name);
+    for (std::size_t i = 0; i < filters.size(); ++i) {
+      engine->add(i + 1, filters[i]);
+    }
+    std::vector<std::vector<SubscriptionId>> batched;
+    engine->match_batch(events, batched);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      auto expected = oracle.match(events[i]);
+      auto single = engine->match(events[i]);
+      auto from_batch = batched[i];
+      std::sort(expected.begin(), expected.end());
+      std::sort(single.begin(), single.end());
+      std::sort(from_batch.begin(), from_batch.end());
+      if (single != expected || from_batch != expected) {
+        std::printf("FAIL: %s diverges from oracle on event %zu\n",
+                    engine_name.c_str(), i);
+        return 1;
+      }
+    }
+    std::printf("  %-12s agrees with oracle (%zu filters, %zu events)\n",
+                engine_name.c_str(), table_size, events.size());
+  }
+
+  // 2. One quick batch-vs-loop timing on the anchor index.
+  const auto matcher = make_matcher("anchor-index");
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    matcher->add(i + 1, filters[i]);
+  }
+  const int rounds = 2000;
+  std::vector<SubscriptionId> hits;
+  const auto loop_start = std::chrono::steady_clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    for (const Event& event : events) {
+      hits.clear();
+      matcher->match(event, hits);
+      benchmark::DoNotOptimize(hits.data());
+    }
+  }
+  const auto loop_end = std::chrono::steady_clock::now();
+  std::vector<std::vector<SubscriptionId>> batch_hits;
+  for (int r = 0; r < rounds; ++r) {
+    matcher->match_batch(events, batch_hits);
+    benchmark::DoNotOptimize(batch_hits.data());
+  }
+  const auto batch_end = std::chrono::steady_clock::now();
+  const auto us = [](auto a, auto b) {
+    return std::chrono::duration_cast<std::chrono::microseconds>(b - a)
+        .count();
+  };
+  std::printf("  anchor-index: per-event loop %ldus, match_batch %ldus "
+              "(batch=%zu, %d rounds)\n",
+              static_cast<long>(us(loop_start, loop_end)),
+              static_cast<long>(us(loop_end, batch_end)), events.size(),
+              rounds);
+  std::printf("smoke OK\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (smoke) return run_smoke();
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

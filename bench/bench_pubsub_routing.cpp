@@ -34,9 +34,20 @@ struct Result {
   std::size_t edge_broker_table = 0;
   std::uint64_t pubs_forwarded = 0;
   std::uint64_t deliveries = 0;
+  /// Wire messages vs logical events carried on the publish path
+  /// (pub + pubbatch + deliver + deliverbatch) — the batching win.
+  std::uint64_t event_wire_msgs = 0;
+  std::uint64_t event_units = 0;
+  std::uint64_t event_bytes = 0;
 };
 
-Result run(bool covering, std::size_t brokers, std::size_t subscribers,
+struct RunConfig {
+  bool covering = true;
+  std::string engine = "anchor-index";
+  bool batching = true;
+};
+
+Result run(const RunConfig& rc, std::size_t brokers, std::size_t subscribers,
            std::size_t feeds, double broad_fraction) {
   sim::Simulator sim;
   sim::Network::Config net_config;
@@ -45,7 +56,9 @@ Result run(bool covering, std::size_t brokers, std::size_t subscribers,
   sim::Network net(sim, net_config);
 
   pubsub::Broker::Config broker_config;
-  broker_config.covering_enabled = covering;
+  broker_config.covering_enabled = rc.covering;
+  broker_config.matcher_engine = rc.engine;
+  broker_config.batching_enabled = rc.batching;
   pubsub::Overlay overlay(sim, net, broker_config);
   for (std::size_t i = 0; i < brokers; ++i) overlay.add_broker();
   for (std::size_t i = 1; i < brokers; ++i) overlay.link(i - 1, i);
@@ -71,17 +84,25 @@ Result run(bool covering, std::size_t brokers, std::size_t subscribers,
   }
   sim.run_until(sim.now() + sim::kMinute);
 
-  // Publish a burst of events across the feed popularity distribution.
+  // Publish a burst of events across the feed popularity distribution,
+  // in per-tick bundles of 10 so broker-side coalescing has something to
+  // merge (the feed proxy flushes whole poll cycles the same way).
   pubsub::Client publisher(sim, net, "pub");
   publisher.connect(overlay.broker(0));
-  for (int i = 0; i < 500; ++i) {
-    const std::size_t feed = popularity.sample(rng);
-    publisher.publish(
-        pubsub::Event()
-            .with("stream", "feed")
-            .with("feed", "http://feed" + std::to_string(feed) +
-                              ".example/f.rss")
-            .with("seq", i));
+  int seq = 0;
+  for (int burst = 0; burst < 50; ++burst) {
+    std::vector<pubsub::Event> bundle;
+    for (int i = 0; i < 10; ++i) {
+      const std::size_t feed = popularity.sample(rng);
+      bundle.push_back(
+          pubsub::Event()
+              .with("stream", "feed")
+              .with("feed", "http://feed" + std::to_string(feed) +
+                                ".example/f.rss")
+              .with("seq", seq++));
+    }
+    publisher.publish_batch(std::move(bundle));
+    sim.run_until(sim.now() + sim::kSecond);
   }
   sim.run_until(sim.now() + sim::kMinute);
 
@@ -93,6 +114,14 @@ Result run(bool covering, std::size_t brokers, std::size_t subscribers,
   result.deliveries = overlay.total_deliveries();
   for (std::size_t i = 0; i < brokers; ++i) {
     result.unsubs_forwarded += overlay.broker(i).stats().unsubs_forwarded;
+  }
+  for (const std::string_view type :
+       {pubsub::kTypePublish, pubsub::kTypePublishBatch,
+        pubsub::kTypeDeliver, pubsub::kTypeDeliverBatch}) {
+    const std::string key(type);
+    result.event_wire_msgs += net.messages_by_type().get(key);
+    result.event_units += net.units_by_type().get(key);
+    result.event_bytes += net.bytes_by_type().get(key);
   }
   return result;
 }
@@ -108,8 +137,12 @@ int main() {
   std::printf("  %s\n", std::string(88, '-').c_str());
   for (const std::size_t subscribers : {20, 50, 100, 200}) {
     for (const double broad : {0.0, 0.1}) {
-      const Result with_cover = run(true, 8, subscribers, 60, broad);
-      const Result without = run(false, 8, subscribers, 60, broad);
+      const Result with_cover =
+          run(RunConfig{true, "anchor-index", true}, 8, subscribers, 60,
+              broad);
+      const Result without =
+          run(RunConfig{false, "anchor-index", true}, 8, subscribers, 60,
+              broad);
       std::printf("  %11zu %5.0f%%   cover %7s %14zu %12zu %12s %12s\n",
                   subscribers, broad * 100,
                   reef::util::with_commas(with_cover.subs_forwarded).c_str(),
@@ -125,5 +158,34 @@ int main() {
   }
   std::printf("\n  deliveries are identical; covering cuts control traffic "
               "and routing state, most visibly with broad subscribers.\n");
+
+  // --- engine x batching: wire traffic on the event path -------------------
+  std::printf("\n=== engine x batching: event-path wire traffic ===\n");
+  std::printf("chain of 8 brokers, 100 subscribers, 500 events in bursts "
+              "of 10\n\n");
+  std::printf("  %-12s %-8s %12s %12s %10s %12s %12s\n", "engine", "batch",
+              "wire msgs", "events", "ev/msg", "bytes", "deliveries");
+  std::printf("  %s\n", std::string(84, '-').c_str());
+  for (const char* engine : {"anchor-index", "counting", "brute-force"}) {
+    for (const bool batching : {true, false}) {
+      const Result r =
+          run(RunConfig{true, engine, batching}, 8, 100, 60, 0.0);
+      std::printf("  %-12s %-8s %12s %12s %10.1f %12s %12s\n", engine,
+                  batching ? "on" : "off",
+                  reef::util::with_commas(r.event_wire_msgs).c_str(),
+                  reef::util::with_commas(r.event_units).c_str(),
+                  r.event_wire_msgs == 0
+                      ? 0.0
+                      : static_cast<double>(r.event_units) /
+                            static_cast<double>(r.event_wire_msgs),
+                  reef::util::with_commas(r.event_bytes).c_str(),
+                  reef::util::with_commas(r.deliveries).c_str());
+    }
+  }
+  std::printf("\n  engines agree on deliveries; batching collapses the "
+              "per-event wire messages (ev/msg > 1). With settled "
+              "subscriptions (as here) deliveries match the unbatched "
+              "run; only events racing a subscription within one tick "
+              "may differ.\n");
   return 0;
 }

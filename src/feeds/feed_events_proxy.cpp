@@ -65,6 +65,10 @@ void FeedEventsProxy::unwatch(const std::string& url) {
 }
 
 void FeedEventsProxy::poll_all() {
+  // Collect the whole poll cycle and publish it as one PublishBatchMsg:
+  // the broker matches the burst through the amortized batch path and one
+  // wire message replaces one-per-story.
+  std::vector<pubsub::Event> cycle;
   for (auto& [url, watched] : watched_) {
     if (watched.refcount == 0) continue;
     PollResult result = feeds_.poll(url, watched.last_seq, sim_.now());
@@ -77,10 +81,11 @@ void FeedEventsProxy::poll_all() {
       // (http://<host>/feeds/...), so no registry lookup is needed.
       std::string host;
       if (const auto uri = util::Uri::parse(url)) host = uri->host();
-      publisher_.publish(make_feed_event(item, host));
+      cycle.push_back(make_feed_event(item, host));
       ++stats_.items_published;
     }
   }
+  publisher_.publish_batch(std::move(cycle));  // no-op on an empty cycle
 }
 
 void FeedEventsProxy::handle_message(const sim::Message& msg) {

@@ -2,6 +2,8 @@
 
 #include <any>
 #include <cassert>
+#include <unordered_set>
+#include <utility>
 
 #include "util/log.h"
 
@@ -16,21 +18,22 @@ Broker::Broker(sim::Simulator& sim, sim::Network& net, std::string name,
       net_(net),
       name_(std::move(name)),
       config_(config),
-      matcher_(make_matcher(config.use_counting_matcher)) {
+      table_(RoutingTable::Config{config.covering_enabled,
+                                  config.matcher_engine}) {
   id_ = net_.attach(*this, name_);
 }
 
 void Broker::add_neighbor(Broker& other) {
   assert(other.id() != id_);
-  if (broker_ifaces_.contains(other.id())) return;
+  if (table_.has_broker_iface(other.id())) return;
   neighbors_.push_back(other.id());
-  broker_ifaces_.emplace(other.id(), BrokerIface{});
+  table_.add_broker_iface(other.id());
   // Bring the new neighbor up to date with everything reachable through us.
   refresh_neighbor(other.id());
 }
 
 void Broker::attach_client(sim::NodeId client) {
-  client_ifaces_.try_emplace(client);
+  table_.add_client_iface(client);
 }
 
 void Broker::handle_message(const sim::Message& msg) {
@@ -48,62 +51,31 @@ void Broker::handle_message(const sim::Message& msg) {
                           std::any_cast<const UnsubscribeMsg&>(msg.payload));
   } else if (msg.type == kTypePublish) {
     on_publish(msg.from, std::any_cast<const PublishMsg&>(msg.payload).event);
+  } else if (msg.type == kTypePublishBatch) {
+    on_publish_batch(msg.from,
+                     std::any_cast<const PublishBatchMsg&>(msg.payload));
   } else {
     util::log_warn("broker") << name_ << ": unknown message type " << msg.type;
   }
 }
 
-std::uint64_t Broker::add_entry(Filter filter, sim::NodeId iface,
-                                bool from_broker, SubscriptionId client_sub) {
-  const std::uint64_t engine_id = next_engine_id_++;
-  matcher_->add(engine_id, filter);
-  entries_.emplace(engine_id,
-                   EngineEntry{std::move(filter), iface, from_broker,
-                               client_sub});
-  return engine_id;
-}
-
-void Broker::remove_entry(std::uint64_t engine_id) {
-  matcher_->remove(engine_id);
-  entries_.erase(engine_id);
-}
-
 void Broker::on_client_subscribe(sim::NodeId from,
                                  const ClientSubscribeMsg& msg) {
   ++stats_.subs_received;
-  attach_client(from);
-  ClientIface& iface = client_ifaces_[from];
-  if (const auto it = iface.engine_ids.find(msg.sub_id);
-      it != iface.engine_ids.end()) {
-    remove_entry(it->second);  // replace semantics on duplicate sub_id
-  }
-  iface.engine_ids[msg.sub_id] =
-      add_entry(msg.filter, from, /*from_broker=*/false, msg.sub_id);
+  table_.client_subscribe(from, msg.sub_id, msg.filter);
   refresh_all_neighbors_except(sim::kNoNode);
 }
 
 void Broker::on_client_unsubscribe(sim::NodeId from,
                                    const ClientUnsubscribeMsg& msg) {
   ++stats_.subs_received;
-  const auto iface_it = client_ifaces_.find(from);
-  if (iface_it == client_ifaces_.end()) return;
-  const auto sub_it = iface_it->second.engine_ids.find(msg.sub_id);
-  if (sub_it == iface_it->second.engine_ids.end()) return;
-  remove_entry(sub_it->second);
-  iface_it->second.engine_ids.erase(sub_it);
+  if (!table_.client_unsubscribe(from, msg.sub_id)) return;
   refresh_all_neighbors_except(sim::kNoNode);
 }
 
 void Broker::on_broker_subscribe(sim::NodeId from, const SubscribeMsg& msg) {
   ++stats_.subs_received;
-  auto& iface = broker_ifaces_[from];
-  const std::string& key = msg.filter.key();
-  if (const auto it = iface.engine_ids.find(key);
-      it != iface.engine_ids.end()) {
-    return;  // idempotent re-subscribe
-  }
-  iface.engine_ids[key] =
-      add_entry(msg.filter, from, /*from_broker=*/true, 0);
+  if (!table_.broker_subscribe(from, msg.filter)) return;  // re-subscribe
   // Propagate onward, but never back where it came from.
   refresh_all_neighbors_except(from);
 }
@@ -111,99 +83,145 @@ void Broker::on_broker_subscribe(sim::NodeId from, const SubscribeMsg& msg) {
 void Broker::on_broker_unsubscribe(sim::NodeId from,
                                    const UnsubscribeMsg& msg) {
   ++stats_.subs_received;
-  const auto iface_it = broker_ifaces_.find(from);
-  if (iface_it == broker_ifaces_.end()) return;
-  const auto key_it = iface_it->second.engine_ids.find(msg.filter.key());
-  if (key_it == iface_it->second.engine_ids.end()) return;
-  remove_entry(key_it->second);
-  iface_it->second.engine_ids.erase(key_it);
+  if (!table_.broker_unsubscribe(from, msg.filter)) return;
   refresh_all_neighbors_except(from);
 }
 
 void Broker::on_publish(sim::NodeId from, const Event& event) {
   ++stats_.pubs_received;
   ++stats_.matches_run;
-  std::vector<SubscriptionId> engine_hits;
-  matcher_->match(event, engine_hits);
+  std::vector<RoutingTable::Destination> hits;
+  table_.match(event, hits);
+  route_event(from, event, hits);
+}
 
+void Broker::on_publish_batch(sim::NodeId from, const PublishBatchMsg& msg) {
+  stats_.pubs_received += msg.events.size();
+  ++stats_.matches_run;
+  std::vector<std::vector<RoutingTable::Destination>> hits;
+  table_.match_batch(msg.events, hits);
+  for (std::size_t i = 0; i < msg.events.size(); ++i) {
+    route_event(from, msg.events[i], hits[i]);
+  }
+}
+
+void Broker::route_event(sim::NodeId from, const Event& event,
+                         const std::vector<RoutingTable::Destination>& hits) {
   // Group matches by interface; an event crosses each interface once.
   std::unordered_map<sim::NodeId, std::vector<SubscriptionId>> client_hits;
-  std::unordered_map<sim::NodeId, bool> broker_hits;
-  for (const std::uint64_t engine_id : engine_hits) {
-    const EngineEntry& entry = entries_.at(engine_id);
-    if (entry.iface == from) continue;  // never echo back
-    if (entry.from_broker) {
-      broker_hits[entry.iface] = true;
+  std::unordered_set<sim::NodeId> broker_hits;
+  for (const RoutingTable::Destination& dest : hits) {
+    if (dest.iface == from) continue;  // never echo back
+    if (dest.is_broker) {
+      broker_hits.insert(dest.iface);
     } else {
-      client_hits[entry.iface].push_back(entry.client_sub);
+      client_hits[dest.iface].push_back(dest.client_sub);
     }
   }
-  for (const auto& [neighbor, _] : broker_hits) {
-    ++stats_.pubs_forwarded;
-    net_.send(id_, neighbor, std::string(kTypePublish), PublishMsg{event},
-              event.wire_size() + 8);
+  for (const sim::NodeId neighbor : broker_hits) {
+    enqueue_publish(neighbor, event);
   }
   for (auto& [client, subs] : client_hits) {
-    ++stats_.deliveries;
-    const std::size_t bytes = event.wire_size() + 8 * subs.size() + 8;
-    net_.send(id_, client, std::string(kTypeDeliver),
-              DeliverMsg{event, std::move(subs)}, bytes);
+    enqueue_delivery(client, event, std::move(subs));
   }
 }
 
-std::map<std::string, Filter> Broker::filters_not_from(
-    sim::NodeId excluded) const {
-  std::map<std::string, Filter> out;
-  for (const auto& [engine_id, entry] : entries_) {
-    if (entry.iface == excluded) continue;
-    out.try_emplace(entry.filter.key(), entry.filter);
+// --- per-tick output coalescing ----------------------------------------------
+
+void Broker::enqueue_publish(sim::NodeId neighbor, const Event& event) {
+  ++stats_.pubs_forwarded;
+  if (!config_.batching_enabled) {
+    send_publishes(neighbor, {event});
+    return;
   }
-  return out;
+  pending_pubs_[neighbor].push_back(event);
+  schedule_flush();
 }
 
-std::map<std::string, Filter> Broker::minimal_cover(
-    std::map<std::string, Filter> filters) {
-  std::map<std::string, Filter> out;
-  for (const auto& [key, filter] : filters) {
-    bool dominated = false;
-    for (const auto& [other_key, other] : filters) {
-      if (other_key == key) continue;
-      if (!other.covers(filter)) continue;
-      // `other` covers us. Drop `filter` unless the two are equivalent and
-      // we are the canonical (lexicographically first) representative.
-      if (!filter.covers(other) || other_key < key) {
-        dominated = true;
-        break;
-      }
-    }
-    if (!dominated) out.emplace(key, filter);
+void Broker::enqueue_delivery(sim::NodeId client, const Event& event,
+                              std::vector<SubscriptionId> subs) {
+  ++stats_.deliveries;
+  if (!config_.batching_enabled) {
+    std::vector<DeliverMsg> one;
+    one.push_back(DeliverMsg{event, std::move(subs)});
+    send_deliveries(client, std::move(one));
+    return;
   }
-  return out;
+  pending_delivers_[client].push_back(DeliverMsg{event, std::move(subs)});
+  schedule_flush();
 }
+
+void Broker::schedule_flush() {
+  if (flush_scheduled_) return;
+  // Runs at the *current* instant, after every already-queued event for
+  // this instant — i.e. after all publications arriving this tick have
+  // been matched — so one wire message carries the whole tick's output.
+  flush_scheduled_ = true;
+  sim_.after(0, [this] { flush_pending(); });
+}
+
+void Broker::flush_pending() {
+  flush_scheduled_ = false;
+  // Drain by moving the maps out so the flush (and the maps' memory) stay
+  // proportional to this tick's destinations, not every interface ever
+  // sent to. Nothing re-enters the pending maps during the loop — sends
+  // deliver asynchronously.
+  auto pubs = std::exchange(pending_pubs_, {});
+  for (auto& [neighbor, events] : pubs) {
+    send_publishes(neighbor, std::move(events));
+  }
+  auto delivers = std::exchange(pending_delivers_, {});
+  for (auto& [client, items] : delivers) {
+    send_deliveries(client, std::move(items));
+  }
+}
+
+void Broker::send_publishes(sim::NodeId neighbor, std::vector<Event> events) {
+  ++stats_.pub_msgs_sent;
+  if (events.size() == 1) {
+    Event event = std::move(events.front());
+    const std::size_t bytes = event.wire_size() + 8;
+    net_.send(id_, neighbor, std::string(kTypePublish),
+              PublishMsg{std::move(event)}, bytes);
+    return;
+  }
+  const std::size_t bytes = publish_batch_wire_size(events);
+  const std::size_t units = events.size();
+  net_.send(id_, neighbor, std::string(kTypePublishBatch),
+            PublishBatchMsg{std::move(events)}, bytes, units);
+}
+
+void Broker::send_deliveries(sim::NodeId client,
+                             std::vector<DeliverMsg> items) {
+  ++stats_.deliver_msgs_sent;
+  if (items.size() == 1) {
+    DeliverMsg item = std::move(items.front());
+    const std::size_t bytes =
+        item.event.wire_size() + 8 * item.matched.size() + 8;
+    net_.send(id_, client, std::string(kTypeDeliver), std::move(item), bytes);
+    return;
+  }
+  const std::size_t bytes = deliver_batch_wire_size(items);
+  const std::size_t units = items.size();
+  net_.send(id_, client, std::string(kTypeDeliverBatch),
+            DeliverBatchMsg{std::move(items)}, bytes, units);
+}
+
+// --- subscription forwarding -------------------------------------------------
 
 void Broker::refresh_neighbor(sim::NodeId neighbor) {
-  BrokerIface& iface = broker_ifaces_.at(neighbor);
-  std::map<std::string, Filter> desired = filters_not_from(neighbor);
-  if (config_.covering_enabled) desired = minimal_cover(std::move(desired));
-
-  // Send subscriptions that became necessary.
-  for (const auto& [key, filter] : desired) {
-    if (iface.forwarded.contains(key)) continue;
+  RoutingTable::Diff diff = table_.refresh(neighbor);
+  for (Filter& filter : diff.subscribe) {
     ++stats_.subs_forwarded;
+    const std::size_t bytes = filter.wire_size() + 8;
     net_.send(id_, neighbor, std::string(kTypeSubscribe),
-              SubscribeMsg{filter}, filter.wire_size() + 8);
-    iface.forwarded.emplace(key, filter);
+              SubscribeMsg{std::move(filter)}, bytes);
   }
-  // Retract subscriptions that are no longer needed (or now covered).
-  for (auto it = iface.forwarded.begin(); it != iface.forwarded.end();) {
-    if (desired.contains(it->first)) {
-      ++it;
-      continue;
-    }
+  for (Filter& filter : diff.unsubscribe) {
     ++stats_.unsubs_forwarded;
+    const std::size_t bytes = filter.wire_size() + 8;
     net_.send(id_, neighbor, std::string(kTypeUnsubscribe),
-              UnsubscribeMsg{it->second}, it->second.wire_size() + 8);
-    it = iface.forwarded.erase(it);
+              UnsubscribeMsg{std::move(filter)}, bytes);
   }
 }
 
@@ -211,13 +229,6 @@ void Broker::refresh_all_neighbors_except(sim::NodeId except) {
   for (const sim::NodeId neighbor : neighbors_) {
     if (neighbor != except) refresh_neighbor(neighbor);
   }
-}
-
-std::size_t Broker::table_size() const noexcept { return entries_.size(); }
-
-std::size_t Broker::forwarded_size(sim::NodeId neighbor) const {
-  const auto it = broker_ifaces_.find(neighbor);
-  return it == broker_ifaces_.end() ? 0 : it->second.forwarded.size();
 }
 
 }  // namespace reef::pubsub

@@ -1,24 +1,27 @@
 // Content-based pub/sub broker (Siena-style subscription forwarding).
 //
-// Brokers form an *acyclic* overlay. Each broker keeps, per interface
-// (neighbor broker or attached client), the set of filters reachable
-// through that interface, and forwards a publication out of every
-// interface with at least one matching filter (except the one it arrived
-// on). Subscriptions are flooded toward all brokers, pruned by the
-// covering relation: a filter is not forwarded to a neighbor if a filter
-// already forwarded to that neighbor covers it. The pruning is the
-// classic Siena optimization and can be disabled for the ablation bench.
+// Brokers form an *acyclic* overlay. The routing logic — which filters are
+// reachable through which interface, covering-based pruning of forwarded
+// subscriptions, and event-to-interface matching — lives in RoutingTable;
+// the Broker is a thin adapter that decodes protocol messages, feeds the
+// table, and ships the table's answers over the simulated network.
+//
+// Publications crossing the broker are *coalesced per interface within a
+// sim tick*: instead of one wire message per event, everything bound for
+// the same neighbor (or client) at the same instant leaves in a single
+// PublishBatchMsg / DeliverBatchMsg, and inbound batches are matched
+// through the amortized Matcher::match_batch path.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
-#include "pubsub/matcher.h"
+#include "pubsub/matcher_registry.h"
 #include "pubsub/messages.h"
+#include "pubsub/routing_table.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -29,18 +32,29 @@ class Broker final : public sim::Node {
   struct Config {
     /// Covering-based pruning of forwarded subscriptions (ablation knob).
     bool covering_enabled = true;
-    /// Counting-index matcher (true) vs brute-force scan (false).
-    bool use_counting_matcher = true;
+    /// Matching engine, by MatcherRegistry name ("brute-force",
+    /// "anchor-index", "counting", or anything registered at runtime).
+    std::string matcher_engine = std::string(kDefaultEngine);
+    /// Coalesce publications/deliveries per interface within a sim tick
+    /// (ablation knob; off = one wire message per event, as the seed did).
+    /// Matching results are identical either way; the one observable
+    /// difference is an event racing a subscription in the same tick —
+    /// deferring the event to end-of-tick can let the subscription be
+    /// installed upstream first (pub/sub gives no ordering guarantee in
+    /// that window).
+    bool batching_enabled = true;
   };
 
   struct Stats {
     std::uint64_t subs_received = 0;    ///< control msgs in (sub+unsub)
     std::uint64_t subs_forwarded = 0;   ///< SubscribeMsg sent to neighbors
     std::uint64_t unsubs_forwarded = 0; ///< UnsubscribeMsg sent to neighbors
-    std::uint64_t pubs_received = 0;
-    std::uint64_t pubs_forwarded = 0;   ///< PublishMsg sent to neighbors
-    std::uint64_t deliveries = 0;       ///< DeliverMsg sent to clients
-    std::uint64_t matches_run = 0;      ///< matcher invocations
+    std::uint64_t pubs_received = 0;    ///< events in (batch counts each)
+    std::uint64_t pubs_forwarded = 0;   ///< events out to neighbors
+    std::uint64_t pub_msgs_sent = 0;    ///< wire messages carrying them
+    std::uint64_t deliveries = 0;       ///< (event, client) deliveries
+    std::uint64_t deliver_msgs_sent = 0; ///< wire messages carrying them
+    std::uint64_t matches_run = 0;      ///< matcher invocations (batch = 1)
   };
 
   Broker(sim::Simulator& sim, sim::Network& net, std::string name);
@@ -63,54 +77,43 @@ class Broker final : public sim::Node {
   // --- introspection --------------------------------------------------------
   const Stats& stats() const noexcept { return stats_; }
   /// Total filters stored across all interfaces (routing-table size).
-  std::size_t table_size() const noexcept;
+  std::size_t table_size() const noexcept { return table_.size(); }
   /// Filters currently forwarded to (i.e. requested from) a neighbor.
-  std::size_t forwarded_size(sim::NodeId neighbor) const;
+  std::size_t forwarded_size(sim::NodeId neighbor) const {
+    return table_.forwarded_size(neighbor);
+  }
   std::size_t neighbor_count() const noexcept { return neighbors_.size(); }
   const std::vector<sim::NodeId>& neighbors() const noexcept {
     return neighbors_;
   }
+  const RoutingTable& routing_table() const noexcept { return table_; }
 
  private:
-  struct ClientIface {
-    std::unordered_map<SubscriptionId, std::uint64_t> engine_ids;
-  };
-  struct BrokerIface {
-    /// Aggregated filters received from this neighbor, by canonical key.
-    std::unordered_map<std::string, std::uint64_t> engine_ids;
-    /// Filters we have forwarded *to* this neighbor, by canonical key.
-    std::unordered_map<std::string, Filter> forwarded;
-  };
-  struct EngineEntry {
-    Filter filter;
-    sim::NodeId iface = sim::kNoNode;
-    bool from_broker = false;
-    SubscriptionId client_sub = 0;  // valid when !from_broker
-  };
-
   void on_client_subscribe(sim::NodeId from, const ClientSubscribeMsg& msg);
   void on_client_unsubscribe(sim::NodeId from,
                              const ClientUnsubscribeMsg& msg);
   void on_broker_subscribe(sim::NodeId from, const SubscribeMsg& msg);
   void on_broker_unsubscribe(sim::NodeId from, const UnsubscribeMsg& msg);
   void on_publish(sim::NodeId from, const Event& event);
+  void on_publish_batch(sim::NodeId from, const PublishBatchMsg& msg);
 
-  std::uint64_t add_entry(Filter filter, sim::NodeId iface, bool from_broker,
-                          SubscriptionId client_sub);
-  void remove_entry(std::uint64_t engine_id);
+  /// Files one matched event into the per-interface output queues (or
+  /// sends immediately when batching is disabled).
+  void route_event(sim::NodeId from, const Event& event,
+                   const std::vector<RoutingTable::Destination>& hits);
 
-  /// Recomputes the set of filters that should be forwarded to `neighbor`
-  /// and sends the subscribe/unsubscribe diff.
+  /// Sends the refresh diff for `neighbor` computed by the routing table.
   void refresh_neighbor(sim::NodeId neighbor);
   void refresh_all_neighbors_except(sim::NodeId except);
 
-  /// Filters visible on interfaces other than `excluded` (deduplicated by
-  /// canonical key).
-  std::map<std::string, Filter> filters_not_from(sim::NodeId excluded) const;
-
-  /// Reduces a key->filter set to its maximal elements under covering.
-  static std::map<std::string, Filter> minimal_cover(
-      std::map<std::string, Filter> filters);
+  // --- per-tick output coalescing ---
+  void enqueue_publish(sim::NodeId neighbor, const Event& event);
+  void enqueue_delivery(sim::NodeId client, const Event& event,
+                        std::vector<SubscriptionId> subs);
+  void schedule_flush();
+  void flush_pending();
+  void send_publishes(sim::NodeId neighbor, std::vector<Event> events);
+  void send_deliveries(sim::NodeId client, std::vector<DeliverMsg> items);
 
   sim::Simulator& sim_;
   sim::Network& net_;
@@ -119,12 +122,12 @@ class Broker final : public sim::Node {
   sim::NodeId id_;
 
   std::vector<sim::NodeId> neighbors_;
-  std::unordered_map<sim::NodeId, BrokerIface> broker_ifaces_;
-  std::unordered_map<sim::NodeId, ClientIface> client_ifaces_;
+  RoutingTable table_;
 
-  std::unique_ptr<Matcher> matcher_;
-  std::unordered_map<std::uint64_t, EngineEntry> entries_;
-  std::uint64_t next_engine_id_ = 1;
+  /// Events awaiting the end-of-tick flush, per destination interface.
+  std::unordered_map<sim::NodeId, std::vector<Event>> pending_pubs_;
+  std::unordered_map<sim::NodeId, std::vector<DeliverMsg>> pending_delivers_;
+  bool flush_scheduled_ = false;
 
   Stats stats_;
 };

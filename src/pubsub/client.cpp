@@ -64,12 +64,36 @@ void Client::publish(Event event) {
             PublishMsg{std::move(event)}, bytes);
 }
 
-void Client::handle_message(const sim::Message& msg) {
-  if (msg.type != kTypeDeliver) {
-    util::log_warn("client") << name_ << ": unexpected message " << msg.type;
+void Client::publish_batch(std::vector<Event> events) {
+  assert(connected() && "publish before connect");
+  if (events.empty()) return;
+  if (events.size() == 1) {  // no batch framing for a single event
+    publish(std::move(events.front()));
     return;
   }
-  const auto& deliver = std::any_cast<const DeliverMsg&>(msg.payload);
+  for (Event& event : events) {
+    event.set_id((static_cast<std::uint64_t>(id_) << 32) | next_event_id_++);
+    ++published_;
+  }
+  const std::size_t bytes = publish_batch_wire_size(events);
+  const std::size_t units = events.size();
+  net_.send(id_, broker_, std::string(kTypePublishBatch),
+            PublishBatchMsg{std::move(events)}, bytes, units);
+}
+
+void Client::handle_message(const sim::Message& msg) {
+  if (msg.type == kTypeDeliver) {
+    on_deliver(std::any_cast<const DeliverMsg&>(msg.payload));
+  } else if (msg.type == kTypeDeliverBatch) {
+    ++batches_received_;
+    const auto& batch = std::any_cast<const DeliverBatchMsg&>(msg.payload);
+    for (const DeliverMsg& item : batch.items) on_deliver(item);
+  } else {
+    util::log_warn("client") << name_ << ": unexpected message " << msg.type;
+  }
+}
+
+void Client::on_deliver(const DeliverMsg& deliver) {
   for (const SubscriptionId sub_id : deliver.matched) {
     const auto it = handlers_.find(sub_id);
     if (it == handlers_.end()) continue;  // already unsubscribed: drop

@@ -50,10 +50,19 @@ class Client final : public sim::Node {
   /// Publishes an event into the substrate via the connected broker.
   void publish(Event event);
 
+  /// Publishes several events in one wire message (PublishBatchMsg); the
+  /// broker matches them through the amortized batch path. Bursty
+  /// publishers (the feed proxy flushing a poll cycle) use this to avoid
+  /// one message per story.
+  void publish_batch(std::vector<Event> events);
+
   void handle_message(const sim::Message& msg) override;
 
   // --- introspection --------------------------------------------------------
   std::uint64_t deliveries() const noexcept { return deliveries_; }
+  /// DeliverBatchMsg wire messages received (their events are unpacked
+  /// into the normal per-subscription handler/inbox path).
+  std::uint64_t batches_received() const noexcept { return batches_received_; }
   std::uint64_t published() const noexcept { return published_; }
   std::size_t active_subscriptions() const noexcept {
     return handlers_.size();
@@ -71,8 +80,11 @@ class Client final : public sim::Node {
   sim::NodeId id_;
   sim::NodeId broker_ = sim::kNoNode;
   std::unordered_map<SubscriptionId, Handler> handlers_;
+  void on_deliver(const DeliverMsg& deliver);
+
   std::uint32_t next_sub_ = 1;
   std::uint64_t deliveries_ = 0;
+  std::uint64_t batches_received_ = 0;
   std::uint64_t published_ = 0;
   std::uint64_t next_event_id_ = 1;
   std::vector<std::pair<Event, SubscriptionId>> inbox_;

@@ -1,8 +1,22 @@
 #include "pubsub/matcher.h"
 
 #include <algorithm>
+#include <map>
+#include <string_view>
+#include <utility>
 
 namespace reef::pubsub {
+
+Value canonical_numeric(const Value& v) {
+  if (const auto n = v.numeric()) return Value(*n);
+  return v;
+}
+
+void Matcher::match_batch(std::span<const Event> events,
+                          std::vector<std::vector<SubscriptionId>>& out) const {
+  out.assign(events.size(), {});
+  for (std::size_t i = 0; i < events.size(); ++i) match(events[i], out[i]);
+}
 
 // --- BruteForceMatcher ------------------------------------------------------
 
@@ -19,12 +33,18 @@ void BruteForceMatcher::match(const Event& event,
   }
 }
 
-// --- IndexMatcher -----------------------------------------------------------
-
-Value IndexMatcher::canonical(const Value& v) {
-  if (const auto n = v.numeric()) return Value(*n);
-  return v;
+void BruteForceMatcher::match_batch(
+    std::span<const Event> events,
+    std::vector<std::vector<SubscriptionId>>& out) const {
+  out.assign(events.size(), {});
+  for (const auto& [id, filter] : filters_) {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (filter.matches(events[i])) out[i].push_back(id);
+    }
+  }
 }
+
+// --- IndexMatcher -----------------------------------------------------------
 
 void IndexMatcher::add(SubscriptionId id, Filter filter) {
   remove(id);  // replace semantics
@@ -44,7 +64,8 @@ void IndexMatcher::add(SubscriptionId id, Filter filter) {
     if (c.op() != Op::kEq) continue;
     std::size_t bucket = 0;
     if (const auto attr_it = eq_.find(c.attribute()); attr_it != eq_.end()) {
-      if (const auto value_it = attr_it->second.find(canonical(c.value()));
+      if (const auto value_it =
+              attr_it->second.find(canonical_numeric(c.value()));
           value_it != attr_it->second.end()) {
         bucket = value_it->second.size();
       }
@@ -57,7 +78,7 @@ void IndexMatcher::add(SubscriptionId id, Filter filter) {
   if (best != nullptr) {
     entry.eq_anchor = true;
     entry.anchor_attr = best->attribute();
-    entry.anchor_value = canonical(best->value());
+    entry.anchor_value = canonical_numeric(best->value());
     eq_[entry.anchor_attr][entry.anchor_value].push_back(id);
     ++eq_count_;
   } else {
@@ -90,6 +111,13 @@ void IndexMatcher::remove(SubscriptionId id) {
   filters_.erase(it);
 }
 
+std::optional<std::string> IndexMatcher::anchor_attribute(
+    SubscriptionId id) const {
+  const auto it = filters_.find(id);
+  if (it == filters_.end()) return std::nullopt;
+  return it->second.anchor_attr;
+}
+
 void IndexMatcher::match(const Event& event,
                          std::vector<SubscriptionId>& out) const {
   out.insert(out.end(), universal_.begin(), universal_.end());
@@ -100,7 +128,7 @@ void IndexMatcher::match(const Event& event,
   // finds it.
   for (const auto& [attr, value] : event.attributes()) {
     if (const auto attr_it = eq_.find(attr); attr_it != eq_.end()) {
-      if (const auto value_it = attr_it->second.find(canonical(value));
+      if (const auto value_it = attr_it->second.find(canonical_numeric(value));
           value_it != attr_it->second.end()) {
         for (const SubscriptionId id : value_it->second) {
           if (filters_.at(id).filter.matches(event)) out.push_back(id);
@@ -115,9 +143,131 @@ void IndexMatcher::match(const Event& event,
   }
 }
 
-std::unique_ptr<Matcher> make_matcher(bool use_index) {
-  if (use_index) return std::make_unique<IndexMatcher>();
-  return std::make_unique<BruteForceMatcher>();
+void IndexMatcher::match_batch(
+    std::span<const Event> events,
+    std::vector<std::vector<SubscriptionId>>& out) const {
+  out.assign(events.size(), {});
+  for (auto& hits : out) {
+    hits.insert(hits.end(), universal_.begin(), universal_.end());
+  }
+  // Group the batch by attribute: one eq_/scan_ probe per distinct
+  // attribute across the whole batch. The string_views alias the events'
+  // own attribute keys, which outlive this call.
+  std::map<std::string_view, std::vector<std::pair<std::size_t, const Value*>>>
+      by_attr;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    for (const auto& [attr, value] : events[i].attributes()) {
+      by_attr[attr].emplace_back(i, &value);
+    }
+  }
+  for (const auto& [attr_view, occurrences] : by_attr) {
+    const std::string attr(attr_view);
+    if (const auto attr_it = eq_.find(attr); attr_it != eq_.end()) {
+      // Sub-group by canonical value so each bucket is probed once and
+      // each candidate filter is fetched once, however many events of the
+      // batch share the value.
+      std::unordered_map<Value, std::vector<std::size_t>> by_value;
+      for (const auto& [i, value] : occurrences) {
+        by_value[canonical_numeric(*value)].push_back(i);
+      }
+      for (const auto& [value, event_indices] : by_value) {
+        const auto value_it = attr_it->second.find(value);
+        if (value_it == attr_it->second.end()) continue;
+        for (const SubscriptionId id : value_it->second) {
+          const Filter& filter = filters_.at(id).filter;
+          for (const std::size_t i : event_indices) {
+            if (filter.matches(events[i])) out[i].push_back(id);
+          }
+        }
+      }
+    }
+    if (const auto scan_it = scan_.find(attr); scan_it != scan_.end()) {
+      for (const SubscriptionId id : scan_it->second) {
+        const Filter& filter = filters_.at(id).filter;
+        for (const auto& [i, value] : occurrences) {
+          if (filter.matches(events[i])) out[i].push_back(id);
+        }
+      }
+    }
+  }
+}
+
+// --- CountingMatcher --------------------------------------------------------
+
+void CountingMatcher::add(SubscriptionId id, Filter filter) {
+  remove(id);  // replace semantics
+  if (filter.empty()) {
+    universal_.push_back(id);
+    filters_.emplace(id, std::move(filter));
+    return;
+  }
+  for (const auto& c : filter.constraints()) {
+    if (c.op() == Op::kEq) {
+      eq_[c.attribute()][canonical_numeric(c.value())].push_back(id);
+    } else {
+      noneq_[c.attribute()].push_back(NonEqPosting{c, id});
+    }
+    ++postings_;
+  }
+  filters_.emplace(id, std::move(filter));
+}
+
+void CountingMatcher::remove(SubscriptionId id) {
+  const auto it = filters_.find(id);
+  if (it == filters_.end()) return;
+  const Filter& filter = it->second;
+  if (filter.empty()) {
+    std::erase(universal_, id);
+  } else {
+    for (const auto& c : filter.constraints()) {
+      if (c.op() == Op::kEq) {
+        const auto attr_it = eq_.find(c.attribute());
+        auto& bucket = attr_it->second.at(canonical_numeric(c.value()));
+        // erase one posting (duplicate constraints each hold their own)
+        bucket.erase(std::find(bucket.begin(), bucket.end(), id));
+        if (bucket.empty()) {
+          attr_it->second.erase(canonical_numeric(c.value()));
+        }
+        if (attr_it->second.empty()) eq_.erase(attr_it);
+      } else {
+        auto& postings = noneq_.at(c.attribute());
+        const auto posting_it =
+            std::find_if(postings.begin(), postings.end(),
+                         [&](const NonEqPosting& p) {
+                           return p.id == id && p.constraint == c;
+                         });
+        postings.erase(posting_it);
+        if (postings.empty()) noneq_.erase(c.attribute());
+      }
+      --postings_;
+    }
+  }
+  filters_.erase(it);
+}
+
+void CountingMatcher::match(const Event& event,
+                            std::vector<SubscriptionId>& out) const {
+  out.insert(out.end(), universal_.begin(), universal_.end());
+  // One counter per filter touched by a satisfied constraint; a filter
+  // fires when its count reaches its constraint total. Event attributes
+  // are unique per name, so each posting is tallied at most once.
+  std::unordered_map<SubscriptionId, std::size_t> counts;
+  for (const auto& [attr, value] : event.attributes()) {
+    if (const auto attr_it = eq_.find(attr); attr_it != eq_.end()) {
+      if (const auto value_it = attr_it->second.find(canonical_numeric(value));
+          value_it != attr_it->second.end()) {
+        for (const SubscriptionId id : value_it->second) ++counts[id];
+      }
+    }
+    if (const auto noneq_it = noneq_.find(attr); noneq_it != noneq_.end()) {
+      for (const auto& posting : noneq_it->second) {
+        if (posting.constraint.matches(value)) ++counts[posting.id];
+      }
+    }
+  }
+  for (const auto& [id, satisfied] : counts) {
+    if (satisfied == filters_.at(id).size()) out.push_back(id);
+  }
 }
 
 }  // namespace reef::pubsub

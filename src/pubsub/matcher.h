@@ -1,15 +1,24 @@
 // Event-to-subscription matching engines.
 //
-// Two implementations share one interface: a brute-force scanner (the
-// correctness oracle in tests, and the ablation baseline in benches) and a
-// counting-index matcher in the style of Gryphon/Siena: constraints are
-// indexed per attribute, equality constraints through a hash table, and a
-// filter fires when all of its constraints have been satisfied by the
-// event under evaluation.
+// Three implementations share one interface, selected by name through the
+// MatcherRegistry (see matcher_registry.h):
+//   "brute-force"  — linear scan; the correctness oracle in tests and the
+//                    ablation baseline in benches.
+//   "anchor-index" — every filter indexed in exactly one hash bucket keyed
+//                    by its most selective equality constraint.
+//   "counting"     — classic Gryphon/Siena counting algorithm: constraints
+//                    indexed per attribute, a filter fires when all of its
+//                    constraints have been satisfied by the event.
+//
+// All engines expose a batch entry point, match_batch, which amortizes
+// index probes and candidate fetches across a span of events; the broker's
+// per-tick publication coalescing feeds it.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -21,6 +30,11 @@ namespace reef::pubsub {
 
 /// Identifier a matcher client associates with a registered filter.
 using SubscriptionId = std::uint64_t;
+
+/// Normalizes numerics to double so that Eq(3) and an event value 3.0 land
+/// in the same hash bucket (Value::compare treats them as equal). Identity
+/// on non-numeric values.
+Value canonical_numeric(const Value& v);
 
 /// Common interface of the matching engines.
 class Matcher {
@@ -37,6 +51,13 @@ class Matcher {
   /// unspecified; no duplicates).
   virtual void match(const Event& event,
                      std::vector<SubscriptionId>& out) const = 0;
+
+  /// Batch matching: replaces `out` with one hit vector per event,
+  /// parallel to `events` (per-event contract as for `match`). The base
+  /// implementation loops over `match`; engines override it to amortize
+  /// index probes and candidate evaluation across the batch.
+  virtual void match_batch(std::span<const Event> events,
+                           std::vector<std::vector<SubscriptionId>>& out) const;
 
   /// Number of registered filters.
   virtual std::size_t size() const noexcept = 0;
@@ -59,6 +80,11 @@ class BruteForceMatcher final : public Matcher {
   void remove(SubscriptionId id) override;
   void match(const Event& event,
              std::vector<SubscriptionId>& out) const override;
+  /// One pass over the table with the events in the inner loop (each
+  /// filter is fetched once per batch instead of once per event).
+  void match_batch(std::span<const Event> events,
+                   std::vector<std::vector<SubscriptionId>>& out)
+      const override;
   std::size_t size() const noexcept override { return filters_.size(); }
   std::string name() const override { return "brute-force"; }
 
@@ -82,6 +108,14 @@ class IndexMatcher final : public Matcher {
   void remove(SubscriptionId id) override;
   void match(const Event& event,
              std::vector<SubscriptionId>& out) const override;
+  /// Amortized batch path: events are grouped by attribute and canonical
+  /// value first, so each index probe runs once per distinct (attribute,
+  /// value) across the batch — not once per event — and each candidate
+  /// filter is fetched once per bucket and evaluated against only the
+  /// events that reached its bucket.
+  void match_batch(std::span<const Event> events,
+                   std::vector<std::vector<SubscriptionId>>& out)
+      const override;
   std::size_t size() const noexcept override { return filters_.size(); }
   std::string name() const override { return "anchor-index"; }
 
@@ -89,12 +123,12 @@ class IndexMatcher final : public Matcher {
   /// sitting on per-attribute scan lists.
   std::size_t eq_anchored() const noexcept { return eq_count_; }
   std::size_t scan_anchored() const noexcept { return scan_count_; }
+  /// Attribute a filter is currently anchored on (empty string for the
+  /// universal list; nullopt for unknown ids). Test/bench introspection
+  /// for the anchor-rebalancing behavior.
+  std::optional<std::string> anchor_attribute(SubscriptionId id) const;
 
  private:
-  /// Normalizes numerics to double so that Eq(3) and an event value 3.0
-  /// land in the same hash bucket (Value::compare treats them as equal).
-  static Value canonical(const Value& v);
-
   struct Entry {
     Filter filter;
     bool eq_anchor = false;
@@ -114,11 +148,42 @@ class IndexMatcher final : public Matcher {
   std::size_t scan_count_ = 0;
 };
 
-/// Backwards-compatible alias (the original implementation used the
-/// Siena/Gryphon counting scheme; the anchor index superseded it).
-using CountingMatcher = IndexMatcher;
+/// Counting matcher (Gryphon/Siena style). Every constraint of every
+/// filter is indexed per attribute — equality constraints through a hash
+/// table on the canonical value, the rest on a per-attribute list. An
+/// event walks its own attributes, tallies one count per satisfied
+/// constraint, and a filter fires when its count reaches its constraint
+/// total. Unlike the anchor index, constraints are evaluated at most once
+/// each; the cost is the per-match counting table.
+class CountingMatcher final : public Matcher {
+ public:
+  using Matcher::match;
+  void add(SubscriptionId id, Filter filter) override;
+  void remove(SubscriptionId id) override;
+  void match(const Event& event,
+             std::vector<SubscriptionId>& out) const override;
+  std::size_t size() const noexcept override { return filters_.size(); }
+  std::string name() const override { return "counting"; }
 
-/// Factory used by broker configuration.
-std::unique_ptr<Matcher> make_matcher(bool use_index);
+  /// Introspection: indexed constraint postings (eq + non-eq).
+  std::size_t posting_count() const noexcept { return postings_; }
+
+ private:
+  struct NonEqPosting {
+    Constraint constraint;
+    SubscriptionId id;
+  };
+
+  std::unordered_map<SubscriptionId, Filter> filters_;
+  /// attribute -> canonical value -> filters with an (attr = value)
+  /// equality constraint (one posting per constraint).
+  std::unordered_map<std::string,
+                     std::unordered_map<Value, std::vector<SubscriptionId>>>
+      eq_;
+  /// attribute -> non-equality constraint postings on that attribute.
+  std::unordered_map<std::string, std::vector<NonEqPosting>> noneq_;
+  std::vector<SubscriptionId> universal_;  // empty filters match everything
+  std::size_t postings_ = 0;
+};
 
 }  // namespace reef::pubsub

@@ -1,0 +1,52 @@
+#include "pubsub/matcher_registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace reef::pubsub {
+
+MatcherRegistry::MatcherRegistry() {
+  add(std::string(kBruteForceEngine),
+      [] { return std::make_unique<BruteForceMatcher>(); });
+  add(std::string(kAnchorIndexEngine),
+      [] { return std::make_unique<IndexMatcher>(); });
+  add(std::string(kCountingEngine),
+      [] { return std::make_unique<CountingMatcher>(); });
+}
+
+MatcherRegistry& MatcherRegistry::instance() {
+  static MatcherRegistry registry;
+  return registry;
+}
+
+void MatcherRegistry::add(std::string name, Factory factory) {
+  factories_.insert_or_assign(std::move(name), std::move(factory));
+}
+
+std::unique_ptr<Matcher> MatcherRegistry::create(
+    const std::string& name) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const auto& [known_name, factory] : factories_) {
+      if (!known.empty()) known += ", ";
+      known += known_name;
+    }
+    throw std::invalid_argument("unknown matcher engine \"" + name +
+                                "\" (registered: " + known + ")");
+  }
+  return it->second();
+}
+
+std::vector<std::string> MatcherRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+std::unique_ptr<Matcher> make_matcher(const std::string& engine) {
+  return MatcherRegistry::instance().create(engine);
+}
+
+}  // namespace reef::pubsub

@@ -1,0 +1,56 @@
+// String-keyed registry of matching-engine factories.
+//
+// Broker configuration, benches, and examples select an engine by name
+// ("brute-force", "anchor-index", "counting") instead of hard-coding a
+// type; new engines register themselves without touching broker code.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pubsub/matcher.h"
+
+namespace reef::pubsub {
+
+// Canonical names of the built-in engines.
+inline constexpr std::string_view kBruteForceEngine = "brute-force";
+inline constexpr std::string_view kAnchorIndexEngine = "anchor-index";
+inline constexpr std::string_view kCountingEngine = "counting";
+
+/// Default engine used by brokers when a Config does not name one.
+inline constexpr std::string_view kDefaultEngine = kAnchorIndexEngine;
+
+class MatcherRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Matcher>()>;
+
+  /// Process-wide registry, pre-populated with the built-in engines.
+  static MatcherRegistry& instance();
+
+  /// Registers (or replaces) a factory under `name`.
+  void add(std::string name, Factory factory);
+
+  bool contains(const std::string& name) const {
+    return factories_.contains(name);
+  }
+
+  /// Instantiates the engine registered under `name`; throws
+  /// std::invalid_argument (listing the known names) for unknown engines.
+  std::unique_ptr<Matcher> create(const std::string& name) const;
+
+  /// Registered engine names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  MatcherRegistry();  // registers the built-ins
+
+  std::map<std::string, Factory> factories_;
+};
+
+/// Convenience wrapper over MatcherRegistry::instance().create(engine).
+std::unique_ptr<Matcher> make_matcher(const std::string& engine);
+
+}  // namespace reef::pubsub

@@ -38,6 +38,13 @@ struct PublishMsg {
   Event event;
 };
 
+/// Several publications coalesced into one wire message. Brokers batch the
+/// events bound for the same neighbor within a sim tick; publishers with
+/// bursty output (the feed proxy) can batch at the source.
+struct PublishBatchMsg {
+  std::vector<Event> events;
+};
+
 /// Broker-to-client delivery; lists the client's subscription ids the event
 /// matched (the frontend uses these for its closed-loop bookkeeping).
 struct DeliverMsg {
@@ -45,11 +52,36 @@ struct DeliverMsg {
   std::vector<SubscriptionId> matched;
 };
 
+/// Several deliveries to one client coalesced into one wire message.
+struct DeliverBatchMsg {
+  std::vector<DeliverMsg> items;
+};
+
+/// Wire-size accounting for batch messages: an 8-byte batch header plus
+/// 2 bytes of per-entry framing. Shared by every sender of a batch so all
+/// paths meter the same encoding.
+inline std::size_t publish_batch_wire_size(const std::vector<Event>& events) {
+  std::size_t bytes = 8;
+  for (const Event& event : events) bytes += event.wire_size() + 2;
+  return bytes;
+}
+
+inline std::size_t deliver_batch_wire_size(
+    const std::vector<DeliverMsg>& items) {
+  std::size_t bytes = 8;
+  for (const DeliverMsg& item : items) {
+    bytes += item.event.wire_size() + 8 * item.matched.size() + 2;
+  }
+  return bytes;
+}
+
 inline constexpr std::string_view kTypeSubscribe = "pubsub.sub";
 inline constexpr std::string_view kTypeUnsubscribe = "pubsub.unsub";
 inline constexpr std::string_view kTypeClientSubscribe = "pubsub.csub";
 inline constexpr std::string_view kTypeClientUnsubscribe = "pubsub.cunsub";
 inline constexpr std::string_view kTypePublish = "pubsub.pub";
+inline constexpr std::string_view kTypePublishBatch = "pubsub.pubbatch";
 inline constexpr std::string_view kTypeDeliver = "pubsub.deliver";
+inline constexpr std::string_view kTypeDeliverBatch = "pubsub.deliverbatch";
 
 }  // namespace reef::pubsub

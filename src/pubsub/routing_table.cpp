@@ -1,0 +1,171 @@
+#include "pubsub/routing_table.h"
+
+#include <utility>
+
+#include "pubsub/matcher_registry.h"
+
+namespace reef::pubsub {
+
+RoutingTable::RoutingTable() : RoutingTable(Config{}) {}
+
+RoutingTable::RoutingTable(Config config)
+    : config_(std::move(config)), matcher_(make_matcher(config_.engine)) {}
+
+void RoutingTable::add_broker_iface(IfaceId iface) {
+  broker_ifaces_.try_emplace(iface);
+}
+
+void RoutingTable::add_client_iface(IfaceId iface) {
+  client_ifaces_.try_emplace(iface);
+}
+
+std::uint64_t RoutingTable::add_entry(Filter filter, IfaceId iface,
+                                      bool from_broker,
+                                      SubscriptionId client_sub) {
+  const std::uint64_t engine_id = next_engine_id_++;
+  matcher_->add(engine_id, filter);
+  entries_.emplace(engine_id,
+                   EngineEntry{std::move(filter), iface, from_broker,
+                               client_sub});
+  return engine_id;
+}
+
+void RoutingTable::remove_entry(std::uint64_t engine_id) {
+  matcher_->remove(engine_id);
+  entries_.erase(engine_id);
+}
+
+void RoutingTable::client_subscribe(IfaceId client, SubscriptionId sub_id,
+                                    Filter filter) {
+  add_client_iface(client);
+  ClientIface& iface = client_ifaces_[client];
+  if (const auto it = iface.engine_ids.find(sub_id);
+      it != iface.engine_ids.end()) {
+    remove_entry(it->second);  // replace semantics on duplicate sub_id
+  }
+  iface.engine_ids[sub_id] =
+      add_entry(std::move(filter), client, /*from_broker=*/false, sub_id);
+}
+
+bool RoutingTable::client_unsubscribe(IfaceId client, SubscriptionId sub_id) {
+  const auto iface_it = client_ifaces_.find(client);
+  if (iface_it == client_ifaces_.end()) return false;
+  const auto sub_it = iface_it->second.engine_ids.find(sub_id);
+  if (sub_it == iface_it->second.engine_ids.end()) return false;
+  remove_entry(sub_it->second);
+  iface_it->second.engine_ids.erase(sub_it);
+  return true;
+}
+
+bool RoutingTable::broker_subscribe(IfaceId broker, Filter filter) {
+  auto& iface = broker_ifaces_[broker];
+  // Copy the key before add_entry moves the filter out.
+  std::string key = filter.key();
+  if (iface.engine_ids.contains(key)) return false;  // idempotent
+  const std::uint64_t engine_id =
+      add_entry(std::move(filter), broker, /*from_broker=*/true, 0);
+  iface.engine_ids.emplace(std::move(key), engine_id);
+  return true;
+}
+
+bool RoutingTable::broker_unsubscribe(IfaceId broker, const Filter& filter) {
+  const auto iface_it = broker_ifaces_.find(broker);
+  if (iface_it == broker_ifaces_.end()) return false;
+  const auto key_it = iface_it->second.engine_ids.find(filter.key());
+  if (key_it == iface_it->second.engine_ids.end()) return false;
+  remove_entry(key_it->second);
+  iface_it->second.engine_ids.erase(key_it);
+  return true;
+}
+
+std::map<std::string, Filter> RoutingTable::filters_not_from(
+    IfaceId excluded) const {
+  std::map<std::string, Filter> out;
+  for (const auto& [engine_id, entry] : entries_) {
+    if (entry.iface == excluded) continue;
+    out.try_emplace(entry.filter.key(), entry.filter);
+  }
+  return out;
+}
+
+std::map<std::string, Filter> RoutingTable::minimal_cover(
+    std::map<std::string, Filter> filters) {
+  std::map<std::string, Filter> out;
+  for (const auto& [key, filter] : filters) {
+    bool dominated = false;
+    for (const auto& [other_key, other] : filters) {
+      if (other_key == key) continue;
+      if (!other.covers(filter)) continue;
+      // `other` covers us. Drop `filter` unless the two are equivalent and
+      // we are the canonical (lexicographically first) representative.
+      if (!filter.covers(other) || other_key < key) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.emplace(key, filter);
+  }
+  return out;
+}
+
+RoutingTable::Diff RoutingTable::refresh(IfaceId neighbor) {
+  BrokerIface& iface = broker_ifaces_.at(neighbor);
+  std::map<std::string, Filter> desired = filters_not_from(neighbor);
+  if (config_.covering_enabled) desired = minimal_cover(std::move(desired));
+
+  Diff diff;
+  // Subscriptions that became necessary.
+  for (const auto& [key, filter] : desired) {
+    if (iface.forwarded.contains(key)) continue;
+    diff.subscribe.push_back(filter);
+    iface.forwarded.emplace(key, filter);
+  }
+  // Subscriptions no longer needed (or now covered). Collect keys in map
+  // order for a deterministic diff.
+  std::map<std::string, Filter> stale;
+  for (const auto& [key, filter] : iface.forwarded) {
+    if (!desired.contains(key)) stale.emplace(key, filter);
+  }
+  for (auto& [key, filter] : stale) {
+    diff.unsubscribe.push_back(std::move(filter));
+    iface.forwarded.erase(key);
+  }
+  return diff;
+}
+
+RoutingTable::Destination RoutingTable::destination_of(
+    std::uint64_t engine_id) const {
+  const EngineEntry& entry = entries_.at(engine_id);
+  return Destination{entry.iface, entry.from_broker, entry.client_sub};
+}
+
+void RoutingTable::match(const Event& event,
+                         std::vector<Destination>& out) const {
+  std::vector<SubscriptionId> engine_hits;
+  matcher_->match(event, engine_hits);
+  out.reserve(out.size() + engine_hits.size());
+  for (const std::uint64_t engine_id : engine_hits) {
+    out.push_back(destination_of(engine_id));
+  }
+}
+
+void RoutingTable::match_batch(
+    std::span<const Event> events,
+    std::vector<std::vector<Destination>>& out) const {
+  std::vector<std::vector<SubscriptionId>> engine_hits;
+  matcher_->match_batch(events, engine_hits);
+  out.assign(events.size(), {});
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    out[i].reserve(engine_hits[i].size());
+    for (const std::uint64_t engine_id : engine_hits[i]) {
+      out[i].push_back(destination_of(engine_id));
+    }
+  }
+}
+
+std::size_t RoutingTable::forwarded_size(IfaceId neighbor) const {
+  const auto it = broker_ifaces_.find(neighbor);
+  return it == broker_ifaces_.end() ? 0 : it->second.forwarded.size();
+}
+
+}  // namespace reef::pubsub

@@ -1,0 +1,156 @@
+// Covering-based subscription routing table (the Siena-style routing core,
+// extracted from the Broker so it can be unit-tested and reused without a
+// simulated network).
+//
+// A RoutingTable tracks, per interface (neighbor broker or attached
+// client), the filters reachable through that interface, answers "which
+// interfaces does this event cross" via a pluggable matching engine, and
+// computes the covering-pruned subscribe/unsubscribe delta that each
+// neighbor should receive: a filter is not forwarded to a neighbor if a
+// filter already forwarded there covers it. The table never touches the
+// network — the Broker is a thin message adapter that feeds it protocol
+// events and ships the diffs it returns.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pubsub/filter.h"
+#include "pubsub/matcher.h"
+#include "pubsub/matcher_registry.h"
+
+namespace reef::pubsub {
+
+class RoutingTable {
+ public:
+  /// Interface identifier. Deliberately a bare integer (not sim::NodeId)
+  /// so the routing core stays independent of the simulation layer; the
+  /// Broker passes its node ids through unchanged.
+  using IfaceId = std::uint32_t;
+  static constexpr IfaceId kNoIface = 0xffffffff;
+
+  struct Config {
+    /// Covering-based pruning of forwarded subscriptions (ablation knob).
+    bool covering_enabled = true;
+    /// Matching engine, by MatcherRegistry name.
+    std::string engine = std::string(kDefaultEngine);
+  };
+
+  /// Where a matched event must go: an interface plus, for client
+  /// interfaces, the client's own subscription id.
+  struct Destination {
+    IfaceId iface = kNoIface;
+    bool is_broker = false;
+    SubscriptionId client_sub = 0;  ///< valid when !is_broker
+  };
+
+  /// Subscribe/unsubscribe delta for one neighbor, produced by refresh().
+  struct Diff {
+    std::vector<Filter> subscribe;
+    std::vector<Filter> unsubscribe;
+    bool empty() const noexcept {
+      return subscribe.empty() && unsubscribe.empty();
+    }
+  };
+
+  RoutingTable();
+  explicit RoutingTable(Config config);
+
+  // --- interfaces -----------------------------------------------------------
+  /// Declares a neighbor-broker interface (idempotent).
+  void add_broker_iface(IfaceId iface);
+  /// Declares an attached-client interface (idempotent).
+  void add_client_iface(IfaceId iface);
+  bool has_broker_iface(IfaceId iface) const {
+    return broker_ifaces_.contains(iface);
+  }
+
+  // --- subscription state ---------------------------------------------------
+  /// Registers a client subscription; a duplicate (client, sub_id) pair
+  /// replaces the previous filter. Implicitly declares the client iface.
+  void client_subscribe(IfaceId client, SubscriptionId sub_id, Filter filter);
+
+  /// Retracts a client subscription. Returns false (and changes nothing)
+  /// when the (client, sub_id) pair is unknown.
+  bool client_unsubscribe(IfaceId client, SubscriptionId sub_id);
+
+  /// Registers a filter received from a neighbor broker, aggregated by
+  /// canonical key. Returns false on an idempotent re-subscribe.
+  bool broker_subscribe(IfaceId broker, Filter filter);
+
+  /// Retracts a neighbor broker's filter. Returns false when that broker
+  /// never registered it.
+  bool broker_unsubscribe(IfaceId broker, const Filter& filter);
+
+  // --- forwarding -----------------------------------------------------------
+  /// Recomputes the set of filters `neighbor` should receive (everything
+  /// visible on other interfaces, reduced to its covering-minimal form
+  /// when covering is enabled), updates the forwarded bookkeeping, and
+  /// returns the delta to ship. Deterministic: diff entries come out in
+  /// canonical-key order.
+  Diff refresh(IfaceId neighbor);
+
+  // --- matching -------------------------------------------------------------
+  /// Appends one Destination per matching registration. An interface can
+  /// appear multiple times (once per matching client subscription /
+  /// neighbor filter); the caller deduplicates broker interfaces.
+  void match(const Event& event, std::vector<Destination>& out) const;
+
+  /// Batch matching through Matcher::match_batch: `out` is replaced with
+  /// one destination vector per event, parallel to `events`.
+  void match_batch(std::span<const Event> events,
+                   std::vector<std::vector<Destination>>& out) const;
+
+  // --- introspection --------------------------------------------------------
+  /// Total filters stored across all interfaces.
+  std::size_t size() const noexcept { return entries_.size(); }
+  /// Filters currently forwarded to (i.e. requested from) `neighbor`.
+  std::size_t forwarded_size(IfaceId neighbor) const;
+  const Matcher& matcher() const noexcept { return *matcher_; }
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  struct ClientIface {
+    std::unordered_map<SubscriptionId, std::uint64_t> engine_ids;
+  };
+  struct BrokerIface {
+    /// Aggregated filters received from this neighbor, by canonical key.
+    std::unordered_map<std::string, std::uint64_t> engine_ids;
+    /// Filters we have handed out *to* this neighbor, by canonical key.
+    std::unordered_map<std::string, Filter> forwarded;
+  };
+  struct EngineEntry {
+    Filter filter;
+    IfaceId iface = kNoIface;
+    bool from_broker = false;
+    SubscriptionId client_sub = 0;  // valid when !from_broker
+  };
+
+  std::uint64_t add_entry(Filter filter, IfaceId iface, bool from_broker,
+                          SubscriptionId client_sub);
+  void remove_entry(std::uint64_t engine_id);
+  Destination destination_of(std::uint64_t engine_id) const;
+
+  /// Filters visible on interfaces other than `excluded` (deduplicated by
+  /// canonical key).
+  std::map<std::string, Filter> filters_not_from(IfaceId excluded) const;
+
+  /// Reduces a key->filter set to its maximal elements under covering.
+  static std::map<std::string, Filter> minimal_cover(
+      std::map<std::string, Filter> filters);
+
+  Config config_;
+  std::unordered_map<IfaceId, BrokerIface> broker_ifaces_;
+  std::unordered_map<IfaceId, ClientIface> client_ifaces_;
+
+  std::unique_ptr<Matcher> matcher_;
+  std::unordered_map<std::uint64_t, EngineEntry> entries_;
+  std::uint64_t next_engine_id_ = 1;
+};
+
+}  // namespace reef::pubsub

@@ -47,15 +47,18 @@ Time Network::latency_between(NodeId a, NodeId b) noexcept {
 }
 
 std::optional<Time> Network::send(NodeId from, NodeId to, std::string type,
-                                  std::any payload, std::size_t bytes) {
+                                  std::any payload, std::size_t bytes,
+                                  std::size_t units) {
   if (to >= nodes_.size() || from >= nodes_.size()) {
     ++dropped_;
     return std::nullopt;
   }
   ++total_messages_;
   total_bytes_ += bytes;
+  total_units_ += units;
   by_type_.add(type);
   bytes_by_type_.add(type, bytes);
+  units_by_type_.add(type, units);
 
   const Time latency = latency_between(from, to);
   Time deliver_at = sim_.now() + latency;
@@ -99,9 +102,11 @@ std::uint64_t Network::messages_received(NodeId id) const {
 void Network::reset_stats() {
   total_messages_ = 0;
   total_bytes_ = 0;
+  total_units_ = 0;
   dropped_ = 0;
   by_type_ = util::Counter{};
   bytes_by_type_ = util::Counter{};
+  units_by_type_ = util::Counter{};
   bytes_received_.assign(bytes_received_.size(), 0);
   messages_received_.assign(messages_received_.size(), 0);
 }

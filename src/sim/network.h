@@ -87,17 +87,29 @@ class Network {
   /// the link latency (+jitter). Self-sends are delivered asynchronously
   /// with zero latency. Returns the delivery time, or nullopt if the
   /// message was dropped at send time (unknown destination).
+  ///
+  /// `units` is the number of logical payloads the wire message carries
+  /// (default 1); batched protocols (PublishBatchMsg, DeliverBatchMsg)
+  /// pass the batch size so the accounting can separate wire messages
+  /// from the events they amortize.
   std::optional<Time> send(NodeId from, NodeId to, std::string type,
-                           std::any payload, std::size_t bytes);
+                           std::any payload, std::size_t bytes,
+                           std::size_t units = 1);
 
   // --- traffic accounting -------------------------------------------------
   std::uint64_t total_messages() const noexcept { return total_messages_; }
   std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+  /// Logical payloads carried (>= total_messages; the gap is what
+  /// batching amortized away).
+  std::uint64_t total_units() const noexcept { return total_units_; }
   std::uint64_t dropped_messages() const noexcept { return dropped_; }
-  /// Message and byte counts keyed by message type.
+  /// Message, byte, and logical-unit counts keyed by message type.
   const util::Counter& messages_by_type() const noexcept { return by_type_; }
   const util::Counter& bytes_by_type() const noexcept {
     return bytes_by_type_;
+  }
+  const util::Counter& units_by_type() const noexcept {
+    return units_by_type_;
   }
   /// Bytes received per node (for the centralized-vs-distributed load
   /// comparison).
@@ -125,9 +137,11 @@ class Network {
 
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_units_ = 0;
   std::uint64_t dropped_ = 0;
   util::Counter by_type_;
   util::Counter bytes_by_type_;
+  util::Counter units_by_type_;
   std::vector<std::uint64_t> bytes_received_;
   std::vector<std::uint64_t> messages_received_;
 };

@@ -310,7 +310,7 @@ TEST(Overlay, TopologiesAreAcyclicAndConnected) {
 
 TEST(Broker, BruteForceMatcherConfigWorksEndToEnd) {
   Broker::Config config;
-  config.use_counting_matcher = false;
+  config.matcher_engine = "brute-force";
   Harness h;
   Broker broker(h.sim, h.net, "b", config);
   Client pub(h.sim, h.net, "p");
@@ -323,6 +323,110 @@ TEST(Broker, BruteForceMatcherConfigWorksEndToEnd) {
   pub.publish(Event().with("sym", "A"));
   h.settle();
   EXPECT_EQ(got, 1);
+}
+
+TEST(Broker, EveryRegistryEngineWorksEndToEnd) {
+  for (const std::string engine :
+       {"brute-force", "anchor-index", "counting"}) {
+    Broker::Config config;
+    config.matcher_engine = engine;
+    Harness h;
+    Broker broker(h.sim, h.net, "b", config);
+    Client pub(h.sim, h.net, "p");
+    Client sub(h.sim, h.net, "s");
+    pub.connect(broker);
+    sub.connect(broker);
+    int got = 0;
+    sub.subscribe(stock("A"), [&](const Event&, SubscriptionId) { ++got; });
+    h.settle();
+    pub.publish(Event().with("sym", "A"));
+    pub.publish(Event().with("sym", "B"));
+    h.settle();
+    EXPECT_EQ(got, 1) << engine;
+  }
+}
+
+TEST(Broker, SameTickPublicationsCoalesceIntoBatches) {
+  Harness h;
+  Overlay overlay = Overlay::chain(h.sim, h.net, 2);
+  Client pub(h.sim, h.net, "pub");
+  Client sub(h.sim, h.net, "sub");
+  pub.connect(overlay.broker(0));
+  sub.connect(overlay.broker(1));
+  int got = 0;
+  sub.subscribe(stock("A"), [&](const Event&, SubscriptionId) { ++got; });
+  h.settle();
+
+  // Ten publications in the same call stack arrive at broker 0 in the
+  // same sim tick (zero jitter): one batched wire message crosses the
+  // broker-broker link, and one batched delivery reaches the client.
+  for (int i = 0; i < 10; ++i) {
+    pub.publish(Event().with("sym", "A").with("seq", i));
+  }
+  h.settle();
+  EXPECT_EQ(got, 10);
+  const Broker::Stats& b0 = overlay.broker(0).stats();
+  EXPECT_EQ(b0.pubs_forwarded, 10u);
+  EXPECT_EQ(b0.pub_msgs_sent, 1u);
+  EXPECT_EQ(h.net.messages_by_type().get(std::string(kTypePublishBatch)),
+            1u);
+  // Batch-aware accounting: the batch message carries 10 logical units.
+  EXPECT_EQ(h.net.units_by_type().get(std::string(kTypePublishBatch)), 10u);
+  const Broker::Stats& b1 = overlay.broker(1).stats();
+  EXPECT_EQ(b1.deliveries, 10u);
+  EXPECT_EQ(b1.deliver_msgs_sent, 1u);
+  EXPECT_EQ(sub.batches_received(), 1u);
+}
+
+TEST(Broker, BatchingDisabledSendsOneMessagePerEvent) {
+  Broker::Config config;
+  config.batching_enabled = false;
+  Harness h;
+  Overlay overlay = Overlay::chain(h.sim, h.net, 2, config);
+  Client pub(h.sim, h.net, "pub");
+  Client sub(h.sim, h.net, "sub");
+  pub.connect(overlay.broker(0));
+  sub.connect(overlay.broker(1));
+  int got = 0;
+  sub.subscribe(stock("A"), [&](const Event&, SubscriptionId) { ++got; });
+  h.settle();
+  for (int i = 0; i < 10; ++i) {
+    pub.publish(Event().with("sym", "A").with("seq", i));
+  }
+  h.settle();
+  EXPECT_EQ(got, 10);
+  const Broker::Stats& b0 = overlay.broker(0).stats();
+  EXPECT_EQ(b0.pubs_forwarded, 10u);
+  EXPECT_EQ(b0.pub_msgs_sent, 10u);
+  EXPECT_EQ(h.net.messages_by_type().get(std::string(kTypePublishBatch)),
+            0u);
+}
+
+TEST(Broker, ClientPublishBatchFlowsThroughBatchMatchPath) {
+  Harness h;
+  Overlay overlay = Overlay::chain(h.sim, h.net, 2);
+  Client pub(h.sim, h.net, "pub");
+  Client sub(h.sim, h.net, "sub");
+  pub.connect(overlay.broker(0));
+  sub.connect(overlay.broker(1));
+  std::vector<std::int64_t> seqs;
+  sub.subscribe(stock("A"), [&](const Event& e, SubscriptionId) {
+    seqs.push_back(e.find("seq")->as_int());
+  });
+  h.settle();
+
+  std::vector<Event> burst;
+  for (int i = 0; i < 5; ++i) {
+    burst.push_back(Event().with("sym", "A").with("seq", i));
+  }
+  burst.push_back(Event().with("sym", "OTHER").with("seq", 99));
+  pub.publish_batch(std::move(burst));
+  h.settle();
+  EXPECT_EQ(seqs, (std::vector<std::int64_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(pub.published(), 6u);
+  // The broker matched the whole batch in one matcher invocation.
+  EXPECT_EQ(overlay.broker(0).stats().matches_run, 1u);
+  EXPECT_EQ(overlay.broker(0).stats().pubs_received, 6u);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "pubsub/matcher.h"
+#include "pubsub/matcher_registry.h"
 #include "util/rng.h"
 
 namespace reef::pubsub {
@@ -87,6 +88,47 @@ TEST(IndexMatcher, AnchorBookkeeping) {
   EXPECT_EQ(m.scan_anchored(), 0u);
 }
 
+TEST(IndexMatcher, NumericCanonicalizationUnifiesIntAndDouble) {
+  // Eq(3) (int) and an event value 3.0 (double) must land in the same
+  // hash bucket; canonical_numeric is the shared normalization.
+  EXPECT_EQ(canonical_numeric(Value(3)), Value(3.0));
+  EXPECT_EQ(canonical_numeric(Value(3.0)), Value(3.0));
+  EXPECT_EQ(canonical_numeric(Value("x")), Value("x"));
+  EXPECT_EQ(std::hash<Value>{}(canonical_numeric(Value(3))),
+            std::hash<Value>{}(canonical_numeric(Value(3.0))));
+
+  IndexMatcher m;
+  m.add(1, Filter().and_(eq("p", 3)));
+  EXPECT_EQ(m.match(Event().with("p", 3.0)).size(), 1u);
+  EXPECT_EQ(m.match(Event().with("p", 3)).size(), 1u);
+  EXPECT_TRUE(m.match(Event().with("p", "3")).empty());  // string != number
+}
+
+TEST(IndexMatcher, AnchorRebalancesAwayFromGrowingBucket) {
+  IndexMatcher m;
+  // Both constraints are equality; with empty buckets the first (sorted)
+  // attribute wins the anchor.
+  m.add(1, Filter().and_(eq("a", 1)).and_(eq("b", 1)));
+  EXPECT_EQ(m.anchor_attribute(1), "a");
+  // The (a=1) bucket now holds one filter; a new filter with the same
+  // constraints anchors on the still-empty (b=1) bucket instead.
+  m.add(2, Filter().and_(eq("a", 1)).and_(eq("b", 1)));
+  EXPECT_EQ(m.anchor_attribute(2), "b");
+
+  // Removing the first filter empties (a=1); a re-add of that id anchors
+  // back onto the smallest bucket.
+  m.remove(1);
+  m.add(3, Filter().and_(eq("a", 1)).and_(eq("b", 1)));
+  EXPECT_EQ(m.anchor_attribute(3), "a");
+
+  // Replace semantics re-run anchor selection too: id 2 re-added while
+  // (b=1) holds itself but (a=1) holds id 3 -> the bucket sizes seen at
+  // re-add time decide (b's bucket empties when 2 is removed first).
+  m.add(2, Filter().and_(eq("a", 1)).and_(eq("b", 1)));
+  EXPECT_EQ(m.anchor_attribute(2), "b");
+  EXPECT_EQ(m.eq_anchored(), 2u);
+}
+
 TEST(IndexMatcher, AnchorsAvoidNonSelectiveAttribute) {
   // All filters share stream="feed"; selective anchoring must spread them
   // across the per-feed buckets rather than piling onto the stream bucket.
@@ -105,7 +147,77 @@ TEST(IndexMatcher, AnchorsAvoidNonSelectiveAttribute) {
   EXPECT_EQ(hits.size(), 2u);
 }
 
-// --- Equivalence property: counting index == brute force ------------------------
+// --- CountingMatcher -------------------------------------------------------
+
+TEST(CountingMatcher, BasicMatchAndPostingBookkeeping) {
+  CountingMatcher m;
+  m.add(1, stock_filter("ACME", 10.0));
+  m.add(2, stock_filter("ACME", 20.0));
+  m.add(3, stock_filter("XYZ", 5.0));
+  EXPECT_EQ(m.posting_count(), 6u);
+
+  auto hits = m.match(Event().with("sym", "ACME").with("price", 15.0));
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<SubscriptionId>{1}));
+
+  // Partially satisfied filters must not fire: sym matches, price absent.
+  EXPECT_TRUE(m.match(Event().with("sym", "ACME")).empty());
+
+  m.remove(2);
+  EXPECT_EQ(m.posting_count(), 4u);
+  hits = m.match(Event().with("sym", "ACME").with("price", 25.0));
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<SubscriptionId>{1}));
+}
+
+TEST(CountingMatcher, UniversalAndCrossTypeNumerics) {
+  CountingMatcher m;
+  m.add(1, Filter());  // universal
+  m.add(2, Filter().and_(eq("p", 3)));
+  EXPECT_EQ(m.match(Event()).size(), 1u);
+  auto hits = m.match(Event().with("p", 3.0));
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<SubscriptionId>{1, 2}));
+}
+
+TEST(CountingMatcher, RangeOnOneAttributeNeedsBothConstraints) {
+  CountingMatcher m;
+  m.add(1, Filter().and_(gt("p", 5)).and_(lt("p", 10)));
+  EXPECT_EQ(m.match(Event().with("p", 7)).size(), 1u);
+  EXPECT_TRUE(m.match(Event().with("p", 4)).empty());
+  EXPECT_TRUE(m.match(Event().with("p", 12)).empty());
+}
+
+// --- MatcherRegistry -------------------------------------------------------
+
+TEST(MatcherRegistry, BuiltInEnginesByName) {
+  auto& registry = MatcherRegistry::instance();
+  const auto names = registry.names();
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "brute-force") !=
+              names.end());
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "anchor-index") !=
+              names.end());
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "counting") !=
+              names.end());
+  for (const auto& name : names) {
+    const auto matcher = registry.create(name);
+    ASSERT_NE(matcher, nullptr);
+    EXPECT_EQ(matcher->name(), name);
+  }
+  EXPECT_EQ(make_matcher("anchor-index")->name(), "anchor-index");
+  EXPECT_THROW(make_matcher("definitely-not-an-engine"),
+               std::invalid_argument);
+}
+
+TEST(MatcherRegistry, RuntimeRegistrationIsVisible) {
+  auto& registry = MatcherRegistry::instance();
+  registry.add("test-only-brute",
+               [] { return std::make_unique<BruteForceMatcher>(); });
+  EXPECT_TRUE(registry.contains("test-only-brute"));
+  EXPECT_EQ(registry.create("test-only-brute")->name(), "brute-force");
+}
+
+// --- Equivalence property: every engine == brute force ----------------------
 
 class MatcherEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -160,10 +272,13 @@ Event random_event(util::Rng& rng) {
   return e;
 }
 
-TEST_P(MatcherEquivalence, AgreesWithBruteForceUnderChurn) {
+TEST_P(MatcherEquivalence, AllEnginesAgreeWithBruteForceUnderChurn) {
   util::Rng rng(GetParam());
   BruteForceMatcher brute;
-  IndexMatcher counting;
+  std::vector<std::unique_ptr<Matcher>> engines;
+  for (const auto& name : {"anchor-index", "counting"}) {
+    engines.push_back(make_matcher(name));
+  }
   std::vector<SubscriptionId> live;
   SubscriptionId next = 1;
 
@@ -172,24 +287,60 @@ TEST_P(MatcherEquivalence, AgreesWithBruteForceUnderChurn) {
     if (live.empty() || rng.chance(0.7)) {
       const Filter f = random_filter(rng);
       brute.add(next, f);
-      counting.add(next, f);
+      for (auto& engine : engines) engine->add(next, f);
       live.push_back(next);
       ++next;
     } else {
       const std::size_t idx = rng.index(live.size());
       brute.remove(live[idx]);
-      counting.remove(live[idx]);
+      for (auto& engine : engines) engine->remove(live[idx]);
       live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
     }
-    ASSERT_EQ(brute.size(), counting.size());
     // Probe with several random events.
-    for (int probe = 0; probe < 5; ++probe) {
-      const Event e = random_event(rng);
-      auto expected = brute.match(e);
-      auto actual = counting.match(e);
-      std::sort(expected.begin(), expected.end());
-      std::sort(actual.begin(), actual.end());
-      ASSERT_EQ(expected, actual) << "event " << e.to_string();
+    for (auto& engine : engines) {
+      ASSERT_EQ(brute.size(), engine->size()) << engine->name();
+      for (int probe = 0; probe < 5; ++probe) {
+        const Event e = random_event(rng);
+        auto expected = brute.match(e);
+        auto actual = engine->match(e);
+        std::sort(expected.begin(), expected.end());
+        std::sort(actual.begin(), actual.end());
+        ASSERT_EQ(expected, actual)
+            << engine->name() << " on event " << e.to_string();
+      }
+    }
+  }
+}
+
+TEST_P(MatcherEquivalence, MatchBatchEqualsPerEventMatch) {
+  util::Rng rng(GetParam() ^ 0xba7c);
+  std::vector<Filter> filters;
+  for (int i = 0; i < 120; ++i) filters.push_back(random_filter(rng));
+  // Built-ins by name, not instance().names(): another test registers a
+  // test-only engine in the process-wide registry, and coverage here must
+  // not depend on test execution order.
+  for (const std::string name : {"brute-force", "anchor-index", "counting"}) {
+    const auto engine = make_matcher(name);
+    for (std::size_t i = 0; i < filters.size(); ++i) {
+      engine->add(i + 1, filters[i]);
+    }
+    for (const std::size_t batch_size : {1u, 2u, 8u, 33u}) {
+      std::vector<Event> events;
+      for (std::size_t i = 0; i < batch_size; ++i) {
+        events.push_back(random_event(rng));
+      }
+      std::vector<std::vector<SubscriptionId>> batched;
+      engine->match_batch(events, batched);
+      ASSERT_EQ(batched.size(), events.size()) << name;
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        auto expected = engine->match(events[i]);
+        auto actual = batched[i];
+        std::sort(expected.begin(), expected.end());
+        std::sort(actual.begin(), actual.end());
+        ASSERT_EQ(actual, expected)
+            << name << " batch " << batch_size << " event "
+            << events[i].to_string();
+      }
     }
   }
 }

@@ -4,10 +4,12 @@
 // and unsubscription drains all routing state.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 
 #include "pubsub/client.h"
+#include "pubsub/matcher_registry.h"
 #include "pubsub/overlay.h"
 #include "util/rng.h"
 
@@ -129,6 +131,140 @@ TEST_P(OverlayProperty, UnsubscribeDrainsAllRoutingState) {
   for (const auto id : ids) extra->unsubscribe(id);
   scenario.sim.run_until(scenario.sim.now() + sim::kMinute);
   EXPECT_LT(scenario.overlay->total_table_size(), with_extra);
+}
+
+// --- batch/engine equivalence on randomized filter/event sets ---------------
+
+Filter random_overlay_filter(util::Rng& rng) {
+  static const std::vector<std::string> attrs{"feed", "stream", "price",
+                                              "text"};
+  static const std::vector<std::string> strings{"a", "b", "ab", "c"};
+  std::vector<Constraint> cs;
+  const std::size_t n = 1 + rng.index(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string& attr = attrs[rng.index(attrs.size())];
+    switch (rng.index(5)) {
+      case 0:
+        cs.push_back(eq(attr, static_cast<std::int64_t>(rng.index(6))));
+        break;
+      case 1:
+        cs.push_back(eq(attr, strings[rng.index(strings.size())]));
+        break;
+      case 2:
+        cs.push_back(ge(attr, static_cast<double>(rng.index(6))));
+        break;
+      case 3:
+        cs.push_back(prefix(attr, strings[rng.index(strings.size())]));
+        break;
+      default:
+        cs.push_back(exists(attr));
+        break;
+    }
+  }
+  return Filter(std::move(cs));
+}
+
+Event random_overlay_event(util::Rng& rng) {
+  static const std::vector<std::string> attrs{"feed", "stream", "price",
+                                              "text"};
+  static const std::vector<std::string> strings{"a", "b", "ab", "c"};
+  Event e;
+  const std::size_t n = 1 + rng.index(4);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string& attr = attrs[rng.index(attrs.size())];
+    if (rng.chance(0.6)) {
+      e.with(attr, static_cast<std::int64_t>(rng.index(6)));
+    } else {
+      e.with(attr, strings[rng.index(strings.size())]);
+    }
+  }
+  return e;
+}
+
+/// Property (and PR acceptance gate): on randomized filter/event sets,
+/// every registry engine's match_batch equals its own per-event match,
+/// and both equal the brute-force oracle.
+TEST_P(OverlayProperty, MatchBatchEqualsPerEventMatchAgainstOracle) {
+  util::Rng rng(GetParam() ^ 0xbead);
+  std::vector<Filter> filters;
+  for (int i = 0; i < 150; ++i) {
+    filters.push_back(random_overlay_filter(rng));
+  }
+  std::vector<Event> events;
+  for (int i = 0; i < 64; ++i) {
+    events.push_back(random_overlay_event(rng));
+  }
+
+  BruteForceMatcher oracle;
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    oracle.add(i + 1, filters[i]);
+  }
+
+  for (const auto& engine_name : MatcherRegistry::instance().names()) {
+    const auto engine = make_matcher(engine_name);
+    for (std::size_t i = 0; i < filters.size(); ++i) {
+      engine->add(i + 1, filters[i]);
+    }
+    std::vector<std::vector<SubscriptionId>> batched;
+    engine->match_batch(events, batched);
+    ASSERT_EQ(batched.size(), events.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      auto expected = oracle.match(events[i]);
+      auto per_event = engine->match(events[i]);
+      auto from_batch = batched[i];
+      std::sort(expected.begin(), expected.end());
+      std::sort(per_event.begin(), per_event.end());
+      std::sort(from_batch.begin(), from_batch.end());
+      ASSERT_EQ(per_event, expected)
+          << engine_name << " diverges from oracle on "
+          << events[i].to_string();
+      ASSERT_EQ(from_batch, expected)
+          << engine_name << "::match_batch diverges on "
+          << events[i].to_string();
+    }
+  }
+}
+
+/// Every registry engine drives the full overlay to identical deliveries.
+TEST_P(OverlayProperty, AllEnginesDeliverIdenticallyThroughOverlay) {
+  std::map<std::string, std::map<std::pair<std::size_t, std::size_t>, int>>
+      per_engine;
+  for (const auto& engine_name : MatcherRegistry::instance().names()) {
+    sim::Simulator sim;
+    sim::Network net(sim, Scenario::net_config(GetParam()));
+    util::Rng rng(GetParam());
+    Broker::Config config;
+    config.matcher_engine = engine_name;
+    Overlay overlay = Overlay::chain(sim, net, 3, config);
+    std::vector<std::unique_ptr<Client>> clients;
+    std::map<std::pair<std::size_t, std::size_t>, int> deliveries;
+    for (std::size_t c = 0; c < 4; ++c) {
+      auto client = std::make_unique<Client>(sim, net,
+                                             "c" + std::to_string(c));
+      client->connect(overlay.broker(c % 3));
+      for (std::size_t feed = c % 2; feed < 4; feed += 2) {
+        client->subscribe(
+            Filter().and_(eq("feed", static_cast<std::int64_t>(feed))),
+            [&deliveries, c, feed](const Event&, SubscriptionId) {
+              ++deliveries[{c, feed}];
+            });
+      }
+      clients.push_back(std::move(client));
+    }
+    Client pub(sim, net, "pub");
+    pub.connect(overlay.broker(0));
+    sim.run_until(sim.now() + sim::kMinute);
+    for (int i = 0; i < 30; ++i) {
+      pub.publish(
+          Event().with("feed", static_cast<std::int64_t>(rng.index(4))));
+    }
+    sim.run_until(sim.now() + sim::kMinute);
+    per_engine[engine_name] = deliveries;
+  }
+  const auto& reference = per_engine.begin()->second;
+  for (const auto& [engine_name, deliveries] : per_engine) {
+    EXPECT_EQ(deliveries, reference) << engine_name;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OverlayProperty,

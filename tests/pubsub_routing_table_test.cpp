@@ -1,0 +1,204 @@
+// RoutingTable in isolation: covering-pruned forwarding diffs, unsubscribe
+// retraction, replace semantics, and destination resolution — no simulated
+// network involved.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pubsub/matcher_registry.h"
+#include "pubsub/routing_table.h"
+
+namespace reef::pubsub {
+namespace {
+
+constexpr RoutingTable::IfaceId kNeighbor = 100;
+constexpr RoutingTable::IfaceId kOtherNeighbor = 101;
+constexpr RoutingTable::IfaceId kClient = 200;
+
+Filter feed(const std::string& url) {
+  return Filter().and_(eq("stream", "feed")).and_(eq("feed", url));
+}
+
+Filter broad() { return Filter().and_(eq("stream", "feed")); }
+
+std::vector<std::string> keys(const std::vector<Filter>& filters) {
+  std::vector<std::string> out;
+  for (const auto& f : filters) out.push_back(f.key());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(RoutingTable, RefreshForwardsNewClientSubscription) {
+  RoutingTable table;
+  table.add_broker_iface(kNeighbor);
+  table.client_subscribe(kClient, 1, feed("http://x/a"));
+  auto diff = table.refresh(kNeighbor);
+  ASSERT_EQ(diff.subscribe.size(), 1u);
+  EXPECT_TRUE(diff.unsubscribe.empty());
+  EXPECT_EQ(diff.subscribe[0], feed("http://x/a"));
+  EXPECT_EQ(table.forwarded_size(kNeighbor), 1u);
+
+  // A second refresh with no state change is a no-op diff.
+  EXPECT_TRUE(table.refresh(kNeighbor).empty());
+}
+
+TEST(RoutingTable, CoveringPrunesNarrowFilters) {
+  RoutingTable table;
+  table.add_broker_iface(kNeighbor);
+  table.client_subscribe(kClient, 1, broad());
+  table.client_subscribe(kClient, 2, feed("http://x/a"));
+  table.client_subscribe(kClient, 3, feed("http://x/b"));
+  auto diff = table.refresh(kNeighbor);
+  // Only the broad filter crosses; the narrow ones are covered.
+  ASSERT_EQ(diff.subscribe.size(), 1u);
+  EXPECT_EQ(diff.subscribe[0], broad());
+  EXPECT_EQ(table.forwarded_size(kNeighbor), 1u);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(RoutingTable, CoveringDisabledForwardsEverything) {
+  RoutingTable table(
+      RoutingTable::Config{/*covering_enabled=*/false, "anchor-index"});
+  table.add_broker_iface(kNeighbor);
+  table.client_subscribe(kClient, 1, broad());
+  table.client_subscribe(kClient, 2, feed("http://x/a"));
+  auto diff = table.refresh(kNeighbor);
+  EXPECT_EQ(diff.subscribe.size(), 2u);
+  EXPECT_EQ(table.forwarded_size(kNeighbor), 2u);
+}
+
+TEST(RoutingTable, UnsubscribeDiffRetractsAndUncovers) {
+  RoutingTable table;
+  table.add_broker_iface(kNeighbor);
+  table.client_subscribe(kClient, 1, broad());
+  table.client_subscribe(kClient, 2, feed("http://x/a"));
+  table.refresh(kNeighbor);
+
+  // Retracting the broad filter must unsubscribe it and re-expose the
+  // narrow one in the same diff.
+  EXPECT_TRUE(table.client_unsubscribe(kClient, 1));
+  auto diff = table.refresh(kNeighbor);
+  EXPECT_EQ(keys(diff.unsubscribe), keys({broad()}));
+  EXPECT_EQ(keys(diff.subscribe), keys({feed("http://x/a")}));
+  EXPECT_EQ(table.forwarded_size(kNeighbor), 1u);
+
+  // Retracting the last filter drains the forwarded set.
+  EXPECT_TRUE(table.client_unsubscribe(kClient, 2));
+  diff = table.refresh(kNeighbor);
+  EXPECT_TRUE(diff.subscribe.empty());
+  EXPECT_EQ(diff.unsubscribe.size(), 1u);
+  EXPECT_EQ(table.forwarded_size(kNeighbor), 0u);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(RoutingTable, UnknownUnsubscribeIsRejected) {
+  RoutingTable table;
+  EXPECT_FALSE(table.client_unsubscribe(kClient, 99));
+  EXPECT_FALSE(table.broker_unsubscribe(kNeighbor, broad()));
+}
+
+TEST(RoutingTable, ClientResubscribeReplacesExistingId) {
+  RoutingTable table;
+  table.add_broker_iface(kNeighbor);
+  table.client_subscribe(kClient, 1, feed("http://x/a"));
+  table.refresh(kNeighbor);
+  // Re-adding the same sub id swaps the filter in place: table size stays
+  // 1 and the next diff retracts the old filter, subscribes the new one.
+  table.client_subscribe(kClient, 1, feed("http://x/b"));
+  EXPECT_EQ(table.size(), 1u);
+  auto diff = table.refresh(kNeighbor);
+  EXPECT_EQ(keys(diff.subscribe), keys({feed("http://x/b")}));
+  EXPECT_EQ(keys(diff.unsubscribe), keys({feed("http://x/a")}));
+}
+
+TEST(RoutingTable, BrokerResubscribeIsIdempotent) {
+  RoutingTable table;
+  table.add_broker_iface(kNeighbor);
+  EXPECT_TRUE(table.broker_subscribe(kNeighbor, feed("http://x/a")));
+  EXPECT_FALSE(table.broker_subscribe(kNeighbor, feed("http://x/a")));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.broker_unsubscribe(kNeighbor, feed("http://x/a")));
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(RoutingTable, NeighborFilterNotEchoedBackInItsOwnRefresh) {
+  RoutingTable table;
+  table.add_broker_iface(kNeighbor);
+  table.add_broker_iface(kOtherNeighbor);
+  table.broker_subscribe(kNeighbor, feed("http://x/a"));
+  // Never offered back to its source...
+  EXPECT_TRUE(table.refresh(kNeighbor).empty());
+  // ...but propagated to the other neighbor.
+  auto diff = table.refresh(kOtherNeighbor);
+  EXPECT_EQ(keys(diff.subscribe), keys({feed("http://x/a")}));
+}
+
+TEST(RoutingTable, MatchResolvesDestinations) {
+  RoutingTable table;
+  table.add_broker_iface(kNeighbor);
+  table.client_subscribe(kClient, 7, feed("http://x/a"));
+  table.broker_subscribe(kNeighbor, broad());
+
+  std::vector<RoutingTable::Destination> hits;
+  table.match(Event().with("stream", "feed").with("feed", "http://x/a"),
+              hits);
+  ASSERT_EQ(hits.size(), 2u);
+  const auto client_hit = std::find_if(
+      hits.begin(), hits.end(),
+      [](const RoutingTable::Destination& d) { return !d.is_broker; });
+  const auto broker_hit = std::find_if(
+      hits.begin(), hits.end(),
+      [](const RoutingTable::Destination& d) { return d.is_broker; });
+  ASSERT_NE(client_hit, hits.end());
+  ASSERT_NE(broker_hit, hits.end());
+  EXPECT_EQ(client_hit->iface, kClient);
+  EXPECT_EQ(client_hit->client_sub, 7u);
+  EXPECT_EQ(broker_hit->iface, kNeighbor);
+}
+
+TEST(RoutingTable, MatchBatchAgreesWithPerEventMatch) {
+  RoutingTable table;
+  table.add_broker_iface(kNeighbor);
+  table.client_subscribe(kClient, 1, feed("http://x/a"));
+  table.client_subscribe(kClient, 2, broad());
+  table.broker_subscribe(kNeighbor, Filter().and_(gt("price", 10)));
+
+  std::vector<Event> events;
+  events.push_back(Event().with("stream", "feed").with("feed", "http://x/a"));
+  events.push_back(Event().with("stream", "feed").with("feed", "http://x/b"));
+  events.push_back(Event().with("price", 25));
+  events.push_back(Event().with("price", 5));
+
+  std::vector<std::vector<RoutingTable::Destination>> batched;
+  table.match_batch(events, batched);
+  ASSERT_EQ(batched.size(), events.size());
+  auto sig = [](std::vector<RoutingTable::Destination> hits) {
+    std::vector<std::tuple<RoutingTable::IfaceId, bool, SubscriptionId>> out;
+    for (const auto& d : hits) out.emplace_back(d.iface, d.is_broker, d.client_sub);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    std::vector<RoutingTable::Destination> single;
+    table.match(events[i], single);
+    EXPECT_EQ(sig(batched[i]), sig(single)) << "event " << i;
+  }
+}
+
+TEST(RoutingTable, EngineSelectedThroughRegistry) {
+  for (const auto& engine : MatcherRegistry::instance().names()) {
+    RoutingTable table(RoutingTable::Config{true, engine});
+    EXPECT_EQ(table.matcher().name(), engine);
+    table.client_subscribe(kClient, 1, feed("http://x/a"));
+    std::vector<RoutingTable::Destination> hits;
+    table.match(Event().with("stream", "feed").with("feed", "http://x/a"),
+                hits);
+    EXPECT_EQ(hits.size(), 1u) << engine;
+  }
+  EXPECT_THROW(
+      RoutingTable(RoutingTable::Config{true, "no-such-engine"}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace reef::pubsub
