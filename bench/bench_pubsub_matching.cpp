@@ -23,6 +23,7 @@
 
 #include "pubsub/matcher.h"
 #include "pubsub/matcher_registry.h"
+#include "pubsub/sharded_matcher.h"
 #include "util/rng.h"
 
 namespace {
@@ -201,6 +202,70 @@ BENCHMARK_CAPTURE(bm_match_batch, brute_force, "brute-force")
     ->Args({2000, 32});
 #undef BATCH_ARGS
 
+// --- sharded matching: shard count x engine x batch size --------------------
+//
+// The intra-broker parallelism sweep. Events are drawn once and the same
+// table population is sharded by anchor-attribute hash; {1 shard, 0
+// workers} through the ShardedMatcher wrapper measures pure sharding
+// overhead against the bm_match_batch numbers above, the multi-worker rows
+// measure the pool win (only visible on multi-core hosts).
+
+void bm_match_batch_sharded(benchmark::State& state,
+                            const std::string& inner) {
+  const auto table_size = static_cast<std::size_t>(state.range(0));
+  const auto batch_size = static_cast<std::size_t>(state.range(1));
+  const auto shard_count = static_cast<std::size_t>(state.range(2));
+  const auto workers = static_cast<std::size_t>(state.range(3));
+  reef::util::Rng rng(42);
+  ShardedMatcher matcher(
+      ShardedMatcher::Config{shard_count, workers, inner});
+  const auto filters = make_filters(table_size, 0.3, rng);
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    matcher.add(i + 1, filters[i]);
+  }
+  std::vector<Event> events;
+  const std::size_t universe = std::max(batch_size, std::size_t{256});
+  for (std::size_t i = 0; i < universe; ++i) {
+    events.push_back(make_event(table_size, rng));
+  }
+
+  std::size_t cursor = 0;
+  std::vector<std::vector<SubscriptionId>> hits;
+  for (auto _ : state) {
+    const std::size_t start = cursor % (events.size() - batch_size + 1);
+    matcher.match_batch(
+        std::span<const Event>(events.data() + start, batch_size), hits);
+    benchmark::DoNotOptimize(hits.data());
+    cursor = (cursor + batch_size) % events.size();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * batch_size));
+  state.counters["batch"] = static_cast<double>(batch_size);
+  state.counters["shards"] = static_cast<double>(shard_count);
+  state.counters["workers"] = static_cast<double>(workers);
+}
+
+// {table size, batch size, shard count, worker threads}. The large-batch
+// rows (1024) are the acceptance sweep: sharded 4/4 vs the 1/0 baseline.
+#define SHARD_SWEEP(table)                                      \
+      ->Args({table, 128, 1, 0})                                \
+      ->Args({table, 128, 4, 0})                                \
+      ->Args({table, 128, 4, 4})                                \
+      ->Args({table, 1024, 1, 0})                               \
+      ->Args({table, 1024, 2, 2})                               \
+      ->Args({table, 1024, 4, 0})                               \
+      ->Args({table, 1024, 4, 4})                               \
+      ->Args({table, 1024, 8, 4})
+BENCHMARK_CAPTURE(bm_match_batch_sharded, anchor_index, "anchor-index")
+    SHARD_SWEEP(10000) SHARD_SWEEP(50000)->UseRealTime();
+BENCHMARK_CAPTURE(bm_match_batch_sharded, counting, "counting")
+    SHARD_SWEEP(10000)->UseRealTime();
+BENCHMARK_CAPTURE(bm_match_batch_sharded, brute_force, "brute-force")
+    ->Args({2000, 1024, 1, 0})
+    ->Args({2000, 1024, 4, 4})
+    ->UseRealTime();
+#undef SHARD_SWEEP
+
 // --- subscription churn ------------------------------------------------------
 
 void bm_subscription_churn(benchmark::State& state) {
@@ -310,6 +375,26 @@ int run_smoke() {
               static_cast<long>(us(loop_start, loop_end)),
               static_cast<long>(us(loop_end, batch_end)), events.size(),
               rounds);
+
+  // 3. Sharded baseline vs worker pool on the same table (keeps the
+  // sharded fan-out exercised in CI even though the speedup itself only
+  // shows on multi-core hosts).
+  for (const std::size_t workers : {std::size_t{0}, std::size_t{4}}) {
+    ShardedMatcher sharded(
+        ShardedMatcher::Config{4, workers, "anchor-index"});
+    for (std::size_t i = 0; i < filters.size(); ++i) {
+      sharded.add(i + 1, filters[i]);
+    }
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < rounds; ++r) {
+      sharded.match_batch(events, batch_hits);
+      benchmark::DoNotOptimize(batch_hits.data());
+    }
+    const auto end = std::chrono::steady_clock::now();
+    std::printf("  sharded:anchor-index (4 shards, %zu workers): "
+                "match_batch %ldus\n",
+                workers, static_cast<long>(us(start, end)));
+  }
   std::printf("smoke OK\n");
   return 0;
 }

@@ -1,8 +1,9 @@
 #include "pubsub/broker.h"
 
+#include <algorithm>
 #include <any>
 #include <cassert>
-#include <unordered_set>
+#include <set>
 #include <utility>
 
 #include "util/log.h"
@@ -19,7 +20,10 @@ Broker::Broker(sim::Simulator& sim, sim::Network& net, std::string name,
       name_(std::move(name)),
       config_(config),
       table_(RoutingTable::Config{config.covering_enabled,
-                                  config.matcher_engine}) {
+                                  config.matcher_engine,
+                                  /*cover_index_enabled=*/true,
+                                  config.shard_count,
+                                  config.worker_threads}) {
   id_ = net_.attach(*this, name_);
 }
 
@@ -108,8 +112,12 @@ void Broker::on_publish_batch(sim::NodeId from, const PublishBatchMsg& msg) {
 void Broker::route_event(sim::NodeId from, const Event& event,
                          const std::vector<RoutingTable::Destination>& hits) {
   // Group matches by interface; an event crosses each interface once.
-  std::unordered_map<sim::NodeId, std::vector<SubscriptionId>> client_hits;
-  std::unordered_set<sim::NodeId> broker_hits;
+  // Interfaces are visited in id order and each client's matched-sub list
+  // is sorted, so the broker's output is a pure function of the match
+  // *sets* — engines (sharded or not, any worker count) that agree on the
+  // sets produce byte-identical wire traffic regardless of hit order.
+  std::map<sim::NodeId, std::vector<SubscriptionId>> client_hits;
+  std::set<sim::NodeId> broker_hits;
   for (const RoutingTable::Destination& dest : hits) {
     if (dest.iface == from) continue;  // never echo back
     if (dest.is_broker) {
@@ -122,6 +130,7 @@ void Broker::route_event(sim::NodeId from, const Event& event,
     enqueue_publish(neighbor, event);
   }
   for (auto& [client, subs] : client_hits) {
+    std::sort(subs.begin(), subs.end());
     enqueue_delivery(client, event, std::move(subs));
   }
 }

@@ -14,9 +14,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "pubsub/matcher_registry.h"
@@ -33,8 +33,18 @@ class Broker final : public sim::Node {
     /// Covering-based pruning of forwarded subscriptions (ablation knob).
     bool covering_enabled = true;
     /// Matching engine, by MatcherRegistry name ("brute-force",
-    /// "anchor-index", "counting", or anything registered at runtime).
+    /// "anchor-index", "counting", a "sharded:<inner>" variant, or
+    /// anything registered at runtime).
     std::string matcher_engine = std::string(kDefaultEngine);
+    /// Filter-state shards inside this broker's routing table. 0 = auto
+    /// (plain engines stay unsharded — the ablation baseline — and
+    /// "sharded:" engines get their default shard count); any explicit
+    /// value shards `matcher_engine` by anchor-attribute hash.
+    std::size_t shard_count = 0;
+    /// Worker threads fanning batch matching over the shards; 0 matches
+    /// inline on the simulator thread. Match output is bit-identical for
+    /// every setting (tests/pubsub_sharding_test.cpp holds this).
+    std::size_t worker_threads = 0;
     /// Coalesce publications/deliveries per interface within a sim tick
     /// (ablation knob; off = one wire message per event, as the seed did).
     /// Matching results are identical either way; the one observable
@@ -125,8 +135,11 @@ class Broker final : public sim::Node {
   RoutingTable table_;
 
   /// Events awaiting the end-of-tick flush, per destination interface.
-  std::unordered_map<sim::NodeId, std::vector<Event>> pending_pubs_;
-  std::unordered_map<sim::NodeId, std::vector<DeliverMsg>> pending_delivers_;
+  /// Ordered maps so the flush emits wire messages in interface order —
+  /// part of the engine- and scheduling-independent output contract (see
+  /// route_event).
+  std::map<sim::NodeId, std::vector<Event>> pending_pubs_;
+  std::map<sim::NodeId, std::vector<DeliverMsg>> pending_delivers_;
   bool flush_scheduled_ = false;
 
   Stats stats_;

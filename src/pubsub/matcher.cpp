@@ -118,6 +118,53 @@ std::optional<std::string> IndexMatcher::anchor_attribute(
   return it->second.anchor_attr;
 }
 
+std::size_t IndexMatcher::largest_eq_bucket() const noexcept {
+  std::size_t largest = 0;
+  for (const auto& [attr, by_value] : eq_) {
+    for (const auto& [value, bucket] : by_value) {
+      largest = std::max(largest, bucket.size());
+    }
+  }
+  return largest;
+}
+
+std::size_t IndexMatcher::rebalance(std::size_t max_bucket) {
+  // Collect victims first: re-adding mutates the buckets being iterated.
+  // Sorted ids make the pass order (and therefore the resulting anchor
+  // assignment) independent of hash-map iteration order. Filters with a
+  // single equality constraint are pinned to their bucket — skip them
+  // rather than churn them through a pointless remove/re-add cycle.
+  std::vector<SubscriptionId> victims;
+  for (const auto& [attr, by_value] : eq_) {
+    for (const auto& [value, bucket] : by_value) {
+      if (bucket.size() <= max_bucket) continue;
+      for (const SubscriptionId id : bucket) {
+        const Filter& filter = filters_.at(id).filter;
+        std::size_t eq_constraints = 0;
+        for (const auto& c : filter.constraints()) {
+          if (c.op() == Op::kEq && ++eq_constraints > 1) break;
+        }
+        if (eq_constraints > 1) victims.push_back(id);
+      }
+    }
+  }
+  std::sort(victims.begin(), victims.end());
+  std::size_t moved = 0;
+  for (const SubscriptionId id : victims) {
+    const Entry& entry = filters_.at(id);
+    const std::string old_attr = entry.anchor_attr;
+    const Value old_value = entry.anchor_value;
+    Filter filter = entry.filter;
+    add(id, std::move(filter));  // re-runs anchor selection
+    const Entry& after = filters_.at(id);
+    if (after.anchor_attr != old_attr ||
+        !(after.anchor_value == old_value)) {
+      ++moved;
+    }
+  }
+  return moved;
+}
+
 void IndexMatcher::match(const Event& event,
                          std::vector<SubscriptionId>& out) const {
   out.insert(out.end(), universal_.begin(), universal_.end());

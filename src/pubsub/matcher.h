@@ -127,6 +127,22 @@ class IndexMatcher final : public Matcher {
   /// universal list; nullopt for unknown ids). Test/bench introspection
   /// for the anchor-rebalancing behavior.
   std::optional<std::string> anchor_attribute(SubscriptionId id) const;
+  /// Size of the largest equality bucket (0 when none exist).
+  std::size_t largest_eq_bucket() const noexcept;
+
+  /// Anchor maintenance under adversarial churn: anchors are chosen at add
+  /// time against the bucket sizes of that moment, so a long-lived filter
+  /// can sit in a bucket that has since grown far past its alternatives.
+  /// This pass re-runs anchor selection (in ascending id order, so it is
+  /// deterministic) for every filter living in an equality bucket larger
+  /// than `max_bucket` — and a filter moves only if another of its
+  /// equality buckets is strictly smaller than its current one at that
+  /// point of the pass. Returns how many filters moved. Matching is
+  /// correct for *any* anchor assignment — the pass only affects probe
+  /// cost. Filters whose sole equality constraint is the hot one are
+  /// pinned (they are skipped outright); largest_eq_bucket() stays above
+  /// `max_bucket` in that case — the skew the churn test documents.
+  std::size_t rebalance(std::size_t max_bucket);
 
  private:
   struct Entry {

@@ -3,7 +3,14 @@
 #include <stdexcept>
 #include <utility>
 
+#include "pubsub/sharded_matcher.h"
+
 namespace reef::pubsub {
+
+std::optional<std::string> sharded_inner_engine(std::string_view engine) {
+  if (!engine.starts_with(kShardedPrefix)) return std::nullopt;
+  return std::string(engine.substr(kShardedPrefix.size()));
+}
 
 MatcherRegistry::MatcherRegistry() {
   add(std::string(kBruteForceEngine),
@@ -12,6 +19,16 @@ MatcherRegistry::MatcherRegistry() {
       [] { return std::make_unique<IndexMatcher>(); });
   add(std::string(kCountingEngine),
       [] { return std::make_unique<CountingMatcher>(); });
+  // Sharded variants of the built-ins, so names() exposes them and every
+  // registry-driven equivalence test / bench covers the sharded layer.
+  for (const std::string_view inner :
+       {kBruteForceEngine, kAnchorIndexEngine, kCountingEngine}) {
+    add(std::string(kShardedPrefix) + std::string(inner),
+        [name = std::string(inner)] {
+          return std::make_unique<ShardedMatcher>(
+              ShardedMatcher::Config{kDefaultShardCount, 0, name});
+        });
+  }
 }
 
 MatcherRegistry& MatcherRegistry::instance() {
@@ -27,6 +44,13 @@ std::unique_ptr<Matcher> MatcherRegistry::create(
     const std::string& name) const {
   const auto it = factories_.find(name);
   if (it == factories_.end()) {
+    // "sharded:<inner>" wraps any registered (unsharded) engine on demand,
+    // so runtime-registered engines get a sharded variant for free.
+    if (const auto inner = sharded_inner_engine(name);
+        inner && !sharded_inner_engine(*inner) && factories_.contains(*inner)) {
+      return std::make_unique<ShardedMatcher>(
+          ShardedMatcher::Config{kDefaultShardCount, 0, *inner});
+    }
     std::string known;
     for (const auto& [known_name, factory] : factories_) {
       if (!known.empty()) known += ", ";

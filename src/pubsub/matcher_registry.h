@@ -3,11 +3,20 @@
 // Broker configuration, benches, and examples select an engine by name
 // ("brute-force", "anchor-index", "counting") instead of hard-coding a
 // type; new engines register themselves without touching broker code.
+//
+// Any engine can additionally be wrapped in the sharded-routing layer by
+// prefixing its name with "sharded:" (e.g. "sharded:anchor-index"): the
+// sharded variants of the built-ins are pre-registered, and create() falls
+// back to wrapping any other registered engine on demand. Bare registry
+// creation uses kDefaultShardCount shards and no worker threads; code that
+// wants specific shard/worker counts (RoutingTable, benches) constructs
+// ShardedMatcher with an explicit Config instead.
 #pragma once
 
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,8 +29,15 @@ inline constexpr std::string_view kBruteForceEngine = "brute-force";
 inline constexpr std::string_view kAnchorIndexEngine = "anchor-index";
 inline constexpr std::string_view kCountingEngine = "counting";
 
+/// Name prefix selecting the sharded wrapper around an inner engine.
+inline constexpr std::string_view kShardedPrefix = "sharded:";
+
 /// Default engine used by brokers when a Config does not name one.
 inline constexpr std::string_view kDefaultEngine = kAnchorIndexEngine;
+
+/// Returns the inner engine name when `engine` names a sharded engine
+/// ("sharded:<inner>"), nullopt otherwise.
+std::optional<std::string> sharded_inner_engine(std::string_view engine);
 
 class MatcherRegistry {
  public:

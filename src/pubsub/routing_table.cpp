@@ -1,15 +1,47 @@
 #include "pubsub/routing_table.h"
 
+#include <unordered_map>
 #include <utility>
 
 #include "pubsub/matcher_registry.h"
+#include "pubsub/sharded_matcher.h"
 
 namespace reef::pubsub {
+
+namespace {
+
+/// Builds the configured engine: a plain registry engine for the unsharded
+/// baseline, a ShardedMatcher honoring the config knobs whenever the
+/// engine name carries the "sharded:" prefix or either knob is set. With
+/// shard_count 0 (auto) a "sharded:" name gets kDefaultShardCount, so the
+/// same engine string means the same thing here as in registry creation.
+std::unique_ptr<Matcher> make_table_matcher(const RoutingTable::Config& cfg) {
+  const auto inner = sharded_inner_engine(cfg.engine);
+  if (!inner && cfg.shard_count <= 1 && cfg.worker_threads == 0) {
+    return make_matcher(cfg.engine);
+  }
+  ShardedMatcher::Config sharded;
+  sharded.shard_count = cfg.shard_count != 0 ? cfg.shard_count
+                        : inner              ? kDefaultShardCount
+                                             : 1;
+  sharded.worker_threads = cfg.worker_threads;
+  sharded.inner_engine = inner ? *inner : cfg.engine;
+  if (!MatcherRegistry::instance().contains(sharded.inner_engine)) {
+    // Not wrappable with the config knobs. Defer to the registry, which
+    // either resolves the name its own way (a factory registered under a
+    // literal "sharded:..." name) or throws the canonical unknown-engine
+    // error listing the registered names.
+    return make_matcher(cfg.engine);
+  }
+  return std::make_unique<ShardedMatcher>(std::move(sharded));
+}
+
+}  // namespace
 
 RoutingTable::RoutingTable() : RoutingTable(Config{}) {}
 
 RoutingTable::RoutingTable(Config config)
-    : config_(std::move(config)), matcher_(make_matcher(config_.engine)) {}
+    : config_(std::move(config)), matcher_(make_table_matcher(config_)) {}
 
 void RoutingTable::add_broker_iface(IfaceId iface) {
   broker_ifaces_.try_emplace(iface);
@@ -88,17 +120,107 @@ std::map<std::string, Filter> RoutingTable::filters_not_from(
   return out;
 }
 
-std::map<std::string, Filter> RoutingTable::minimal_cover(
+namespace {
+
+/// True when `filter` must be dropped from the minimal cover because
+/// `other` covers it (and is not merely an equivalent filter for which
+/// `filter` is the canonical, lexicographically-first representative).
+bool dominates(const std::string& other_key, const Filter& other,
+               const std::string& key, const Filter& filter) {
+  if (other_key == key) return false;
+  if (!other.covers(filter)) return false;
+  return !filter.covers(other) || other_key < key;
+}
+
+}  // namespace
+
+std::map<std::string, Filter> RoutingTable::minimal_cover_naive(
     std::map<std::string, Filter> filters) {
   std::map<std::string, Filter> out;
   for (const auto& [key, filter] : filters) {
     bool dominated = false;
     for (const auto& [other_key, other] : filters) {
-      if (other_key == key) continue;
-      if (!other.covers(filter)) continue;
-      // `other` covers us. Drop `filter` unless the two are equivalent and
-      // we are the canonical (lexicographically first) representative.
-      if (!filter.covers(other) || other_key < key) {
+      if (dominates(other_key, other, key, filter)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.emplace(key, filter);
+  }
+  return out;
+}
+
+std::map<std::string, Filter> RoutingTable::minimal_cover_indexed(
+    std::map<std::string, Filter> filters) {
+  // Signature index: every non-empty filter is bucketed under exactly one
+  // of its constraints. Soundness rests on Filter::covers semantics — if g
+  // covers f, then *every* constraint of g (its signature included) covers
+  // some constraint of f on the same attribute. Hence g is reachable from
+  // f's own constraints: an equality signature eq(a, v) only ever covers
+  // eq(a, v) (cross-type numerics compare equal via canonical_numeric), so
+  // value buckets suffice; any other signature op is reachable through the
+  // attribute bucket alone. Empty filters cover everything and are always
+  // candidates.
+  using Item = const std::pair<const std::string, Filter>*;
+  std::vector<Item> empties;
+  std::unordered_map<std::string, std::unordered_map<Value, std::vector<Item>>>
+      eq_sig;
+  std::unordered_map<std::string, std::vector<Item>> attr_sig;
+  for (const auto& entry : filters) {
+    const Filter& filter = entry.second;
+    if (filter.empty()) {
+      empties.push_back(&entry);
+      continue;
+    }
+    // Prefer an equality constraint as the signature: its value bucket
+    // prunes far harder than an attribute bucket (feed subscriptions all
+    // share their attributes but rarely their feed URL).
+    const Constraint* sig = nullptr;
+    for (const Constraint& c : filter.constraints()) {
+      if (c.op() == Op::kEq) {
+        sig = &c;
+        break;
+      }
+    }
+    if (sig != nullptr) {
+      eq_sig[sig->attribute()][canonical_numeric(sig->value())].push_back(
+          &entry);
+    } else {
+      attr_sig[filter.constraints().front().attribute()].push_back(&entry);
+    }
+  }
+
+  std::map<std::string, Filter> out;
+  std::vector<Item> candidates;
+  for (const auto& entry : filters) {
+    const auto& [key, filter] = entry;
+    candidates.assign(empties.begin(), empties.end());
+    const std::string* prev_attr = nullptr;
+    for (const Constraint& c : filter.constraints()) {
+      // Constraints are canonically sorted, so one attribute-bucket probe
+      // per distinct attribute.
+      if (prev_attr == nullptr || *prev_attr != c.attribute()) {
+        prev_attr = &c.attribute();
+        if (const auto it = attr_sig.find(c.attribute());
+            it != attr_sig.end()) {
+          candidates.insert(candidates.end(), it->second.begin(),
+                            it->second.end());
+        }
+      }
+      if (c.op() != Op::kEq) continue;
+      if (const auto attr_it = eq_sig.find(c.attribute());
+          attr_it != eq_sig.end()) {
+        if (const auto value_it =
+                attr_it->second.find(canonical_numeric(c.value()));
+            value_it != attr_it->second.end()) {
+          candidates.insert(candidates.end(), value_it->second.begin(),
+                            value_it->second.end());
+        }
+      }
+    }
+    bool dominated = false;
+    for (const Item other : candidates) {
+      if (dominates(other->first, other->second, key, filter)) {
         dominated = true;
         break;
       }
@@ -111,7 +233,11 @@ std::map<std::string, Filter> RoutingTable::minimal_cover(
 RoutingTable::Diff RoutingTable::refresh(IfaceId neighbor) {
   BrokerIface& iface = broker_ifaces_.at(neighbor);
   std::map<std::string, Filter> desired = filters_not_from(neighbor);
-  if (config_.covering_enabled) desired = minimal_cover(std::move(desired));
+  if (config_.covering_enabled) {
+    desired = config_.cover_index_enabled
+                  ? minimal_cover_indexed(std::move(desired))
+                  : minimal_cover_naive(std::move(desired));
+  }
 
   Diff diff;
   // Subscriptions that became necessary.

@@ -37,8 +37,21 @@ class RoutingTable {
   struct Config {
     /// Covering-based pruning of forwarded subscriptions (ablation knob).
     bool covering_enabled = true;
-    /// Matching engine, by MatcherRegistry name.
+    /// Matching engine, by MatcherRegistry name. "sharded:<inner>" selects
+    /// the sharded layer explicitly; see shard_count / worker_threads.
     std::string engine = std::string(kDefaultEngine);
+    /// Signature-indexed candidate pruning in the covering check (ablation
+    /// knob; off = the naive pairwise loop, for regression comparison).
+    bool cover_index_enabled = true;
+    /// Filter-state shards for the matching engine. 0 = auto: plain
+    /// engine names stay unsharded (the ablation baseline) while a
+    /// "sharded:" engine gets kDefaultShardCount, matching registry
+    /// creation by name. An explicit value wraps `engine` in a
+    /// ShardedMatcher with exactly that many shards (1 = the single-shard
+    /// ablation of the sharded structure).
+    std::size_t shard_count = 0;
+    /// Worker threads fanning match_batch over the shards; 0 = inline.
+    std::size_t worker_threads = 0;
   };
 
   /// Where a matched event must go: an interface plus, for client
@@ -114,6 +127,18 @@ class RoutingTable {
   const Matcher& matcher() const noexcept { return *matcher_; }
   const Config& config() const noexcept { return config_; }
 
+  // --- covering reduction (public for tests and benches) --------------------
+  /// Reduces a key->filter set to its maximal elements under covering,
+  /// pruning candidate cover pairs through a per-call signature index
+  /// (each filter is bucketed by one constraint; only filters whose
+  /// bucket a candidate's own constraints can reach are checked).
+  static std::map<std::string, Filter> minimal_cover_indexed(
+      std::map<std::string, Filter> filters);
+  /// The original O(n^2) pairwise reduction, kept as the oracle for the
+  /// indexed path (cover_index_enabled = false routes refresh() here).
+  static std::map<std::string, Filter> minimal_cover_naive(
+      std::map<std::string, Filter> filters);
+
  private:
   struct ClientIface {
     std::unordered_map<SubscriptionId, std::uint64_t> engine_ids;
@@ -139,10 +164,6 @@ class RoutingTable {
   /// Filters visible on interfaces other than `excluded` (deduplicated by
   /// canonical key).
   std::map<std::string, Filter> filters_not_from(IfaceId excluded) const;
-
-  /// Reduces a key->filter set to its maximal elements under covering.
-  static std::map<std::string, Filter> minimal_cover(
-      std::map<std::string, Filter> filters);
 
   Config config_;
   std::unordered_map<IfaceId, BrokerIface> broker_ifaces_;

@@ -1,0 +1,83 @@
+#include "pubsub/sharded_matcher.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/hash.h"
+
+namespace reef::pubsub {
+
+ShardedMatcher::ShardedMatcher(Config config) : config_(std::move(config)) {
+  if (config_.shard_count == 0) {
+    throw std::invalid_argument("ShardedMatcher: shard_count must be >= 1");
+  }
+  if (sharded_inner_engine(config_.inner_engine)) {
+    throw std::invalid_argument(
+        "ShardedMatcher: inner engine must not itself be sharded (\"" +
+        config_.inner_engine + "\")");
+  }
+  shards_.reserve(config_.shard_count + 1);
+  for (std::size_t i = 0; i < config_.shard_count + 1; ++i) {
+    shards_.push_back(make_matcher(config_.inner_engine));
+  }
+  if (config_.worker_threads > 0) {
+    pool_ = std::make_unique<util::ThreadPool>(config_.worker_threads);
+  }
+}
+
+std::size_t ShardedMatcher::shard_of(const Filter& filter) const noexcept {
+  if (filter.empty()) return config_.shard_count;  // spill
+  const std::string& attr = filter.constraints().front().attribute();
+  return util::fnv1a64(attr) % config_.shard_count;
+}
+
+void ShardedMatcher::add(SubscriptionId id, Filter filter) {
+  if (const auto it = placed_.find(id); it != placed_.end()) {
+    shards_[it->second]->remove(id);  // replace semantics may move shards
+  }
+  const std::size_t shard = shard_of(filter);
+  shards_[shard]->add(id, std::move(filter));
+  placed_[id] = shard;
+}
+
+void ShardedMatcher::remove(SubscriptionId id) {
+  const auto it = placed_.find(id);
+  if (it == placed_.end()) return;
+  shards_[it->second]->remove(id);
+  placed_.erase(it);
+}
+
+void ShardedMatcher::match(const Event& event,
+                           std::vector<SubscriptionId>& out) const {
+  for (const auto& shard : shards_) shard->match(event, out);
+}
+
+void ShardedMatcher::match_batch(
+    std::span<const Event> events,
+    std::vector<std::vector<SubscriptionId>>& out) const {
+  const std::size_t shard_total = shards_.size();
+  // One result buffer per shard; each task writes only its own slot, so
+  // the fan-out needs no locking and the merge below is scheduling-free.
+  std::vector<std::vector<std::vector<SubscriptionId>>> per_shard(
+      shard_total);
+  const auto task = [&](std::size_t s) {
+    shards_[s]->match_batch(events, per_shard[s]);
+  };
+  if (pool_) {
+    pool_->parallel_for(shard_total, task);
+  } else {
+    for (std::size_t s = 0; s < shard_total; ++s) task(s);
+  }
+  out.assign(events.size(), {});
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    std::size_t hits = 0;
+    for (std::size_t s = 0; s < shard_total; ++s) hits += per_shard[s][i].size();
+    out[i].reserve(hits);
+    for (std::size_t s = 0; s < shard_total; ++s) {
+      out[i].insert(out[i].end(), per_shard[s][i].begin(),
+                    per_shard[s][i].end());
+    }
+  }
+}
+
+}  // namespace reef::pubsub

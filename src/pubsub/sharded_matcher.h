@@ -1,0 +1,87 @@
+// Sharded matching engine: partitions filter state across N inner matchers
+// so one broker can fan a match_batch out over a worker pool.
+//
+// Placement is static and content-based: a filter lands on the shard given
+// by the hash of its *anchor attribute* — the attribute of its first
+// constraint in canonical order (filters are conjunctions, so a matching
+// event necessarily carries every constrained attribute; any deterministic
+// choice is correct). Filters with no constraints have no anchor and go to
+// a dedicated spill shard. Each shard is a full Matcher instance of the
+// configured inner engine, so "sharded:anchor-index" shards the selective
+// hash index and "sharded:counting" shards the counting tables.
+//
+// match_batch runs every shard over the whole batch — one task per shard
+// on the pool (plus the calling thread) — into per-shard result buffers,
+// then merges per event in ascending shard order (spill last). The merge
+// order depends only on shard placement, never on thread scheduling, so
+// output is identical for any worker_threads setting, including 0; the
+// determinism test in tests/pubsub_sharding_test.cpp pins this down.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pubsub/matcher.h"
+#include "pubsub/matcher_registry.h"
+#include "util/thread_pool.h"
+
+namespace reef::pubsub {
+
+/// Shard count used when a sharded engine is created by bare registry name
+/// ("sharded:<inner>") with no explicit configuration.
+inline constexpr std::size_t kDefaultShardCount = 4;
+
+class ShardedMatcher final : public Matcher {
+ public:
+  struct Config {
+    /// Anchor-hash shards (>= 1); the spill shard is always extra.
+    std::size_t shard_count = kDefaultShardCount;
+    /// Pool threads for match_batch; 0 = run shards inline on the caller.
+    std::size_t worker_threads = 0;
+    /// Inner engine, by MatcherRegistry name. Must not itself be sharded.
+    std::string inner_engine = std::string(kDefaultEngine);
+  };
+
+  explicit ShardedMatcher(Config config);
+
+  using Matcher::match;
+  void add(SubscriptionId id, Filter filter) override;
+  void remove(SubscriptionId id) override;
+  void match(const Event& event,
+             std::vector<SubscriptionId>& out) const override;
+  /// Fans the batch out over the shards (one task per shard) and merges
+  /// the per-shard hit lists in shard order; see the file comment.
+  void match_batch(std::span<const Event> events,
+                   std::vector<std::vector<SubscriptionId>>& out)
+      const override;
+  std::size_t size() const noexcept override { return placed_.size(); }
+  std::string name() const override {
+    return std::string(kShardedPrefix) + config_.inner_engine;
+  }
+
+  // --- introspection (tests and benches) ------------------------------------
+  std::size_t shard_count() const noexcept { return config_.shard_count; }
+  std::size_t worker_threads() const noexcept {
+    return config_.worker_threads;
+  }
+  /// Filters on anchor shard `shard` (< shard_count()).
+  std::size_t shard_size(std::size_t shard) const {
+    return shards_.at(shard)->size();
+  }
+  /// Anchorless (universal) filters parked on the spill shard.
+  std::size_t spill_size() const { return shards_.back()->size(); }
+
+ private:
+  std::size_t shard_of(const Filter& filter) const noexcept;
+
+  Config config_;
+  /// shard_count anchor shards followed by the spill shard.
+  std::vector<std::unique_ptr<Matcher>> shards_;
+  std::unordered_map<SubscriptionId, std::size_t> placed_;
+  std::unique_ptr<util::ThreadPool> pool_;  // null when worker_threads == 0
+};
+
+}  // namespace reef::pubsub

@@ -4,6 +4,7 @@
 
 #include "pubsub/matcher.h"
 #include "pubsub/matcher_registry.h"
+#include "pubsub/sharded_matcher.h"
 #include "util/rng.h"
 
 namespace reef::pubsub {
@@ -276,7 +277,8 @@ TEST_P(MatcherEquivalence, AllEnginesAgreeWithBruteForceUnderChurn) {
   util::Rng rng(GetParam());
   BruteForceMatcher brute;
   std::vector<std::unique_ptr<Matcher>> engines;
-  for (const auto& name : {"anchor-index", "counting"}) {
+  for (const auto& name : {"anchor-index", "counting",
+                           "sharded:anchor-index", "sharded:counting"}) {
     engines.push_back(make_matcher(name));
   }
   std::vector<SubscriptionId> live;
@@ -319,7 +321,9 @@ TEST_P(MatcherEquivalence, MatchBatchEqualsPerEventMatch) {
   // Built-ins by name, not instance().names(): another test registers a
   // test-only engine in the process-wide registry, and coverage here must
   // not depend on test execution order.
-  for (const std::string name : {"brute-force", "anchor-index", "counting"}) {
+  for (const std::string name :
+       {"brute-force", "anchor-index", "counting", "sharded:brute-force",
+        "sharded:anchor-index", "sharded:counting"}) {
     const auto engine = make_matcher(name);
     for (std::size_t i = 0; i < filters.size(); ++i) {
       engine->add(i + 1, filters[i]);
@@ -345,8 +349,196 @@ TEST_P(MatcherEquivalence, MatchBatchEqualsPerEventMatch) {
   }
 }
 
+/// Sharded engines with real worker threads agree with their unsharded
+/// inner engine and the brute-force oracle under churn — match sets *and*
+/// per-batch hit order are deterministic (identical across worker counts)
+/// because the sharded merge is by shard index, never thread schedule.
+TEST_P(MatcherEquivalence, ShardedAgreesWithUnshardedAcrossWorkerCounts) {
+  util::Rng rng(GetParam() ^ 0x51a8d);
+  for (const std::string inner : {"anchor-index", "counting"}) {
+    BruteForceMatcher oracle;
+    const auto unsharded = make_matcher(inner);
+    std::vector<std::unique_ptr<ShardedMatcher>> sharded;
+    for (const std::size_t workers : {0u, 1u, 4u}) {
+      sharded.push_back(std::make_unique<ShardedMatcher>(
+          ShardedMatcher::Config{4, workers, inner}));
+    }
+    std::vector<SubscriptionId> live;
+    SubscriptionId next = 1;
+    for (int round = 0; round < 60; ++round) {
+      for (int step = 0; step < 5; ++step) {
+        if (live.empty() || rng.chance(0.7)) {
+          const Filter f = random_filter(rng);
+          oracle.add(next, f);
+          unsharded->add(next, f);
+          for (auto& engine : sharded) engine->add(next, f);
+          live.push_back(next++);
+        } else {
+          const std::size_t idx = rng.index(live.size());
+          oracle.remove(live[idx]);
+          unsharded->remove(live[idx]);
+          for (auto& engine : sharded) engine->remove(live[idx]);
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+        }
+      }
+      std::vector<Event> events;
+      for (int i = 0; i < 16; ++i) events.push_back(random_event(rng));
+      std::vector<std::vector<SubscriptionId>> reference;
+      sharded.front()->match_batch(events, reference);
+      for (std::size_t w = 1; w < sharded.size(); ++w) {
+        std::vector<std::vector<SubscriptionId>> batched;
+        sharded[w]->match_batch(events, batched);
+        ASSERT_EQ(batched, reference)
+            << inner << " with " << sharded[w]->worker_threads()
+            << " workers diverges from the 0-worker merge order";
+      }
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        auto expected = oracle.match(events[i]);
+        auto from_unsharded = unsharded->match(events[i]);
+        auto from_sharded = reference[i];
+        std::sort(expected.begin(), expected.end());
+        std::sort(from_unsharded.begin(), from_unsharded.end());
+        std::sort(from_sharded.begin(), from_sharded.end());
+        ASSERT_EQ(from_sharded, expected)
+            << "sharded:" << inner << " on " << events[i].to_string();
+        ASSERT_EQ(from_unsharded, expected)
+            << inner << " on " << events[i].to_string();
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, MatcherEquivalence,
                          ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+// --- ShardedMatcher unit behavior -------------------------------------------
+
+TEST(ShardedMatcher, PlacementAndSpillBookkeeping) {
+  ShardedMatcher m(ShardedMatcher::Config{4, 0, "anchor-index"});
+  EXPECT_EQ(m.name(), "sharded:anchor-index");
+  EXPECT_EQ(m.shard_count(), 4u);
+
+  m.add(1, Filter());  // anchorless -> spill
+  m.add(2, stock_filter("ACME", 10.0));
+  m.add(3, stock_filter("ACME", 20.0));  // same anchor attr -> same shard
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.spill_size(), 1u);
+  std::size_t across_shards = 0;
+  for (std::size_t s = 0; s < m.shard_count(); ++s) {
+    across_shards += m.shard_size(s);
+  }
+  EXPECT_EQ(across_shards, 2u);
+
+  // Universal filter matches everything; anchored ones only their events.
+  auto hits = m.match(Event().with("sym", "ACME").with("price", 15.0));
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<SubscriptionId>{1, 2}));
+  EXPECT_EQ(m.match(Event()).size(), 1u);
+
+  // Replace semantics move a filter between shards (universal -> anchored).
+  m.add(1, stock_filter("XYZ", 1.0));
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.spill_size(), 0u);
+  m.remove(1);
+  m.remove(2);
+  m.remove(3);
+  EXPECT_EQ(m.size(), 0u);
+  m.remove(99);  // unknown id: no-op
+}
+
+TEST(ShardedMatcher, RejectsNestedShardingAndZeroShards) {
+  EXPECT_THROW(
+      ShardedMatcher(ShardedMatcher::Config{4, 0, "sharded:anchor-index"}),
+      std::invalid_argument);
+  EXPECT_THROW(ShardedMatcher(ShardedMatcher::Config{0, 0, "anchor-index"}),
+               std::invalid_argument);
+  EXPECT_THROW(ShardedMatcher(ShardedMatcher::Config{4, 0, "no-such"}),
+               std::invalid_argument);
+}
+
+TEST(ShardedMatcher, RegistryExposesShardedVariants) {
+  auto& registry = MatcherRegistry::instance();
+  for (const std::string name :
+       {"sharded:brute-force", "sharded:anchor-index", "sharded:counting"}) {
+    ASSERT_TRUE(registry.contains(name)) << name;
+    EXPECT_EQ(registry.create(name)->name(), name);
+  }
+  // Unregistered inner engines wrap on demand; nested sharding does not.
+  registry.add("test-only-inner",
+               [] { return std::make_unique<BruteForceMatcher>(); });
+  EXPECT_EQ(registry.create("sharded:test-only-inner")->name(),
+            "sharded:test-only-inner");
+  EXPECT_THROW(registry.create("sharded:sharded:counting"),
+               std::invalid_argument);
+  EXPECT_THROW(registry.create("sharded:definitely-not-an-engine"),
+               std::invalid_argument);
+}
+
+// --- anchor rebalancing under adversarial churn -----------------------------
+
+TEST(IndexMatcher, RebalanceMovesLongLivedFiltersOffGrownBuckets) {
+  IndexMatcher m;
+  BruteForceMatcher oracle;
+  const auto add_both = [&](SubscriptionId id, const Filter& f) {
+    m.add(id, f);
+    oracle.add(id, f);
+  };
+  // Ballast: 8 filters per (user=i) bucket, so those buckets look
+  // expensive when the long-lived filters arrive.
+  SubscriptionId ballast = 200;
+  for (std::int64_t user = 1; user <= 8; ++user) {
+    for (int n = 0; n < 8; ++n) {
+      add_both(ballast++, Filter().and_(eq("user", user)).and_(
+                              ge("score", static_cast<std::int64_t>(n))));
+    }
+  }
+  // Long-lived filters anchor on (hot=1): at add time that bucket (size
+  // 0..7) is strictly smaller than their (user=i) alternative (size 8).
+  for (SubscriptionId id = 1; id <= 8; ++id) {
+    add_both(id, Filter()
+                     .and_(eq("hot", 1))
+                     .and_(eq("user", static_cast<std::int64_t>(id))));
+    ASSERT_EQ(m.anchor_attribute(id), "hot") << id;
+  }
+  // Adversarial churn: (hot=1) then grows with single-constraint filters
+  // that have nowhere else to anchor; the long-lived filters are stuck on
+  // what has become the hottest bucket in the index.
+  for (SubscriptionId id = 100; id < 140; ++id) {
+    add_both(id, Filter().and_(eq("hot", 1)));
+  }
+  EXPECT_EQ(m.largest_eq_bucket(), 48u);
+
+  // Long-lived filters still match correctly from the hot bucket.
+  const Event event = Event().with("hot", 1).with("user", 3);
+  auto expected = oracle.match(event);
+  auto actual = m.match(event);
+  std::sort(expected.begin(), expected.end());
+  std::sort(actual.begin(), actual.end());
+  ASSERT_EQ(actual, expected);
+
+  // A rebalance pass moves every filter with an alternative anchor out.
+  const std::size_t moved = m.rebalance(/*max_bucket=*/8);
+  EXPECT_EQ(moved, 8u);
+  for (SubscriptionId id = 1; id <= 8; ++id) {
+    EXPECT_EQ(m.anchor_attribute(id), "user") << id;
+  }
+  // Documented residual skew: the 40 single-constraint filters are pinned
+  // to (hot=1) — no rebalance can shrink that bucket below their count.
+  EXPECT_EQ(m.largest_eq_bucket(), 40u);
+  // A second pass finds only pinned filters and moves nothing.
+  EXPECT_EQ(m.rebalance(/*max_bucket=*/8), 0u);
+
+  // Matching is unchanged by re-anchoring.
+  for (const Event& probe :
+       {event, Event().with("hot", 1),
+        Event().with("user", 5).with("score", 3)}) {
+    auto want = oracle.match(probe);
+    auto got = m.match(probe);
+    std::sort(want.begin(), want.end());
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, want) << probe.to_string();
+  }
+}
 
 }  // namespace
 }  // namespace reef::pubsub

@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
+#include <vector>
 
 #include "pubsub/matcher_registry.h"
 #include "pubsub/routing_table.h"
+#include "util/rng.h"
 
 namespace reef::pubsub {
 namespace {
@@ -183,6 +186,161 @@ TEST(RoutingTable, MatchBatchAgreesWithPerEventMatch) {
     table.match(events[i], single);
     EXPECT_EQ(sig(batched[i]), sig(single)) << "event " << i;
   }
+}
+
+// --- indexed covering check vs the naive pairwise oracle --------------------
+
+Filter churn_filter(util::Rng& rng) {
+  // The Reef-like population the indexed cover check targets: per-feed
+  // equality subscriptions (massively redundant attributes, distinct
+  // values), broad stream filters that cover them, price ranges, prefix
+  // content filters, and the occasional universal subscription.
+  switch (rng.index(6)) {
+    case 0:
+    case 1:
+    case 2:
+      return feed("http://s" + std::to_string(rng.index(200)) + "/f");
+    case 3:
+      return rng.chance(0.05)
+                 ? broad()
+                 : Filter().and_(eq("stream", "quotes"))
+                       .and_(ge("price", static_cast<double>(rng.index(50))));
+    case 4:
+      return Filter().and_(prefix(
+          "feed", "http://s" + std::to_string(rng.index(20))));
+    default:
+      return rng.chance(0.02) ? Filter()
+                              : Filter().and_(exists("price")).and_(lt(
+                                    "price",
+                                    static_cast<double>(rng.index(80))));
+  }
+}
+
+/// Regression gate for the signature-indexed covering check: a table under
+/// 1k-filter churn must hand every neighbor forwarding diffs identical to
+/// the naive-pairwise-loop table fed the same operations.
+TEST(RoutingTable, IndexedCoveringMatchesNaiveDiffsUnder1kChurn) {
+  util::Rng rng(0xc0ffee);
+  RoutingTable indexed(
+      RoutingTable::Config{true, "anchor-index", /*cover_index_enabled=*/true});
+  RoutingTable naive(RoutingTable::Config{true, "anchor-index",
+                                          /*cover_index_enabled=*/false});
+  for (RoutingTable* table : {&indexed, &naive}) {
+    table->add_broker_iface(kNeighbor);
+    table->add_broker_iface(kOtherNeighbor);
+  }
+
+  const auto diff_signature = [](const RoutingTable::Diff& diff) {
+    std::vector<std::string> sig;
+    sig.reserve(diff.subscribe.size() + diff.unsubscribe.size() + 1);
+    for (const Filter& f : diff.subscribe) sig.push_back("+" + f.key());
+    sig.push_back("|");
+    for (const Filter& f : diff.unsubscribe) sig.push_back("-" + f.key());
+    return sig;
+  };
+
+  std::vector<SubscriptionId> live;
+  SubscriptionId next_id = 1;
+  std::size_t added = 0;
+  int checked_diffs = 0;
+  for (int round = 0; round < 80; ++round) {
+    // Churn burst: additions dominate until 1k filters went in, then the
+    // mix turns removal-only so covering filters get retracted and the
+    // filters they covered resurface in the diffs.
+    for (int step = 0; step < 20; ++step) {
+      const bool add = added < 1000 && (live.empty() || rng.chance(0.75));
+      if (add) {
+        const Filter f = churn_filter(rng);
+        // Client interface derived from the id so the unsubscribe below
+        // can reconstruct the same (client, id) pair.
+        const RoutingTable::IfaceId client = 300 + next_id % 4;
+        indexed.client_subscribe(client, next_id, f);
+        naive.client_subscribe(client, next_id, f);
+        live.push_back(next_id);
+        ++next_id;
+        ++added;
+      } else if (!live.empty()) {
+        const std::size_t idx = rng.index(live.size());
+        const RoutingTable::IfaceId client = 300 + live[idx] % 4;
+        EXPECT_TRUE(indexed.client_unsubscribe(client, live[idx]));
+        EXPECT_TRUE(naive.client_unsubscribe(client, live[idx]));
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+      }
+    }
+    for (const auto neighbor : {kNeighbor, kOtherNeighbor}) {
+      const auto from_indexed = diff_signature(indexed.refresh(neighbor));
+      const auto from_naive = diff_signature(naive.refresh(neighbor));
+      ASSERT_EQ(from_indexed, from_naive)
+          << "round " << round << " neighbor " << neighbor;
+      if (from_indexed.size() > 1) ++checked_diffs;
+      EXPECT_EQ(indexed.forwarded_size(neighbor),
+                naive.forwarded_size(neighbor));
+    }
+  }
+  EXPECT_EQ(added, 1000u);
+  EXPECT_GT(checked_diffs, 10);  // the churn actually produced diffs
+
+  // Final direct check: a fresh neighbor's first refresh carries the
+  // complete covering-minimal form of the final population, so the two
+  // reductions are compared in full, not just their churn deltas.
+  constexpr RoutingTable::IfaceId kFreshNeighbor = 150;
+  indexed.add_broker_iface(kFreshNeighbor);
+  naive.add_broker_iface(kFreshNeighbor);
+  const auto full_indexed = diff_signature(indexed.refresh(kFreshNeighbor));
+  const auto full_naive = diff_signature(naive.refresh(kFreshNeighbor));
+  EXPECT_GT(full_indexed.size(), 1u);
+  EXPECT_EQ(full_indexed, full_naive);
+}
+
+/// Direct equivalence of the two reductions on adversarial shapes the
+/// churn mix may miss: equivalent filters (canonical-representative
+/// tie-break), chains of mutual covering, and universal filters.
+TEST(RoutingTable, MinimalCoverIndexedEqualsNaiveOnEdgeCases) {
+  const auto run_both = [](const std::vector<Filter>& filters) {
+    std::map<std::string, Filter> input;
+    for (const Filter& f : filters) input.emplace(f.key(), f);
+    const auto a = RoutingTable::minimal_cover_indexed(input);
+    const auto b = RoutingTable::minimal_cover_naive(input);
+    EXPECT_EQ(a.size(), b.size());
+    auto it_a = a.begin();
+    for (const auto& [key, filter] : b) {
+      if (it_a == a.end()) {
+        ADD_FAILURE() << "indexed cover missing key " << key;
+        break;
+      }
+      EXPECT_EQ(it_a->first, key);
+      EXPECT_EQ(it_a->second, filter);
+      ++it_a;
+    }
+    return a;
+  };
+
+  // Universal filter covers everything (and survives alone).
+  auto cover = run_both({Filter(), broad(), feed("http://x/a")});
+  EXPECT_EQ(cover.size(), 1u);
+  EXPECT_TRUE(cover.begin()->second.empty());
+
+  // Cross-type numeric equality: eq(p, 3) and eq(p, 3.0) are equivalent
+  // but have distinct keys — exactly one survives, via the tie-break.
+  cover = run_both({Filter().and_(eq("p", 3)), Filter().and_(eq("p", 3.0))});
+  EXPECT_EQ(cover.size(), 1u);
+
+  // Range chains: ge 10 covers ge 20 covers ge 30.
+  cover = run_both({Filter().and_(ge("p", 10.0)),
+                    Filter().and_(ge("p", 20.0)),
+                    Filter().and_(ge("p", 30.0))});
+  EXPECT_EQ(cover.size(), 1u);
+
+  // Prefix covers longer prefix and equality; exists covers them all.
+  run_both({Filter().and_(prefix("u", "http://a")),
+            Filter().and_(prefix("u", "http://a/b")),
+            Filter().and_(eq("u", "http://a/b/c")),
+            Filter().and_(exists("u"))});
+
+  // Incomparable mix stays intact.
+  cover = run_both({feed("http://x/a"), feed("http://x/b"),
+                    Filter().and_(ge("price", 5.0))});
+  EXPECT_EQ(cover.size(), 3u);
 }
 
 TEST(RoutingTable, EngineSelectedThroughRegistry) {

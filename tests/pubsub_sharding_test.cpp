@@ -1,0 +1,332 @@
+// Deterministic-concurrency harness for the sharded routing core.
+//
+// The contract under test: for a fixed shard count, a broker's observable
+// behavior — every client's delivery log, byte for byte, and every
+// sim::Network traffic counter — is identical for worker_threads 0 (no
+// pool), 1, and 4. Thread scheduling may vary freely between runs; the
+// sharded matcher's merge-by-shard-order and the broker's interface-ordered
+// output make the nondeterminism unobservable.
+//
+// The shard count itself comes from REEF_TEST_SHARD_COUNT (default 4);
+// CMake registers this binary twice so ctest exercises both the multi-
+// shard and the single-shard (spill-heavy) layout.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "pubsub/client.h"
+#include "pubsub/overlay.h"
+#include "pubsub/sharded_matcher.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace reef::pubsub {
+namespace {
+
+std::size_t test_shard_count() {
+  const char* env = std::getenv("REEF_TEST_SHARD_COUNT");
+  return env != nullptr ? std::strtoul(env, nullptr, 10) : 4;
+}
+
+Filter scenario_filter(util::Rng& rng) {
+  switch (rng.index(4)) {
+    case 0:
+      return Filter()
+          .and_(eq("stream", "feed"))
+          .and_(eq("feed", static_cast<std::int64_t>(rng.index(8))));
+    case 1:
+      return Filter()
+          .and_(eq("stream", "quotes"))
+          .and_(ge("price", static_cast<double>(rng.index(40))));
+    case 2:
+      return Filter().and_(prefix("text", rng.chance(0.5) ? "a" : "ab"));
+    default:
+      return Filter().and_(exists("price"));
+  }
+}
+
+Event scenario_event(util::Rng& rng, int seq) {
+  Event e;
+  switch (rng.index(3)) {
+    case 0:
+      e = Event()
+              .with("stream", "feed")
+              .with("feed", static_cast<std::int64_t>(rng.index(8)))
+              .with("text", rng.chance(0.5) ? "abc" : "xyz");
+      break;
+    case 1:
+      e = Event()
+              .with("stream", "quotes")
+              .with("price", static_cast<double>(rng.index(60)));
+      break;
+    default:
+      e = Event().with("text", "ab").with("price", 7);
+      break;
+  }
+  e.with("seq", static_cast<std::int64_t>(seq));
+  return e;
+}
+
+/// Everything observable about one scenario run, rendered comparable.
+struct RunTrace {
+  std::vector<std::string> delivery_log;  // chronological, all clients
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t total_units = 0;
+  std::map<std::string, std::uint64_t> messages_by_type;
+  std::map<std::string, std::uint64_t> bytes_by_type;
+  std::map<std::string, std::uint64_t> units_by_type;
+
+  bool operator==(const RunTrace&) const = default;
+};
+
+/// Runs the seeded broker scenario: a 4-broker star, 6 clients with a mix
+/// of equality / range / prefix / exists subscriptions, plus one client
+/// that churns (subscribes, receives, unsubscribes), and 12 publication
+/// bursts entering at rotating brokers.
+RunTrace run_scenario(std::uint64_t seed, std::size_t shard_count,
+                      std::size_t worker_threads) {
+  sim::Simulator sim;
+  sim::Network::Config net_config;
+  net_config.default_latency = sim::kMillisecond;
+  net_config.jitter_fraction = 0.25;
+  net_config.seed = seed;
+  sim::Network net(sim, net_config);
+
+  Broker::Config config;
+  config.matcher_engine = std::string(kShardedPrefix) + "anchor-index";
+  config.shard_count = shard_count;
+  config.worker_threads = worker_threads;
+  Overlay overlay = Overlay::star(sim, net, 4, config);
+
+  RunTrace trace;
+  util::Rng rng(seed);
+  std::vector<std::unique_ptr<Client>> clients;
+  for (std::size_t c = 0; c < 6; ++c) {
+    auto client = std::make_unique<Client>(sim, net, "c" + std::to_string(c));
+    client->connect(overlay.broker(c % 4));
+    const std::size_t subs = 2 + rng.index(3);
+    for (std::size_t s = 0; s < subs; ++s) {
+      client->subscribe(scenario_filter(rng),
+                        [&trace, c](const Event& e, SubscriptionId sub) {
+                          trace.delivery_log.push_back(
+                              "c" + std::to_string(c) + "/s" +
+                              std::to_string(sub) + " " + e.to_string());
+                        });
+    }
+    clients.push_back(std::move(client));
+  }
+  Client churner(sim, net, "churner");
+  churner.connect(overlay.broker(3));
+  sim.run_until(sim.now() + sim::kMinute);
+
+  std::vector<SubscriptionId> churn_ids;
+  int seq = 0;
+  for (int burst = 0; burst < 12; ++burst) {
+    if (burst % 3 == 0) {
+      churn_ids.push_back(churner.subscribe(
+          scenario_filter(rng),
+          [&trace](const Event& e, SubscriptionId sub) {
+            trace.delivery_log.push_back("churner/s" + std::to_string(sub) +
+                                         " " + e.to_string());
+          }));
+    } else if (burst % 3 == 2 && !churn_ids.empty()) {
+      churner.unsubscribe(churn_ids.back());
+      churn_ids.pop_back();
+    }
+    std::vector<Event> bundle;
+    for (int i = 0; i < 6; ++i) bundle.push_back(scenario_event(rng, seq++));
+    Client& publisher = *clients[burst % clients.size()];
+    publisher.publish_batch(std::move(bundle));
+    sim.run_until(sim.now() + sim::kSecond);
+  }
+  sim.run_until(sim.now() + sim::kMinute);
+
+  trace.total_messages = net.total_messages();
+  trace.total_bytes = net.total_bytes();
+  trace.total_units = net.total_units();
+  trace.messages_by_type = net.messages_by_type().items();
+  trace.bytes_by_type = net.bytes_by_type().items();
+  trace.units_by_type = net.units_by_type().items();
+  return trace;
+}
+
+class ShardingDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardingDeterminism, WorkerThreadsNeverChangeObservableBehavior) {
+  const std::size_t shards = test_shard_count();
+  ASSERT_GE(shards, 1u);
+  const RunTrace baseline = run_scenario(GetParam(), shards, 0);
+  ASSERT_FALSE(baseline.delivery_log.empty());
+  for (const std::size_t workers : {1u, 4u}) {
+    const RunTrace trace = run_scenario(GetParam(), shards, workers);
+    EXPECT_EQ(trace.delivery_log, baseline.delivery_log)
+        << "delivery log diverged at worker_threads=" << workers
+        << " shard_count=" << shards;
+    EXPECT_EQ(trace.total_messages, baseline.total_messages) << workers;
+    EXPECT_EQ(trace.total_bytes, baseline.total_bytes) << workers;
+    EXPECT_EQ(trace.total_units, baseline.total_units) << workers;
+    EXPECT_EQ(trace.messages_by_type, baseline.messages_by_type) << workers;
+    EXPECT_EQ(trace.bytes_by_type, baseline.bytes_by_type) << workers;
+    EXPECT_EQ(trace.units_by_type, baseline.units_by_type) << workers;
+  }
+}
+
+/// Repeated runs of the *same* configuration are reproducible even with a
+/// worker pool — the baseline determinism the cross-worker check builds on.
+TEST_P(ShardingDeterminism, RepeatRunsAreByteIdentical) {
+  const std::size_t shards = test_shard_count();
+  const RunTrace a = run_scenario(GetParam(), shards, 4);
+  const RunTrace b = run_scenario(GetParam(), shards, 4);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardingDeterminism,
+                         ::testing::Values(7, 19, 31));
+
+// --- RoutingTable-level sharded wiring --------------------------------------
+
+TEST(ShardedRoutingTable, KnobsBuildShardedEngine) {
+  // shard_count/worker_threads wrap a plain engine name...
+  RoutingTable wrapped(RoutingTable::Config{true, "counting", true, 4, 2});
+  EXPECT_EQ(wrapped.matcher().name(), "sharded:counting");
+  // ...a "sharded:" name honors the knobs as given...
+  RoutingTable named(
+      RoutingTable::Config{true, "sharded:anchor-index", true, 2, 0});
+  EXPECT_EQ(named.matcher().name(), "sharded:anchor-index");
+  EXPECT_EQ(dynamic_cast<const ShardedMatcher&>(named.matcher())
+                .shard_count(),
+            2u);
+  // ...and with the auto default (0) a "sharded:" name gets the same
+  // shard count as registry creation by name.
+  RoutingTable auto_sharded(
+      RoutingTable::Config{true, "sharded:anchor-index"});
+  EXPECT_EQ(dynamic_cast<const ShardedMatcher&>(auto_sharded.matcher())
+                .shard_count(),
+            kDefaultShardCount);
+  // ...and the 1/0 defaults stay on the plain engine (ablation baseline).
+  RoutingTable plain(RoutingTable::Config{true, "anchor-index"});
+  EXPECT_EQ(plain.matcher().name(), "anchor-index");
+  // Unknown inner engines still fail with the canonical registry error.
+  EXPECT_THROW(
+      RoutingTable(RoutingTable::Config{true, "sharded:no-such", true, 4, 0}),
+      std::invalid_argument);
+}
+
+TEST(ShardedRoutingTable, MatchAgreesAcrossShardAndWorkerConfigs) {
+  util::Rng rng(0xc0de);
+  std::vector<Filter> filters;
+  for (int i = 0; i < 80; ++i) filters.push_back(scenario_filter(rng));
+  std::vector<Event> events;
+  for (int i = 0; i < 40; ++i) events.push_back(scenario_event(rng, i));
+
+  auto destinations = [](const RoutingTable& table,
+                         const std::vector<Event>& evs) {
+    std::vector<std::vector<RoutingTable::Destination>> hits;
+    table.match_batch(evs, hits);
+    std::vector<
+        std::vector<std::tuple<RoutingTable::IfaceId, bool, SubscriptionId>>>
+        out;
+    for (const auto& per_event : hits) {
+      std::vector<std::tuple<RoutingTable::IfaceId, bool, SubscriptionId>>
+          sig;
+      for (const auto& d : per_event) {
+        sig.emplace_back(d.iface, d.is_broker, d.client_sub);
+      }
+      std::sort(sig.begin(), sig.end());
+      out.push_back(std::move(sig));
+    }
+    return out;
+  };
+
+  std::vector<RoutingTable> tables;
+  tables.emplace_back(RoutingTable::Config{true, "anchor-index"});
+  tables.emplace_back(RoutingTable::Config{true, "anchor-index", true, 4, 0});
+  tables.emplace_back(RoutingTable::Config{true, "anchor-index", true, 4, 4});
+  tables.emplace_back(RoutingTable::Config{true, "anchor-index", true, 1, 1});
+  for (RoutingTable& table : tables) {
+    table.add_broker_iface(1);
+    for (std::size_t i = 0; i < filters.size(); ++i) {
+      if (i % 4 == 0) {
+        table.broker_subscribe(1, filters[i]);
+      } else {
+        table.client_subscribe(100 + i % 3, i, filters[i]);
+      }
+    }
+  }
+  const auto reference = destinations(tables.front(), events);
+  for (std::size_t t = 1; t < tables.size(); ++t) {
+    EXPECT_EQ(destinations(tables[t], events), reference) << "table " << t;
+  }
+}
+
+}  // namespace
+}  // namespace reef::pubsub
+
+// --- util::ThreadPool -------------------------------------------------------
+
+namespace reef::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {0u, 1u, 3u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.thread_count(), threads);
+    for (const std::size_t n : {0u, 1u, 2u, 64u}) {
+      std::vector<std::atomic<int>> counts(n);
+      pool.parallel_for(n, [&](std::size_t i) {
+        counts[i].fetch_add(1, std::memory_order_relaxed);
+      });
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(counts[i].load(), 1)
+            << "threads=" << threads << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for(8, [&](std::size_t i) {
+      total.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 200u * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7));
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  // Pooled and inline modes share the contract: all indices run, the
+  // first exception is rethrown afterwards, the pool stays usable.
+  for (const std::size_t threads : {2u, 0u}) {
+    ThreadPool pool(threads);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        pool.parallel_for(16,
+                          [&](std::size_t i) {
+                            ran.fetch_add(1, std::memory_order_relaxed);
+                            if (i % 2 == 0) {
+                              throw std::runtime_error("task failure");
+                            }
+                          }),
+        std::runtime_error);
+    EXPECT_EQ(ran.load(), 16) << "threads=" << threads;
+    std::atomic<int> after{0};
+    pool.parallel_for(4, [&](std::size_t) {
+      after.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(after.load(), 4) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace reef::util
