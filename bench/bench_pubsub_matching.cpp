@@ -202,13 +202,17 @@ BENCHMARK_CAPTURE(bm_match_batch, brute_force, "brute-force")
     ->Args({2000, 32});
 #undef BATCH_ARGS
 
-// --- sharded matching: shard count x engine x batch size --------------------
+// --- sharded matching: shard count x engine x batch x pre-filter ------------
 //
 // The intra-broker parallelism sweep. Events are drawn once and the same
 // table population is sharded by anchor-attribute hash; {1 shard, 0
 // workers} through the ShardedMatcher wrapper measures pure sharding
 // overhead against the bm_match_batch numbers above, the multi-worker rows
-// measure the pool win (only visible on multi-core hosts).
+// measure the pool win (only visible on multi-core hosts), and the
+// pre-filter on/off pairs measure shard-aware event routing. The
+// skip_ratio counter (events_skipped / routed+skipped) reports the
+// per-shard work the pre-filter removed — counter-based, so the win shows
+// even on single-core hosts where wall clock can't.
 
 void bm_match_batch_sharded(benchmark::State& state,
                             const std::string& inner) {
@@ -216,9 +220,10 @@ void bm_match_batch_sharded(benchmark::State& state,
   const auto batch_size = static_cast<std::size_t>(state.range(1));
   const auto shard_count = static_cast<std::size_t>(state.range(2));
   const auto workers = static_cast<std::size_t>(state.range(3));
+  const bool prefilter = state.range(4) != 0;
   reef::util::Rng rng(42);
   ShardedMatcher matcher(
-      ShardedMatcher::Config{shard_count, workers, inner});
+      ShardedMatcher::Config{shard_count, workers, inner, prefilter});
   const auto filters = make_filters(table_size, 0.3, rng);
   for (std::size_t i = 0; i < filters.size(); ++i) {
     matcher.add(i + 1, filters[i]);
@@ -243,26 +248,37 @@ void bm_match_batch_sharded(benchmark::State& state,
   state.counters["batch"] = static_cast<double>(batch_size);
   state.counters["shards"] = static_cast<double>(shard_count);
   state.counters["workers"] = static_cast<double>(workers);
+  state.counters["prefilter"] = prefilter ? 1.0 : 0.0;
+  const double pairs = static_cast<double>(matcher.events_routed() +
+                                           matcher.events_skipped());
+  state.counters["skip_ratio"] =
+      pairs == 0.0 ? 0.0
+                   : static_cast<double>(matcher.events_skipped()) / pairs;
 }
 
-// {table size, batch size, shard count, worker threads}. The large-batch
-// rows (1024) are the acceptance sweep: sharded 4/4 vs the 1/0 baseline.
+// {table size, batch size, shard count, worker threads, pre-filter}. The
+// large-batch rows (1024) are the acceptance sweep: sharded 4/4 vs the
+// 1/0 baseline, each with its pre-filter off twin.
 #define SHARD_SWEEP(table)                                      \
-      ->Args({table, 128, 1, 0})                                \
-      ->Args({table, 128, 4, 0})                                \
-      ->Args({table, 128, 4, 4})                                \
-      ->Args({table, 1024, 1, 0})                               \
-      ->Args({table, 1024, 2, 2})                               \
-      ->Args({table, 1024, 4, 0})                               \
-      ->Args({table, 1024, 4, 4})                               \
-      ->Args({table, 1024, 8, 4})
+      ->Args({table, 128, 1, 0, 1})                             \
+      ->Args({table, 128, 4, 0, 0})                             \
+      ->Args({table, 128, 4, 0, 1})                             \
+      ->Args({table, 128, 4, 4, 1})                             \
+      ->Args({table, 1024, 1, 0, 1})                            \
+      ->Args({table, 1024, 2, 2, 1})                            \
+      ->Args({table, 1024, 4, 0, 0})                            \
+      ->Args({table, 1024, 4, 0, 1})                            \
+      ->Args({table, 1024, 4, 4, 0})                            \
+      ->Args({table, 1024, 4, 4, 1})                            \
+      ->Args({table, 1024, 8, 4, 1})
 BENCHMARK_CAPTURE(bm_match_batch_sharded, anchor_index, "anchor-index")
     SHARD_SWEEP(10000) SHARD_SWEEP(50000)->UseRealTime();
 BENCHMARK_CAPTURE(bm_match_batch_sharded, counting, "counting")
     SHARD_SWEEP(10000)->UseRealTime();
 BENCHMARK_CAPTURE(bm_match_batch_sharded, brute_force, "brute-force")
-    ->Args({2000, 1024, 1, 0})
-    ->Args({2000, 1024, 4, 4})
+    ->Args({2000, 1024, 1, 0, 1})
+    ->Args({2000, 1024, 4, 4, 0})
+    ->Args({2000, 1024, 4, 4, 1})
     ->UseRealTime();
 #undef SHARD_SWEEP
 
@@ -394,6 +410,59 @@ int run_smoke() {
     std::printf("  sharded:anchor-index (4 shards, %zu workers): "
                 "match_batch %ldus\n",
                 workers, static_cast<long>(us(start, end)));
+  }
+
+  // 4. Shard-aware event pre-filtering: on the skewed-anchor workload the
+  // pre-filter must skip (event, shard) pairs — the counter-based win that
+  // shows even on a single-core host — while producing byte-identical
+  // results. A zero skip ratio or any output difference fails the smoke.
+  {
+    ShardedMatcher with_pf(ShardedMatcher::Config{4, 0, "anchor-index",
+                                                  /*prefilter=*/true});
+    ShardedMatcher without_pf(ShardedMatcher::Config{4, 0, "anchor-index",
+                                                     /*prefilter=*/false});
+    for (std::size_t i = 0; i < filters.size(); ++i) {
+      with_pf.add(i + 1, filters[i]);
+      without_pf.add(i + 1, filters[i]);
+    }
+    const auto timed = [&](const ShardedMatcher& m) {
+      const auto start = std::chrono::steady_clock::now();
+      for (int r = 0; r < rounds; ++r) {
+        m.match_batch(events, batch_hits);
+        benchmark::DoNotOptimize(batch_hits.data());
+      }
+      return std::chrono::steady_clock::now() - start;
+    };
+    const auto on_time = timed(with_pf);
+    const auto off_time = timed(without_pf);
+    std::vector<std::vector<SubscriptionId>> hits_on;
+    std::vector<std::vector<SubscriptionId>> hits_off;
+    with_pf.match_batch(events, hits_on);
+    without_pf.match_batch(events, hits_off);
+    if (hits_on != hits_off) {
+      std::printf("FAIL: pre-filter changed match output\n");
+      return 1;
+    }
+    if (with_pf.events_skipped() == 0) {
+      std::printf("FAIL: pre-filter skipped no (event, shard) pairs on the "
+                  "skewed-anchor workload\n");
+      return 1;
+    }
+    const double pairs = static_cast<double>(with_pf.events_routed() +
+                                             with_pf.events_skipped());
+    std::printf("  pre-filter (4 shards, 0 workers): on %ldus, off %ldus, "
+                "skip_ratio %.2f (%llu of %.0f event-shard pairs skipped)\n",
+                static_cast<long>(
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        on_time)
+                        .count()),
+                static_cast<long>(
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        off_time)
+                        .count()),
+                static_cast<double>(with_pf.events_skipped()) / pairs,
+                static_cast<unsigned long long>(with_pf.events_skipped()),
+                pairs);
   }
   std::printf("smoke OK\n");
   return 0;

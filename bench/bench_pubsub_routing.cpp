@@ -47,6 +47,7 @@ struct RunConfig {
   bool batching = true;
   std::size_t shard_count = 1;
   std::size_t worker_threads = 0;
+  bool prefilter = true;
 };
 
 Result run(const RunConfig& rc, std::size_t brokers, std::size_t subscribers,
@@ -63,6 +64,7 @@ Result run(const RunConfig& rc, std::size_t brokers, std::size_t subscribers,
   broker_config.batching_enabled = rc.batching;
   broker_config.shard_count = rc.shard_count;
   broker_config.worker_threads = rc.worker_threads;
+  broker_config.prefilter_enabled = rc.prefilter;
   pubsub::Overlay overlay(sim, net, broker_config);
   for (std::size_t i = 0; i < brokers; ++i) overlay.add_broker();
   for (std::size_t i = 1; i < brokers; ++i) overlay.link(i - 1, i);
@@ -192,33 +194,40 @@ int main() {
               "run; only events racing a subscription within one tick "
               "may differ.\n");
 
-  // --- sharded routing core: shard x worker sweep through the overlay ------
-  std::printf("\n=== sharded routing core: shard x worker sweep ===\n");
+  // --- sharded routing core: shard x worker x pre-filter sweep -------------
+  std::printf("\n=== sharded routing core: shard x worker x pre-filter "
+              "sweep ===\n");
   std::printf("chain of 8 brokers, 100 subscribers, anchor-index inner "
               "engine; deliveries must be identical on every row\n\n");
-  std::printf("  %-24s %-7s %-8s %12s %12s\n", "engine", "shards", "workers",
-              "wire msgs", "deliveries");
-  std::printf("  %s\n", std::string(68, '-').c_str());
+  std::printf("  %-24s %-7s %-8s %-10s %12s %12s\n", "engine", "shards",
+              "workers", "prefilter", "wire msgs", "deliveries");
+  std::printf("  %s\n", std::string(80, '-').c_str());
   struct ShardRow {
     const char* engine;
     std::size_t shards;
     std::size_t workers;
+    bool prefilter = true;
   };
   for (const ShardRow& row :
        {ShardRow{"anchor-index", 1, 0},
+        ShardRow{"sharded:anchor-index", 4, 0, false},
         ShardRow{"sharded:anchor-index", 4, 0},
+        ShardRow{"sharded:anchor-index", 4, 2, false},
         ShardRow{"sharded:anchor-index", 4, 2},
         ShardRow{"sharded:counting", 4, 2}}) {
-    const Result r =
-        run(RunConfig{true, row.engine, true, row.shards, row.workers}, 8,
-            100, 60, 0.0);
-    std::printf("  %-24s %-7zu %-8zu %12s %12s\n", row.engine, row.shards,
-                row.workers,
+    const Result r = run(
+        RunConfig{true, row.engine, true, row.shards, row.workers,
+                  row.prefilter},
+        8, 100, 60, 0.0);
+    std::printf("  %-24s %-7zu %-8zu %-10s %12s %12s\n", row.engine,
+                row.shards, row.workers, row.prefilter ? "on" : "off",
                 reef::util::with_commas(r.event_wire_msgs).c_str(),
                 reef::util::with_commas(r.deliveries).c_str());
   }
   std::printf("\n  sharding partitions each broker's filter state by "
               "anchor attribute; worker threads fan match_batch over the "
-              "shards without changing a single delivery.\n");
+              "shards, and the pre-filter routes each event only to the "
+              "shards its attributes can reach — without changing a "
+              "single delivery.\n");
   return 0;
 }

@@ -23,7 +23,10 @@ Broker::Broker(sim::Simulator& sim, sim::Network& net, std::string name,
                                   config.matcher_engine,
                                   /*cover_index_enabled=*/true,
                                   config.shard_count,
-                                  config.worker_threads}) {
+                                  config.worker_threads,
+                                  config.prefilter_enabled,
+                                  config.maintain_churn_threshold,
+                                  config.maintain_max_bucket}) {
   id_ = net_.attach(*this, name_);
 }
 

@@ -45,6 +45,17 @@ class Broker final : public sim::Node {
     /// inline on the simulator thread. Match output is bit-identical for
     /// every setting (tests/pubsub_sharding_test.cpp holds this).
     std::size_t worker_threads = 0;
+    /// Shard-aware event pre-filtering inside a sharded matcher: events
+    /// are routed only to shards whose anchored filters can possibly
+    /// match them. Ablation knob; deliveries and traffic counters are
+    /// byte-identical on or off (the differential fuzz harness holds
+    /// this), only per-shard matching work differs.
+    bool prefilter_enabled = true;
+    /// Subscription add/removes between Matcher::maintain passes (anchor
+    /// rebalancing under churn); 0 disables churn-driven maintenance.
+    std::size_t maintain_churn_threshold = kDefaultMaintainChurnThreshold;
+    /// Equality-bucket bound handed to Matcher::maintain.
+    std::size_t maintain_max_bucket = kDefaultMaintainMaxBucket;
     /// Coalesce publications/deliveries per interface within a sim tick
     /// (ablation knob; off = one wire message per event, as the seed did).
     /// Matching results are identical either way; the one observable

@@ -64,6 +64,21 @@ class Matcher {
 
   virtual std::string name() const = 0;
 
+  /// Optional structural-maintenance hook. The routing layer calls it on a
+  /// churn schedule (RoutingTable::Config::maintain_churn_threshold) so
+  /// engines whose probe cost degrades under adversarial add/remove
+  /// patterns can repair themselves in the production path: the anchor
+  /// index re-runs anchor selection for filters stranded in equality
+  /// buckets larger than `max_bucket` (IndexMatcher::rebalance), the
+  /// sharded layer fans the call out to its shards. Must never change
+  /// match results — only probe cost. Returns the number of structural
+  /// changes made; the default (engines with no amortized state) is a
+  /// no-op returning 0.
+  virtual std::size_t maintain(std::size_t max_bucket) {
+    (void)max_bucket;
+    return 0;
+  }
+
   /// Convenience wrapper returning a fresh vector.
   std::vector<SubscriptionId> match(const Event& event) const {
     std::vector<SubscriptionId> out;
@@ -143,6 +158,13 @@ class IndexMatcher final : public Matcher {
   /// pinned (they are skipped outright); largest_eq_bucket() stays above
   /// `max_bucket` in that case — the skew the churn test documents.
   std::size_t rebalance(std::size_t max_bucket);
+
+  /// Maintenance hook: anchor rebalancing is this engine's structural
+  /// repair (rebalance() itself no-ops cheaply when no bucket exceeds
+  /// `max_bucket`).
+  std::size_t maintain(std::size_t max_bucket) override {
+    return rebalance(max_bucket);
+  }
 
  private:
   struct Entry {

@@ -26,6 +26,7 @@ std::unique_ptr<Matcher> make_table_matcher(const RoutingTable::Config& cfg) {
                                              : 1;
   sharded.worker_threads = cfg.worker_threads;
   sharded.inner_engine = inner ? *inner : cfg.engine;
+  sharded.prefilter_enabled = cfg.prefilter_enabled;
   if (!MatcherRegistry::instance().contains(sharded.inner_engine)) {
     // Not wrappable with the config knobs. Defer to the registry, which
     // either resolves the name its own way (a factory registered under a
@@ -59,12 +60,27 @@ std::uint64_t RoutingTable::add_entry(Filter filter, IfaceId iface,
   entries_.emplace(engine_id,
                    EngineEntry{std::move(filter), iface, from_broker,
                                client_sub});
+  note_churn();
   return engine_id;
 }
 
 void RoutingTable::remove_entry(std::uint64_t engine_id) {
   matcher_->remove(engine_id);
   entries_.erase(engine_id);
+  note_churn();
+}
+
+void RoutingTable::note_churn() {
+  if (config_.maintain_churn_threshold == 0) return;
+  if (++churn_since_maintain_ < config_.maintain_churn_threshold) return;
+  // Anchors are chosen against bucket sizes at add time, so sustained
+  // churn can strand long-lived filters in buckets that have since grown
+  // (the Siena/REEF high-churn failure mode). Repair is scheduled by
+  // churn volume; the engine itself decides whether the skew warrants
+  // moving anything (maintain() is a cheap scan when balanced).
+  churn_since_maintain_ = 0;
+  ++maintain_runs_;
+  maintain_changes_ += matcher_->maintain(config_.maintain_max_bucket);
 }
 
 void RoutingTable::client_subscribe(IfaceId client, SubscriptionId sub_id,

@@ -26,6 +26,16 @@
 
 namespace reef::pubsub {
 
+/// Default churn budget between structural-maintenance passes: after this
+/// many filter add/removes the routing table invokes Matcher::maintain
+/// (anchor rebalancing in the anchor index, fanned out per shard by the
+/// sharded layer). Maintenance never changes match results, so it is on by
+/// default; 0 disables it (the ablation baseline).
+inline constexpr std::size_t kDefaultMaintainChurnThreshold = 1024;
+/// Default equality-bucket bound handed to Matcher::maintain: filters in
+/// buckets that grew past this are re-anchored.
+inline constexpr std::size_t kDefaultMaintainMaxBucket = 64;
+
 class RoutingTable {
  public:
   /// Interface identifier. Deliberately a bare integer (not sim::NodeId)
@@ -52,6 +62,15 @@ class RoutingTable {
     std::size_t shard_count = 0;
     /// Worker threads fanning match_batch over the shards; 0 = inline.
     std::size_t worker_threads = 0;
+    /// Shard-aware event pre-filtering inside a sharded engine (ablation
+    /// knob; byte-identical output either way). Ignored when the engine
+    /// ends up unsharded.
+    bool prefilter_enabled = true;
+    /// Filter add/removes between Matcher::maintain passes; 0 disables
+    /// churn-driven maintenance.
+    std::size_t maintain_churn_threshold = kDefaultMaintainChurnThreshold;
+    /// Equality-bucket bound passed to Matcher::maintain.
+    std::size_t maintain_max_bucket = kDefaultMaintainMaxBucket;
   };
 
   /// Where a matched event must go: an interface plus, for client
@@ -126,6 +145,12 @@ class RoutingTable {
   std::size_t forwarded_size(IfaceId neighbor) const;
   const Matcher& matcher() const noexcept { return *matcher_; }
   const Config& config() const noexcept { return config_; }
+  /// Churn-driven maintenance passes run so far (see Config knobs).
+  std::uint64_t maintain_runs() const noexcept { return maintain_runs_; }
+  /// Total structural changes (e.g. filters re-anchored) those passes made.
+  std::uint64_t maintain_changes() const noexcept {
+    return maintain_changes_;
+  }
 
   // --- covering reduction (public for tests and benches) --------------------
   /// Reduces a key->filter set to its maximal elements under covering,
@@ -159,6 +184,9 @@ class RoutingTable {
   std::uint64_t add_entry(Filter filter, IfaceId iface, bool from_broker,
                           SubscriptionId client_sub);
   void remove_entry(std::uint64_t engine_id);
+  /// Counts one add/remove toward the maintenance budget and runs
+  /// Matcher::maintain when the churn threshold trips.
+  void note_churn();
   Destination destination_of(std::uint64_t engine_id) const;
 
   /// Filters visible on interfaces other than `excluded` (deduplicated by
@@ -172,6 +200,10 @@ class RoutingTable {
   std::unique_ptr<Matcher> matcher_;
   std::unordered_map<std::uint64_t, EngineEntry> entries_;
   std::uint64_t next_engine_id_ = 1;
+
+  std::size_t churn_since_maintain_ = 0;
+  std::uint64_t maintain_runs_ = 0;
+  std::uint64_t maintain_changes_ = 0;
 };
 
 }  // namespace reef::pubsub

@@ -1,5 +1,6 @@
 #include "pubsub/sharded_matcher.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -32,36 +33,129 @@ std::size_t ShardedMatcher::shard_of(const Filter& filter) const noexcept {
 }
 
 void ShardedMatcher::add(SubscriptionId id, Filter filter) {
-  if (const auto it = placed_.find(id); it != placed_.end()) {
-    shards_[it->second]->remove(id);  // replace semantics may move shards
+  remove(id);  // replace semantics may move shards / change the anchor
+  Placement placement;
+  placement.shard = shard_of(filter);
+  if (!filter.empty()) {
+    placement.anchor_attr = filter.constraints().front().attribute();
+    AnchorAttr& info = anchor_attrs_[placement.anchor_attr];
+    info.shard = placement.shard;
+    ++info.count;
   }
-  const std::size_t shard = shard_of(filter);
-  shards_[shard]->add(id, std::move(filter));
-  placed_[id] = shard;
+  shards_[placement.shard]->add(id, std::move(filter));
+  placed_.emplace(id, std::move(placement));
 }
 
 void ShardedMatcher::remove(SubscriptionId id) {
   const auto it = placed_.find(id);
   if (it == placed_.end()) return;
-  shards_[it->second]->remove(id);
+  const Placement& placement = it->second;
+  shards_[placement.shard]->remove(id);
+  if (placement.shard != config_.shard_count) {  // not a spill filter
+    const auto attr_it = anchor_attrs_.find(placement.anchor_attr);
+    if (--attr_it->second.count == 0) anchor_attrs_.erase(attr_it);
+  }
   placed_.erase(it);
+}
+
+std::size_t ShardedMatcher::maintain(std::size_t max_bucket) {
+  std::size_t changed = 0;
+  for (const auto& shard : shards_) changed += shard->maintain(max_bucket);
+  return changed;
+}
+
+void ShardedMatcher::candidate_shards(const Event& event,
+                                      std::vector<std::size_t>& out) const {
+  // A filter on shard s matches `event` only if the event carries the
+  // filter's placement anchor, and that attribute is in anchor_attrs_ with
+  // shard s — so the candidate set is exactly the shards the event's own
+  // attributes hash to, plus the spill shard, whose anchorless filters
+  // match anything. Events carry a handful of attributes, so a linear
+  // dedup over the appended slice beats any mark table.
+  const auto first = static_cast<std::ptrdiff_t>(out.size());
+  for (const auto& [attr, value] : event.attributes()) {
+    const auto it = anchor_attrs_.find(attr);
+    if (it == anchor_attrs_.end()) continue;
+    const std::size_t s = it->second.shard;
+    if (std::find(out.begin() + first, out.end(), s) == out.end()) {
+      out.push_back(s);
+    }
+  }
+  std::sort(out.begin() + first, out.end());
+  out.push_back(config_.shard_count);  // spill always participates, last
 }
 
 void ShardedMatcher::match(const Event& event,
                            std::vector<SubscriptionId>& out) const {
-  for (const auto& shard : shards_) shard->match(event, out);
+  if (!config_.prefilter_enabled) {
+    events_routed_ += shards_.size();
+    for (const auto& shard : shards_) shard->match(event, out);
+    return;
+  }
+  std::vector<std::size_t> candidates;
+  candidate_shards(event, candidates);
+  events_routed_ += candidates.size();
+  events_skipped_ += shards_.size() - candidates.size();
+  for (const std::size_t s : candidates) shards_[s]->match(event, out);
 }
 
 void ShardedMatcher::match_batch(
     std::span<const Event> events,
     std::vector<std::vector<SubscriptionId>>& out) const {
   const std::size_t shard_total = shards_.size();
+  // Pre-filter routing: the event indices each shard must see, in event
+  // order, and the per-shard execution strategy. Gathering a sub-batch
+  // copies events, so it only pays when the pre-filter removed a
+  // meaningful slice; a near-full shard runs the original span instead —
+  // identical output either way, because a skipped (event, shard) pair is
+  // provably matchless and would only contribute an empty hit list. The
+  // counters follow the strategy, not the candidate sets: a full-span
+  // shard really does process every event, so all of them count as
+  // routed. Everything here runs on the calling thread, so the fan-out
+  // below stays free of shared mutable state.
+  std::vector<std::vector<std::size_t>> routed(shard_total);
+  std::vector<char> full_span(shard_total, 1);
+  if (config_.prefilter_enabled) {
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      candidates.clear();
+      candidate_shards(events[i], candidates);
+      for (const std::size_t s : candidates) routed[s].push_back(i);
+    }
+    const std::size_t gather_below = events.size() - events.size() / 8;
+    std::size_t routed_total = 0;
+    for (std::size_t s = 0; s < shard_total; ++s) {
+      full_span[s] =
+          !routed[s].empty() && routed[s].size() >= gather_below ? 1 : 0;
+      routed_total += full_span[s] ? events.size() : routed[s].size();
+    }
+    events_routed_ += routed_total;
+    events_skipped_ += shard_total * events.size() - routed_total;
+  } else {
+    events_routed_ += shard_total * events.size();
+  }
   // One result buffer per shard; each task writes only its own slot, so
   // the fan-out needs no locking and the merge below is scheduling-free.
+  // Pre-filtered shards match a gathered sub-batch and scatter the hits
+  // back to the original event positions.
   std::vector<std::vector<std::vector<SubscriptionId>>> per_shard(
       shard_total);
   const auto task = [&](std::size_t s) {
-    shards_[s]->match_batch(events, per_shard[s]);
+    if (full_span[s]) {
+      shards_[s]->match_batch(events, per_shard[s]);
+      return;
+    }
+    auto& scattered = per_shard[s];
+    scattered.assign(events.size(), {});
+    if (routed[s].empty() || shards_[s]->size() == 0) return;
+    std::vector<Event> sub_batch;
+    sub_batch.reserve(routed[s].size());
+    for (const std::size_t i : routed[s]) sub_batch.push_back(events[i]);
+    std::vector<std::vector<SubscriptionId>> sub_hits;
+    shards_[s]->match_batch(sub_batch, sub_hits);
+    for (std::size_t j = 0; j < routed[s].size(); ++j) {
+      scattered[routed[s][j]] = std::move(sub_hits[j]);
+    }
   };
   if (pool_) {
     pool_->parallel_for(shard_total, task);

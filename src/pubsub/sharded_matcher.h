@@ -10,14 +10,30 @@
 // configured inner engine, so "sharded:anchor-index" shards the selective
 // hash index and "sharded:counting" shards the counting tables.
 //
-// match_batch runs every shard over the whole batch — one task per shard
-// on the pool (plus the calling thread) — into per-shard result buffers,
-// then merges per event in ascending shard order (spill last). The merge
-// order depends only on shard placement, never on thread scheduling, so
-// output is identical for any worker_threads setting, including 0; the
-// determinism test in tests/pubsub_sharding_test.cpp pins this down.
+// Shard-aware event pre-filtering (Config::prefilter_enabled, default on):
+// a filter can only match an event that carries the filter's own anchor
+// attribute, so the matcher keeps an attribute-presence map (anchor
+// attribute -> shard, with a live-filter refcount) and routes each event
+// of a batch only to the shards one of its attributes hashes to — plus the
+// spill shard, which holds anchorless (universal) filters and therefore
+// always participates, even for events with zero attributes. Shards
+// receive per-shard sub-batches instead of the full batch; shards no event
+// reaches do no work at all. The events_routed / events_skipped counters
+// expose the saved (event, shard) pairs to benches, so the win is visible
+// even on single-core hosts where wall-clock can't show it.
+//
+// match_batch fans one task per shard over the pool (plus the calling
+// thread) into per-shard result buffers, then merges per event in
+// ascending shard order (spill last). The merge order depends only on
+// shard placement, never on thread scheduling — and a pre-filtered shard
+// contributes exactly the hits it would have produced on the full batch
+// (skipped (event, shard) pairs are provably matchless) — so output is
+// identical for any worker_threads setting, including 0, and for the
+// pre-filter on or off; tests/pubsub_sharding_test.cpp and the
+// differential fuzz harness pin this down.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -43,6 +59,10 @@ class ShardedMatcher final : public Matcher {
     std::size_t worker_threads = 0;
     /// Inner engine, by MatcherRegistry name. Must not itself be sharded.
     std::string inner_engine = std::string(kDefaultEngine);
+    /// Shard-aware event pre-filtering (see the file comment). Ablation
+    /// knob: output is byte-identical on or off, only per-shard work and
+    /// the events_routed/events_skipped counters differ.
+    bool prefilter_enabled = true;
   };
 
   explicit ShardedMatcher(Config config);
@@ -52,8 +72,9 @@ class ShardedMatcher final : public Matcher {
   void remove(SubscriptionId id) override;
   void match(const Event& event,
              std::vector<SubscriptionId>& out) const override;
-  /// Fans the batch out over the shards (one task per shard) and merges
-  /// the per-shard hit lists in shard order; see the file comment.
+  /// Fans the batch out over the shards (one task per shard, pre-filtered
+  /// sub-batches when enabled) and merges the per-shard hit lists in shard
+  /// order; see the file comment.
   void match_batch(std::span<const Event> events,
                    std::vector<std::vector<SubscriptionId>>& out)
       const override;
@@ -61,11 +82,18 @@ class ShardedMatcher final : public Matcher {
   std::string name() const override {
     return std::string(kShardedPrefix) + config_.inner_engine;
   }
+  /// Structural maintenance fans out to every shard (each inner engine
+  /// repairs its own amortized state; shard placement never changes — it
+  /// is a pure function of the filter's first-constraint attribute).
+  std::size_t maintain(std::size_t max_bucket) override;
 
   // --- introspection (tests and benches) ------------------------------------
   std::size_t shard_count() const noexcept { return config_.shard_count; }
   std::size_t worker_threads() const noexcept {
     return config_.worker_threads;
+  }
+  bool prefilter_enabled() const noexcept {
+    return config_.prefilter_enabled;
   }
   /// Filters on anchor shard `shard` (< shard_count()).
   std::size_t shard_size(std::size_t shard) const {
@@ -73,15 +101,54 @@ class ShardedMatcher final : public Matcher {
   }
   /// Anchorless (universal) filters parked on the spill shard.
   std::size_t spill_size() const { return shards_.back()->size(); }
+  /// Cumulative (event, shard) pairs actually processed by a shard since
+  /// construction (or the last reset) — including the events a near-full
+  /// shard sees because it ran the original span instead of gathering a
+  /// sub-batch. With the pre-filter off every event reaches every shard,
+  /// so routed == events * (shard_count + 1).
+  std::uint64_t events_routed() const noexcept { return events_routed_; }
+  /// Cumulative (event, shard) pairs the pre-filter actually avoided.
+  /// routed + skipped == events * (shard_count + 1).
+  std::uint64_t events_skipped() const noexcept { return events_skipped_; }
+  void reset_event_counters() const noexcept {
+    events_routed_ = 0;
+    events_skipped_ = 0;
+  }
 
  private:
+  /// Bookkeeping for one live anchor attribute: which shard it hashes to
+  /// and how many registered filters are placed by it.
+  struct AnchorAttr {
+    std::size_t shard = 0;
+    std::size_t count = 0;
+  };
+  /// Where a registered filter lives. `anchor_attr` is the placement
+  /// attribute (unused for spill-shard filters, which are recognized by
+  /// shard == shard_count()).
+  struct Placement {
+    std::size_t shard = 0;
+    std::string anchor_attr;
+  };
+
   std::size_t shard_of(const Filter& filter) const noexcept;
+  /// Appends the shards `event` can possibly match on (ascending, spill
+  /// last — the merge order).
+  void candidate_shards(const Event& event,
+                        std::vector<std::size_t>& out) const;
 
   Config config_;
   /// shard_count anchor shards followed by the spill shard.
   std::vector<std::unique_ptr<Matcher>> shards_;
-  std::unordered_map<SubscriptionId, std::size_t> placed_;
+  std::unordered_map<SubscriptionId, Placement> placed_;
+  /// Attribute-presence map for the pre-filter: anchor attribute ->
+  /// {shard, live-filter count}. Maintained on add/remove regardless of
+  /// the knob so toggling it is purely a routing decision.
+  std::unordered_map<std::string, AnchorAttr> anchor_attrs_;
   std::unique_ptr<util::ThreadPool> pool_;  // null when worker_threads == 0
+  /// Pre-filter accounting; mutated only on the thread calling match /
+  /// match_batch (before the fan-out), so no synchronization is needed.
+  mutable std::uint64_t events_routed_ = 0;
+  mutable std::uint64_t events_skipped_ = 0;
 };
 
 }  // namespace reef::pubsub

@@ -1,0 +1,451 @@
+// Cross-engine differential fuzz harness.
+//
+// A seeded generator produces adversarial filter/event/churn *schedules*
+// and replays each one through every matching-engine configuration —
+// registry engines crossed with {pre-filter on/off} x {shard 1/4} x
+// {workers 0/4} — asserting byte-identical behavior against the
+// brute-force oracle at two levels:
+//
+//   1. Matcher level: match sets (per event, sorted) after every publish
+//      op, with periodic Matcher::maintain() calls interleaved so anchor
+//      rebalancing is fuzzed in the loop (maintenance must never change a
+//      match set).
+//   2. Broker/sim level: full overlay runs where every configuration must
+//      reproduce the oracle's delivery trace and sim::Network traffic
+//      counters byte for byte — including configurations running the
+//      churn-driven maintenance path aggressively.
+//
+// ## Schedule format (add your engine to the oracle matrix)
+//
+// A Schedule is an ordered list of FuzzOp, each one of:
+//   kSubscribe   {slot, filter} — register `filter` for subscriber `slot`.
+//                Replay assigns SubscriptionIds sequentially and pushes
+//                them on the slot's stack.
+//   kUnsubscribe {slot}         — retract the slot's most recent live
+//                subscription (no-op if the slot has none; the no-op is
+//                part of the schedule semantics, so every engine sees the
+//                same state).
+//   kPublish    {slot, events}  — match (matcher level) or publish_batch
+//                (sim level) the event bundle.
+//
+// The generator stresses the known engine failure modes: hot-attribute
+// skew (many filters sharing one equality attribute, so anchor buckets
+// grow adversarially), anchorless/universal filters (empty conjunction —
+// spill-shard placement, covers everything in the forwarding reduction),
+// attribute-free events (match only universal filters; must still meet
+// them in the spill shard with pre-filtering on), and covering chains
+// (nested price ranges, so the covering reduction churns as they come and
+// go). New engines registered in MatcherRegistry are picked up by name
+// automatically — both bare and through the shard/worker/pre-filter cross
+// product — and inherit the whole oracle matrix.
+//
+// ctest runs 3 fixed seeds (fast tier-1); CI's fuzz job sets
+// REEF_FUZZ_SEED_COUNT=25 for the nightly-strength sweep. Seeds are
+// derived deterministically, so any failure reproduces locally with the
+// same count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pubsub/client.h"
+#include "pubsub/matcher_registry.h"
+#include "pubsub/overlay.h"
+#include "pubsub/sharded_matcher.h"
+#include "util/rng.h"
+
+namespace reef::pubsub {
+namespace {
+
+constexpr std::size_t kSlots = 5;
+
+// --- schedule generation -----------------------------------------------------
+
+struct FuzzOp {
+  enum class Kind { kSubscribe, kUnsubscribe, kPublish };
+  Kind kind = Kind::kSubscribe;
+  std::size_t slot = 0;
+  Filter filter;              // kSubscribe
+  std::vector<Event> events;  // kPublish
+};
+
+struct Schedule {
+  std::vector<FuzzOp> ops;
+};
+
+Filter fuzz_filter(util::Rng& rng) {
+  switch (rng.index(8)) {
+    case 0:
+      // Anchorless universal subscription: spill-shard placement, and the
+      // covering reduction collapses everything else beneath it.
+      return Filter();
+    case 1:
+    case 2: {
+      // Hot-attribute skew: a large share of filters anchors on the same
+      // equality attribute with only two values, so those buckets grow
+      // past any static balance assumption.
+      Filter f =
+          Filter().and_(eq("hot", static_cast<std::int64_t>(rng.index(2))));
+      if (rng.chance(0.5)) {
+        f.and_(eq("user", static_cast<std::int64_t>(rng.index(40))));
+      }
+      if (rng.chance(0.3)) {
+        f.and_(ge("score", static_cast<std::int64_t>(rng.index(8))));
+      }
+      return f;
+    }
+    case 3: {
+      // Covering chains: nested price ranges, so subscribe/unsubscribe
+      // churn keeps flipping which filter is the maximal element.
+      const double lo = 10.0 * static_cast<double>(rng.index(4));
+      Filter f = Filter().and_(ge("price", lo));
+      if (rng.chance(0.6)) {
+        f.and_(lt("price", lo + 10.0 * static_cast<double>(1 + rng.index(3))));
+      }
+      return f;
+    }
+    case 4:
+      return Filter()
+          .and_(eq("stream", "feed"))
+          .and_(eq("feed", static_cast<std::int64_t>(rng.index(6))));
+    case 5:
+      switch (rng.index(3)) {
+        case 0:
+          return Filter().and_(prefix("text", rng.chance(0.5) ? "a" : "ab"));
+        case 1:
+          return Filter().and_(contains("text", "bc"));
+        default:
+          return Filter().and_(suffix("text", "c"));
+      }
+    case 6:
+      return Filter().and_(
+          exists(rng.chance(0.5) ? "price" : "hot"));
+    default: {
+      Filter f = Filter().and_(exists("text"));
+      if (rng.chance(0.5)) {
+        f.and_(ge("price", static_cast<double>(rng.index(30))));
+      }
+      if (rng.chance(0.5)) {
+        f.and_(eq("hot", static_cast<std::int64_t>(rng.index(2))));
+      }
+      return f;
+    }
+  }
+}
+
+Event fuzz_event(util::Rng& rng, int seq) {
+  switch (rng.index(8)) {
+    case 0:
+      // Attribute-free: matches only universal filters; with pre-filtering
+      // on it must still reach the spill shard.
+      return Event();
+    case 1:
+    case 2:
+    case 3: {
+      Event e = Event()
+                    .with("hot", static_cast<std::int64_t>(rng.index(2)))
+                    .with("user", static_cast<std::int64_t>(rng.index(40)))
+                    .with("seq", static_cast<std::int64_t>(seq));
+      if (rng.chance(0.4)) {
+        e.with("score", static_cast<std::int64_t>(rng.index(8)));
+      }
+      return e;
+    }
+    case 4:
+      return Event()
+          .with("stream", "feed")
+          .with("feed", static_cast<std::int64_t>(rng.index(6)))
+          .with("seq", static_cast<std::int64_t>(seq));
+    case 5:
+      return Event()
+          .with("price", rng.uniform(0.0, 50.0))
+          .with("seq", static_cast<std::int64_t>(seq));
+    case 6:
+      return Event()
+          .with("text", rng.chance(0.5) ? "abc" : "xbc")
+          .with("seq", static_cast<std::int64_t>(seq));
+    default:
+      return Event()
+          .with("text", "ab")
+          .with("price", static_cast<double>(rng.index(40)))
+          .with("hot", static_cast<std::int64_t>(rng.index(2)))
+          .with("seq", static_cast<std::int64_t>(seq));
+  }
+}
+
+Schedule make_schedule(std::uint64_t seed, std::size_t op_count) {
+  util::Rng rng(seed);
+  Schedule schedule;
+  schedule.ops.reserve(op_count);
+  int seq = 0;
+  for (std::size_t i = 0; i < op_count; ++i) {
+    FuzzOp op;
+    op.slot = rng.index(kSlots);
+    const double roll = rng.uniform01();
+    if (i < 8 || roll < 0.40) {
+      op.kind = FuzzOp::Kind::kSubscribe;
+      op.filter = fuzz_filter(rng);
+    } else if (roll < 0.62) {
+      op.kind = FuzzOp::Kind::kUnsubscribe;
+    } else {
+      op.kind = FuzzOp::Kind::kPublish;
+      const std::size_t bundle = 1 + rng.index(8);
+      for (std::size_t e = 0; e < bundle; ++e) {
+        op.events.push_back(fuzz_event(rng, seq++));
+      }
+    }
+    schedule.ops.push_back(std::move(op));
+  }
+  return schedule;
+}
+
+/// Fixed 3-seed fast tier by default; REEF_FUZZ_SEED_COUNT widens the
+/// sweep (CI runs 25) with deterministically derived seeds.
+std::vector<std::uint64_t> fuzz_seeds() {
+  std::size_t count = 3;
+  if (const char* env = std::getenv("REEF_FUZZ_SEED_COUNT")) {
+    count = std::strtoul(env, nullptr, 10);
+    // An unparsable or zero value must not turn the gate vacuous.
+    if (count == 0) count = 3;
+  }
+  std::vector<std::uint64_t> seeds;
+  std::uint64_t sm = 0xf022ed5eedULL;
+  for (std::size_t i = 0; i < count; ++i) {
+    seeds.push_back(util::splitmix64(sm));
+  }
+  return seeds;
+}
+
+// --- engine configuration matrix ---------------------------------------------
+
+struct EngineCase {
+  std::string label;
+  std::function<std::unique_ptr<Matcher>()> make;
+};
+
+/// Every registry engine by bare name (the default configuration) plus,
+/// for every unsharded engine, the full {shard 1/4} x {workers 0/4} x
+/// {pre-filter on/off} cross product through ShardedMatcher.
+std::vector<EngineCase> engine_matrix() {
+  std::vector<EngineCase> cases;
+  for (const auto& name : MatcherRegistry::instance().names()) {
+    cases.push_back({name, [name] { return make_matcher(name); }});
+    if (sharded_inner_engine(name)) continue;
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+      for (const std::size_t workers : {std::size_t{0}, std::size_t{4}}) {
+        for (const bool prefilter : {false, true}) {
+          const std::string label = name + "/s" + std::to_string(shards) +
+                                    "/w" + std::to_string(workers) +
+                                    (prefilter ? "/pf-on" : "/pf-off");
+          cases.push_back(
+              {label, [name, shards, workers, prefilter] {
+                 return std::make_unique<ShardedMatcher>(ShardedMatcher::Config{
+                     shards, workers, name, prefilter});
+               }});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+// --- level 1: matcher-level differential replay ------------------------------
+
+std::vector<SubscriptionId> sorted(std::vector<SubscriptionId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+/// Replays `schedule` through `engine` in lockstep with a fresh
+/// brute-force oracle, comparing match sets after every publish op.
+/// Every 16 ops the engine (never the oracle) runs maintain(4), so anchor
+/// rebalancing interleaves with churn and must stay invisible.
+void replay_against_oracle(const Schedule& schedule, Matcher& engine,
+                           const std::string& label, std::uint64_t seed) {
+  BruteForceMatcher oracle;
+  std::vector<std::vector<SubscriptionId>> stacks(kSlots);
+  SubscriptionId next_id = 1;
+  std::size_t op_index = 0;
+  for (const FuzzOp& op : schedule.ops) {
+    ++op_index;
+    switch (op.kind) {
+      case FuzzOp::Kind::kSubscribe: {
+        const SubscriptionId id = next_id++;
+        engine.add(id, op.filter);
+        oracle.add(id, op.filter);
+        stacks[op.slot].push_back(id);
+        break;
+      }
+      case FuzzOp::Kind::kUnsubscribe: {
+        auto& stack = stacks[op.slot];
+        if (stack.empty()) break;
+        const SubscriptionId id = stack.back();
+        stack.pop_back();
+        engine.remove(id);
+        oracle.remove(id);
+        break;
+      }
+      case FuzzOp::Kind::kPublish: {
+        std::vector<std::vector<SubscriptionId>> batched;
+        engine.match_batch(op.events, batched);
+        ASSERT_EQ(batched.size(), op.events.size()) << label;
+        for (std::size_t i = 0; i < op.events.size(); ++i) {
+          const auto expected = sorted(oracle.match(op.events[i]));
+          ASSERT_EQ(sorted(batched[i]), expected)
+              << label << " diverges from oracle (seed=" << seed << ", op "
+              << op_index << ", event " << op.events[i].to_string() << ")";
+          ASSERT_EQ(sorted(engine.match(op.events[i])), expected)
+              << label << "::match diverges from its own batch (seed="
+              << seed << ", op " << op_index << ")";
+        }
+        break;
+      }
+    }
+    if (op_index % 16 == 0) engine.maintain(4);
+  }
+  EXPECT_EQ(engine.size(), oracle.size()) << label << " seed=" << seed;
+}
+
+TEST(DifferentialFuzz, EveryEngineConfigurationMatchesOracle) {
+  const auto cases = engine_matrix();
+  for (const std::uint64_t seed : fuzz_seeds()) {
+    const Schedule schedule = make_schedule(seed, 160);
+    for (const EngineCase& engine_case : cases) {
+      const auto engine = engine_case.make();
+      replay_against_oracle(schedule, *engine, engine_case.label, seed);
+    }
+  }
+}
+
+// --- level 2: broker/sim-level differential replay ---------------------------
+
+/// Everything observable about one overlay run, rendered comparable.
+struct RunTrace {
+  std::vector<std::string> delivery_log;  // chronological, all clients
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t total_units = 0;
+  std::map<std::string, std::uint64_t> messages_by_type;
+  std::map<std::string, std::uint64_t> bytes_by_type;
+  std::map<std::string, std::uint64_t> units_by_type;
+
+  bool operator==(const RunTrace&) const = default;
+};
+
+/// Replays the schedule through a 4-broker star: one client per slot,
+/// subscribe/unsubscribe/publish ops in order with fixed inter-op delays,
+/// then a drain. The network seed is fixed per schedule seed, so any two
+/// configurations that route identically produce byte-identical traces.
+RunTrace run_schedule_through_overlay(const Schedule& schedule,
+                                      std::uint64_t seed,
+                                      const Broker::Config& config) {
+  sim::Simulator sim;
+  sim::Network::Config net_config;
+  net_config.default_latency = sim::kMillisecond;
+  net_config.jitter_fraction = 0.25;
+  net_config.seed = seed;
+  sim::Network net(sim, net_config);
+  Overlay overlay = Overlay::star(sim, net, 4, config);
+
+  RunTrace trace;
+  std::vector<std::unique_ptr<Client>> clients;
+  for (std::size_t c = 0; c < kSlots; ++c) {
+    auto client = std::make_unique<Client>(sim, net, "c" + std::to_string(c));
+    client->connect(overlay.broker(c % 4));
+    clients.push_back(std::move(client));
+  }
+  sim.run_until(sim.now() + sim::kSecond);
+
+  std::vector<std::vector<SubscriptionId>> stacks(kSlots);
+  for (const FuzzOp& op : schedule.ops) {
+    switch (op.kind) {
+      case FuzzOp::Kind::kSubscribe: {
+        const std::size_t slot = op.slot;
+        stacks[slot].push_back(clients[slot]->subscribe(
+            op.filter, [&trace, slot](const Event& e, SubscriptionId sub) {
+              trace.delivery_log.push_back("c" + std::to_string(slot) + "/s" +
+                                           std::to_string(sub) + " " +
+                                           e.to_string());
+            }));
+        break;
+      }
+      case FuzzOp::Kind::kUnsubscribe: {
+        auto& stack = stacks[op.slot];
+        if (stack.empty()) break;
+        clients[op.slot]->unsubscribe(stack.back());
+        stack.pop_back();
+        break;
+      }
+      case FuzzOp::Kind::kPublish: {
+        clients[op.slot]->publish_batch(op.events);
+        break;
+      }
+    }
+    sim.run_until(sim.now() + 200 * sim::kMillisecond);
+  }
+  sim.run_until(sim.now() + sim::kMinute);
+
+  trace.total_messages = net.total_messages();
+  trace.total_bytes = net.total_bytes();
+  trace.total_units = net.total_units();
+  trace.messages_by_type = net.messages_by_type().items();
+  trace.bytes_by_type = net.bytes_by_type().items();
+  trace.units_by_type = net.units_by_type().items();
+  return trace;
+}
+
+TEST(DifferentialFuzz, OverlayTracesIdenticalAcrossEngineShardWorkerPrefilter) {
+  for (const std::uint64_t seed : fuzz_seeds()) {
+    const Schedule schedule = make_schedule(seed, 100);
+
+    // Oracle: brute force, unsharded, maintenance off.
+    Broker::Config oracle_config;
+    oracle_config.matcher_engine = "brute-force";
+    oracle_config.maintain_churn_threshold = 0;
+    const RunTrace oracle =
+        run_schedule_through_overlay(schedule, seed, oracle_config);
+    ASSERT_FALSE(oracle.delivery_log.empty()) << "seed=" << seed;
+
+    for (const std::string engine :
+         {"brute-force", "anchor-index", "counting"}) {
+      for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+        for (const std::size_t workers : {std::size_t{0}, std::size_t{4}}) {
+          for (const bool prefilter : {false, true}) {
+            Broker::Config config;
+            config.matcher_engine = "sharded:" + engine;
+            config.shard_count = shards;
+            config.worker_threads = workers;
+            config.prefilter_enabled = prefilter;
+            // Aggressive churn-driven maintenance: the production
+            // rebalance path must run mid-schedule without disturbing a
+            // single byte of the trace.
+            config.maintain_churn_threshold = 16;
+            config.maintain_max_bucket = 4;
+            const RunTrace trace =
+                run_schedule_through_overlay(schedule, seed, config);
+            const std::string label =
+                engine + "/s" + std::to_string(shards) + "/w" +
+                std::to_string(workers) + (prefilter ? "/pf-on" : "/pf-off") +
+                " seed=" + std::to_string(seed);
+            EXPECT_EQ(trace.delivery_log, oracle.delivery_log) << label;
+            EXPECT_EQ(trace.total_messages, oracle.total_messages) << label;
+            EXPECT_EQ(trace.total_bytes, oracle.total_bytes) << label;
+            EXPECT_EQ(trace.total_units, oracle.total_units) << label;
+            EXPECT_EQ(trace.messages_by_type, oracle.messages_by_type)
+                << label;
+            EXPECT_EQ(trace.bytes_by_type, oracle.bytes_by_type) << label;
+            EXPECT_EQ(trace.units_by_type, oracle.units_by_type) << label;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reef::pubsub

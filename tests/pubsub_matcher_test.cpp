@@ -540,5 +540,105 @@ TEST(IndexMatcher, RebalanceMovesLongLivedFiltersOffGrownBuckets) {
   }
 }
 
+// --- the Matcher::maintain hook ----------------------------------------------
+
+TEST(Matcher, MaintainDefaultsToNoOpOnEnginesWithoutAmortizedState) {
+  BruteForceMatcher brute;
+  CountingMatcher counting;
+  for (SubscriptionId id = 1; id <= 10; ++id) {
+    brute.add(id, Filter().and_(eq("hot", 1)));
+    counting.add(id, Filter().and_(eq("hot", 1)));
+  }
+  EXPECT_EQ(brute.maintain(2), 0u);
+  EXPECT_EQ(counting.maintain(2), 0u);
+}
+
+TEST(IndexMatcher, MaintainIsRebalance) {
+  // Same skew shape as the rebalance test, driven through the hook: 8
+  // ballast filters per (user=i) bucket, two-anchor filters landing on
+  // (hot=1) while it is small, then (hot=1) grows past them.
+  IndexMatcher m;
+  SubscriptionId ballast = 200;
+  for (std::int64_t user = 1; user <= 4; ++user) {
+    for (int n = 0; n < 8; ++n) {
+      m.add(ballast++, Filter().and_(eq("user", user)).and_(
+                           ge("score", static_cast<std::int64_t>(n))));
+    }
+  }
+  for (SubscriptionId id = 1; id <= 4; ++id) {
+    m.add(id, Filter()
+                  .and_(eq("hot", 1))
+                  .and_(eq("user", static_cast<std::int64_t>(id))));
+  }
+  for (SubscriptionId id = 100; id < 130; ++id) {
+    m.add(id, Filter().and_(eq("hot", 1)));
+  }
+  // Balanced threshold: nothing above max_bucket => maintain is free.
+  EXPECT_EQ(m.maintain(64), 0u);
+  // Tight threshold: the hook moves exactly the re-anchorable filters.
+  EXPECT_EQ(m.maintain(8), 4u);
+  for (SubscriptionId id = 1; id <= 4; ++id) {
+    EXPECT_EQ(m.anchor_attribute(id), "user") << id;
+  }
+}
+
+TEST(ShardedMatcher, MaintainFansOutToTheShards) {
+  // Two independent skew groups. Each group leads with exists("a<g>") —
+  // the canonically-first constraint — so the whole group shards together
+  // by that attribute, and the adversarial structure (ballast inflating
+  // the (u<g>=id) buckets, victims stranded on (h<g>=1) as growers pile
+  // in) plays out inside one inner IndexMatcher, exactly as in the
+  // unsharded rebalance test. The sharded hook must reach both groups'
+  // shards and leave matching untouched.
+  ShardedMatcher m(ShardedMatcher::Config{4, 0, "anchor-index"});
+  BruteForceMatcher oracle;
+  const auto add_both = [&](SubscriptionId id, const Filter& f) {
+    m.add(id, f);
+    oracle.add(id, f);
+  };
+  SubscriptionId next = 1;
+  std::vector<SubscriptionId> victims;
+  for (const int g : {0, 1}) {
+    const std::string suffix = std::to_string(g);
+    const std::string a = "a" + suffix;
+    const std::string h = "h" + suffix;
+    const std::string u = "u" + suffix;
+    const std::string z = "z" + suffix;
+    // Ballast: 8 filters anchored in each (u<g>=id) bucket.
+    for (std::int64_t user = 1; user <= 4; ++user) {
+      for (std::int64_t n = 0; n < 8; ++n) {
+        add_both(next++,
+                 Filter().and_(exists(a)).and_(eq(u, user)).and_(ge(z, n)));
+      }
+    }
+    // Victims anchor on (h<g>=1) while it is smaller than their (u<g>=id)
+    // alternative (size 8)...
+    for (std::int64_t user = 1; user <= 4; ++user) {
+      victims.push_back(next);
+      add_both(next++,
+               Filter().and_(exists(a)).and_(eq(h, 1)).and_(eq(u, user)));
+    }
+    // ...then (h<g>=1) grows past any threshold with pinned single-eq
+    // filters.
+    for (int i = 0; i < 20; ++i) {
+      add_both(next++, Filter().and_(exists(a)).and_(eq(h, 1)));
+    }
+  }
+  // The hook moves the 4 victims of each group off their grown buckets.
+  EXPECT_EQ(m.maintain(8), 8u);
+  // A second pass finds only pinned filters everywhere.
+  EXPECT_EQ(m.maintain(8), 0u);
+  for (const Event& probe :
+       {Event().with("a0", 1).with("h0", 1).with("u0", 2),
+        Event().with("a1", 1).with("h1", 1).with("u1", 3),
+        Event().with("a0", 1).with("u0", 1).with("z0", 5), Event()}) {
+    auto want = oracle.match(probe);
+    auto got = m.match(probe);
+    std::sort(want.begin(), want.end());
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, want) << probe.to_string();
+  }
+}
+
 }  // namespace
 }  // namespace reef::pubsub

@@ -269,23 +269,30 @@ TEST_P(OverlayProperty, AllEnginesDeliverIdenticallyThroughOverlay) {
 
 /// Sharded engines drive the overlay to *order-identical* deliveries: for
 /// a seeded workload, "sharded:<inner>" (4 shards, with and without worker
-/// threads) must produce the same per-client delivery sequence as the
-/// unsharded inner engine — not just the same delivery counts. The shard
-/// merge is ordered by shard index and the per-interface grouping in the
-/// broker is set-based per event, so the wire schedule cannot depend on
-/// shard placement or thread scheduling.
+/// threads, event pre-filtering on and off) must produce the same
+/// per-client delivery sequence as the unsharded inner engine — not just
+/// the same delivery counts. The shard merge is ordered by shard index,
+/// the per-interface grouping in the broker is set-based per event, and a
+/// pre-filtered shard contributes exactly its full-batch hits, so the wire
+/// schedule cannot depend on shard placement, thread scheduling, or the
+/// pre-filter. The bare "sharded:" registry name (default config,
+/// pre-filter on) rides in the matrix so registry-created engines stay
+/// covered too.
 TEST_P(OverlayProperty, ShardedEnginesDeliverInIdenticalOrder) {
   struct EngineSetup {
     std::string engine;
     std::size_t shards;
     std::size_t workers;
+    bool prefilter = true;
   };
   for (const std::string inner : {"anchor-index", "counting"}) {
     std::map<std::string, std::vector<std::string>> logs;
     for (const EngineSetup& setup :
          {EngineSetup{inner, 1, 0},
           EngineSetup{"sharded:" + inner, 4, 0},
-          EngineSetup{"sharded:" + inner, 4, 2}}) {
+          EngineSetup{"sharded:" + inner, 4, 0, false},
+          EngineSetup{"sharded:" + inner, 4, 2},
+          EngineSetup{"sharded:" + inner, 4, 2, false}}) {
       sim::Simulator sim;
       sim::Network net(sim, Scenario::net_config(GetParam()));
       util::Rng rng(GetParam() ^ 0x0dde);
@@ -293,6 +300,7 @@ TEST_P(OverlayProperty, ShardedEnginesDeliverInIdenticalOrder) {
       config.matcher_engine = setup.engine;
       config.shard_count = setup.shards;
       config.worker_threads = setup.workers;
+      config.prefilter_enabled = setup.prefilter;
       Overlay overlay = Overlay::chain(sim, net, 3, config);
       std::vector<std::string> log;
       std::vector<std::unique_ptr<Client>> clients;
@@ -322,9 +330,10 @@ TEST_P(OverlayProperty, ShardedEnginesDeliverInIdenticalOrder) {
         sim.run_until(sim.now() + sim::kSecond);
       }
       sim.run_until(sim.now() + sim::kMinute);
-      const std::string label = setup.engine + "/s" +
-                                std::to_string(setup.shards) + "/w" +
-                                std::to_string(setup.workers);
+      const std::string label =
+          setup.engine + "/s" + std::to_string(setup.shards) + "/w" +
+          std::to_string(setup.workers) +
+          (setup.prefilter ? "/pf-on" : "/pf-off");
       logs[label] = std::move(log);
     }
     const auto& reference = logs.begin()->second;

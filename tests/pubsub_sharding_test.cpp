@@ -3,9 +3,11 @@
 // The contract under test: for a fixed shard count, a broker's observable
 // behavior — every client's delivery log, byte for byte, and every
 // sim::Network traffic counter — is identical for worker_threads 0 (no
-// pool), 1, and 4. Thread scheduling may vary freely between runs; the
-// sharded matcher's merge-by-shard-order and the broker's interface-ordered
-// output make the nondeterminism unobservable.
+// pool), 1, and 4, AND for shard-aware event pre-filtering on or off.
+// Thread scheduling may vary freely between runs; the sharded matcher's
+// merge-by-shard-order and the broker's interface-ordered output make the
+// nondeterminism unobservable, and a pre-filtered shard contributes
+// exactly the hits it would have produced on the full batch.
 //
 // The shard count itself comes from REEF_TEST_SHARD_COUNT (default 4);
 // CMake registers this binary twice so ctest exercises both the multi-
@@ -93,7 +95,7 @@ struct RunTrace {
 /// that churns (subscribes, receives, unsubscribes), and 12 publication
 /// bursts entering at rotating brokers.
 RunTrace run_scenario(std::uint64_t seed, std::size_t shard_count,
-                      std::size_t worker_threads) {
+                      std::size_t worker_threads, bool prefilter = true) {
   sim::Simulator sim;
   sim::Network::Config net_config;
   net_config.default_latency = sim::kMillisecond;
@@ -105,6 +107,7 @@ RunTrace run_scenario(std::uint64_t seed, std::size_t shard_count,
   config.matcher_engine = std::string(kShardedPrefix) + "anchor-index";
   config.shard_count = shard_count;
   config.worker_threads = worker_threads;
+  config.prefilter_enabled = prefilter;
   Overlay overlay = Overlay::star(sim, net, 4, config);
 
   RunTrace trace;
@@ -166,17 +169,28 @@ TEST_P(ShardingDeterminism, WorkerThreadsNeverChangeObservableBehavior) {
   ASSERT_GE(shards, 1u);
   const RunTrace baseline = run_scenario(GetParam(), shards, 0);
   ASSERT_FALSE(baseline.delivery_log.empty());
-  for (const std::size_t workers : {1u, 4u}) {
-    const RunTrace trace = run_scenario(GetParam(), shards, workers);
+  // The golden-trace matrix: workers x pre-filter, every cell byte-equal
+  // to the 0-worker pre-filtered baseline.
+  struct Cell {
+    std::size_t workers;
+    bool prefilter;
+  };
+  for (const Cell cell : {Cell{0, false}, Cell{1, true}, Cell{1, false},
+                          Cell{4, true}, Cell{4, false}}) {
+    const RunTrace trace =
+        run_scenario(GetParam(), shards, cell.workers, cell.prefilter);
+    const std::string where =
+        "worker_threads=" + std::to_string(cell.workers) +
+        " prefilter=" + (cell.prefilter ? "on" : "off") +
+        " shard_count=" + std::to_string(shards);
     EXPECT_EQ(trace.delivery_log, baseline.delivery_log)
-        << "delivery log diverged at worker_threads=" << workers
-        << " shard_count=" << shards;
-    EXPECT_EQ(trace.total_messages, baseline.total_messages) << workers;
-    EXPECT_EQ(trace.total_bytes, baseline.total_bytes) << workers;
-    EXPECT_EQ(trace.total_units, baseline.total_units) << workers;
-    EXPECT_EQ(trace.messages_by_type, baseline.messages_by_type) << workers;
-    EXPECT_EQ(trace.bytes_by_type, baseline.bytes_by_type) << workers;
-    EXPECT_EQ(trace.units_by_type, baseline.units_by_type) << workers;
+        << "delivery log diverged at " << where;
+    EXPECT_EQ(trace.total_messages, baseline.total_messages) << where;
+    EXPECT_EQ(trace.total_bytes, baseline.total_bytes) << where;
+    EXPECT_EQ(trace.total_units, baseline.total_units) << where;
+    EXPECT_EQ(trace.messages_by_type, baseline.messages_by_type) << where;
+    EXPECT_EQ(trace.bytes_by_type, baseline.bytes_by_type) << where;
+    EXPECT_EQ(trace.units_by_type, baseline.units_by_type) << where;
   }
 }
 
@@ -187,6 +201,88 @@ TEST_P(ShardingDeterminism, RepeatRunsAreByteIdentical) {
   const RunTrace a = run_scenario(GetParam(), shards, 4);
   const RunTrace b = run_scenario(GetParam(), shards, 4);
   EXPECT_EQ(a, b);
+}
+
+// --- shard-aware event pre-filtering ----------------------------------------
+
+/// Regression pin for the pre-filter's one semantic hazard: an event with
+/// zero attributes reaches no anchor shard at all, and an anchorless
+/// (universal) filter lives only on the spill shard — they must still meet
+/// there with pre-filtering enabled, on both the single-event and the
+/// batch path.
+TEST(ShardedPrefilter, AttributeFreeEventsMeetUniversalFiltersInSpill) {
+  for (const bool prefilter : {true, false}) {
+    ShardedMatcher m(
+        ShardedMatcher::Config{4, 0, "anchor-index", prefilter});
+    m.add(1, Filter());  // universal: anchorless, spill-shard placement
+    m.add(2, Filter().and_(eq("stream", "feed")));
+    ASSERT_EQ(m.spill_size(), 1u);
+
+    const Event bare;  // zero attributes
+    ASSERT_TRUE(bare.empty());
+    EXPECT_EQ(m.match(bare), (std::vector<SubscriptionId>{1}))
+        << "prefilter=" << prefilter;
+
+    std::vector<Event> events;
+    events.push_back(bare);
+    events.push_back(Event().with("stream", "feed"));
+    events.push_back(Event().with("unrelated", 7));
+    std::vector<std::vector<SubscriptionId>> hits;
+    m.match_batch(events, hits);
+    ASSERT_EQ(hits.size(), 3u);
+    EXPECT_EQ(hits[0], (std::vector<SubscriptionId>{1}))
+        << "prefilter=" << prefilter;
+    std::sort(hits[1].begin(), hits[1].end());
+    EXPECT_EQ(hits[1], (std::vector<SubscriptionId>{1, 2}))
+        << "prefilter=" << prefilter;
+    EXPECT_EQ(hits[2], (std::vector<SubscriptionId>{1}))
+        << "prefilter=" << prefilter;
+
+    // The accounting shows the routing decision: with pre-filtering the
+    // bare and unrelated events skip every anchor shard; without it every
+    // event reaches every shard.
+    if (prefilter) {
+      EXPECT_GT(m.events_skipped(), 0u);
+      EXPECT_LT(m.events_routed(),
+                (m.shard_count() + 1) * 4);  // 1 single + 3 batched events
+    } else {
+      EXPECT_EQ(m.events_skipped(), 0u);
+      EXPECT_EQ(m.events_routed(), (m.shard_count() + 1) * 4);
+    }
+  }
+}
+
+/// The pre-filter is pure routing: on a randomized workload the batch
+/// output is byte-identical (same order, not just same sets) with it on
+/// or off, while the counters prove shards were actually skipped.
+TEST(ShardedPrefilter, OutputByteIdenticalOnOrOff) {
+  util::Rng rng(0xf117e5);
+  std::vector<Filter> filters;
+  for (int i = 0; i < 120; ++i) filters.push_back(scenario_filter(rng));
+  filters.push_back(Filter());  // one universal filter in the mix
+  std::vector<Event> events;
+  for (int i = 0; i < 60; ++i) events.push_back(scenario_event(rng, i));
+  events.push_back(Event());  // and one attribute-free event
+
+  for (const std::string inner : {"anchor-index", "counting",
+                                  "brute-force"}) {
+    ShardedMatcher on(ShardedMatcher::Config{4, 0, inner, true});
+    ShardedMatcher off(ShardedMatcher::Config{4, 0, inner, false});
+    for (std::size_t i = 0; i < filters.size(); ++i) {
+      on.add(i + 1, filters[i]);
+      off.add(i + 1, filters[i]);
+    }
+    std::vector<std::vector<SubscriptionId>> hits_on;
+    std::vector<std::vector<SubscriptionId>> hits_off;
+    on.match_batch(events, hits_on);
+    off.match_batch(events, hits_off);
+    EXPECT_EQ(hits_on, hits_off) << inner;
+    EXPECT_GT(on.events_skipped(), 0u) << inner;
+    EXPECT_EQ(off.events_skipped(), 0u) << inner;
+    EXPECT_EQ(on.events_routed() + on.events_skipped(),
+              off.events_routed())
+        << inner;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ShardingDeterminism,
