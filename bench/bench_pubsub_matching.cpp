@@ -9,13 +9,17 @@
 // events — the win is the broker's per-tick coalescing made visible.
 //
 // `--smoke` (used by CI) skips google-benchmark and instead runs a quick
-// cross-engine correctness pass plus a single batch-vs-loop timing, so
-// the bench binary can't bit-rot without failing the workflow.
+// cross-engine correctness pass, a batch-vs-loop timing, a fixed-ratio
+// anchor-index-vs-brute-force speedup floor, and a zero-copy check on the
+// pre-filtered sub-batch path, so the bench binary can't bit-rot — and
+// the interned hot path can't silently regress — without failing the
+// workflow.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -201,6 +205,46 @@ BENCHMARK_CAPTURE(bm_match_loop, brute_force, "brute-force")
 BENCHMARK_CAPTURE(bm_match_batch, brute_force, "brute-force")
     ->Args({2000, 32});
 #undef BATCH_ARGS
+
+// --- zero-copy sub-batches: index-span view vs gather-by-copy ---------------
+//
+// The sharded pre-filter hands every shard an EventBatchView — an index
+// span over the original event storage — instead of gathering a copied
+// sub-batch (the PR 3 path this PR deleted). This pair quantifies the
+// difference on a sparse slice (every 8th event of a 1024-event batch):
+// same matching work, with and without the per-event copies.
+
+void bm_match_batch_subview(benchmark::State& state, bool zero_copy) {
+  const std::size_t table_size = 10000;
+  const std::size_t batch_size = 1024;
+  reef::util::Rng rng(42);
+  const auto matcher = populated_matcher("anchor-index", table_size, 0.3, rng);
+  std::vector<Event> events;
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    events.push_back(make_event(table_size, rng));
+  }
+  std::vector<std::uint32_t> indices;
+  for (std::uint32_t i = 0; i < batch_size; i += 8) indices.push_back(i);
+
+  std::vector<std::vector<SubscriptionId>> hits;
+  for (auto _ : state) {
+    if (zero_copy) {
+      matcher->match_batch(EventBatchView(events, indices), hits);
+    } else {
+      std::vector<Event> gathered;  // what the deleted gather path paid
+      gathered.reserve(indices.size());
+      for (const std::uint32_t i : indices) gathered.push_back(events[i]);
+      matcher->match_batch(gathered, hits);
+    }
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * indices.size()));
+  state.counters["subbatch"] = static_cast<double>(indices.size());
+}
+
+BENCHMARK_CAPTURE(bm_match_batch_subview, index_span, true);
+BENCHMARK_CAPTURE(bm_match_batch_subview, gather_copy, false);
 
 // --- sharded matching: shard count x engine x batch x pre-filter ------------
 //
@@ -392,6 +436,57 @@ int run_smoke() {
               static_cast<long>(us(loop_end, batch_end)), events.size(),
               rounds);
 
+  // 2b. The interned anchor-index batch path must beat brute force by a
+  // fixed ratio — a floor, not a target (it sits far above it on this
+  // workload); a regression that erases the index's advantage (e.g.
+  // strings sneaking back into the hot path) fails CI here instead of
+  // landing silently.
+  {
+    constexpr double kMinSpeedup = 3.0;
+    constexpr int ratio_rounds = 40;
+    const auto brute = make_matcher("brute-force");
+    for (std::size_t i = 0; i < filters.size(); ++i) {
+      brute->add(i + 1, filters[i]);
+    }
+    // Min of three trials per engine: scheduler steal and noisy
+    // neighbors only ever *add* time, so the minimum is the clean
+    // estimate — without this the floor check false-fails on loaded CI
+    // runners.
+    const auto timed_batch = [&](const Matcher& m) {
+      std::vector<std::vector<SubscriptionId>> out;
+      long best = std::numeric_limits<long>::max();
+      for (int trial = 0; trial < 3; ++trial) {
+        const auto start = std::chrono::steady_clock::now();
+        for (int r = 0; r < ratio_rounds; ++r) {
+          m.match_batch(events, out);
+          benchmark::DoNotOptimize(out.data());
+        }
+        const auto us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        best = std::min(best, static_cast<long>(us));
+      }
+      return best;
+    };
+    const auto anchor_us = timed_batch(*matcher);
+    const auto brute_us = timed_batch(*brute);
+    const double speedup = anchor_us == 0
+                               ? kMinSpeedup
+                               : static_cast<double>(brute_us) /
+                                     static_cast<double>(anchor_us);
+    std::printf("  anchor-index vs brute-force match_batch: %ldus vs %ldus "
+                "(%.1fx, floor %.1fx)\n",
+                static_cast<long>(anchor_us), static_cast<long>(brute_us),
+                speedup, kMinSpeedup);
+    if (speedup < kMinSpeedup) {
+      std::printf("FAIL: anchor-index batch path fell below the %.1fx "
+                  "speedup floor over brute force\n",
+                  kMinSpeedup);
+      return 1;
+    }
+  }
+
   // 3. Sharded baseline vs worker pool on the same table (keeps the
   // sharded fan-out exercised in CI even though the speedup itself only
   // shows on multi-core hosts).
@@ -433,7 +528,15 @@ int run_smoke() {
       }
       return std::chrono::steady_clock::now() - start;
     };
+    const std::uint64_t copies_before = Event::copy_count();
     const auto on_time = timed(with_pf);
+    if (Event::copy_count() != copies_before) {
+      std::printf("FAIL: pre-filtered sub-batches copied events (%llu "
+                  "copies; index-span views must be zero-copy)\n",
+                  static_cast<unsigned long long>(Event::copy_count() -
+                                                  copies_before));
+      return 1;
+    }
     const auto off_time = timed(without_pf);
     std::vector<std::vector<SubscriptionId>> hits_on;
     std::vector<std::vector<SubscriptionId>> hits_off;

@@ -1,0 +1,113 @@
+#include "pubsub/attr_table.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/hash.h"
+
+namespace reef::pubsub {
+
+AttrTable::Index::Index(std::size_t capacity_pow2)
+    : mask(capacity_pow2 - 1), slots(capacity_pow2) {
+  for (auto& slot : slots) slot.store(0, std::memory_order_relaxed);
+}
+
+AttrTable::AttrTable() {
+  auto first = std::make_unique<Index>(256);
+  index_.store(first.get(), std::memory_order_release);
+  retired_.push_back(std::move(first));
+}
+
+AttrTable& AttrTable::instance() {
+  static AttrTable table;
+  return table;
+}
+
+AttrId AttrTable::find_in(const Index& index, std::string_view attr_name,
+                          std::uint64_t hash) const noexcept {
+  for (std::size_t probe = hash & index.mask;;
+       probe = (probe + 1) & index.mask) {
+    const std::uint32_t slot =
+        index.slots[probe].load(std::memory_order_acquire);
+    if (slot == 0) return kNoAttrId;
+    const AttrId id = slot - 1;
+    if (name(id) == attr_name) return id;
+  }
+}
+
+AttrId AttrTable::lookup(std::string_view attr_name) const noexcept {
+  const Index* index = index_.load(std::memory_order_acquire);
+  return find_in(*index, attr_name, util::fnv1a64(attr_name));
+}
+
+AttrId AttrTable::intern(std::string_view attr_name) {
+  const std::uint64_t hash = util::fnv1a64(attr_name);
+  // Fast path: already interned, no lock.
+  if (const AttrId id =
+          find_in(*index_.load(std::memory_order_acquire), attr_name, hash);
+      id != kNoAttrId) {
+    return id;
+  }
+
+  std::lock_guard<std::mutex> lock(insert_mutex_);
+  Index* index = index_.load(std::memory_order_relaxed);
+  // Re-check under the lock: another thread may have interned it since.
+  if (const AttrId id = find_in(*index, attr_name, hash); id != kNoAttrId) {
+    return id;
+  }
+
+  const std::uint32_t id = count_.load(std::memory_order_relaxed);
+  if (id >= kMaxChunks * kChunkSize) {
+    throw std::length_error(
+        "AttrTable: attribute-name capacity exhausted (4M distinct names)");
+  }
+  // Store the name. Chunked storage: the string object never moves after
+  // publication, so name() needs no lock.
+  const std::size_t chunk = id >> kChunkShift;
+  std::string* chunk_names = chunks_[chunk].load(std::memory_order_relaxed);
+  if (chunk_names == nullptr) {
+    auto storage = std::make_unique<std::string[]>(kChunkSize);
+    chunk_names = storage.get();
+    chunk_storage_.push_back(std::move(storage));
+    chunks_[chunk].store(chunk_names, std::memory_order_release);
+  }
+  chunk_names[id & (kChunkSize - 1)] = std::string(attr_name);
+  count_.store(id + 1, std::memory_order_release);
+
+  // Grow the index first if this insert would cross 70% load: readers keep
+  // using the old version (it stays retired, never freed) while new probes
+  // see the published replacement.
+  if ((id + 1) * 10 >= (index->mask + 1) * 7) {
+    auto grown = std::make_unique<Index>((index->mask + 1) * 2);
+    for (std::uint32_t existing = 0; existing < id; ++existing) {
+      const std::uint64_t h = util::fnv1a64(name(existing));
+      std::size_t probe = h & grown->mask;
+      while (grown->slots[probe].load(std::memory_order_relaxed) != 0) {
+        probe = (probe + 1) & grown->mask;
+      }
+      grown->slots[probe].store(existing + 1, std::memory_order_relaxed);
+    }
+    index = grown.get();
+    index_.store(grown.get(), std::memory_order_release);
+    retired_.push_back(std::move(grown));
+  }
+
+  // Publish the new id into (the possibly fresh) index.
+  std::size_t probe = hash & index->mask;
+  while (index->slots[probe].load(std::memory_order_relaxed) != 0) {
+    probe = (probe + 1) & index->mask;
+  }
+  index->slots[probe].store(id + 1, std::memory_order_release);
+  return id;
+}
+
+const std::string& AttrTable::name(AttrId id) const noexcept {
+  // Tripwire for the classic misuse name(lookup(x)) on a lookup miss:
+  // kNoAttrId indexes ~4M chunks past the array.
+  assert(id < count_.load(std::memory_order_acquire));
+  const std::string* chunk =
+      chunks_[id >> kChunkShift].load(std::memory_order_acquire);
+  return chunk[id & (kChunkSize - 1)];
+}
+
+}  // namespace reef::pubsub

@@ -26,7 +26,8 @@ Broker::Broker(sim::Simulator& sim, sim::Network& net, std::string name,
                                   config.worker_threads,
                                   config.prefilter_enabled,
                                   config.maintain_churn_threshold,
-                                  config.maintain_max_bucket}) {
+                                  config.maintain_max_bucket,
+                                  config.maintain_skew_ratio}) {
   id_ = net_.attach(*this, name_);
 }
 

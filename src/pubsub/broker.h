@@ -56,6 +56,10 @@ class Broker final : public sim::Node {
     std::size_t maintain_churn_threshold = kDefaultMaintainChurnThreshold;
     /// Equality-bucket bound handed to Matcher::maintain.
     std::size_t maintain_max_bucket = kDefaultMaintainMaxBucket;
+    /// Skew ratio arming skew-triggered maintenance (fire early when
+    /// largest/mean equality bucket exceeds it, skip churn-scheduled
+    /// passes while balanced); 0 = churn-count-only scheduling.
+    std::size_t maintain_skew_ratio = kDefaultMaintainSkewRatio;
     /// Coalesce publications/deliveries per interface within a sim tick
     /// (ablation knob; off = one wire message per event, as the seed did).
     /// Matching results are identical either way; the one observable

@@ -78,7 +78,7 @@ bool Constraint::matches(const Value& v) const noexcept {
 
 bool Constraint::covers(const Constraint& other) const noexcept {
   using enum Op;
-  if (attribute_ != other.attribute_) return false;
+  if (attr_id_ != other.attr_id_) return false;
   if (op_ == kExists) return true;  // every matching value is present
   if (*this == other) return true;
 
@@ -205,7 +205,7 @@ bool Constraint::covers(const Constraint& other) const noexcept {
 }
 
 std::string Constraint::to_string() const {
-  std::string out = attribute_;
+  std::string out = attribute();
   out += ' ';
   out += op_name(op_);
   if (op_ != Op::kExists) {

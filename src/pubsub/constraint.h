@@ -10,6 +10,7 @@
 #include <string>
 #include <string_view>
 
+#include "pubsub/attr_table.h"
 #include "pubsub/value.h"
 
 namespace reef::pubsub {
@@ -30,13 +31,21 @@ enum class Op : std::uint8_t {
 
 std::string_view op_name(Op op) noexcept;
 
-/// A single predicate over one named attribute. Value-semantic.
+/// A single predicate over one named attribute. Value-semantic. The
+/// attribute name is interned at construction; the constraint itself
+/// carries only the AttrId, which is what the matching engines key on.
 class Constraint {
  public:
-  Constraint(std::string attribute, Op op, Value value = Value())
-      : attribute_(std::move(attribute)), value_(std::move(value)), op_(op) {}
+  Constraint(std::string_view attribute, Op op, Value value = Value())
+      : value_(std::move(value)),
+        attr_id_(AttrTable::instance().intern(attribute)),
+        op_(op) {}
 
-  const std::string& attribute() const noexcept { return attribute_; }
+  const std::string& attribute() const noexcept {
+    return AttrTable::instance().name(attr_id_);
+  }
+  /// Interned attribute id — the engines' index key (hash = identity).
+  AttrId attr_id() const noexcept { return attr_id_; }
   Op op() const noexcept { return op_; }
   const Value& value() const noexcept { return value_; }
 
@@ -54,50 +63,49 @@ class Constraint {
 
   /// Approximate wire size, used for routing-traffic accounting.
   std::size_t wire_size() const noexcept {
-    return 3 + attribute_.size() + value_.wire_size();
+    return 3 + attribute().size() + value_.wire_size();
   }
 
   friend bool operator==(const Constraint& a, const Constraint& b) noexcept {
-    return a.op_ == b.op_ && a.attribute_ == b.attribute_ &&
-           a.value_ == b.value_;
+    return a.op_ == b.op_ && a.attr_id_ == b.attr_id_ && a.value_ == b.value_;
   }
 
  private:
-  std::string attribute_;
   Value value_;
+  AttrId attr_id_ = kNoAttrId;
   Op op_;
 };
 
 // Convenience factories matching the subscription-language surface.
-inline Constraint eq(std::string attr, Value v) {
-  return Constraint(std::move(attr), Op::kEq, std::move(v));
+inline Constraint eq(std::string_view attr, Value v) {
+  return Constraint(attr, Op::kEq, std::move(v));
 }
-inline Constraint ne(std::string attr, Value v) {
-  return Constraint(std::move(attr), Op::kNe, std::move(v));
+inline Constraint ne(std::string_view attr, Value v) {
+  return Constraint(attr, Op::kNe, std::move(v));
 }
-inline Constraint lt(std::string attr, Value v) {
-  return Constraint(std::move(attr), Op::kLt, std::move(v));
+inline Constraint lt(std::string_view attr, Value v) {
+  return Constraint(attr, Op::kLt, std::move(v));
 }
-inline Constraint le(std::string attr, Value v) {
-  return Constraint(std::move(attr), Op::kLe, std::move(v));
+inline Constraint le(std::string_view attr, Value v) {
+  return Constraint(attr, Op::kLe, std::move(v));
 }
-inline Constraint gt(std::string attr, Value v) {
-  return Constraint(std::move(attr), Op::kGt, std::move(v));
+inline Constraint gt(std::string_view attr, Value v) {
+  return Constraint(attr, Op::kGt, std::move(v));
 }
-inline Constraint ge(std::string attr, Value v) {
-  return Constraint(std::move(attr), Op::kGe, std::move(v));
+inline Constraint ge(std::string_view attr, Value v) {
+  return Constraint(attr, Op::kGe, std::move(v));
 }
-inline Constraint prefix(std::string attr, std::string p) {
-  return Constraint(std::move(attr), Op::kPrefix, Value(std::move(p)));
+inline Constraint prefix(std::string_view attr, std::string p) {
+  return Constraint(attr, Op::kPrefix, Value(std::move(p)));
 }
-inline Constraint suffix(std::string attr, std::string s) {
-  return Constraint(std::move(attr), Op::kSuffix, Value(std::move(s)));
+inline Constraint suffix(std::string_view attr, std::string s) {
+  return Constraint(attr, Op::kSuffix, Value(std::move(s)));
 }
-inline Constraint contains(std::string attr, std::string s) {
-  return Constraint(std::move(attr), Op::kContains, Value(std::move(s)));
+inline Constraint contains(std::string_view attr, std::string s) {
+  return Constraint(attr, Op::kContains, Value(std::move(s)));
 }
-inline Constraint exists(std::string attr) {
-  return Constraint(std::move(attr), Op::kExists);
+inline Constraint exists(std::string_view attr) {
+  return Constraint(attr, Op::kExists);
 }
 
 }  // namespace reef::pubsub

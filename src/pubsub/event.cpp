@@ -1,29 +1,60 @@
 #include "pubsub/event.h"
 
+#include <algorithm>
+
 namespace reef::pubsub {
 
-const Value* Event::find(std::string_view name) const noexcept {
-  const auto it = attrs_.find(name);
-  return it == attrs_.end() ? nullptr : &it->second;
+std::atomic<std::uint64_t> Event::copy_count_{0};
+
+void Event::set(AttrId id, Value value) {
+  const auto it = std::lower_bound(
+      attrs_.begin(), attrs_.end(), id,
+      [](const auto& entry, AttrId key) { return entry.first < key; });
+  if (it != attrs_.end() && it->first == id) {
+    it->second = std::move(value);  // insert_or_assign semantics
+  } else {
+    attrs_.emplace(it, id, std::move(value));
+  }
+}
+
+const Value* Event::find(AttrId id) const noexcept {
+  // Events carry a handful of attributes; a linear scan with the sorted-id
+  // early exit beats binary search at these sizes.
+  for (const auto& [attr, value] : attrs_) {
+    if (attr >= id) return attr == id ? &value : nullptr;
+  }
+  return nullptr;
 }
 
 std::size_t Event::wire_size() const noexcept {
   std::size_t bytes = 16;  // envelope: id + count + framing
-  for (const auto& [name, value] : attrs_) {
-    bytes += 2 + name.size() + value.wire_size();
+  const AttrTable& table = AttrTable::instance();
+  for (const auto& [id, value] : attrs_) {
+    bytes += 2 + table.name(id).size() + value.wire_size();
   }
   return bytes;
 }
 
 std::string Event::to_string() const {
+  // Canonical text is in attribute-*name* order (the original map-backed
+  // representation); ids are assigned in interning order, so re-sort a
+  // scratch view by name here, off the hot path.
+  const AttrTable& table = AttrTable::instance();
+  std::vector<const std::pair<AttrId, Value>*> by_name;
+  by_name.reserve(attrs_.size());
+  for (const auto& entry : attrs_) by_name.push_back(&entry);
+  std::sort(by_name.begin(), by_name.end(),
+            [&table](const auto* a, const auto* b) {
+              return table.name(a->first) < table.name(b->first);
+            });
   std::string out = "{";
   bool first = true;
-  for (const auto& [name, value] : attrs_) {
+  for (const auto* entry : by_name) {
     if (!first) out += ", ";
     first = false;
-    out += name;
+    out += table.name(entry->first);
     out += '=';
-    out += value.to_string();
+    out += entry->second.to_string();
   }
   out += '}';
   return out;

@@ -41,7 +41,7 @@ void Filter::canonicalize() {
 
 bool Filter::matches(const Event& event) const noexcept {
   for (const auto& c : constraints_) {
-    const Value* v = event.find(c.attribute());
+    const Value* v = event.find(c.attr_id());  // interned: no string touch
     if (v == nullptr || !c.matches(*v)) return false;
   }
   return true;

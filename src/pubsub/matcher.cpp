@@ -1,8 +1,6 @@
 #include "pubsub/matcher.h"
 
 #include <algorithm>
-#include <map>
-#include <string_view>
 #include <utility>
 
 namespace reef::pubsub {
@@ -12,7 +10,7 @@ Value canonical_numeric(const Value& v) {
   return v;
 }
 
-void Matcher::match_batch(std::span<const Event> events,
+void Matcher::match_batch(const EventBatchView& events,
                           std::vector<std::vector<SubscriptionId>>& out) const {
   out.assign(events.size(), {});
   for (std::size_t i = 0; i < events.size(); ++i) match(events[i], out[i]);
@@ -34,7 +32,7 @@ void BruteForceMatcher::match(const Event& event,
 }
 
 void BruteForceMatcher::match_batch(
-    std::span<const Event> events,
+    const EventBatchView& events,
     std::vector<std::vector<SubscriptionId>>& out) const {
   out.assign(events.size(), {});
   for (const auto& [id, filter] : filters_) {
@@ -63,7 +61,7 @@ void IndexMatcher::add(SubscriptionId id, Filter filter) {
   for (const auto& c : entry.filter.constraints()) {
     if (c.op() != Op::kEq) continue;
     std::size_t bucket = 0;
-    if (const auto attr_it = eq_.find(c.attribute()); attr_it != eq_.end()) {
+    if (const auto attr_it = eq_.find(c.attr_id()); attr_it != eq_.end()) {
       if (const auto value_it =
               attr_it->second.find(canonical_numeric(c.value()));
           value_it != attr_it->second.end()) {
@@ -77,12 +75,12 @@ void IndexMatcher::add(SubscriptionId id, Filter filter) {
   }
   if (best != nullptr) {
     entry.eq_anchor = true;
-    entry.anchor_attr = best->attribute();
+    entry.anchor_attr = best->attr_id();
     entry.anchor_value = canonical_numeric(best->value());
     eq_[entry.anchor_attr][entry.anchor_value].push_back(id);
     ++eq_count_;
   } else {
-    entry.anchor_attr = entry.filter.constraints().front().attribute();
+    entry.anchor_attr = entry.filter.constraints().front().attr_id();
     scan_[entry.anchor_attr].push_back(id);
     ++scan_count_;
   }
@@ -115,17 +113,24 @@ std::optional<std::string> IndexMatcher::anchor_attribute(
     SubscriptionId id) const {
   const auto it = filters_.find(id);
   if (it == filters_.end()) return std::nullopt;
-  return it->second.anchor_attr;
+  if (it->second.anchor_attr == kNoAttrId) return std::string();
+  return AttrTable::instance().name(it->second.anchor_attr);
 }
 
 std::size_t IndexMatcher::largest_eq_bucket() const noexcept {
-  std::size_t largest = 0;
+  return eq_bucket_stats().largest;
+}
+
+EqBucketStats IndexMatcher::eq_bucket_stats() const noexcept {
+  EqBucketStats stats;
+  stats.filters = eq_count_;
   for (const auto& [attr, by_value] : eq_) {
+    stats.buckets += by_value.size();
     for (const auto& [value, bucket] : by_value) {
-      largest = std::max(largest, bucket.size());
+      stats.largest = std::max(stats.largest, bucket.size());
     }
   }
-  return largest;
+  return stats;
 }
 
 std::size_t IndexMatcher::rebalance(std::size_t max_bucket) {
@@ -152,7 +157,7 @@ std::size_t IndexMatcher::rebalance(std::size_t max_bucket) {
   std::size_t moved = 0;
   for (const SubscriptionId id : victims) {
     const Entry& entry = filters_.at(id);
-    const std::string old_attr = entry.anchor_attr;
+    const AttrId old_attr = entry.anchor_attr;
     const Value old_value = entry.anchor_value;
     Filter filter = entry.filter;
     add(id, std::move(filter));  // re-runs anchor selection
@@ -172,8 +177,9 @@ void IndexMatcher::match(const Event& event,
   // candidate is evaluated fully. Every filter lives under exactly one
   // anchor, so no deduplication is needed, and a matching filter's anchor
   // constraint is by definition satisfied by the event — the probe always
-  // finds it.
-  for (const auto& [attr, value] : event.attributes()) {
+  // finds it. Attributes come out of the event in ascending AttrId order —
+  // the same order the batch path uses, so per-event output is identical.
+  for (const auto& [attr, value] : event.attrs()) {
     if (const auto attr_it = eq_.find(attr); attr_it != eq_.end()) {
       if (const auto value_it = attr_it->second.find(canonical_numeric(value));
           value_it != attr_it->second.end()) {
@@ -191,38 +197,48 @@ void IndexMatcher::match(const Event& event,
 }
 
 void IndexMatcher::match_batch(
-    std::span<const Event> events,
+    const EventBatchView& events,
     std::vector<std::vector<SubscriptionId>>& out) const {
   out.assign(events.size(), {});
   for (auto& hits : out) {
     hits.insert(hits.end(), universal_.begin(), universal_.end());
   }
-  // Group the batch by attribute: one eq_/scan_ probe per distinct
-  // attribute across the whole batch. The string_views alias the events'
-  // own attribute keys, which outlive this call.
-  std::map<std::string_view, std::vector<std::pair<std::size_t, const Value*>>>
-      by_attr;
+  if (eq_.empty() && scan_.empty()) return;
+  // Group the batch by attribute id into (position, value) occurrence
+  // lists — one eq_/scan_ probe per distinct attribute across the whole
+  // batch, no string hashing anywhere. Two grouping strategies, same
+  // output: a dense AttrId-indexed table when the ids present span a
+  // range comparable to the batch (the schema-bounded norm — attribute
+  // names are a small vocabulary, see the AttrTable cardinality note),
+  // and an O(A log A) sort of flattened occurrences when a stray
+  // late-interned id would make the dense table bigger than the work it
+  // saves. Either way groups are consumed in ascending AttrId with
+  // events in view order inside each, so per-event output order is
+  // independent of which other events share the batch (event.attrs()
+  // iterates ascending too).
+  std::size_t occurrence_count = 0;
+  AttrId max_attr = 0;
   for (std::size_t i = 0; i < events.size(); ++i) {
-    for (const auto& [attr, value] : events[i].attributes()) {
-      by_attr[attr].emplace_back(i, &value);
-    }
+    const auto& attrs = events[i].attrs();
+    occurrence_count += attrs.size();
+    if (!attrs.empty()) max_attr = std::max(max_attr, attrs.back().first);
   }
-  for (const auto& [attr_view, occurrences] : by_attr) {
-    const std::string attr(attr_view);
+  using Occurrences = std::vector<std::pair<std::uint32_t, const Value*>>;
+  const auto match_group = [&](AttrId attr, const Occurrences& occurrences) {
     if (const auto attr_it = eq_.find(attr); attr_it != eq_.end()) {
       // Sub-group by canonical value so each bucket is probed once and
       // each candidate filter is fetched once, however many events of the
       // batch share the value.
-      std::unordered_map<Value, std::vector<std::size_t>> by_value;
+      std::unordered_map<Value, std::vector<std::uint32_t>> by_value;
       for (const auto& [i, value] : occurrences) {
         by_value[canonical_numeric(*value)].push_back(i);
       }
-      for (const auto& [value, event_indices] : by_value) {
+      for (const auto& [value, event_positions] : by_value) {
         const auto value_it = attr_it->second.find(value);
         if (value_it == attr_it->second.end()) continue;
         for (const SubscriptionId id : value_it->second) {
           const Filter& filter = filters_.at(id).filter;
-          for (const std::size_t i : event_indices) {
+          for (const std::uint32_t i : event_positions) {
             if (filter.matches(events[i])) out[i].push_back(id);
           }
         }
@@ -235,6 +251,43 @@ void IndexMatcher::match_batch(
           if (filter.matches(events[i])) out[i].push_back(id);
         }
       }
+    }
+  };
+  const std::size_t id_span = static_cast<std::size_t>(max_attr) + 1;
+  if (id_span <= 4 * occurrence_count + 64) {
+    std::vector<Occurrences> by_attr(id_span);
+    std::vector<AttrId> touched;
+    for (std::uint32_t i = 0; i < events.size(); ++i) {
+      for (const auto& [attr, value] : events[i].attrs()) {
+        auto& occurrences = by_attr[attr];
+        if (occurrences.empty()) touched.push_back(attr);
+        occurrences.emplace_back(i, &value);
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (const AttrId attr : touched) match_group(attr, by_attr[attr]);
+  } else {
+    std::vector<std::pair<AttrId, std::pair<std::uint32_t, const Value*>>>
+        flat;
+    flat.reserve(occurrence_count);
+    for (std::uint32_t i = 0; i < events.size(); ++i) {
+      for (const auto& [attr, value] : events[i].attrs()) {
+        flat.emplace_back(attr, std::make_pair(i, &value));
+      }
+    }
+    std::sort(flat.begin(), flat.end(),
+              [](const auto& a, const auto& b) {
+                return a.first != b.first ? a.first < b.first
+                                          : a.second.first < b.second.first;
+              });
+    Occurrences occurrences;
+    for (std::size_t o = 0; o < flat.size();) {
+      const AttrId attr = flat[o].first;
+      occurrences.clear();
+      for (; o < flat.size() && flat[o].first == attr; ++o) {
+        occurrences.push_back(flat[o].second);
+      }
+      match_group(attr, occurrences);
     }
   }
 }
@@ -250,9 +303,9 @@ void CountingMatcher::add(SubscriptionId id, Filter filter) {
   }
   for (const auto& c : filter.constraints()) {
     if (c.op() == Op::kEq) {
-      eq_[c.attribute()][canonical_numeric(c.value())].push_back(id);
+      eq_[c.attr_id()][canonical_numeric(c.value())].push_back(id);
     } else {
-      noneq_[c.attribute()].push_back(NonEqPosting{c, id});
+      noneq_[c.attr_id()].push_back(NonEqPosting{c, id});
     }
     ++postings_;
   }
@@ -268,7 +321,7 @@ void CountingMatcher::remove(SubscriptionId id) {
   } else {
     for (const auto& c : filter.constraints()) {
       if (c.op() == Op::kEq) {
-        const auto attr_it = eq_.find(c.attribute());
+        const auto attr_it = eq_.find(c.attr_id());
         auto& bucket = attr_it->second.at(canonical_numeric(c.value()));
         // erase one posting (duplicate constraints each hold their own)
         bucket.erase(std::find(bucket.begin(), bucket.end(), id));
@@ -277,14 +330,14 @@ void CountingMatcher::remove(SubscriptionId id) {
         }
         if (attr_it->second.empty()) eq_.erase(attr_it);
       } else {
-        auto& postings = noneq_.at(c.attribute());
+        auto& postings = noneq_.at(c.attr_id());
         const auto posting_it =
             std::find_if(postings.begin(), postings.end(),
                          [&](const NonEqPosting& p) {
                            return p.id == id && p.constraint == c;
                          });
         postings.erase(posting_it);
-        if (postings.empty()) noneq_.erase(c.attribute());
+        if (postings.empty()) noneq_.erase(c.attr_id());
       }
       --postings_;
     }
@@ -299,7 +352,7 @@ void CountingMatcher::match(const Event& event,
   // fires when its count reaches its constraint total. Event attributes
   // are unique per name, so each posting is tallied at most once.
   std::unordered_map<SubscriptionId, std::size_t> counts;
-  for (const auto& [attr, value] : event.attributes()) {
+  for (const auto& [attr, value] : event.attrs()) {
     if (const auto attr_it = eq_.find(attr); attr_it != eq_.end()) {
       if (const auto value_it = attr_it->second.find(canonical_numeric(value));
           value_it != attr_it->second.end()) {

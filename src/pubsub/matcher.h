@@ -10,9 +10,16 @@
 //                    indexed per attribute, a filter fires when all of its
 //                    constraints have been satisfied by the event.
 //
+// Every engine keys its indices by interned AttrId (see attr_table.h), so
+// the per-event inner loop is integer probes — no string hashing or
+// compares survive past construction.
+//
 // All engines expose a batch entry point, match_batch, which amortizes
-// index probes and candidate fetches across a span of events; the broker's
-// per-tick publication coalescing feeds it.
+// index probes and candidate fetches across a batch of events; the
+// broker's per-tick publication coalescing feeds it. Batches are passed as
+// an EventBatchView — a span of events plus an optional index span
+// selecting a sub-batch *in place* — so the sharded layer's pre-filtered
+// sub-batches reach the inner engines without copying a single Event.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "pubsub/attr_table.h"
 #include "pubsub/event.h"
 #include "pubsub/filter.h"
 
@@ -35,6 +43,55 @@ using SubscriptionId = std::uint64_t;
 /// in the same hash bucket (Value::compare treats them as equal). Identity
 /// on non-numeric values.
 Value canonical_numeric(const Value& v);
+
+/// A zero-copy view of (a subset of) an event batch: the backing span plus
+/// an optional index span selecting which events, in which order. The
+/// sharded layer's pre-filter builds index lists once per batch and hands
+/// each shard its slice of the original storage — no Event is ever copied
+/// or moved. Both spans must outlive the view; the view itself is two
+/// pointers and two sizes.
+class EventBatchView {
+ public:
+  /// The whole batch, in order.
+  explicit EventBatchView(std::span<const Event> events) noexcept
+      : events_(events), all_(true) {}
+  /// The sub-batch events_[indices_[0]], events_[indices_[1]], ...
+  /// Every index must be < events.size().
+  EventBatchView(std::span<const Event> events,
+                 std::span<const std::uint32_t> indices) noexcept
+      : events_(events), indices_(indices), all_(false) {}
+
+  std::size_t size() const noexcept {
+    return all_ ? events_.size() : indices_.size();
+  }
+  bool empty() const noexcept { return size() == 0; }
+  const Event& operator[](std::size_t pos) const noexcept {
+    return all_ ? events_[pos] : events_[indices_[pos]];
+  }
+  /// Position in the *backing* span of the view's pos-th event.
+  std::uint32_t backing_index(std::size_t pos) const noexcept {
+    return all_ ? static_cast<std::uint32_t>(pos) : indices_[pos];
+  }
+  /// True when the view is the whole backing span in order.
+  bool spans_all() const noexcept { return all_; }
+  std::span<const Event> backing() const noexcept { return events_; }
+
+ private:
+  std::span<const Event> events_;
+  std::span<const std::uint32_t> indices_;
+  bool all_ = true;
+};
+
+/// Equality-bucket shape introspection, feeding the routing table's
+/// skew-triggered maintenance (fire Matcher::maintain early when
+/// largest/mean crosses a ratio, skip the pass when balanced). Engines
+/// without equality buckets report all-zero and are treated as balanced —
+/// their maintain() is a no-op anyway.
+struct EqBucketStats {
+  std::size_t largest = 0;  ///< size of the largest equality bucket
+  std::size_t buckets = 0;  ///< number of live equality buckets
+  std::size_t filters = 0;  ///< filters living in those buckets
+};
 
 /// Common interface of the matching engines.
 class Matcher {
@@ -52,12 +109,22 @@ class Matcher {
   virtual void match(const Event& event,
                      std::vector<SubscriptionId>& out) const = 0;
 
-  /// Batch matching: replaces `out` with one hit vector per event,
-  /// parallel to `events` (per-event contract as for `match`). The base
-  /// implementation loops over `match`; engines override it to amortize
-  /// index probes and candidate evaluation across the batch.
-  virtual void match_batch(std::span<const Event> events,
+  /// Batch matching: replaces `out` with one hit vector per event of the
+  /// view, parallel to the view's order (per-event contract as for
+  /// `match`). Per-event output is independent of which other events share
+  /// the view — a sub-batch view produces exactly the hit lists the full
+  /// batch would have produced at those positions (the sharded layer's
+  /// zero-copy pre-filter relies on this; the differential fuzz harness
+  /// enforces it). The base implementation loops over `match`; engines
+  /// override it to amortize index probes across the batch.
+  virtual void match_batch(const EventBatchView& events,
                            std::vector<std::vector<SubscriptionId>>& out) const;
+
+  /// Convenience overload for whole-span callers (broker, tests, benches).
+  void match_batch(std::span<const Event> events,
+                   std::vector<std::vector<SubscriptionId>>& out) const {
+    match_batch(EventBatchView(events), out);
+  }
 
   /// Number of registered filters.
   virtual std::size_t size() const noexcept = 0;
@@ -79,6 +146,14 @@ class Matcher {
     return 0;
   }
 
+  /// Equality-bucket shape for skew-triggered maintenance; engines with no
+  /// equality buckets (or no amortized state worth repairing) report
+  /// all-zero. An engine that overrides maintain() with real repair work
+  /// SHOULD override this too: the routing table gates its skew-triggered
+  /// scheduling on these stats, and falls back to the plain churn
+  /// schedule only while an engine has never reported a nonzero shape.
+  virtual EqBucketStats eq_bucket_stats() const noexcept { return {}; }
+
   /// Convenience wrapper returning a fresh vector.
   std::vector<SubscriptionId> match(const Event& event) const {
     std::vector<SubscriptionId> out;
@@ -91,13 +166,14 @@ class Matcher {
 class BruteForceMatcher final : public Matcher {
  public:
   using Matcher::match;
+  using Matcher::match_batch;
   void add(SubscriptionId id, Filter filter) override;
   void remove(SubscriptionId id) override;
   void match(const Event& event,
              std::vector<SubscriptionId>& out) const override;
   /// One pass over the table with the events in the inner loop (each
   /// filter is fetched once per batch instead of once per event).
-  void match_batch(std::span<const Event> events,
+  void match_batch(const EventBatchView& events,
                    std::vector<std::vector<SubscriptionId>>& out)
       const override;
   std::size_t size() const noexcept override { return filters_.size(); }
@@ -119,16 +195,17 @@ class BruteForceMatcher final : public Matcher {
 class IndexMatcher final : public Matcher {
  public:
   using Matcher::match;
+  using Matcher::match_batch;
   void add(SubscriptionId id, Filter filter) override;
   void remove(SubscriptionId id) override;
   void match(const Event& event,
              std::vector<SubscriptionId>& out) const override;
-  /// Amortized batch path: events are grouped by attribute and canonical
-  /// value first, so each index probe runs once per distinct (attribute,
-  /// value) across the batch — not once per event — and each candidate
-  /// filter is fetched once per bucket and evaluated against only the
-  /// events that reached its bucket.
-  void match_batch(std::span<const Event> events,
+  /// Amortized batch path: the batch is flattened to (AttrId, event)
+  /// occurrences and sorted by integer id, so each index probe runs once
+  /// per distinct (attribute, value) across the batch — not once per
+  /// event — and each candidate filter is fetched once per bucket and
+  /// evaluated against only the events that reached its bucket.
+  void match_batch(const EventBatchView& events,
                    std::vector<std::vector<SubscriptionId>>& out)
       const override;
   std::size_t size() const noexcept override { return filters_.size(); }
@@ -144,6 +221,8 @@ class IndexMatcher final : public Matcher {
   std::optional<std::string> anchor_attribute(SubscriptionId id) const;
   /// Size of the largest equality bucket (0 when none exist).
   std::size_t largest_eq_bucket() const noexcept;
+  /// Largest / count / population of the equality buckets in one scan.
+  EqBucketStats eq_bucket_stats() const noexcept override;
 
   /// Anchor maintenance under adversarial churn: anchors are chosen at add
   /// time against the bucket sizes of that moment, so a long-lived filter
@@ -170,17 +249,18 @@ class IndexMatcher final : public Matcher {
   struct Entry {
     Filter filter;
     bool eq_anchor = false;
-    std::string anchor_attr;
-    Value anchor_value;  // only meaningful when eq_anchor
+    AttrId anchor_attr = kNoAttrId;  // kNoAttrId = universal list
+    Value anchor_value;              // only meaningful when eq_anchor
   };
 
   std::unordered_map<SubscriptionId, Entry> filters_;
-  /// attribute -> canonical value -> filters anchored on (attr = value)
-  std::unordered_map<std::string,
-                     std::unordered_map<Value, std::vector<SubscriptionId>>>
+  /// attribute id -> canonical value -> filters anchored on (attr = value)
+  std::unordered_map<AttrId,
+                     std::unordered_map<Value, std::vector<SubscriptionId>>,
+                     AttrIdHash>
       eq_;
-  /// attribute -> filters (without eq constraints) anchored on it
-  std::unordered_map<std::string, std::vector<SubscriptionId>> scan_;
+  /// attribute id -> filters (without eq constraints) anchored on it
+  std::unordered_map<AttrId, std::vector<SubscriptionId>, AttrIdHash> scan_;
   std::vector<SubscriptionId> universal_;  // empty filters match everything
   std::size_t eq_count_ = 0;
   std::size_t scan_count_ = 0;
@@ -196,6 +276,7 @@ class IndexMatcher final : public Matcher {
 class CountingMatcher final : public Matcher {
  public:
   using Matcher::match;
+  using Matcher::match_batch;
   void add(SubscriptionId id, Filter filter) override;
   void remove(SubscriptionId id) override;
   void match(const Event& event,
@@ -213,13 +294,14 @@ class CountingMatcher final : public Matcher {
   };
 
   std::unordered_map<SubscriptionId, Filter> filters_;
-  /// attribute -> canonical value -> filters with an (attr = value)
+  /// attribute id -> canonical value -> filters with an (attr = value)
   /// equality constraint (one posting per constraint).
-  std::unordered_map<std::string,
-                     std::unordered_map<Value, std::vector<SubscriptionId>>>
+  std::unordered_map<AttrId,
+                     std::unordered_map<Value, std::vector<SubscriptionId>>,
+                     AttrIdHash>
       eq_;
-  /// attribute -> non-equality constraint postings on that attribute.
-  std::unordered_map<std::string, std::vector<NonEqPosting>> noneq_;
+  /// attribute id -> non-equality constraint postings on that attribute.
+  std::unordered_map<AttrId, std::vector<NonEqPosting>, AttrIdHash> noneq_;
   std::vector<SubscriptionId> universal_;  // empty filters match everything
   std::size_t postings_ = 0;
 };

@@ -1,5 +1,6 @@
 #include "pubsub/routing_table.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <utility>
 
@@ -70,17 +71,70 @@ void RoutingTable::remove_entry(std::uint64_t engine_id) {
   note_churn();
 }
 
-void RoutingTable::note_churn() {
-  if (config_.maintain_churn_threshold == 0) return;
-  if (++churn_since_maintain_ < config_.maintain_churn_threshold) return;
-  // Anchors are chosen against bucket sizes at add time, so sustained
-  // churn can strand long-lived filters in buckets that have since grown
-  // (the Siena/REEF high-churn failure mode). Repair is scheduled by
-  // churn volume; the engine itself decides whether the skew warrants
-  // moving anything (maintain() is a cheap scan when balanced).
+void RoutingTable::run_maintain() {
   churn_since_maintain_ = 0;
   ++maintain_runs_;
   maintain_changes_ += matcher_->maintain(config_.maintain_max_bucket);
+}
+
+void RoutingTable::note_churn() {
+  if (config_.maintain_churn_threshold == 0) return;
+  ++churn_since_maintain_;
+  const bool at_threshold =
+      churn_since_maintain_ >= config_.maintain_churn_threshold;
+  // Anchors are chosen against bucket sizes at add time, so sustained
+  // churn can strand long-lived filters in buckets that have since grown
+  // (the Siena/REEF high-churn failure mode). With maintain_skew_ratio
+  // off, repair is scheduled purely by churn volume (the PR 3 behavior).
+  if (config_.maintain_skew_ratio == 0) {
+    if (at_threshold) run_maintain();
+    return;
+  }
+  // Skew-triggered scheduling: sample the equality-bucket shape on a
+  // finer cadence than the full churn window, fire maintain early as soon
+  // as one bucket dwarfs the mean, and skip the churn-scheduled pass
+  // while the buckets stay balanced — a balanced table gives rebalance
+  // nothing to move, so the pass would only burn a scan.
+  const std::size_t check_every =
+      std::max<std::size_t>(1, config_.maintain_churn_threshold / 8);
+  if (!at_threshold && churn_since_maintain_ % check_every != 0) return;
+  const EqBucketStats stats = matcher_->eq_bucket_stats();
+  if (stats.buckets > 0) engine_reports_stats_ = true;
+  if (!engine_reports_stats_) {
+    // The engine has never exposed a bucket shape — either it has none
+    // yet, or it doesn't implement eq_bucket_stats() at all. Its
+    // maintain() may still do repair work we cannot see, so fall back to
+    // the unconditional churn schedule rather than silently never
+    // maintaining (gating is only sound for engines that report stats).
+    if (at_threshold) run_maintain();
+    return;
+  }
+  // Guarded: buckets can drop back to zero after the latch set (all eq
+  // filters removed); largest is 0 then too, so nothing fires.
+  const std::size_t mean =
+      stats.buckets == 0 ? 0 : stats.filters / stats.buckets;
+  const bool skewed =
+      stats.largest > config_.maintain_skew_ratio * std::max<std::size_t>(1, mean);
+  // Rebalance only ever moves filters out of buckets larger than
+  // maintain_max_bucket, so a pass is provably a no-op unless some bucket
+  // exceeds that bound — both the early fire and the scheduled pass are
+  // gated on it (skew alone, e.g. one 10-filter bucket over a singleton
+  // mean, must not burn a pass that cannot move anything).
+  const bool actionable = stats.largest > config_.maintain_max_bucket;
+  if (skewed && actionable) {
+    if (!at_threshold) ++maintain_skew_triggers_;
+    run_maintain();
+  } else if (at_threshold) {
+    if (actionable) {
+      // Balanced by ratio but over the rebalance bound: the scheduled
+      // pass may have real work (uniformly oversized buckets never trip
+      // the ratio), so run it — PR 3 parity.
+      run_maintain();
+    } else {
+      // Exact skip, not a heuristic: nothing is over the bound.
+      churn_since_maintain_ = 0;
+    }
+  }
 }
 
 void RoutingTable::client_subscribe(IfaceId client, SubscriptionId sub_id,
@@ -179,9 +233,10 @@ std::map<std::string, Filter> RoutingTable::minimal_cover_indexed(
   // candidates.
   using Item = const std::pair<const std::string, Filter>*;
   std::vector<Item> empties;
-  std::unordered_map<std::string, std::unordered_map<Value, std::vector<Item>>>
+  std::unordered_map<AttrId, std::unordered_map<Value, std::vector<Item>>,
+                     AttrIdHash>
       eq_sig;
-  std::unordered_map<std::string, std::vector<Item>> attr_sig;
+  std::unordered_map<AttrId, std::vector<Item>, AttrIdHash> attr_sig;
   for (const auto& entry : filters) {
     const Filter& filter = entry.second;
     if (filter.empty()) {
@@ -199,10 +254,10 @@ std::map<std::string, Filter> RoutingTable::minimal_cover_indexed(
       }
     }
     if (sig != nullptr) {
-      eq_sig[sig->attribute()][canonical_numeric(sig->value())].push_back(
+      eq_sig[sig->attr_id()][canonical_numeric(sig->value())].push_back(
           &entry);
     } else {
-      attr_sig[filter.constraints().front().attribute()].push_back(&entry);
+      attr_sig[filter.constraints().front().attr_id()].push_back(&entry);
     }
   }
 
@@ -211,20 +266,20 @@ std::map<std::string, Filter> RoutingTable::minimal_cover_indexed(
   for (const auto& entry : filters) {
     const auto& [key, filter] = entry;
     candidates.assign(empties.begin(), empties.end());
-    const std::string* prev_attr = nullptr;
+    AttrId prev_attr = kNoAttrId;
     for (const Constraint& c : filter.constraints()) {
       // Constraints are canonically sorted, so one attribute-bucket probe
       // per distinct attribute.
-      if (prev_attr == nullptr || *prev_attr != c.attribute()) {
-        prev_attr = &c.attribute();
-        if (const auto it = attr_sig.find(c.attribute());
+      if (prev_attr == kNoAttrId || prev_attr != c.attr_id()) {
+        prev_attr = c.attr_id();
+        if (const auto it = attr_sig.find(c.attr_id());
             it != attr_sig.end()) {
           candidates.insert(candidates.end(), it->second.begin(),
                             it->second.end());
         }
       }
       if (c.op() != Op::kEq) continue;
-      if (const auto attr_it = eq_sig.find(c.attribute());
+      if (const auto attr_it = eq_sig.find(c.attr_id());
           attr_it != eq_sig.end()) {
         if (const auto value_it =
                 attr_it->second.find(canonical_numeric(c.value()));

@@ -35,6 +35,12 @@ inline constexpr std::size_t kDefaultMaintainChurnThreshold = 1024;
 /// Default equality-bucket bound handed to Matcher::maintain: filters in
 /// buckets that grew past this are re-anchored.
 inline constexpr std::size_t kDefaultMaintainMaxBucket = 64;
+/// Default skew ratio arming skew-triggered maintenance: a maintain pass
+/// fires early when largest_eq_bucket / max(1, mean_eq_bucket) exceeds
+/// this, and the churn-scheduled pass is skipped while the buckets stay
+/// balanced (a balanced table has nothing for rebalance to move, so the
+/// pass would be a no-op scan). 0 = churn-count-only scheduling.
+inline constexpr std::size_t kDefaultMaintainSkewRatio = 8;
 
 class RoutingTable {
  public:
@@ -71,6 +77,16 @@ class RoutingTable {
     std::size_t maintain_churn_threshold = kDefaultMaintainChurnThreshold;
     /// Equality-bucket bound passed to Matcher::maintain.
     std::size_t maintain_max_bucket = kDefaultMaintainMaxBucket;
+    /// Skew-triggered maintenance: when > 0, the engine's equality-bucket
+    /// shape is sampled every maintain_churn_threshold/8 churn ops, a
+    /// maintain pass fires *early* when largest / max(1, mean) bucket
+    /// exceeds this ratio AND the largest bucket exceeds
+    /// maintain_max_bucket (rebalance only acts above that bound, so
+    /// every fire is actionable), and the regular churn-scheduled pass is
+    /// skipped when no bucket exceeds maintain_max_bucket (provably a
+    /// no-op then). 0 = churn-count-only scheduling (the PR 3 behavior).
+    /// Maintenance never changes match results, only probe cost.
+    std::size_t maintain_skew_ratio = kDefaultMaintainSkewRatio;
   };
 
   /// Where a matched event must go: an interface plus, for client
@@ -145,11 +161,16 @@ class RoutingTable {
   std::size_t forwarded_size(IfaceId neighbor) const;
   const Matcher& matcher() const noexcept { return *matcher_; }
   const Config& config() const noexcept { return config_; }
-  /// Churn-driven maintenance passes run so far (see Config knobs).
+  /// Maintenance passes run so far (churn-scheduled + skew-triggered).
   std::uint64_t maintain_runs() const noexcept { return maintain_runs_; }
   /// Total structural changes (e.g. filters re-anchored) those passes made.
   std::uint64_t maintain_changes() const noexcept {
     return maintain_changes_;
+  }
+  /// Maintenance passes fired *early* by the skew trigger (before the
+  /// churn threshold; see Config::maintain_skew_ratio).
+  std::uint64_t maintain_skew_triggers() const noexcept {
+    return maintain_skew_triggers_;
   }
 
   // --- covering reduction (public for tests and benches) --------------------
@@ -185,8 +206,11 @@ class RoutingTable {
                           SubscriptionId client_sub);
   void remove_entry(std::uint64_t engine_id);
   /// Counts one add/remove toward the maintenance budget and runs
-  /// Matcher::maintain when the churn threshold trips.
+  /// Matcher::maintain when the churn threshold trips or the skew
+  /// trigger fires (see Config::maintain_skew_ratio).
   void note_churn();
+  /// Runs one maintenance pass and resets the churn budget.
+  void run_maintain();
   Destination destination_of(std::uint64_t engine_id) const;
 
   /// Filters visible on interfaces other than `excluded` (deduplicated by
@@ -204,6 +228,12 @@ class RoutingTable {
   std::size_t churn_since_maintain_ = 0;
   std::uint64_t maintain_runs_ = 0;
   std::uint64_t maintain_changes_ = 0;
+  std::uint64_t maintain_skew_triggers_ = 0;
+  /// Latches true once the engine reports a nonzero equality-bucket
+  /// shape; until then skew gating falls back to the plain churn
+  /// schedule (engines without eq_bucket_stats() must not lose their
+  /// maintain() calls).
+  bool engine_reports_stats_ = false;
 };
 
 }  // namespace reef::pubsub

@@ -28,6 +28,8 @@ ShardedMatcher::ShardedMatcher(Config config) : config_(std::move(config)) {
 
 std::size_t ShardedMatcher::shard_of(const Filter& filter) const noexcept {
   if (filter.empty()) return config_.shard_count;  // spill
+  // Hash the attribute *name*, not the AttrId: placement stays a pure
+  // function of the filter's content, independent of interning order.
   const std::string& attr = filter.constraints().front().attribute();
   return util::fnv1a64(attr) % config_.shard_count;
 }
@@ -37,13 +39,13 @@ void ShardedMatcher::add(SubscriptionId id, Filter filter) {
   Placement placement;
   placement.shard = shard_of(filter);
   if (!filter.empty()) {
-    placement.anchor_attr = filter.constraints().front().attribute();
+    placement.anchor_attr = filter.constraints().front().attr_id();
     AnchorAttr& info = anchor_attrs_[placement.anchor_attr];
     info.shard = placement.shard;
     ++info.count;
   }
   shards_[placement.shard]->add(id, std::move(filter));
-  placed_.emplace(id, std::move(placement));
+  placed_.emplace(id, placement);
 }
 
 void ShardedMatcher::remove(SubscriptionId id) {
@@ -64,6 +66,24 @@ std::size_t ShardedMatcher::maintain(std::size_t max_bucket) {
   return changed;
 }
 
+EqBucketStats ShardedMatcher::eq_bucket_stats() const noexcept {
+  EqBucketStats stats;
+  for (const auto& shard : shards_) {
+    const EqBucketStats s = shard->eq_bucket_stats();
+    stats.largest = std::max(stats.largest, s.largest);
+    stats.buckets += s.buckets;
+    stats.filters += s.filters;
+  }
+  return stats;
+}
+
+std::int32_t ShardedMatcher::anchor_shard_of(AttrId attr) const noexcept {
+  const auto it = anchor_attrs_.find(attr);
+  return it == anchor_attrs_.end()
+             ? kNoAnchorShard
+             : static_cast<std::int32_t>(it->second.shard);
+}
+
 void ShardedMatcher::candidate_shards(const Event& event,
                                       std::vector<std::size_t>& out) const {
   // A filter on shard s matches `event` only if the event carries the
@@ -73,10 +93,10 @@ void ShardedMatcher::candidate_shards(const Event& event,
   // match anything. Events carry a handful of attributes, so a linear
   // dedup over the appended slice beats any mark table.
   const auto first = static_cast<std::ptrdiff_t>(out.size());
-  for (const auto& [attr, value] : event.attributes()) {
-    const auto it = anchor_attrs_.find(attr);
-    if (it == anchor_attrs_.end()) continue;
-    const std::size_t s = it->second.shard;
+  for (const auto& [attr, value] : event.attrs()) {
+    const std::int32_t shard = anchor_shard_of(attr);
+    if (shard == kNoAnchorShard) continue;
+    const auto s = static_cast<std::size_t>(shard);
     if (std::find(out.begin() + first, out.end(), s) == out.end()) {
       out.push_back(s);
     }
@@ -100,59 +120,95 @@ void ShardedMatcher::match(const Event& event,
 }
 
 void ShardedMatcher::match_batch(
-    std::span<const Event> events,
+    const EventBatchView& events,
     std::vector<std::vector<SubscriptionId>>& out) const {
   const std::size_t shard_total = shards_.size();
-  // Pre-filter routing: the event indices each shard must see, in event
-  // order, and the per-shard execution strategy. Gathering a sub-batch
-  // copies events, so it only pays when the pre-filter removed a
-  // meaningful slice; a near-full shard runs the original span instead —
-  // identical output either way, because a skipped (event, shard) pair is
-  // provably matchless and would only contribute an empty hit list. The
-  // counters follow the strategy, not the candidate sets: a full-span
-  // shard really does process every event, so all of them count as
-  // routed. Everything here runs on the calling thread, so the fan-out
-  // below stays free of shared mutable state.
-  std::vector<std::vector<std::size_t>> routed(shard_total);
-  std::vector<char> full_span(shard_total, 1);
+  const std::size_t count = events.size();
+  // Pre-filter routing: the view positions each shard must see, in view
+  // order. Sub-batches are index spans over the original event storage —
+  // zero event copies, however sparse the slice — so there is no gather
+  // cost to amortize and no copy threshold: every shard simply gets
+  // exactly the events that can match it. Each attribute's shard is
+  // resolved once per batch through a dense AttrId-indexed memo (repeat
+  // attributes — the common case — skip even the presence-map probe).
+  // Everything here runs on the calling thread, so the fan-out below
+  // stays free of shared mutable state.
+  std::vector<std::vector<std::uint32_t>> routed(shard_total);
   if (config_.prefilter_enabled) {
-    std::vector<std::size_t> candidates;
-    for (std::size_t i = 0; i < events.size(); ++i) {
-      candidates.clear();
-      candidate_shards(events[i], candidates);
-      for (const std::size_t s : candidates) routed[s].push_back(i);
+    constexpr std::int32_t kUnresolved = -2;
+    // Memo sized to the largest id in the batch (attrs are id-sorted),
+    // never the whole interned universe — and skipped entirely when even
+    // that span dwarfs the batch (a stray late-interned id would buy an
+    // allocation larger than the work it saves; the identity-hash
+    // presence-map probe is the fallback).
+    AttrId max_attr = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto& attrs = events[i].attrs();
+      if (!attrs.empty()) max_attr = std::max(max_attr, attrs.back().first);
     }
-    const std::size_t gather_below = events.size() - events.size() / 8;
+    const std::size_t memo_span = static_cast<std::size_t>(max_attr) + 1;
+    const bool use_memo = memo_span <= 8 * count + 256;
+    std::vector<std::int32_t> shard_memo(use_memo ? memo_span : 0,
+                                         kUnresolved);
+    const auto shard_of_attr = [&](AttrId attr) -> std::int32_t {
+      std::int32_t probed = kUnresolved;
+      std::int32_t& memo = use_memo ? shard_memo[attr] : probed;
+      if (memo == kUnresolved) memo = anchor_shard_of(attr);
+      return memo;
+    };
+    std::vector<std::size_t> candidates;
     std::size_t routed_total = 0;
-    for (std::size_t s = 0; s < shard_total; ++s) {
-      full_span[s] =
-          !routed[s].empty() && routed[s].size() >= gather_below ? 1 : 0;
-      routed_total += full_span[s] ? events.size() : routed[s].size();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      candidates.clear();
+      for (const auto& [attr, value] : events[i].attrs()) {
+        const std::int32_t shard = shard_of_attr(attr);
+        if (shard == kNoAnchorShard) continue;
+        const auto s = static_cast<std::size_t>(shard);
+        if (std::find(candidates.begin(), candidates.end(), s) ==
+            candidates.end()) {
+          candidates.push_back(s);
+        }
+      }
+      for (const std::size_t s : candidates) routed[s].push_back(i);
+      // The spill shard sees everything; it runs the full view below, so
+      // no index list is materialized for it — only the accounting.
+      routed_total += candidates.size() + 1;
     }
     events_routed_ += routed_total;
-    events_skipped_ += shard_total * events.size() - routed_total;
+    events_skipped_ += shard_total * count - routed_total;
   } else {
-    events_routed_ += shard_total * events.size();
+    events_routed_ += shard_total * count;
   }
   // One result buffer per shard; each task writes only its own slot, so
   // the fan-out needs no locking and the merge below is scheduling-free.
-  // Pre-filtered shards match a gathered sub-batch and scatter the hits
-  // back to the original event positions.
+  // Pre-filtered shards match their index-span sub-view and scatter the
+  // hits back to the view positions.
   std::vector<std::vector<std::vector<SubscriptionId>>> per_shard(
       shard_total);
+  const bool prefilter = config_.prefilter_enabled;
   const auto task = [&](std::size_t s) {
-    if (full_span[s]) {
+    if (!prefilter || s == config_.shard_count ||  // spill: full view
+        routed[s].size() == count) {
       shards_[s]->match_batch(events, per_shard[s]);
       return;
     }
     auto& scattered = per_shard[s];
-    scattered.assign(events.size(), {});
+    scattered.assign(count, {});
     if (routed[s].empty() || shards_[s]->size() == 0) return;
-    std::vector<Event> sub_batch;
-    sub_batch.reserve(routed[s].size());
-    for (const std::size_t i : routed[s]) sub_batch.push_back(events[i]);
+    // Translate view positions to backing-span indices (identity when the
+    // incoming view is the whole span — the broker path).
+    std::span<const std::uint32_t> indices = routed[s];
+    std::vector<std::uint32_t> translated;
+    if (!events.spans_all()) {
+      translated.reserve(routed[s].size());
+      for (const std::uint32_t pos : routed[s]) {
+        translated.push_back(events.backing_index(pos));
+      }
+      indices = translated;
+    }
     std::vector<std::vector<SubscriptionId>> sub_hits;
-    shards_[s]->match_batch(sub_batch, sub_hits);
+    shards_[s]->match_batch(EventBatchView(events.backing(), indices),
+                            sub_hits);
     for (std::size_t j = 0; j < routed[s].size(); ++j) {
       scattered[routed[s][j]] = std::move(sub_hits[j]);
     }
@@ -162,8 +218,8 @@ void ShardedMatcher::match_batch(
   } else {
     for (std::size_t s = 0; s < shard_total; ++s) task(s);
   }
-  out.assign(events.size(), {});
-  for (std::size_t i = 0; i < events.size(); ++i) {
+  out.assign(count, {});
+  for (std::size_t i = 0; i < count; ++i) {
     std::size_t hits = 0;
     for (std::size_t s = 0; s < shard_total; ++s) hits += per_shard[s][i].size();
     out[i].reserve(hits);

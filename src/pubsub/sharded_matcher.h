@@ -2,7 +2,7 @@
 // so one broker can fan a match_batch out over a worker pool.
 //
 // Placement is static and content-based: a filter lands on the shard given
-// by the hash of its *anchor attribute* — the attribute of its first
+// by the hash of its *anchor attribute name* — the attribute of its first
 // constraint in canonical order (filters are conjunctions, so a matching
 // event necessarily carries every constrained attribute; any deterministic
 // choice is correct). Filters with no constraints have no anchor and go to
@@ -13,21 +13,27 @@
 // Shard-aware event pre-filtering (Config::prefilter_enabled, default on):
 // a filter can only match an event that carries the filter's own anchor
 // attribute, so the matcher keeps an attribute-presence map (anchor
-// attribute -> shard, with a live-filter refcount) and routes each event
-// of a batch only to the shards one of its attributes hashes to — plus the
+// AttrId -> shard, with a live-filter refcount) and routes each event of a
+// batch only to the shards one of its attributes hashes to — plus the
 // spill shard, which holds anchorless (universal) filters and therefore
-// always participates, even for events with zero attributes. Shards
-// receive per-shard sub-batches instead of the full batch; shards no event
-// reaches do no work at all. The events_routed / events_skipped counters
-// expose the saved (event, shard) pairs to benches, so the win is visible
-// even on single-core hosts where wall-clock can't show it.
+// always participates, even for events with zero attributes. Sub-batches
+// are *zero-copy*: the per-shard routing pass builds index lists once per
+// batch (memoizing each attribute's shard in a dense AttrId-indexed table,
+// so repeated attributes across the batch resolve without a hash probe)
+// and hands every shard an EventBatchView over the original event storage
+// — no Event is ever copied, gathered, or moved, however sparse the
+// sub-batch. Shards no event reaches do no work at all. The events_routed
+// / events_skipped counters expose the saved (event, shard) pairs to
+// benches, so the win is visible even on single-core hosts where
+// wall-clock can't show it.
 //
 // match_batch fans one task per shard over the pool (plus the calling
 // thread) into per-shard result buffers, then merges per event in
 // ascending shard order (spill last). The merge order depends only on
 // shard placement, never on thread scheduling — and a pre-filtered shard
 // contributes exactly the hits it would have produced on the full batch
-// (skipped (event, shard) pairs are provably matchless) — so output is
+// (skipped (event, shard) pairs are provably matchless, and per-event
+// engine output is independent of batch composition) — so output is
 // identical for any worker_threads setting, including 0, and for the
 // pre-filter on or off; tests/pubsub_sharding_test.cpp and the
 // differential fuzz harness pin this down.
@@ -40,6 +46,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "pubsub/attr_table.h"
 #include "pubsub/matcher.h"
 #include "pubsub/matcher_registry.h"
 #include "util/thread_pool.h"
@@ -68,14 +75,15 @@ class ShardedMatcher final : public Matcher {
   explicit ShardedMatcher(Config config);
 
   using Matcher::match;
+  using Matcher::match_batch;
   void add(SubscriptionId id, Filter filter) override;
   void remove(SubscriptionId id) override;
   void match(const Event& event,
              std::vector<SubscriptionId>& out) const override;
-  /// Fans the batch out over the shards (one task per shard, pre-filtered
-  /// sub-batches when enabled) and merges the per-shard hit lists in shard
-  /// order; see the file comment.
-  void match_batch(std::span<const Event> events,
+  /// Fans the batch out over the shards (one task per shard, zero-copy
+  /// index-span sub-batches when pre-filtering is on) and merges the
+  /// per-shard hit lists in shard order; see the file comment.
+  void match_batch(const EventBatchView& events,
                    std::vector<std::vector<SubscriptionId>>& out)
       const override;
   std::size_t size() const noexcept override { return placed_.size(); }
@@ -86,6 +94,9 @@ class ShardedMatcher final : public Matcher {
   /// repairs its own amortized state; shard placement never changes — it
   /// is a pure function of the filter's first-constraint attribute).
   std::size_t maintain(std::size_t max_bucket) override;
+  /// Aggregated over the shards: largest bucket anywhere, bucket and
+  /// filter counts summed — feeds the routing table's skew trigger.
+  EqBucketStats eq_bucket_stats() const noexcept override;
 
   // --- introspection (tests and benches) ------------------------------------
   std::size_t shard_count() const noexcept { return config_.shard_count; }
@@ -102,10 +113,8 @@ class ShardedMatcher final : public Matcher {
   /// Anchorless (universal) filters parked on the spill shard.
   std::size_t spill_size() const { return shards_.back()->size(); }
   /// Cumulative (event, shard) pairs actually processed by a shard since
-  /// construction (or the last reset) — including the events a near-full
-  /// shard sees because it ran the original span instead of gathering a
-  /// sub-batch. With the pre-filter off every event reaches every shard,
-  /// so routed == events * (shard_count + 1).
+  /// construction (or the last reset). With the pre-filter off every
+  /// event reaches every shard, so routed == events * (shard_count + 1).
   std::uint64_t events_routed() const noexcept { return events_routed_; }
   /// Cumulative (event, shard) pairs the pre-filter actually avoided.
   /// routed + skipped == events * (shard_count + 1).
@@ -123,14 +132,19 @@ class ShardedMatcher final : public Matcher {
     std::size_t count = 0;
   };
   /// Where a registered filter lives. `anchor_attr` is the placement
-  /// attribute (unused for spill-shard filters, which are recognized by
-  /// shard == shard_count()).
+  /// attribute (kNoAttrId for spill-shard filters).
   struct Placement {
     std::size_t shard = 0;
-    std::string anchor_attr;
+    AttrId anchor_attr = kNoAttrId;
   };
 
   std::size_t shard_of(const Filter& filter) const noexcept;
+  /// The one implementation of the pre-filter rule: the anchor shard the
+  /// presence map routes `attr` to, or kNoAnchorShard when no live filter
+  /// is placed by it. Both the single-event path (candidate_shards) and
+  /// the batch memo resolve through this.
+  static constexpr std::int32_t kNoAnchorShard = -1;
+  std::int32_t anchor_shard_of(AttrId attr) const noexcept;
   /// Appends the shards `event` can possibly match on (ascending, spill
   /// last — the merge order).
   void candidate_shards(const Event& event,
@@ -140,10 +154,10 @@ class ShardedMatcher final : public Matcher {
   /// shard_count anchor shards followed by the spill shard.
   std::vector<std::unique_ptr<Matcher>> shards_;
   std::unordered_map<SubscriptionId, Placement> placed_;
-  /// Attribute-presence map for the pre-filter: anchor attribute ->
+  /// Attribute-presence map for the pre-filter: anchor attribute id ->
   /// {shard, live-filter count}. Maintained on add/remove regardless of
   /// the knob so toggling it is purely a routing decision.
-  std::unordered_map<std::string, AnchorAttr> anchor_attrs_;
+  std::unordered_map<AttrId, AnchorAttr, AttrIdHash> anchor_attrs_;
   std::unique_ptr<util::ThreadPool> pool_;  // null when worker_threads == 0
   /// Pre-filter accounting; mutated only on the thread calling match /
   /// match_batch (before the fan-out), so no synchronization is needed.

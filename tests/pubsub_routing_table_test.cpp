@@ -365,6 +365,7 @@ TEST(RoutingTable, ChurnTriggersMaintainOnSchedule) {
   config.engine = "anchor-index";
   config.maintain_churn_threshold = 10;
   config.maintain_max_bucket = 4;
+  config.maintain_skew_ratio = 0;  // churn-count-only scheduling under test
   RoutingTable table(config);
   EXPECT_EQ(table.maintain_runs(), 0u);
   // 25 adds = two full churn windows of 10 (plus 5 left over).
@@ -392,6 +393,7 @@ TEST(RoutingTable, MaintainMovesStrandedAnchorsWithoutChangingMatches) {
   maintained_config.engine = "anchor-index";
   maintained_config.maintain_churn_threshold = 8;
   maintained_config.maintain_max_bucket = 4;
+  maintained_config.maintain_skew_ratio = 0;  // maintain on every window
   RoutingTable maintained(maintained_config);
   RoutingTable::Config plain_config;
   plain_config.engine = "anchor-index";
@@ -433,6 +435,136 @@ TEST(RoutingTable, MaintainMovesStrandedAnchorsWithoutChangingMatches) {
     EXPECT_EQ(destinations(maintained, probe), destinations(plain, probe))
         << probe.to_string();
   }
+}
+
+// --- skew-triggered maintenance ----------------------------------------------
+
+TEST(RoutingTable, SkewTriggerSkipsMaintainOnBalancedWorkload) {
+  // Distinct single-value equality buckets: largest == mean == 1, so no
+  // churn window ever finds skew and every scheduled pass is skipped —
+  // the no-op passes the skew trigger exists to cut.
+  RoutingTable::Config config;
+  config.engine = "anchor-index";
+  config.maintain_churn_threshold = 10;
+  config.maintain_max_bucket = 4;
+  config.maintain_skew_ratio = 4;
+  RoutingTable table(config);
+  for (SubscriptionId id = 1; id <= 35; ++id) {
+    table.client_subscribe(kClient, id,
+                           Filter().and_(eq("user",
+                                            static_cast<std::int64_t>(id))));
+  }
+  EXPECT_EQ(table.maintain_runs(), 0u);
+  EXPECT_EQ(table.maintain_skew_triggers(), 0u);
+}
+
+TEST(RoutingTable, SkewUnderRebalanceBoundNeverFires) {
+  // Ratio-skewed but under maintain_max_bucket: one bucket of ~12 filters
+  // over a singleton mean trips the ratio, yet rebalance only moves
+  // filters out of buckets larger than max_bucket — a pass would be a
+  // provable no-op, so neither the early trigger nor the scheduled pass
+  // may burn one. (Regression: an earlier cut fired on ratio alone and
+  // re-ran a no-op maintain every check interval, forever.)
+  RoutingTable::Config config;
+  config.engine = "anchor-index";
+  config.maintain_churn_threshold = 16;
+  config.maintain_max_bucket = 64;
+  config.maintain_skew_ratio = 8;
+  RoutingTable table(config);
+  SubscriptionId next = 1;
+  for (int i = 0; i < 12; ++i) {
+    table.client_subscribe(kClient, next++, Filter().and_(eq("hot", 1)));
+  }
+  for (int i = 0; i < 60; ++i) {
+    table.client_subscribe(kClient, next++,
+                           Filter().and_(eq("user",
+                                            static_cast<std::int64_t>(i))));
+  }
+  EXPECT_EQ(table.maintain_runs(), 0u);
+  EXPECT_EQ(table.maintain_skew_triggers(), 0u);
+}
+
+TEST(RoutingTable, SkewTriggerFiresMaintainBeforeChurnThreshold) {
+  // One bucket (hot=1) grows while the rest stay at size 1. The skew
+  // check samples every threshold/8 = 10 churn ops, so the first pass
+  // fires as soon as largest > ratio * mean — far before the 80-op churn
+  // window that pure churn-count scheduling would wait for.
+  RoutingTable::Config config;
+  config.engine = "anchor-index";
+  config.maintain_churn_threshold = 80;
+  config.maintain_max_bucket = 4;
+  config.maintain_skew_ratio = 4;
+  RoutingTable table(config);
+  SubscriptionId next = 1;
+  for (int i = 0; i < 9; ++i) {
+    table.client_subscribe(kClient, next,
+                           Filter().and_(eq("user",
+                                            static_cast<std::int64_t>(next))));
+    ++next;
+  }
+  std::size_t ops = 9;
+  while (table.maintain_skew_triggers() == 0 && ops < 60) {
+    table.client_subscribe(kClient, next++, Filter().and_(eq("hot", 1)));
+    ++ops;
+  }
+  EXPECT_GE(table.maintain_skew_triggers(), 1u);
+  EXPECT_GE(table.maintain_runs(), 1u);
+  EXPECT_LT(ops, config.maintain_churn_threshold)
+      << "skew trigger should fire before the churn window closes";
+
+  // The trigger only reschedules maintenance; matching is untouched.
+  std::vector<RoutingTable::Destination> hits;
+  table.match(Event().with("hot", 1), hits);
+  EXPECT_EQ(hits.size(), ops - 9);
+}
+
+TEST(RoutingTable, BalancedButOversizedBucketsStillGetScheduledMaintenance) {
+  // Four hot buckets growing in lockstep: the largest/mean ratio never
+  // trips (they are all the same size), but every bucket exceeds
+  // maintain_max_bucket, so rebalance has real work — the scheduled pass
+  // must run, not be skipped as "balanced". Regression pin for the skip
+  // being exact (skip only when no bucket exceeds the rebalance bound).
+  RoutingTable::Config config;
+  config.engine = "anchor-index";
+  config.maintain_churn_threshold = 10;
+  config.maintain_max_bucket = 2;
+  config.maintain_skew_ratio = 100;  // ratio alone would never fire
+  RoutingTable table(config);
+  SubscriptionId next = 1;
+  // One two-eq filter per hot attribute first (anchors on the then-empty
+  // hot bucket), then uniform piles of pinned single-eq filters.
+  for (int k = 0; k < 4; ++k) {
+    table.client_subscribe(kClient, next++,
+                           Filter()
+                               .and_(eq("h" + std::to_string(k), 1))
+                               .and_(eq("user",
+                                        static_cast<std::int64_t>(100 + k))));
+  }
+  for (int i = 0; i < 36; ++i) {
+    table.client_subscribe(kClient, next++,
+                           Filter().and_(eq("h" + std::to_string(i % 4), 1)));
+  }
+  EXPECT_EQ(table.maintain_skew_triggers(), 0u);
+  EXPECT_GT(table.maintain_runs(), 0u);
+  // The stranded two-eq filters were re-anchored onto their user buckets.
+  EXPECT_GT(table.maintain_changes(), 0u);
+}
+
+TEST(RoutingTable, SkewRatioZeroKeepsChurnCountScheduling) {
+  // Ablation: ratio 0 must reproduce the PR 3 unconditional schedule even
+  // on a perfectly balanced workload.
+  RoutingTable::Config config;
+  config.engine = "anchor-index";
+  config.maintain_churn_threshold = 10;
+  config.maintain_skew_ratio = 0;
+  RoutingTable table(config);
+  for (SubscriptionId id = 1; id <= 20; ++id) {
+    table.client_subscribe(kClient, id,
+                           Filter().and_(eq("user",
+                                            static_cast<std::int64_t>(id))));
+  }
+  EXPECT_EQ(table.maintain_runs(), 2u);
+  EXPECT_EQ(table.maintain_skew_triggers(), 0u);
 }
 
 }  // namespace

@@ -285,6 +285,23 @@ TEST(ShardedPrefilter, OutputByteIdenticalOnOrOff) {
   }
 }
 
+/// The pre-filter's sub-batches are index spans over the original event
+/// storage: match_batch must not copy a single Event, however sparse the
+/// per-shard slices come out (the PR 3 gather-by-copy path is gone).
+TEST(ShardedPrefilter, SubBatchesPerformZeroEventCopies) {
+  util::Rng rng(0x2e20c0);
+  ShardedMatcher m(ShardedMatcher::Config{8, 0, "anchor-index", true});
+  for (int i = 0; i < 200; ++i) m.add(i + 1, scenario_filter(rng));
+  std::vector<Event> events;
+  for (int i = 0; i < 64; ++i) events.push_back(scenario_event(rng, i));
+
+  std::vector<std::vector<SubscriptionId>> hits;
+  const std::uint64_t copies_before = Event::copy_count();
+  for (int round = 0; round < 5; ++round) m.match_batch(events, hits);
+  EXPECT_EQ(Event::copy_count(), copies_before);
+  EXPECT_GT(m.events_skipped(), 0u);  // the pre-filter did prune shards
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ShardingDeterminism,
                          ::testing::Values(7, 19, 31));
 
