@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_architecture_flow.dir/bench/bench_architecture_flow.cpp.o"
+  "CMakeFiles/bench_architecture_flow.dir/bench/bench_architecture_flow.cpp.o.d"
+  "bench_architecture_flow"
+  "bench_architecture_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_architecture_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

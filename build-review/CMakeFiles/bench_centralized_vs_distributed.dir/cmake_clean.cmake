@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_centralized_vs_distributed.dir/bench/bench_centralized_vs_distributed.cpp.o"
+  "CMakeFiles/bench_centralized_vs_distributed.dir/bench/bench_centralized_vs_distributed.cpp.o.d"
+  "bench_centralized_vs_distributed"
+  "bench_centralized_vs_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_centralized_vs_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_content_precision.dir/bench/bench_content_precision.cpp.o"
+  "CMakeFiles/bench_content_precision.dir/bench/bench_content_precision.cpp.o.d"
+  "bench_content_precision"
+  "bench_content_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_content_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_content_precision.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_feed_proxy.dir/bench/bench_feed_proxy.cpp.o"
+  "CMakeFiles/bench_feed_proxy.dir/bench/bench_feed_proxy.cpp.o.d"
+  "bench_feed_proxy"
+  "bench_feed_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_feed_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ir_micro.dir/bench/bench_ir_micro.cpp.o"
+  "CMakeFiles/bench_ir_micro.dir/bench/bench_ir_micro.cpp.o.d"
+  "bench_ir_micro"
+  "bench_ir_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ir_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

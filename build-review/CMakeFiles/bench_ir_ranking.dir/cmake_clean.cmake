@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ir_ranking.dir/bench/bench_ir_ranking.cpp.o"
+  "CMakeFiles/bench_ir_ranking.dir/bench/bench_ir_ranking.cpp.o.d"
+  "bench_ir_ranking"
+  "bench_ir_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ir_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

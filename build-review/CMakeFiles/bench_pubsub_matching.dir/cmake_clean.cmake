@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pubsub_matching.dir/bench/bench_pubsub_matching.cpp.o"
+  "CMakeFiles/bench_pubsub_matching.dir/bench/bench_pubsub_matching.cpp.o.d"
+  "bench_pubsub_matching"
+  "bench_pubsub_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pubsub_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

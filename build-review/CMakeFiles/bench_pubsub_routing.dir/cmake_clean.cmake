@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pubsub_routing.dir/bench/bench_pubsub_routing.cpp.o"
+  "CMakeFiles/bench_pubsub_routing.dir/bench/bench_pubsub_routing.cpp.o.d"
+  "bench_pubsub_routing"
+  "bench_pubsub_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pubsub_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recommendation_rate.dir/bench/bench_recommendation_rate.cpp.o"
+  "CMakeFiles/bench_recommendation_rate.dir/bench/bench_recommendation_rate.cpp.o.d"
+  "bench_recommendation_rate"
+  "bench_recommendation_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recommendation_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

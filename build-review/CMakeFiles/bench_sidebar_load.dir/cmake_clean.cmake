@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sidebar_load.dir/bench/bench_sidebar_load.cpp.o"
+  "CMakeFiles/bench_sidebar_load.dir/bench/bench_sidebar_load.cpp.o.d"
+  "bench_sidebar_load"
+  "bench_sidebar_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sidebar_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

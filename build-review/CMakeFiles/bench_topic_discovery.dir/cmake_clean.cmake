@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_topic_discovery.dir/bench/bench_topic_discovery.cpp.o"
+  "CMakeFiles/bench_topic_discovery.dir/bench/bench_topic_discovery.cpp.o.d"
+  "bench_topic_discovery"
+  "bench_topic_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_topic_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_centralized_reef.dir/examples/centralized_reef.cpp.o"
+  "CMakeFiles/example_centralized_reef.dir/examples/centralized_reef.cpp.o.d"
+  "example_centralized_reef"
+  "example_centralized_reef.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_centralized_reef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distributed_reef.dir/examples/distributed_reef.cpp.o"
+  "CMakeFiles/example_distributed_reef.dir/examples/distributed_reef.cpp.o.d"
+  "example_distributed_reef"
+  "example_distributed_reef.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distributed_reef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

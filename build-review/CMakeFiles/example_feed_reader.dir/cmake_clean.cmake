@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_feed_reader.dir/examples/feed_reader.cpp.o"
+  "CMakeFiles/example_feed_reader.dir/examples/feed_reader.cpp.o.d"
+  "example_feed_reader"
+  "example_feed_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_feed_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_video_news.dir/examples/video_news.cpp.o"
+  "CMakeFiles/example_video_news.dir/examples/video_news.cpp.o.d"
+  "example_video_news"
+  "example_video_news.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_video_news.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_smoke_test.dir/tests/experiment_smoke_test.cpp.o"
+  "CMakeFiles/experiment_smoke_test.dir/tests/experiment_smoke_test.cpp.o.d"
+  "experiment_smoke_test"
+  "experiment_smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feeds_test.dir/tests/feeds_test.cpp.o"
+  "CMakeFiles/feeds_test.dir/tests/feeds_test.cpp.o.d"
+  "feeds_test"
+  "feeds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feeds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

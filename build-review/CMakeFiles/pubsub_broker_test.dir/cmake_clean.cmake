@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubsub_broker_test.dir/tests/pubsub_broker_test.cpp.o"
+  "CMakeFiles/pubsub_broker_test.dir/tests/pubsub_broker_test.cpp.o.d"
+  "pubsub_broker_test"
+  "pubsub_broker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub_broker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

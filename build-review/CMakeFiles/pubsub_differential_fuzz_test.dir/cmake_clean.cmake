@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubsub_differential_fuzz_test.dir/tests/pubsub_differential_fuzz_test.cpp.o"
+  "CMakeFiles/pubsub_differential_fuzz_test.dir/tests/pubsub_differential_fuzz_test.cpp.o.d"
+  "pubsub_differential_fuzz_test"
+  "pubsub_differential_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub_differential_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubsub_filter_test.dir/tests/pubsub_filter_test.cpp.o"
+  "CMakeFiles/pubsub_filter_test.dir/tests/pubsub_filter_test.cpp.o.d"
+  "pubsub_filter_test"
+  "pubsub_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubsub_matcher_test.dir/tests/pubsub_matcher_test.cpp.o"
+  "CMakeFiles/pubsub_matcher_test.dir/tests/pubsub_matcher_test.cpp.o.d"
+  "pubsub_matcher_test"
+  "pubsub_matcher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

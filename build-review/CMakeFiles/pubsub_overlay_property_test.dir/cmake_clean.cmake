@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubsub_overlay_property_test.dir/tests/pubsub_overlay_property_test.cpp.o"
+  "CMakeFiles/pubsub_overlay_property_test.dir/tests/pubsub_overlay_property_test.cpp.o.d"
+  "pubsub_overlay_property_test"
+  "pubsub_overlay_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub_overlay_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubsub_parser_test.dir/tests/pubsub_parser_test.cpp.o"
+  "CMakeFiles/pubsub_parser_test.dir/tests/pubsub_parser_test.cpp.o.d"
+  "pubsub_parser_test"
+  "pubsub_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubsub_routing_table_test.dir/tests/pubsub_routing_table_test.cpp.o"
+  "CMakeFiles/pubsub_routing_table_test.dir/tests/pubsub_routing_table_test.cpp.o.d"
+  "pubsub_routing_table_test"
+  "pubsub_routing_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub_routing_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

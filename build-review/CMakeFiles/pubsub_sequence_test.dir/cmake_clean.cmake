@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubsub_sequence_test.dir/tests/pubsub_sequence_test.cpp.o"
+  "CMakeFiles/pubsub_sequence_test.dir/tests/pubsub_sequence_test.cpp.o.d"
+  "pubsub_sequence_test"
+  "pubsub_sequence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub_sequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

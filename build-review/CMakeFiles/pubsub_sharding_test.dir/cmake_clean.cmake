@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubsub_sharding_test.dir/tests/pubsub_sharding_test.cpp.o"
+  "CMakeFiles/pubsub_sharding_test.dir/tests/pubsub_sharding_test.cpp.o.d"
+  "pubsub_sharding_test"
+  "pubsub_sharding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub_sharding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attention/log_stats.cpp" "CMakeFiles/reef.dir/src/attention/log_stats.cpp.o" "gcc" "CMakeFiles/reef.dir/src/attention/log_stats.cpp.o.d"
+  "/root/repo/src/attention/parser.cpp" "CMakeFiles/reef.dir/src/attention/parser.cpp.o" "gcc" "CMakeFiles/reef.dir/src/attention/parser.cpp.o.d"
+  "/root/repo/src/attention/recorder.cpp" "CMakeFiles/reef.dir/src/attention/recorder.cpp.o" "gcc" "CMakeFiles/reef.dir/src/attention/recorder.cpp.o.d"
+  "/root/repo/src/feeds/direct_poller.cpp" "CMakeFiles/reef.dir/src/feeds/direct_poller.cpp.o" "gcc" "CMakeFiles/reef.dir/src/feeds/direct_poller.cpp.o.d"
+  "/root/repo/src/feeds/feed_events_proxy.cpp" "CMakeFiles/reef.dir/src/feeds/feed_events_proxy.cpp.o" "gcc" "CMakeFiles/reef.dir/src/feeds/feed_events_proxy.cpp.o.d"
+  "/root/repo/src/feeds/feed_service.cpp" "CMakeFiles/reef.dir/src/feeds/feed_service.cpp.o" "gcc" "CMakeFiles/reef.dir/src/feeds/feed_service.cpp.o.d"
+  "/root/repo/src/ir/bm25.cpp" "CMakeFiles/reef.dir/src/ir/bm25.cpp.o" "gcc" "CMakeFiles/reef.dir/src/ir/bm25.cpp.o.d"
+  "/root/repo/src/ir/corpus.cpp" "CMakeFiles/reef.dir/src/ir/corpus.cpp.o" "gcc" "CMakeFiles/reef.dir/src/ir/corpus.cpp.o.d"
+  "/root/repo/src/ir/metrics.cpp" "CMakeFiles/reef.dir/src/ir/metrics.cpp.o" "gcc" "CMakeFiles/reef.dir/src/ir/metrics.cpp.o.d"
+  "/root/repo/src/ir/term_weighting.cpp" "CMakeFiles/reef.dir/src/ir/term_weighting.cpp.o" "gcc" "CMakeFiles/reef.dir/src/ir/term_weighting.cpp.o.d"
+  "/root/repo/src/ir/tokenizer.cpp" "CMakeFiles/reef.dir/src/ir/tokenizer.cpp.o" "gcc" "CMakeFiles/reef.dir/src/ir/tokenizer.cpp.o.d"
+  "/root/repo/src/pubsub/attr_table.cpp" "CMakeFiles/reef.dir/src/pubsub/attr_table.cpp.o" "gcc" "CMakeFiles/reef.dir/src/pubsub/attr_table.cpp.o.d"
+  "/root/repo/src/pubsub/broker.cpp" "CMakeFiles/reef.dir/src/pubsub/broker.cpp.o" "gcc" "CMakeFiles/reef.dir/src/pubsub/broker.cpp.o.d"
+  "/root/repo/src/pubsub/client.cpp" "CMakeFiles/reef.dir/src/pubsub/client.cpp.o" "gcc" "CMakeFiles/reef.dir/src/pubsub/client.cpp.o.d"
+  "/root/repo/src/pubsub/constraint.cpp" "CMakeFiles/reef.dir/src/pubsub/constraint.cpp.o" "gcc" "CMakeFiles/reef.dir/src/pubsub/constraint.cpp.o.d"
+  "/root/repo/src/pubsub/event.cpp" "CMakeFiles/reef.dir/src/pubsub/event.cpp.o" "gcc" "CMakeFiles/reef.dir/src/pubsub/event.cpp.o.d"
+  "/root/repo/src/pubsub/filter.cpp" "CMakeFiles/reef.dir/src/pubsub/filter.cpp.o" "gcc" "CMakeFiles/reef.dir/src/pubsub/filter.cpp.o.d"
+  "/root/repo/src/pubsub/filter_parser.cpp" "CMakeFiles/reef.dir/src/pubsub/filter_parser.cpp.o" "gcc" "CMakeFiles/reef.dir/src/pubsub/filter_parser.cpp.o.d"
+  "/root/repo/src/pubsub/matcher.cpp" "CMakeFiles/reef.dir/src/pubsub/matcher.cpp.o" "gcc" "CMakeFiles/reef.dir/src/pubsub/matcher.cpp.o.d"
+  "/root/repo/src/pubsub/matcher_registry.cpp" "CMakeFiles/reef.dir/src/pubsub/matcher_registry.cpp.o" "gcc" "CMakeFiles/reef.dir/src/pubsub/matcher_registry.cpp.o.d"
+  "/root/repo/src/pubsub/overlay.cpp" "CMakeFiles/reef.dir/src/pubsub/overlay.cpp.o" "gcc" "CMakeFiles/reef.dir/src/pubsub/overlay.cpp.o.d"
+  "/root/repo/src/pubsub/routing_table.cpp" "CMakeFiles/reef.dir/src/pubsub/routing_table.cpp.o" "gcc" "CMakeFiles/reef.dir/src/pubsub/routing_table.cpp.o.d"
+  "/root/repo/src/pubsub/sequence.cpp" "CMakeFiles/reef.dir/src/pubsub/sequence.cpp.o" "gcc" "CMakeFiles/reef.dir/src/pubsub/sequence.cpp.o.d"
+  "/root/repo/src/pubsub/sharded_matcher.cpp" "CMakeFiles/reef.dir/src/pubsub/sharded_matcher.cpp.o" "gcc" "CMakeFiles/reef.dir/src/pubsub/sharded_matcher.cpp.o.d"
+  "/root/repo/src/pubsub/value.cpp" "CMakeFiles/reef.dir/src/pubsub/value.cpp.o" "gcc" "CMakeFiles/reef.dir/src/pubsub/value.cpp.o.d"
+  "/root/repo/src/reef/centralized.cpp" "CMakeFiles/reef.dir/src/reef/centralized.cpp.o" "gcc" "CMakeFiles/reef.dir/src/reef/centralized.cpp.o.d"
+  "/root/repo/src/reef/collaborative.cpp" "CMakeFiles/reef.dir/src/reef/collaborative.cpp.o" "gcc" "CMakeFiles/reef.dir/src/reef/collaborative.cpp.o.d"
+  "/root/repo/src/reef/content_recommender.cpp" "CMakeFiles/reef.dir/src/reef/content_recommender.cpp.o" "gcc" "CMakeFiles/reef.dir/src/reef/content_recommender.cpp.o.d"
+  "/root/repo/src/reef/distributed.cpp" "CMakeFiles/reef.dir/src/reef/distributed.cpp.o" "gcc" "CMakeFiles/reef.dir/src/reef/distributed.cpp.o.d"
+  "/root/repo/src/reef/frontend.cpp" "CMakeFiles/reef.dir/src/reef/frontend.cpp.o" "gcc" "CMakeFiles/reef.dir/src/reef/frontend.cpp.o.d"
+  "/root/repo/src/reef/manual_baseline.cpp" "CMakeFiles/reef.dir/src/reef/manual_baseline.cpp.o" "gcc" "CMakeFiles/reef.dir/src/reef/manual_baseline.cpp.o.d"
+  "/root/repo/src/reef/topic_recommender.cpp" "CMakeFiles/reef.dir/src/reef/topic_recommender.cpp.o" "gcc" "CMakeFiles/reef.dir/src/reef/topic_recommender.cpp.o.d"
+  "/root/repo/src/reef/update_filter.cpp" "CMakeFiles/reef.dir/src/reef/update_filter.cpp.o" "gcc" "CMakeFiles/reef.dir/src/reef/update_filter.cpp.o.d"
+  "/root/repo/src/reef/user_host.cpp" "CMakeFiles/reef.dir/src/reef/user_host.cpp.o" "gcc" "CMakeFiles/reef.dir/src/reef/user_host.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "CMakeFiles/reef.dir/src/sim/network.cpp.o" "gcc" "CMakeFiles/reef.dir/src/sim/network.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/reef.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/reef.dir/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "CMakeFiles/reef.dir/src/util/log.cpp.o" "gcc" "CMakeFiles/reef.dir/src/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/reef.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/reef.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/reef.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/reef.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "CMakeFiles/reef.dir/src/util/strings.cpp.o" "gcc" "CMakeFiles/reef.dir/src/util/strings.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "CMakeFiles/reef.dir/src/util/thread_pool.cpp.o" "gcc" "CMakeFiles/reef.dir/src/util/thread_pool.cpp.o.d"
+  "/root/repo/src/util/uri.cpp" "CMakeFiles/reef.dir/src/util/uri.cpp.o" "gcc" "CMakeFiles/reef.dir/src/util/uri.cpp.o.d"
+  "/root/repo/src/web/ad_classifier.cpp" "CMakeFiles/reef.dir/src/web/ad_classifier.cpp.o" "gcc" "CMakeFiles/reef.dir/src/web/ad_classifier.cpp.o.d"
+  "/root/repo/src/web/browser_cache.cpp" "CMakeFiles/reef.dir/src/web/browser_cache.cpp.o" "gcc" "CMakeFiles/reef.dir/src/web/browser_cache.cpp.o.d"
+  "/root/repo/src/web/crawler.cpp" "CMakeFiles/reef.dir/src/web/crawler.cpp.o" "gcc" "CMakeFiles/reef.dir/src/web/crawler.cpp.o.d"
+  "/root/repo/src/web/topic_model.cpp" "CMakeFiles/reef.dir/src/web/topic_model.cpp.o" "gcc" "CMakeFiles/reef.dir/src/web/topic_model.cpp.o.d"
+  "/root/repo/src/web/web.cpp" "CMakeFiles/reef.dir/src/web/web.cpp.o" "gcc" "CMakeFiles/reef.dir/src/web/web.cpp.o.d"
+  "/root/repo/src/workload/browsing.cpp" "CMakeFiles/reef.dir/src/workload/browsing.cpp.o" "gcc" "CMakeFiles/reef.dir/src/workload/browsing.cpp.o.d"
+  "/root/repo/src/workload/driver.cpp" "CMakeFiles/reef.dir/src/workload/driver.cpp.o" "gcc" "CMakeFiles/reef.dir/src/workload/driver.cpp.o.d"
+  "/root/repo/src/workload/user_profile.cpp" "CMakeFiles/reef.dir/src/workload/user_profile.cpp.o" "gcc" "CMakeFiles/reef.dir/src/workload/user_profile.cpp.o.d"
+  "/root/repo/src/workload/video_archive.cpp" "CMakeFiles/reef.dir/src/workload/video_archive.cpp.o" "gcc" "CMakeFiles/reef.dir/src/workload/video_archive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reef_frontend_test.dir/tests/reef_frontend_test.cpp.o"
+  "CMakeFiles/reef_frontend_test.dir/tests/reef_frontend_test.cpp.o.d"
+  "reef_frontend_test"
+  "reef_frontend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reef_frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reef_system_test.dir/tests/reef_system_test.cpp.o"
+  "CMakeFiles/reef_system_test.dir/tests/reef_system_test.cpp.o.d"
+  "reef_system_test"
+  "reef_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reef_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

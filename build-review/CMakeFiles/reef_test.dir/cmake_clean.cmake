@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reef_test.dir/tests/reef_test.cpp.o"
+  "CMakeFiles/reef_test.dir/tests/reef_test.cpp.o.d"
+  "reef_test"
+  "reef_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reef_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

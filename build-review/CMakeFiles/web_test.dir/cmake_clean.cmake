@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_test.dir/tests/web_test.cpp.o"
+  "CMakeFiles/web_test.dir/tests/web_test.cpp.o.d"
+  "web_test"
+  "web_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
