@@ -10,6 +10,27 @@
 
 namespace reef::pubsub {
 
+namespace {
+
+/// Forwards the broker's routing/matching knobs into the routing core.
+/// Field-by-field (not positional) so the two Config structs can evolve
+/// independently; the flush budgets stay broker-local — the table never
+/// touches the network.
+RoutingTable::Config make_table_config(const Broker::Config& config) {
+  RoutingTable::Config table;
+  table.covering_enabled = config.covering_enabled;
+  table.engine = config.matcher_engine;
+  table.shard_count = config.shard_count;
+  table.worker_threads = config.worker_threads;
+  table.prefilter_enabled = config.prefilter_enabled;
+  table.maintain_churn_threshold = config.maintain_churn_threshold;
+  table.maintain_max_bucket = config.maintain_max_bucket;
+  table.maintain_skew_ratio = config.maintain_skew_ratio;
+  return table;
+}
+
+}  // namespace
+
 Broker::Broker(sim::Simulator& sim, sim::Network& net, std::string name)
     : Broker(sim, net, std::move(name), Config{}) {}
 
@@ -19,15 +40,7 @@ Broker::Broker(sim::Simulator& sim, sim::Network& net, std::string name,
       net_(net),
       name_(std::move(name)),
       config_(config),
-      table_(RoutingTable::Config{config.covering_enabled,
-                                  config.matcher_engine,
-                                  /*cover_index_enabled=*/true,
-                                  config.shard_count,
-                                  config.worker_threads,
-                                  config.prefilter_enabled,
-                                  config.maintain_churn_threshold,
-                                  config.maintain_max_bucket,
-                                  config.maintain_skew_ratio}) {
+      table_(make_table_config(config_)) {
   id_ = net_.attach(*this, name_);
 }
 
@@ -139,7 +152,30 @@ void Broker::route_event(sim::NodeId from, const Event& event,
   }
 }
 
-// --- per-tick output coalescing ----------------------------------------------
+// --- adaptive output coalescing ----------------------------------------------
+
+std::optional<Broker::FlushCause> Broker::tripped_budget(
+    std::size_t events, std::size_t bytes) const {
+  if (config_.flush_max_events != 0 && events >= config_.flush_max_events) {
+    return FlushCause::kEvents;
+  }
+  if (config_.flush_max_bytes != 0 && bytes >= config_.flush_max_bytes) {
+    return FlushCause::kBytes;
+  }
+  return std::nullopt;
+}
+
+void Broker::note_flush(FlushCause cause, std::size_t units,
+                        sim::Time enqueue_time_sum) {
+  switch (cause) {
+    case FlushCause::kEvents: ++stats_.flushes_by_events; break;
+    case FlushCause::kBytes: ++stats_.flushes_by_bytes; break;
+    case FlushCause::kDelay: ++stats_.flushes_by_delay; break;
+  }
+  stats_.flushed_units += units;
+  stats_.residence_ticks_total +=
+      static_cast<sim::Time>(units) * sim_.now() - enqueue_time_sum;
+}
 
 void Broker::enqueue_publish(sim::NodeId neighbor, const Event& event) {
   ++stats_.pubs_forwarded;
@@ -147,7 +183,28 @@ void Broker::enqueue_publish(sim::NodeId neighbor, const Event& event) {
     send_publishes(neighbor, {event});
     return;
   }
-  pending_pubs_[neighbor].push_back(event);
+  PendingPubs& pending = pending_pubs_[neighbor];
+  // Metering an entry costs an O(#attributes) wire_size() scan, so the
+  // running batch size is maintained only while the byte budget is armed
+  // — with it off (the default) the hot path stays at PR 4 cost and
+  // `bytes` holds just the header, which tripped_budget never reads.
+  if (config_.flush_max_bytes != 0) {
+    pending.bytes += publish_entry_wire_size(event);
+  }
+  pending.enqueue_time_sum += sim_.now();
+  pending.events.push_back(event);
+  if (const auto cause =
+          tripped_budget(pending.events.size(), pending.bytes)) {
+    // Budget trip: this interface's batch leaves mid-tick, synchronously.
+    // Extract before sending so a re-entrant enqueue (there is none today —
+    // sends deliver asynchronously — but the invariant is cheap) starts a
+    // fresh batch.
+    auto node = pending_pubs_.extract(neighbor);
+    PendingPubs& full = node.mapped();
+    note_flush(*cause, full.events.size(), full.enqueue_time_sum);
+    send_publishes(neighbor, std::move(full.events));
+    return;
+  }
   schedule_flush();
 }
 
@@ -160,32 +217,54 @@ void Broker::enqueue_delivery(sim::NodeId client, const Event& event,
     send_deliveries(client, std::move(one));
     return;
   }
-  pending_delivers_[client].push_back(DeliverMsg{event, std::move(subs)});
+  PendingDelivers& pending = pending_delivers_[client];
+  DeliverMsg item{event, std::move(subs)};
+  if (config_.flush_max_bytes != 0) {
+    pending.bytes += deliver_entry_wire_size(item);
+  }
+  pending.enqueue_time_sum += sim_.now();
+  pending.items.push_back(std::move(item));
+  if (const auto cause =
+          tripped_budget(pending.items.size(), pending.bytes)) {
+    auto node = pending_delivers_.extract(client);
+    PendingDelivers& full = node.mapped();
+    note_flush(*cause, full.items.size(), full.enqueue_time_sum);
+    send_deliveries(client, std::move(full.items));
+    return;
+  }
   schedule_flush();
 }
 
 void Broker::schedule_flush() {
   if (flush_scheduled_) return;
-  // Runs at the *current* instant, after every already-queued event for
-  // this instant — i.e. after all publications arriving this tick have
-  // been matched — so one wire message carries the whole tick's output.
+  // With flush_max_delay_ticks = 0 this runs at the *current* instant,
+  // after every already-queued event for this instant — i.e. after all
+  // publications arriving this tick have been matched — so one wire
+  // message carries the whole tick's output (the per-tick baseline). With
+  // a delay budget the timer is armed by the oldest pending event and
+  // later arrivals ride along, so no event waits longer than the budget.
   flush_scheduled_ = true;
-  sim_.after(0, [this] { flush_pending(); });
+  sim_.after(config_.flush_max_delay_ticks, [this] { flush_pending(); });
 }
 
 void Broker::flush_pending() {
   flush_scheduled_ = false;
   // Drain by moving the maps out so the flush (and the maps' memory) stay
-  // proportional to this tick's destinations, not every interface ever
+  // proportional to this window's destinations, not every interface ever
   // sent to. Nothing re-enters the pending maps during the loop — sends
-  // deliver asynchronously.
+  // deliver asynchronously. The maps can be empty: a budget trip may have
+  // drained everything since the timer was armed.
   auto pubs = std::exchange(pending_pubs_, {});
-  for (auto& [neighbor, events] : pubs) {
-    send_publishes(neighbor, std::move(events));
+  for (auto& [neighbor, pending] : pubs) {
+    note_flush(FlushCause::kDelay, pending.events.size(),
+               pending.enqueue_time_sum);
+    send_publishes(neighbor, std::move(pending.events));
   }
   auto delivers = std::exchange(pending_delivers_, {});
-  for (auto& [client, items] : delivers) {
-    send_deliveries(client, std::move(items));
+  for (auto& [client, pending] : delivers) {
+    note_flush(FlushCause::kDelay, pending.items.size(),
+               pending.enqueue_time_sum);
+    send_deliveries(client, std::move(pending.items));
   }
 }
 
@@ -193,7 +272,7 @@ void Broker::send_publishes(sim::NodeId neighbor, std::vector<Event> events) {
   ++stats_.pub_msgs_sent;
   if (events.size() == 1) {
     Event event = std::move(events.front());
-    const std::size_t bytes = event.wire_size() + 8;
+    const std::size_t bytes = publish_msg_wire_size(event);
     net_.send(id_, neighbor, std::string(kTypePublish),
               PublishMsg{std::move(event)}, bytes);
     return;
@@ -209,8 +288,7 @@ void Broker::send_deliveries(sim::NodeId client,
   ++stats_.deliver_msgs_sent;
   if (items.size() == 1) {
     DeliverMsg item = std::move(items.front());
-    const std::size_t bytes =
-        item.event.wire_size() + 8 * item.matched.size() + 8;
+    const std::size_t bytes = deliver_msg_wire_size(item);
     net_.send(id_, client, std::string(kTypeDeliver), std::move(item), bytes);
     return;
   }

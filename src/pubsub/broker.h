@@ -6,16 +6,50 @@
 // the Broker is a thin adapter that decodes protocol messages, feeds the
 // table, and ships the table's answers over the simulated network.
 //
-// Publications crossing the broker are *coalesced per interface within a
-// sim tick*: instead of one wire message per event, everything bound for
-// the same neighbor (or client) at the same instant leaves in a single
+// Publications crossing the broker are *coalesced per interface* under an
+// adaptive flush policy: instead of one wire message per event, everything
+// bound for the same neighbor (or client) leaves in a single
 // PublishBatchMsg / DeliverBatchMsg, and inbound batches are matched
 // through the amortized Matcher::match_batch path.
+//
+// ## Flush-policy invariants (Config::flush_max_{events,bytes,delay_ticks})
+//
+// When a pending per-interface batch is flushed is governed by three
+// budgets; *what* it contains is not:
+//
+//   1. Delivery sets are budget-independent. A budget decides only how
+//      pending output is cut into wire messages and when they leave; every
+//      (event, interface, subscription) delivery the match sets imply is
+//      eventually sent exactly once, in enqueue order per interface, for
+//      every budget setting. (One caveat inherited from per-tick batching:
+//      holding an event longer can let it race a subscription change
+//      in flight — pub/sub gives no ordering guarantee in that window.
+//      With settled subscriptions, delivery sets are identical across all
+//      budgets; the differential fuzz harness holds this.)
+//   2. Output is order-canonical. Timer-driven flushes visit pending
+//      interfaces in interface-id order and client matched-sub lists are
+//      sorted, so any two configurations that produce the same batch
+//      boundaries produce byte-identical wire traffic. Budget trips flush
+//      mid-tick — synchronously, at the enqueue that tripped the budget —
+//      which is deterministic too: enqueues happen in interface-id order
+//      per matched event.
+//   3. flush_max_delay_ticks = 0 with unlimited event/byte budgets is
+//      exactly the per-tick coalescing of PR 1-4: the flush runs at the
+//      current instant after every already-queued arrival (the Simulator
+//      guarantees same-instant FIFO), so one wire message carries the
+//      whole tick's output, byte for byte as before.
+//   4. Every flush is attributed to exactly one cause in Stats
+//      (flushes_by_events / flushes_by_bytes / flushes_by_delay; the event
+//      budget wins when both size budgets trip on the same enqueue), and
+//      per-event residence (flush time minus enqueue time, in sim clock
+//      ticks) accumulates in residence_ticks_total — the bench's
+//      latency-vs-throughput sweep reads both.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -61,13 +95,37 @@ class Broker final : public sim::Node {
     /// passes while balanced); 0 = churn-count-only scheduling.
     std::size_t maintain_skew_ratio = kDefaultMaintainSkewRatio;
     /// Coalesce publications/deliveries per interface within a sim tick
-    /// (ablation knob; off = one wire message per event, as the seed did).
+    /// (ablation knob; off = one wire message per event, as the seed did,
+    /// and the flush budgets below are moot).
     /// Matching results are identical either way; the one observable
     /// difference is an event racing a subscription in the same tick —
     /// deferring the event to end-of-tick can let the subscription be
     /// installed upstream first (pub/sub gives no ordering guarantee in
     /// that window).
     bool batching_enabled = true;
+    /// Adaptive flush: a pending per-interface batch is sent as soon as it
+    /// holds this many events (0 = unlimited). Trips mid-tick: the wire
+    /// message leaves synchronously at the enqueue that filled the batch,
+    /// bounding batch size under heavy fan-in at the cost of more
+    /// messages. See the flush-policy invariants above.
+    std::size_t flush_max_events = 0;
+    /// Adaptive flush: byte-budget twin of flush_max_events, metered with
+    /// the shared batch wire-size accounting in messages.h (batch header
+    /// plus per-entry framing). A pending batch is sent as soon as its
+    /// wire size reaches this budget (0 = unlimited).
+    std::size_t flush_max_bytes = 0;
+    /// Adaptive flush: how long (in sim clock ticks, i.e. sim::Time
+    /// microseconds) pending output may wait for more arrivals before the
+    /// timer-driven flush sends it. 0 = flush at the end of the current
+    /// instant — the strict per-tick coalescing of PR 1-4 and the
+    /// ablation baseline. Larger values coalesce *across* ticks: fewer,
+    /// larger wire messages, at up to this much added delivery latency
+    /// per event (the bench's latency-vs-throughput sweep quantifies the
+    /// trade). The deadline is armed when output goes pending with no
+    /// timer in flight, so it is a *max* residence bound: later arrivals
+    /// ride an already-armed timer and wait at most the remainder of its
+    /// window, never longer than the budget.
+    sim::Time flush_max_delay_ticks = 0;
   };
 
   struct Stats {
@@ -80,6 +138,17 @@ class Broker final : public sim::Node {
     std::uint64_t deliveries = 0;       ///< (event, client) deliveries
     std::uint64_t deliver_msgs_sent = 0; ///< wire messages carrying them
     std::uint64_t matches_run = 0;      ///< matcher invocations (batch = 1)
+    // --- adaptive-flush introspection (see the flush-policy invariants) ---
+    std::uint64_t flushes_by_events = 0; ///< wire msgs sent on the event budget
+    std::uint64_t flushes_by_bytes = 0;  ///< wire msgs sent on the byte budget
+    std::uint64_t flushes_by_delay = 0;  ///< wire msgs sent by the flush timer
+    /// Logical units (events / deliveries) that went through the batching
+    /// path, denominating residence_ticks_total.
+    std::uint64_t flushed_units = 0;
+    /// Sum over flushed units of (flush time - enqueue time) in sim clock
+    /// ticks; mean event residence = residence_ticks_total / flushed_units.
+    /// 0 under per-tick flushing (everything leaves the instant it arrived).
+    sim::Time residence_ticks_total = 0;
   };
 
   Broker(sim::Simulator& sim, sim::Network& net, std::string name);
@@ -131,10 +200,37 @@ class Broker final : public sim::Node {
   void refresh_neighbor(sim::NodeId neighbor);
   void refresh_all_neighbors_except(sim::NodeId except);
 
-  // --- per-tick output coalescing ---
+  // --- adaptive output coalescing ---
+  /// Why a pending batch left the broker; each sent wire message is
+  /// attributed to exactly one cause in Stats.
+  enum class FlushCause { kEvents, kBytes, kDelay };
+
+  /// Pending per-interface output plus the bookkeeping the flush budgets
+  /// need: the running batch wire size (incrementally maintained with the
+  /// shared per-entry accounting in messages.h) and the sum of enqueue
+  /// times (residence of n units flushed at time t is n*t - enqueue_sum).
+  struct PendingPubs {
+    std::vector<Event> events;
+    std::size_t bytes = kBatchHeaderBytes;
+    sim::Time enqueue_time_sum = 0;
+  };
+  struct PendingDelivers {
+    std::vector<DeliverMsg> items;
+    std::size_t bytes = kBatchHeaderBytes;
+    sim::Time enqueue_time_sum = 0;
+  };
+
   void enqueue_publish(sim::NodeId neighbor, const Event& event);
   void enqueue_delivery(sim::NodeId client, const Event& event,
                         std::vector<SubscriptionId> subs);
+  /// The size budget an enqueue just tripped, if any (event budget wins
+  /// when both trip).
+  std::optional<FlushCause> tripped_budget(std::size_t events,
+                                           std::size_t bytes) const;
+  /// Accounts cause + residence for one outgoing batch of `units` logical
+  /// units whose enqueue times sum to `enqueue_time_sum`.
+  void note_flush(FlushCause cause, std::size_t units,
+                  sim::Time enqueue_time_sum);
   void schedule_flush();
   void flush_pending();
   void send_publishes(sim::NodeId neighbor, std::vector<Event> events);
@@ -149,12 +245,13 @@ class Broker final : public sim::Node {
   std::vector<sim::NodeId> neighbors_;
   RoutingTable table_;
 
-  /// Events awaiting the end-of-tick flush, per destination interface.
+  /// Events awaiting the timer-driven flush, per destination interface.
   /// Ordered maps so the flush emits wire messages in interface order —
   /// part of the engine- and scheduling-independent output contract (see
-  /// route_event).
-  std::map<sim::NodeId, std::vector<Event>> pending_pubs_;
-  std::map<sim::NodeId, std::vector<DeliverMsg>> pending_delivers_;
+  /// route_event). A budget trip extracts and sends a single interface's
+  /// entry mid-tick.
+  std::map<sim::NodeId, PendingPubs> pending_pubs_;
+  std::map<sim::NodeId, PendingDelivers> pending_delivers_;
   bool flush_scheduled_ = false;
 
   Stats stats_;

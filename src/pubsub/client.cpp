@@ -59,7 +59,7 @@ void Client::publish(Event event) {
   assert(connected() && "publish before connect");
   event.set_id((static_cast<std::uint64_t>(id_) << 32) | next_event_id_++);
   ++published_;
-  const std::size_t bytes = event.wire_size() + 8;
+  const std::size_t bytes = publish_msg_wire_size(event);
   net_.send(id_, broker_, std::string(kTypePublish),
             PublishMsg{std::move(event)}, bytes);
 }

@@ -61,7 +61,11 @@ class Client final : public sim::Node {
   // --- introspection --------------------------------------------------------
   std::uint64_t deliveries() const noexcept { return deliveries_; }
   /// DeliverBatchMsg wire messages received (their events are unpacked
-  /// into the normal per-subscription handler/inbox path).
+  /// into the normal per-subscription handler/inbox path). How the broker
+  /// cuts deliveries into wire messages is a function of its flush
+  /// budgets (Broker::Config::flush_max_{events,bytes,delay_ticks}) —
+  /// clients observe the same deliveries in the same per-interface order
+  /// under every budget, only the framing and timing differ.
   std::uint64_t batches_received() const noexcept { return batches_received_; }
   std::uint64_t published() const noexcept { return published_; }
   std::size_t active_subscriptions() const noexcept {

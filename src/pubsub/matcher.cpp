@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/hash.h"
+
 namespace reef::pubsub {
 
 Value canonical_numeric(const Value& v) {
@@ -127,7 +129,11 @@ EqBucketStats IndexMatcher::eq_bucket_stats() const noexcept {
   for (const auto& [attr, by_value] : eq_) {
     stats.buckets += by_value.size();
     for (const auto& [value, bucket] : by_value) {
-      stats.largest = std::max(stats.largest, bucket.size());
+      if (bucket.size() > stats.largest) {
+        stats.largest = bucket.size();
+        stats.largest_key =
+            util::hash_combine(attr, std::hash<Value>{}(value));
+      }
     }
   }
   return stats;

@@ -91,9 +91,48 @@ struct EqBucketStats {
   std::size_t largest = 0;  ///< size of the largest equality bucket
   std::size_t buckets = 0;  ///< number of live equality buckets
   std::size_t filters = 0;  ///< filters living in those buckets
+  /// Identity hash of the largest bucket's (attribute, value) key; 0 when
+  /// there are no buckets. The routing table's zero-change backoff uses it
+  /// to distinguish "the pinned bucket grew" (stay suppressed) from "a
+  /// different bucket took over as largest" (re-arm — the newcomer may be
+  /// movable). Ties between equal-size buckets resolve to the first seen,
+  /// which is unspecified but stable between consecutive unmodified
+  /// samples; a spurious key flip costs at most one extra maintain pass.
+  std::size_t largest_key = 0;
 };
 
 /// Common interface of the matching engines.
+///
+/// ## The Matcher contract
+///
+/// Every engine behind MatcherRegistry is held to three invariants; the
+/// differential fuzz harness (tests/pubsub_differential_fuzz_test.cpp)
+/// replays adversarial schedules through every registered engine against
+/// the brute-force oracle to enforce them:
+///
+///   1. **Set semantics.** match / match_batch report exactly the ids of
+///      the registered filters the event satisfies — no duplicates, order
+///      unspecified. Engines are interchangeable up to hit order; callers
+///      that need canonical output sort (the Broker does).
+///   2. **Batch-composition independence.** The per-event output of
+///      match_batch is a function of the event and the registered filters
+///      only — never of which other events share the view, their order,
+///      or whether the view is a sub-batch. A sub-batch view produces
+///      exactly the hit lists the full batch would have produced at those
+///      positions. The sharded layer's zero-copy pre-filter is built on
+///      this: it hands each shard an index-span view and splices shard
+///      outputs back by backing index.
+///   3. **Maintenance transparency.** maintain() may restructure internal
+///      state (re-anchor filters, rebuild buckets) but must never change
+///      any match result — only probe cost. It may run at any point
+///      between operations; the fuzz harness interleaves it with churn.
+///
+/// eq_bucket_stats() is introspection, not contract output: a consistent
+/// snapshot of the engine's equality-bucket shape *at the call*, used by
+/// the routing table to schedule maintenance (fire early on skew, skip
+/// provable no-op passes, stand down on pinned buckets). All-zero stats
+/// mean "nothing to repair" and must only be returned when maintain() is
+/// a no-op on the engine's current state.
 class Matcher {
  public:
   virtual ~Matcher() = default;
@@ -152,6 +191,13 @@ class Matcher {
   /// SHOULD override this too: the routing table gates its skew-triggered
   /// scheduling on these stats, and falls back to the plain churn
   /// schedule only while an engine has never reported a nonzero shape.
+  /// Semantics: `largest` is the population of the single biggest
+  /// equality bucket, `buckets` the number of live (non-empty) buckets,
+  /// `filters` the total population across them — so filters/buckets is
+  /// the mean the skew ratio compares against. The snapshot must be
+  /// consistent (one logical point in time) but carries no freshness
+  /// guarantee beyond the call; the scheduler tolerates staleness of up
+  /// to one churn op by construction (it re-samples every check).
   virtual EqBucketStats eq_bucket_stats() const noexcept { return {}; }
 
   /// Convenience wrapper returning a fresh vector.

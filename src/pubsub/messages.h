@@ -57,21 +57,46 @@ struct DeliverBatchMsg {
   std::vector<DeliverMsg> items;
 };
 
-/// Wire-size accounting for batch messages: an 8-byte batch header plus
-/// 2 bytes of per-entry framing. Shared by every sender of a batch so all
-/// paths meter the same encoding.
+/// Wire-size accounting, shared by every sender so all paths meter the
+/// same encoding. Batch messages carry an 8-byte batch header plus 2 bytes
+/// of per-entry framing; single-event messages carry an 8-byte message
+/// header instead. The broker's byte-budget flush policy
+/// (Broker::Config::flush_max_bytes) meters pending output with the
+/// per-entry sizes below, so a budget of B bytes bounds the batch wire
+/// size at B plus one entry.
+inline constexpr std::size_t kBatchHeaderBytes = 8;
+
+/// Per-entry cost of one event inside a PublishBatchMsg.
+inline std::size_t publish_entry_wire_size(const Event& event) {
+  return event.wire_size() + 2;
+}
+
+/// Per-entry cost of one delivery inside a DeliverBatchMsg (the matched
+/// subscription ids ride along at 8 bytes each).
+inline std::size_t deliver_entry_wire_size(const DeliverMsg& item) {
+  return item.event.wire_size() + 8 * item.matched.size() + 2;
+}
+
+/// Wire size of a standalone PublishMsg (8-byte message header).
+inline std::size_t publish_msg_wire_size(const Event& event) {
+  return event.wire_size() + 8;
+}
+
+/// Wire size of a standalone DeliverMsg.
+inline std::size_t deliver_msg_wire_size(const DeliverMsg& item) {
+  return item.event.wire_size() + 8 * item.matched.size() + 8;
+}
+
 inline std::size_t publish_batch_wire_size(const std::vector<Event>& events) {
-  std::size_t bytes = 8;
-  for (const Event& event : events) bytes += event.wire_size() + 2;
+  std::size_t bytes = kBatchHeaderBytes;
+  for (const Event& event : events) bytes += publish_entry_wire_size(event);
   return bytes;
 }
 
 inline std::size_t deliver_batch_wire_size(
     const std::vector<DeliverMsg>& items) {
-  std::size_t bytes = 8;
-  for (const DeliverMsg& item : items) {
-    bytes += item.event.wire_size() + 8 * item.matched.size() + 2;
-  }
+  std::size_t bytes = kBatchHeaderBytes;
+  for (const DeliverMsg& item : items) bytes += deliver_entry_wire_size(item);
   return bytes;
 }
 

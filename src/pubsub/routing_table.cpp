@@ -74,7 +74,25 @@ void RoutingTable::remove_entry(std::uint64_t engine_id) {
 void RoutingTable::run_maintain() {
   churn_since_maintain_ = 0;
   ++maintain_runs_;
-  maintain_changes_ += matcher_->maintain(config_.maintain_max_bucket);
+  const std::size_t changes = matcher_->maintain(config_.maintain_max_bucket);
+  maintain_changes_ += changes;
+  if (config_.maintain_skew_ratio == 0) return;
+  if (changes > 0) {
+    // Something moved: the table's shape is fresh, any earlier stand-down
+    // is stale.
+    skew_backoff_largest_ = 0;
+    return;
+  }
+  // Zero-change pass: whatever is in the largest bucket is pinned there
+  // (rebalance had the chance and moved nothing). Remember its size and
+  // identity so the skew trigger stands down until that bucket shrinks
+  // or another bucket overtakes it — re-firing on the same pinned bucket
+  // every check interval is pure scan churn (the ROADMAP backoff item).
+  // Scheduled passes still run, so filters that join the bucket later
+  // are repaired at the churn cadence.
+  const EqBucketStats after = matcher_->eq_bucket_stats();
+  skew_backoff_largest_ = after.largest;
+  skew_backoff_key_ = after.largest_key;
 }
 
 void RoutingTable::note_churn() {
@@ -121,9 +139,25 @@ void RoutingTable::note_churn() {
   // gated on it (skew alone, e.g. one 10-filter bucket over a singleton
   // mean, must not burn a pass that cannot move anything).
   const bool actionable = stats.largest > config_.maintain_max_bucket;
-  if (skewed && actionable) {
+  // Zero-change backoff: a hot bucket whose filters are pinned (their only
+  // equality constraint is the hot attribute) defeats rebalance, so the
+  // skew trigger would re-fire a futile pass every check interval forever.
+  // Stand down while that *same* bucket has only grown since the
+  // zero-change pass; a shrink (removals may have unpinned it) or a
+  // different bucket overtaking it (the newcomer may be movable) re-arms
+  // the trigger.
+  if (skew_backoff_largest_ != 0 &&
+      (stats.largest < skew_backoff_largest_ ||
+       stats.largest_key != skew_backoff_key_)) {
+    skew_backoff_largest_ = 0;
+    skew_backoff_key_ = 0;
+  }
+  const bool backed_off = skew_backoff_largest_ != 0;
+  if (skewed && actionable && !backed_off) {
     if (!at_threshold) ++maintain_skew_triggers_;
     run_maintain();
+  } else if (skewed && actionable && !at_threshold) {
+    ++maintain_backoff_skips_;
   } else if (at_threshold) {
     if (actionable) {
       // Balanced by ratio but over the rebalance bound: the scheduled

@@ -172,6 +172,16 @@ class RoutingTable {
   std::uint64_t maintain_skew_triggers() const noexcept {
     return maintain_skew_triggers_;
   }
+  /// Skew-triggered fires suppressed by the zero-change backoff: after a
+  /// maintain pass that moved nothing (a pinned hot bucket — filters whose
+  /// only equality constraint is the hot one cannot be re-anchored), the
+  /// early trigger stands down while the largest bucket has only grown
+  /// since; it re-arms as soon as the bucket shrinks or any pass makes a
+  /// change. Scheduled (churn-threshold) passes are never suppressed, so
+  /// repair stays guaranteed at the PR 3 cadence.
+  std::uint64_t maintain_backoff_skips() const noexcept {
+    return maintain_backoff_skips_;
+  }
 
   // --- covering reduction (public for tests and benches) --------------------
   /// Reduces a key->filter set to its maximal elements under covering,
@@ -229,6 +239,18 @@ class RoutingTable {
   std::uint64_t maintain_runs_ = 0;
   std::uint64_t maintain_changes_ = 0;
   std::uint64_t maintain_skew_triggers_ = 0;
+  std::uint64_t maintain_backoff_skips_ = 0;
+  /// Largest equality bucket observed at the most recent zero-change
+  /// maintain pass, and its identity (EqBucketStats::largest_key); 0 =
+  /// backoff inactive. While the *same* bucket is still the largest and
+  /// is >= its zero-change size, the hot bucket that defeated the last
+  /// pass has only grown, so skew-triggered fires are suppressed —
+  /// movable late-joiners (if any) wait for the scheduled pass instead
+  /// of burning a scan per check interval. A shrink below the snapshot
+  /// or a *different* bucket taking over as largest re-arms the trigger
+  /// (see maintain_backoff_skips()).
+  std::size_t skew_backoff_largest_ = 0;
+  std::size_t skew_backoff_key_ = 0;
   /// Latches true once the engine reports a nonzero equality-bucket
   /// shape; until then skew gating falls back to the plain churn
   /// schedule (engines without eq_bucket_stats() must not lose their

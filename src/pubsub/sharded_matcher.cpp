@@ -70,7 +70,10 @@ EqBucketStats ShardedMatcher::eq_bucket_stats() const noexcept {
   EqBucketStats stats;
   for (const auto& shard : shards_) {
     const EqBucketStats s = shard->eq_bucket_stats();
-    stats.largest = std::max(stats.largest, s.largest);
+    if (s.largest > stats.largest) {
+      stats.largest = s.largest;
+      stats.largest_key = s.largest_key;
+    }
     stats.buckets += s.buckets;
     stats.filters += s.filters;
   }

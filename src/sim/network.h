@@ -88,6 +88,12 @@ class Network {
   /// with zero latency. Returns the delivery time, or nullopt if the
   /// message was dropped at send time (unknown destination).
   ///
+  /// Safe to call from inside handle_message, including for the instant
+  /// currently executing (intra-tick emission — the broker's
+  /// budget-tripped flushes send mid-tick this way). Jitter is drawn per
+  /// send from one deterministic stream, so two runs issuing the same
+  /// sends in the same order see identical delivery times.
+  ///
   /// `units` is the number of logical payloads the wire message carries
   /// (default 1); batched protocols (PublishBatchMsg, DeliverBatchMsg)
   /// pass the batch size so the accounting can separate wire messages

@@ -4,6 +4,16 @@
 // work with `at` / `after` / `every`; the experiment driver advances the
 // clock with `run_until`. Events scheduled for the same instant run in
 // scheduling order (a strict total order makes every run deterministic).
+//
+// Two guarantees protocol code builds on:
+//   - Same-instant FIFO: `after(0, fn)` runs fn at the *current* instant,
+//     after every callback already queued for it. The broker's per-tick
+//     flush (Broker::Config::flush_max_delay_ticks = 0) uses this to see
+//     every arrival of the tick before cutting wire messages.
+//   - Intra-tick emission: a callback may schedule more work (including
+//     zero-delay sends) for the instant it is running in; the queue is
+//     live. The broker's budget-tripped flushes emit wire messages
+//     mid-tick this way, from inside handle_message.
 #pragma once
 
 #include <cstdint>

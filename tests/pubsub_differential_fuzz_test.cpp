@@ -14,6 +14,11 @@
 //      reproduce the oracle's delivery trace and sim::Network traffic
 //      counters byte for byte — including configurations running the
 //      churn-driven maintenance path aggressively.
+//   3. Flush-budget level: the broker's adaptive flush policy
+//      (Broker::Config::flush_max_{events,bytes,delay_ticks}) crossed
+//      with engines, asserting delivery sets and every traffic counter
+//      against the per-tick oracle, and exact trace equality for every
+//      zero-delay budget configuration.
 //
 // ## Schedule format (add your engine to the oracle matrix)
 //
@@ -441,6 +446,79 @@ TEST(DifferentialFuzz, OverlayTracesIdenticalAcrossEngineShardWorkerPrefilter) {
             EXPECT_EQ(trace.bytes_by_type, oracle.bytes_by_type) << label;
             EXPECT_EQ(trace.units_by_type, oracle.units_by_type) << label;
           }
+        }
+      }
+    }
+  }
+}
+
+// --- level 3: flush-budget differential replay -------------------------------
+
+/// The adaptive-flush dimension: per-tick is the oracle baseline; the
+/// event/byte budgets are armed but sized so no batch in this workload
+/// ever trips them (bundles are <= 8 events, far under 64 events / 1 MiB),
+/// and the delay budget holds output across ticks without merging
+/// anything new (ops are spaced 200ms apart, far past the 3ms window). So
+/// every configuration must reproduce the per-tick batch boundaries —
+/// identical wire traffic counters — and the delivery *set* exactly; only
+/// the delay rows may reorder the chronological log (deliveries shift by
+/// hop-count * delay, and clients sit at different depths).
+struct BudgetCase {
+  std::string label;
+  std::size_t max_events = 0;
+  std::size_t max_bytes = 0;
+  sim::Time max_delay = 0;
+};
+
+TEST(DifferentialFuzz, FlushBudgetsPreserveDeliverySetsAndCounters) {
+  const std::vector<BudgetCase> budgets = {
+      {"per-tick", 0, 0, 0},
+      {"event-budget", 64, 0, 0},
+      {"byte-budget", 0, std::size_t{1} << 20, 0},
+      {"delay-budget", 0, 0, 3 * sim::kMillisecond},
+      {"all-budgets", 64, std::size_t{1} << 20, 3 * sim::kMillisecond},
+  };
+  for (const std::uint64_t seed : fuzz_seeds()) {
+    const Schedule schedule = make_schedule(seed, 100);
+
+    Broker::Config oracle_config;
+    oracle_config.matcher_engine = "brute-force";
+    oracle_config.maintain_churn_threshold = 0;
+    const RunTrace oracle =
+        run_schedule_through_overlay(schedule, seed, oracle_config);
+    ASSERT_FALSE(oracle.delivery_log.empty()) << "seed=" << seed;
+    std::vector<std::string> oracle_sorted = oracle.delivery_log;
+    std::sort(oracle_sorted.begin(), oracle_sorted.end());
+
+    for (const std::string engine : {"anchor-index", "counting"}) {
+      for (const BudgetCase& budget : budgets) {
+        Broker::Config config;
+        config.matcher_engine = "sharded:" + engine;
+        config.shard_count = 4;
+        config.maintain_churn_threshold = 16;
+        config.maintain_max_bucket = 4;
+        config.flush_max_events = budget.max_events;
+        config.flush_max_bytes = budget.max_bytes;
+        config.flush_max_delay_ticks = budget.max_delay;
+        const RunTrace trace =
+            run_schedule_through_overlay(schedule, seed, config);
+        const std::string label =
+            engine + "/" + budget.label + " seed=" + std::to_string(seed);
+
+        std::vector<std::string> trace_sorted = trace.delivery_log;
+        std::sort(trace_sorted.begin(), trace_sorted.end());
+        EXPECT_EQ(trace_sorted, oracle_sorted) << label;
+        EXPECT_EQ(trace.total_messages, oracle.total_messages) << label;
+        EXPECT_EQ(trace.total_bytes, oracle.total_bytes) << label;
+        EXPECT_EQ(trace.total_units, oracle.total_units) << label;
+        EXPECT_EQ(trace.messages_by_type, oracle.messages_by_type) << label;
+        EXPECT_EQ(trace.bytes_by_type, oracle.bytes_by_type) << label;
+        EXPECT_EQ(trace.units_by_type, oracle.units_by_type) << label;
+        if (budget.max_delay == 0) {
+          // Same boundaries AND same timing: the chronological log is
+          // byte-identical too — flush_max_delay_ticks = 0 reproduces the
+          // strict per-tick behavior exactly.
+          EXPECT_EQ(trace.delivery_log, oracle.delivery_log) << label;
         }
       }
     }

@@ -550,6 +550,58 @@ TEST(RoutingTable, BalancedButOversizedBucketsStillGetScheduledMaintenance) {
   EXPECT_GT(table.maintain_changes(), 0u);
 }
 
+TEST(RoutingTable, SkewBackoffStopsRefiringOnPinnedHotBucket) {
+  // Single-eq filters (eq(hot, 1) and nothing else) are pinned: rebalance
+  // cannot re-anchor them anywhere. Without backoff the skew trigger
+  // re-fires a futile maintain every threshold/8 churn ops forever; with
+  // it, the first zero-change pass stands the trigger down and
+  // maintain_skew_triggers() stops climbing while the bucket only grows.
+  RoutingTable::Config config;
+  config.engine = "anchor-index";
+  config.maintain_churn_threshold = 80;
+  config.maintain_max_bucket = 4;
+  config.maintain_skew_ratio = 4;
+  RoutingTable table(config);
+  SubscriptionId next = 1;
+  for (int i = 0; i < 9; ++i) {
+    table.client_subscribe(kClient, next,
+                           Filter().and_(eq("user",
+                                            static_cast<std::int64_t>(next))));
+    ++next;
+  }
+  std::vector<SubscriptionId> pinned;
+  for (int i = 0; i < 120; ++i) {
+    pinned.push_back(next);
+    table.client_subscribe(kClient, next++, Filter().and_(eq("hot", 1)));
+  }
+  EXPECT_EQ(table.maintain_skew_triggers(), 1u)
+      << "exactly one early fire; the zero-change pass must back off";
+  EXPECT_GT(table.maintain_backoff_skips(), 0u);
+  // Scheduled passes are never suppressed: repair stays guaranteed at the
+  // churn cadence even while the trigger is standing down.
+  EXPECT_GE(table.maintain_runs(), 2u);
+  EXPECT_EQ(table.maintain_changes(), 0u);
+
+  // A *different* bucket overtaking the pinned one must re-arm the
+  // trigger: the backoff tracks bucket identity, not just size, because
+  // the newcomer could be movable. (Here it is pinned too, so the table
+  // fires exactly once more, then backs off on the new bucket.)
+  std::vector<SubscriptionId> warm;
+  for (int i = 0; i < 140; ++i) {
+    warm.push_back(next);
+    table.client_subscribe(kClient, next++, Filter().and_(eq("warm", 1)));
+  }
+  EXPECT_EQ(table.maintain_skew_triggers(), 2u)
+      << "the overtaking warm bucket must fire once, then back off";
+
+  // Shrinking the now-largest bucket below the zero-change snapshot
+  // re-arms the trigger as well: the next sampled skew check may fire.
+  for (std::size_t i = 0; i < warm.size() - 10; ++i) {
+    table.client_unsubscribe(kClient, warm[i]);
+  }
+  EXPECT_GE(table.maintain_skew_triggers(), 3u);
+}
+
 TEST(RoutingTable, SkewRatioZeroKeepsChurnCountScheduling) {
   // Ablation: ratio 0 must reproduce the PR 3 unconditional schedule even
   // on a perfectly balanced workload.

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Fails when a relative markdown link in the docs tier points nowhere.
+
+Scans the given markdown files (default: README.md, ROADMAP.md, docs/*.md)
+for inline links/images `[text](target)` and verifies that every relative
+target exists on disk, resolved against the file containing the link.
+External links (scheme://, mailto:) and pure in-page anchors (#...) are
+skipped; a `path#anchor` target is checked for the path only. Exit code 1
+lists every broken link. Stdlib only, so it runs anywhere CI can run
+python3.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links and images; [text](target "title") titles are stripped.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_RE = re.compile(r"^([a-zA-Z][a-zA-Z0-9+.-]*:|#)")
+
+
+def check_file(md: Path, repo_root: Path) -> list[str]:
+    errors = []
+    in_fence = False
+    for lineno, line in enumerate(md.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1).split("#", 1)[0]
+            if not target or SKIP_RE.match(match.group(1)):
+                continue
+            base = repo_root if target.startswith("/") else md.parent
+            resolved = (base / target.lstrip("/")).resolve()
+            if not resolved.exists():
+                errors.append(f"{md}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    if len(argv) > 1:
+        files = [Path(arg) for arg in argv[1:]]
+    else:
+        files = [repo_root / "README.md", repo_root / "ROADMAP.md"]
+        files += sorted((repo_root / "docs").glob("*.md"))
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        for f in missing:
+            print(f"no such file: {f}", file=sys.stderr)
+        return 1
+    errors = []
+    for md in files:
+        errors.extend(check_file(md, repo_root))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        print(f"checked {len(files)} files, all relative links resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
