@@ -10,7 +10,8 @@
 //
 // `--smoke` (used by CI) skips google-benchmark and instead runs a quick
 // cross-engine correctness pass, a batch-vs-loop timing, a fixed-ratio
-// anchor-index-vs-brute-force speedup floor, and a zero-copy check on the
+// anchor-index-vs-brute-force speedup floor, a bitset-vs-anchor-index
+// floor on the dense/high-overlap workload, and a zero-copy check on the
 // pre-filtered sub-batch path, so the bench binary can't bit-rot — and
 // the interned hot path can't silently regress — without failing the
 // workflow.
@@ -66,6 +67,36 @@ std::vector<Filter> make_filters(std::size_t n, double content_share,
     }
   }
   return filters;
+}
+
+/// Dense/high-overlap population: every filter is 2-3 equality
+/// constraints drawn from a tiny vocabulary (hot x cat x tier is 48
+/// combinations), so any event satisfies a large fraction of the table.
+/// Candidate-driven engines drown here — each anchor bucket holds ~n/8
+/// filters and every candidate pays a full Filter::matches — while the
+/// bitset engine resolves ~3 index entries once and sweeps words. This is
+/// the workload the bitset smoke floor pins.
+std::vector<Filter> make_dense_filters(std::size_t n, reef::util::Rng& rng) {
+  std::vector<Filter> filters;
+  filters.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Filter f = Filter()
+                   .and_(eq("hot", static_cast<std::int64_t>(rng.index(2))))
+                   .and_(eq("cat", static_cast<std::int64_t>(rng.index(8))));
+    if (rng.chance(0.5)) {
+      f.and_(eq("tier", static_cast<std::int64_t>(rng.index(3))));
+    }
+    filters.push_back(std::move(f));
+  }
+  return filters;
+}
+
+Event make_dense_event(reef::util::Rng& rng) {
+  return Event()
+      .with("hot", static_cast<std::int64_t>(rng.index(2)))
+      .with("cat", static_cast<std::int64_t>(rng.index(8)))
+      .with("tier", static_cast<std::int64_t>(rng.index(3)))
+      .with("seq", static_cast<std::int64_t>(rng.index(1000)));
 }
 
 Event make_event(std::size_t universe, reef::util::Rng& rng) {
@@ -139,6 +170,12 @@ BENCHMARK_CAPTURE(bm_match, counting, "counting")
     ->Args({10000, 0})
     ->Args({1000, 30})
     ->Args({10000, 30});
+BENCHMARK_CAPTURE(bm_match, bitset, "bitset")
+    ->Args({100, 0})
+    ->Args({1000, 0})
+    ->Args({10000, 0})
+    ->Args({1000, 30})
+    ->Args({10000, 30});
 BENCHMARK_CAPTURE(bm_match, brute_force, "brute-force")
     ->Args({100, 0})
     ->Args({1000, 0})
@@ -200,11 +237,64 @@ BENCHMARK_CAPTURE(bm_match_loop, anchor_index, "anchor-index") BATCH_ARGS;
 BENCHMARK_CAPTURE(bm_match_batch, anchor_index, "anchor-index") BATCH_ARGS;
 BENCHMARK_CAPTURE(bm_match_loop, counting, "counting") BATCH_ARGS;
 BENCHMARK_CAPTURE(bm_match_batch, counting, "counting") BATCH_ARGS;
+BENCHMARK_CAPTURE(bm_match_loop, bitset, "bitset") BATCH_ARGS;
+BENCHMARK_CAPTURE(bm_match_batch, bitset, "bitset") BATCH_ARGS;
 BENCHMARK_CAPTURE(bm_match_loop, brute_force, "brute-force")
     ->Args({2000, 32});
 BENCHMARK_CAPTURE(bm_match_batch, brute_force, "brute-force")
     ->Args({2000, 32});
 #undef BATCH_ARGS
+
+// --- dense/high-overlap workload: bitset vs candidate-driven engines --------
+//
+// make_dense_filters above: tiny eq vocabulary, huge bucket overlap. The
+// per-(table, batch) pairs put the bitset engine's word streams against
+// the anchor index's candidate walks on the population shape each was
+// built for the *other* side of — the Reef-like sweep above favors
+// selective buckets; this one has none. CI's bench sweep picks these rows
+// up via --benchmark_filter='sharded|dense', and run_smoke() enforces the
+// bitset >= anchor-index floor on this same shape.
+
+void bm_match_batch_dense(benchmark::State& state, const std::string& engine) {
+  const auto table_size = static_cast<std::size_t>(state.range(0));
+  const auto batch_size = static_cast<std::size_t>(state.range(1));
+  reef::util::Rng rng(42);
+  auto matcher = make_matcher(engine);
+  const auto filters = make_dense_filters(table_size, rng);
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    matcher->add(i + 1, filters[i]);
+  }
+  std::vector<Event> events;
+  const std::size_t universe = std::max(batch_size, std::size_t{256});
+  for (std::size_t i = 0; i < universe; ++i) {
+    events.push_back(make_dense_event(rng));
+  }
+
+  std::size_t cursor = 0;
+  std::vector<std::vector<SubscriptionId>> hits;
+  for (auto _ : state) {
+    const std::size_t start = cursor % (events.size() - batch_size + 1);
+    matcher->match_batch(
+        std::span<const Event>(events.data() + start, batch_size), hits);
+    benchmark::DoNotOptimize(hits.data());
+    cursor = (cursor + batch_size) % events.size();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * batch_size));
+  state.counters["batch"] = static_cast<double>(batch_size);
+  state.counters["table"] = static_cast<double>(table_size);
+}
+
+// {table size, batch size}
+#define DENSE_ARGS \
+  ->Args({1000, 128})->Args({10000, 128})->Args({10000, 1024})
+BENCHMARK_CAPTURE(bm_match_batch_dense, bitset, "bitset") DENSE_ARGS;
+BENCHMARK_CAPTURE(bm_match_batch_dense, anchor_index, "anchor-index")
+    DENSE_ARGS;
+BENCHMARK_CAPTURE(bm_match_batch_dense, counting, "counting") DENSE_ARGS;
+#undef DENSE_ARGS
+BENCHMARK_CAPTURE(bm_match_batch_dense, brute_force, "brute-force")
+    ->Args({1000, 128});
 
 // --- zero-copy sub-batches: index-span view vs gather-by-copy ---------------
 //
@@ -318,6 +408,8 @@ void bm_match_batch_sharded(benchmark::State& state,
 BENCHMARK_CAPTURE(bm_match_batch_sharded, anchor_index, "anchor-index")
     SHARD_SWEEP(10000) SHARD_SWEEP(50000)->UseRealTime();
 BENCHMARK_CAPTURE(bm_match_batch_sharded, counting, "counting")
+    SHARD_SWEEP(10000)->UseRealTime();
+BENCHMARK_CAPTURE(bm_match_batch_sharded, bitset, "bitset")
     SHARD_SWEEP(10000)->UseRealTime();
 BENCHMARK_CAPTURE(bm_match_batch_sharded, brute_force, "brute-force")
     ->Args({2000, 1024, 1, 0, 1})
@@ -483,6 +575,63 @@ int run_smoke() {
       std::printf("FAIL: anchor-index batch path fell below the %.1fx "
                   "speedup floor over brute force\n",
                   kMinSpeedup);
+      return 1;
+    }
+  }
+
+  // 2c. On the dense/high-overlap population the bitset engine's word
+  // streams must at least match the anchor index's candidate walks — a
+  // >= 1.0x floor (it sits well above it; the anchor index pays a full
+  // Filter::matches per candidate and every bucket here holds ~n/8 of the
+  // table). Same min-of-three discipline as 2b. This is the workload the
+  // bitset engine exists for; losing it means the kernel regressed.
+  {
+    constexpr double kMinRatio = 1.0;
+    constexpr int ratio_rounds = 40;
+    reef::util::Rng dense_rng(42);
+    const std::size_t dense_table = 8000;
+    const auto dense_filters = make_dense_filters(dense_table, dense_rng);
+    std::vector<Event> dense_events;
+    for (int i = 0; i < 64; ++i) {
+      dense_events.push_back(make_dense_event(dense_rng));
+    }
+    const auto bitset = make_matcher("bitset");
+    const auto anchor = make_matcher("anchor-index");
+    for (std::size_t i = 0; i < dense_filters.size(); ++i) {
+      bitset->add(i + 1, dense_filters[i]);
+      anchor->add(i + 1, dense_filters[i]);
+    }
+    const auto timed_batch = [&](const Matcher& m) {
+      std::vector<std::vector<SubscriptionId>> out;
+      long best = std::numeric_limits<long>::max();
+      for (int trial = 0; trial < 3; ++trial) {
+        const auto start = std::chrono::steady_clock::now();
+        for (int r = 0; r < ratio_rounds; ++r) {
+          m.match_batch(dense_events, out);
+          benchmark::DoNotOptimize(out.data());
+        }
+        const auto trial_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        best = std::min(best, static_cast<long>(trial_us));
+      }
+      return best;
+    };
+    const auto bitset_us = timed_batch(*bitset);
+    const auto anchor_us = timed_batch(*anchor);
+    const double ratio = bitset_us == 0
+                             ? kMinRatio
+                             : static_cast<double>(anchor_us) /
+                                   static_cast<double>(bitset_us);
+    std::printf("  bitset vs anchor-index on dense workload: %ldus vs %ldus "
+                "(%.1fx, floor %.1fx, %zu filters)\n",
+                static_cast<long>(bitset_us), static_cast<long>(anchor_us),
+                ratio, kMinRatio, dense_table);
+    if (ratio < kMinRatio) {
+      std::printf("FAIL: bitset fell below anchor-index on the dense "
+                  "workload (floor %.1fx)\n",
+                  kMinRatio);
       return 1;
     }
   }

@@ -79,7 +79,9 @@ void IndexMatcher::add(SubscriptionId id, Filter filter) {
     entry.eq_anchor = true;
     entry.anchor_attr = best->attr_id();
     entry.anchor_value = canonical_numeric(best->value());
-    eq_[entry.anchor_attr][entry.anchor_value].push_back(id);
+    auto& bucket = eq_[entry.anchor_attr][entry.anchor_value];
+    bucket.push_back(id);
+    note_bucket_grew(entry.anchor_attr, entry.anchor_value, bucket.size());
     ++eq_count_;
   } else {
     entry.anchor_attr = entry.filter.constraints().front().attr_id();
@@ -99,6 +101,7 @@ void IndexMatcher::remove(SubscriptionId id) {
     auto& by_value = eq_.at(entry.anchor_attr);
     auto& bucket = by_value.at(entry.anchor_value);
     std::erase(bucket, id);
+    note_bucket_shrank(entry.anchor_attr, entry.anchor_value, bucket.size());
     if (bucket.empty()) by_value.erase(entry.anchor_value);
     if (by_value.empty()) eq_.erase(entry.anchor_attr);
     --eq_count_;
@@ -124,19 +127,67 @@ std::size_t IndexMatcher::largest_eq_bucket() const noexcept {
 }
 
 EqBucketStats IndexMatcher::eq_bucket_stats() const noexcept {
+  // O(1): the shape is maintained at every bucket push/erase by
+  // note_bucket_grew/shrank — the routing table samples this on a churn
+  // cadence, and the old full-bucket scan made every sample O(buckets).
   EqBucketStats stats;
   stats.filters = eq_count_;
-  for (const auto& [attr, by_value] : eq_) {
-    stats.buckets += by_value.size();
-    for (const auto& [value, bucket] : by_value) {
-      if (bucket.size() > stats.largest) {
-        stats.largest = bucket.size();
-        stats.largest_key =
-            util::hash_combine(attr, std::hash<Value>{}(value));
-      }
+  stats.buckets = eq_buckets_;
+  stats.largest = eq_largest_;
+  stats.largest_key = eq_largest_ == 0 ? 0 : eq_largest_key_;
+  return stats;
+}
+
+void IndexMatcher::note_bucket_grew(AttrId attr, const Value& value,
+                                    std::size_t new_size) {
+  const std::size_t key =
+      util::hash_combine(attr, std::hash<Value>{}(value));
+  if (new_size == 1) {
+    ++eq_buckets_;
+  } else {
+    auto& old_bin = eq_size_hist_[new_size - 1];
+    if (const auto it = old_bin.find(key);
+        it != old_bin.end() && --it->second == 0) {
+      old_bin.erase(it);
+    }
+    if (old_bin.empty()) eq_size_hist_.erase(new_size - 1);
+  }
+  ++eq_size_hist_[new_size][key];
+  if (new_size > eq_largest_) {
+    eq_largest_ = new_size;
+    eq_largest_key_ = key;
+    // A tie at the old largest keeps the incumbent key: "first seen,
+    // stable between unmodified samples", as the stats contract says.
+  }
+}
+
+void IndexMatcher::note_bucket_shrank(AttrId attr, const Value& value,
+                                      std::size_t new_size) {
+  const std::size_t key =
+      util::hash_combine(attr, std::hash<Value>{}(value));
+  auto& old_bin = eq_size_hist_[new_size + 1];
+  if (const auto it = old_bin.find(key);
+      it != old_bin.end() && --it->second == 0) {
+    old_bin.erase(it);
+  }
+  if (old_bin.empty()) eq_size_hist_.erase(new_size + 1);
+  if (new_size == 0) {
+    --eq_buckets_;
+  } else {
+    ++eq_size_hist_[new_size][key];
+  }
+  if (new_size + 1 == eq_largest_) {
+    // The shrunk bucket itself sits at new_size, so the new largest is at
+    // most one step down — the search is amortized O(1).
+    while (eq_largest_ > 0 && !eq_size_hist_.contains(eq_largest_)) {
+      --eq_largest_;
+    }
+    if (eq_largest_ == 0) {
+      eq_largest_key_ = 0;
+    } else if (!eq_size_hist_.at(eq_largest_).contains(eq_largest_key_)) {
+      eq_largest_key_ = eq_size_hist_.at(eq_largest_).begin()->first;
     }
   }
-  return stats;
 }
 
 std::size_t IndexMatcher::rebalance(std::size_t max_bucket) {

@@ -1,6 +1,6 @@
 // Event-to-subscription matching engines.
 //
-// Three implementations share one interface, selected by name through the
+// Four implementations share one interface, selected by name through the
 // MatcherRegistry (see matcher_registry.h):
 //   "brute-force"  — linear scan; the correctness oracle in tests and the
 //                    ablation baseline in benches.
@@ -9,6 +9,10 @@
 //   "counting"     — classic Gryphon/Siena counting algorithm: constraints
 //                    indexed per attribute, a filter fires when all of its
 //                    constraints have been satisfied by the event.
+//   "bitset"       — posting lists as dense bitmaps over filter slots;
+//                    batch matching is AND/ANDNOT/popcount word streams
+//                    with a bit-sliced counting threshold pass (see
+//                    bitset_matcher.h).
 //
 // Every engine keys its indices by interned AttrId (see attr_table.h), so
 // the per-event inner loop is integer probes — no string hashing or
@@ -267,7 +271,11 @@ class IndexMatcher final : public Matcher {
   std::optional<std::string> anchor_attribute(SubscriptionId id) const;
   /// Size of the largest equality bucket (0 when none exist).
   std::size_t largest_eq_bucket() const noexcept;
-  /// Largest / count / population of the equality buckets in one scan.
+  /// Largest / count / population of the equality buckets — O(1): the
+  /// shape is maintained incrementally at every bucket push/erase (a size
+  /// histogram of bucket identity keys), so the routing table's skew
+  /// sampling never pays a bucket scan. The largest size can fall at most
+  /// one step per removal, so the downward search is amortized O(1) too.
   EqBucketStats eq_bucket_stats() const noexcept override;
 
   /// Anchor maintenance under adversarial churn: anchors are chosen at add
@@ -299,6 +307,14 @@ class IndexMatcher final : public Matcher {
     Value anchor_value;              // only meaningful when eq_anchor
   };
 
+  /// Incremental eq-bucket-stats bookkeeping, called at every bucket
+  /// push/erase with the bucket's new size (hist bins hold identity keys
+  /// so largest_key falls out of the histogram).
+  void note_bucket_grew(AttrId attr, const Value& value,
+                        std::size_t new_size);
+  void note_bucket_shrank(AttrId attr, const Value& value,
+                          std::size_t new_size);
+
   std::unordered_map<SubscriptionId, Entry> filters_;
   /// attribute id -> canonical value -> filters anchored on (attr = value)
   std::unordered_map<AttrId,
@@ -310,6 +326,16 @@ class IndexMatcher final : public Matcher {
   std::vector<SubscriptionId> universal_;  // empty filters match everything
   std::size_t eq_count_ = 0;
   std::size_t scan_count_ = 0;
+  /// Bucket-size histogram: size -> {bucket identity key -> buckets of
+  /// that size under that key}. Keys are hash_combine(attr, hash(value)) —
+  /// the same identity EqBucketStats::largest_key reports — and carry a
+  /// count so a (vanishingly unlikely) key collision stays correct.
+  std::unordered_map<std::size_t,
+                     std::unordered_map<std::size_t, std::size_t>>
+      eq_size_hist_;
+  std::size_t eq_buckets_ = 0;   // live (non-empty) buckets
+  std::size_t eq_largest_ = 0;   // size of the largest bucket
+  std::size_t eq_largest_key_ = 0;  // its identity key (0 when none)
 };
 
 /// Counting matcher (Gryphon/Siena style). Every constraint of every

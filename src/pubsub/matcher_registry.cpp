@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "pubsub/bitset_matcher.h"
 #include "pubsub/sharded_matcher.h"
 
 namespace reef::pubsub {
@@ -19,10 +20,13 @@ MatcherRegistry::MatcherRegistry() {
       [] { return std::make_unique<IndexMatcher>(); });
   add(std::string(kCountingEngine),
       [] { return std::make_unique<CountingMatcher>(); });
+  add(std::string(kBitsetEngine),
+      [] { return std::make_unique<BitsetMatcher>(); });
   // Sharded variants of the built-ins, so names() exposes them and every
   // registry-driven equivalence test / bench covers the sharded layer.
   for (const std::string_view inner :
-       {kBruteForceEngine, kAnchorIndexEngine, kCountingEngine}) {
+       {kBruteForceEngine, kAnchorIndexEngine, kCountingEngine,
+        kBitsetEngine}) {
     add(std::string(kShardedPrefix) + std::string(inner),
         [name = std::string(inner)] {
           return std::make_unique<ShardedMatcher>(

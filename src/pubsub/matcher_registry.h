@@ -1,8 +1,9 @@
 // String-keyed registry of matching-engine factories.
 //
 // Broker configuration, benches, and examples select an engine by name
-// ("brute-force", "anchor-index", "counting") instead of hard-coding a
-// type; new engines register themselves without touching broker code.
+// ("brute-force", "anchor-index", "counting", "bitset") instead of
+// hard-coding a type; new engines register themselves without touching
+// broker code.
 //
 // Any engine can additionally be wrapped in the sharded-routing layer by
 // prefixing its name with "sharded:" (e.g. "sharded:anchor-index"): the
@@ -28,6 +29,7 @@ namespace reef::pubsub {
 inline constexpr std::string_view kBruteForceEngine = "brute-force";
 inline constexpr std::string_view kAnchorIndexEngine = "anchor-index";
 inline constexpr std::string_view kCountingEngine = "counting";
+inline constexpr std::string_view kBitsetEngine = "bitset";
 
 /// Name prefix selecting the sharded wrapper around an inner engine.
 inline constexpr std::string_view kShardedPrefix = "sharded:";

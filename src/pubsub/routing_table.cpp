@@ -81,6 +81,8 @@ void RoutingTable::run_maintain() {
     // Something moved: the table's shape is fresh, any earlier stand-down
     // is stale.
     skew_backoff_largest_ = 0;
+    skew_backoff_key_ = 0;
+    skew_backoff_shrink_spent_ = false;
     return;
   }
   // Zero-change pass: whatever is in the largest bucket is pinned there
@@ -91,6 +93,11 @@ void RoutingTable::run_maintain() {
   // Scheduled passes still run, so filters that join the bucket later
   // are repaired at the churn cadence.
   const EqBucketStats after = matcher_->eq_bucket_stats();
+  if (after.largest_key != skew_backoff_key_) {
+    // A different bucket is pinned now: new backoff episode, fresh
+    // shrink-side re-arm.
+    skew_backoff_shrink_spent_ = false;
+  }
   skew_backoff_largest_ = after.largest;
   skew_backoff_key_ = after.largest_key;
 }
@@ -143,14 +150,26 @@ void RoutingTable::note_churn() {
   // equality constraint is the hot attribute) defeats rebalance, so the
   // skew trigger would re-fire a futile pass every check interval forever.
   // Stand down while that *same* bucket has only grown since the
-  // zero-change pass; a shrink (removals may have unpinned it) or a
-  // different bucket overtaking it (the newcomer may be movable) re-arms
-  // the trigger.
-  if (skew_backoff_largest_ != 0 &&
-      (stats.largest < skew_backoff_largest_ ||
-       stats.largest_key != skew_backoff_key_)) {
-    skew_backoff_largest_ = 0;
-    skew_backoff_key_ = 0;
+  // zero-change pass; a different bucket overtaking it (the newcomer may
+  // be movable) re-arms the trigger unconditionally. A shrink of the same
+  // bucket (removals may have unpinned it) re-arms exactly *once* per
+  // episode: if the re-armed pass again moves nothing, the bucket is
+  // still pinned at the smaller size, and a bucket draining one filter
+  // per sample must not buy a futile pass per sample (the shrink-side
+  // ROADMAP gap).
+  if (skew_backoff_largest_ != 0) {
+    if (stats.largest_key != skew_backoff_key_) {
+      skew_backoff_largest_ = 0;
+      skew_backoff_key_ = 0;
+      skew_backoff_shrink_spent_ = false;
+    } else if (stats.largest < skew_backoff_largest_ &&
+               !skew_backoff_shrink_spent_) {
+      // Keep the key: the episode identity survives the re-arm, so a
+      // zero-change pass on the same bucket re-enters backoff with the
+      // shrink re-arm already spent.
+      skew_backoff_largest_ = 0;
+      skew_backoff_shrink_spent_ = true;
+    }
   }
   const bool backed_off = skew_backoff_largest_ != 0;
   if (skewed && actionable && !backed_off) {

@@ -176,9 +176,11 @@ class RoutingTable {
   /// maintain pass that moved nothing (a pinned hot bucket — filters whose
   /// only equality constraint is the hot one cannot be re-anchored), the
   /// early trigger stands down while the largest bucket has only grown
-  /// since; it re-arms as soon as the bucket shrinks or any pass makes a
-  /// change. Scheduled (churn-threshold) passes are never suppressed, so
-  /// repair stays guaranteed at the PR 3 cadence.
+  /// since; it re-arms when the bucket shrinks (once per backoff episode —
+  /// a draining bucket must not re-fire per removal), when a different
+  /// bucket takes over as largest, or when any pass makes a change.
+  /// Scheduled (churn-threshold) passes are never suppressed, so repair
+  /// stays guaranteed at the PR 3 cadence.
   std::uint64_t maintain_backoff_skips() const noexcept {
     return maintain_backoff_skips_;
   }
@@ -251,6 +253,13 @@ class RoutingTable {
   /// (see maintain_backoff_skips()).
   std::size_t skew_backoff_largest_ = 0;
   std::size_t skew_backoff_key_ = 0;
+  /// One-shot latch for the shrink-side re-arm: a *draining* pinned
+  /// bucket (filters removed one by one, every sample strictly below the
+  /// last) re-arms the trigger once per backoff episode, not once per
+  /// shrink sample — the first re-armed pass already proved the bucket
+  /// still pinned at the smaller size. Cleared when the largest-bucket
+  /// identity changes or any pass makes a change (a new episode).
+  bool skew_backoff_shrink_spent_ = false;
   /// Latches true once the engine reports a nonzero equality-bucket
   /// shape; until then skew gating falls back to the plain churn
   /// schedule (engines without eq_bucket_stats() must not lose their

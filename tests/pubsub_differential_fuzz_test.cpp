@@ -417,7 +417,7 @@ TEST(DifferentialFuzz, OverlayTracesIdenticalAcrossEngineShardWorkerPrefilter) {
     ASSERT_FALSE(oracle.delivery_log.empty()) << "seed=" << seed;
 
     for (const std::string engine :
-         {"brute-force", "anchor-index", "counting"}) {
+         {"brute-force", "anchor-index", "counting", "bitset"}) {
       for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
         for (const std::size_t workers : {std::size_t{0}, std::size_t{4}}) {
           for (const bool prefilter : {false, true}) {
@@ -490,7 +490,7 @@ TEST(DifferentialFuzz, FlushBudgetsPreserveDeliverySetsAndCounters) {
     std::vector<std::string> oracle_sorted = oracle.delivery_log;
     std::sort(oracle_sorted.begin(), oracle_sorted.end());
 
-    for (const std::string engine : {"anchor-index", "counting"}) {
+    for (const std::string engine : {"anchor-index", "counting", "bitset"}) {
       for (const BudgetCase& budget : budgets) {
         Broker::Config config;
         config.matcher_engine = "sharded:" + engine;

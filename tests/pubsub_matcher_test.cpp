@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 
 #include "pubsub/matcher.h"
 #include "pubsub/matcher_registry.h"
 #include "pubsub/sharded_matcher.h"
+#include "util/hash.h"
 #include "util/rng.h"
 
 namespace reef::pubsub {
@@ -200,6 +202,8 @@ TEST(MatcherRegistry, BuiltInEnginesByName) {
               names.end());
   EXPECT_TRUE(std::find(names.begin(), names.end(), "counting") !=
               names.end());
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "bitset") !=
+              names.end());
   for (const auto& name : names) {
     const auto matcher = registry.create(name);
     ASSERT_NE(matcher, nullptr);
@@ -277,8 +281,9 @@ TEST_P(MatcherEquivalence, AllEnginesAgreeWithBruteForceUnderChurn) {
   util::Rng rng(GetParam());
   BruteForceMatcher brute;
   std::vector<std::unique_ptr<Matcher>> engines;
-  for (const auto& name : {"anchor-index", "counting",
-                           "sharded:anchor-index", "sharded:counting"}) {
+  for (const auto& name : {"anchor-index", "counting", "bitset",
+                           "sharded:anchor-index", "sharded:counting",
+                           "sharded:bitset"}) {
     engines.push_back(make_matcher(name));
   }
   std::vector<SubscriptionId> live;
@@ -322,8 +327,9 @@ TEST_P(MatcherEquivalence, MatchBatchEqualsPerEventMatch) {
   // test-only engine in the process-wide registry, and coverage here must
   // not depend on test execution order.
   for (const std::string name :
-       {"brute-force", "anchor-index", "counting", "sharded:brute-force",
-        "sharded:anchor-index", "sharded:counting"}) {
+       {"brute-force", "anchor-index", "counting", "bitset",
+        "sharded:brute-force", "sharded:anchor-index", "sharded:counting",
+        "sharded:bitset"}) {
     const auto engine = make_matcher(name);
     for (std::size_t i = 0; i < filters.size(); ++i) {
       engine->add(i + 1, filters[i]);
@@ -355,7 +361,7 @@ TEST_P(MatcherEquivalence, MatchBatchEqualsPerEventMatch) {
 /// because the sharded merge is by shard index, never thread schedule.
 TEST_P(MatcherEquivalence, ShardedAgreesWithUnshardedAcrossWorkerCounts) {
   util::Rng rng(GetParam() ^ 0x51a8d);
-  for (const std::string inner : {"anchor-index", "counting"}) {
+  for (const std::string inner : {"anchor-index", "counting", "bitset"}) {
     BruteForceMatcher oracle;
     const auto unsharded = make_matcher(inner);
     std::vector<std::unique_ptr<ShardedMatcher>> sharded;
@@ -459,7 +465,8 @@ TEST(ShardedMatcher, RejectsNestedShardingAndZeroShards) {
 TEST(ShardedMatcher, RegistryExposesShardedVariants) {
   auto& registry = MatcherRegistry::instance();
   for (const std::string name :
-       {"sharded:brute-force", "sharded:anchor-index", "sharded:counting"}) {
+       {"sharded:brute-force", "sharded:anchor-index", "sharded:counting",
+        "sharded:bitset"}) {
     ASSERT_TRUE(registry.contains(name)) << name;
     EXPECT_EQ(registry.create(name)->name(), name);
   }
@@ -537,6 +544,66 @@ TEST(IndexMatcher, RebalanceMovesLongLivedFiltersOffGrownBuckets) {
     std::sort(want.begin(), want.end());
     std::sort(got.begin(), got.end());
     ASSERT_EQ(got, want) << probe.to_string();
+  }
+}
+
+TEST(IndexMatcher, EqBucketStatsStayExactUnderChurn) {
+  // eq_bucket_stats() is maintained incrementally (satellite of the bitset
+  // PR); this pins it against a recomputed-from-scratch oracle through a
+  // few hundred add/remove rounds. Single-eq filters force the anchor, so
+  // the oracle knows exactly which bucket every subscription lives in.
+  util::Rng rng(0x57a75);
+  IndexMatcher m;
+  struct LiveSub {
+    std::string attr;
+    std::int64_t value;
+  };
+  std::map<SubscriptionId, LiveSub> live;
+  SubscriptionId next = 1;
+  for (int round = 0; round < 300; ++round) {
+    if (live.empty() || rng.chance(0.6)) {
+      const std::string attr(1, static_cast<char>('a' + rng.index(3)));
+      const auto value = static_cast<std::int64_t>(rng.index(5));
+      m.add(next, Filter().and_(eq(attr, value)));
+      live.emplace(next, LiveSub{attr, value});
+      ++next;
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng.index(live.size())));
+      m.remove(it->first);
+      live.erase(it);
+    }
+    std::map<std::pair<std::string, std::int64_t>, std::size_t> buckets;
+    for (const auto& [id, sub] : live) ++buckets[{sub.attr, sub.value}];
+    std::size_t largest = 0;
+    for (const auto& [key, count] : buckets) {
+      largest = std::max(largest, count);
+    }
+    const auto stats = m.eq_bucket_stats();
+    ASSERT_EQ(stats.filters, live.size()) << "round " << round;
+    ASSERT_EQ(stats.buckets, buckets.size()) << "round " << round;
+    ASSERT_EQ(stats.largest, largest) << "round " << round;
+    if (largest == 0) {
+      ASSERT_EQ(stats.largest_key, 0u) << "round " << round;
+    } else {
+      // The reported key must name one of the max-size buckets. Keys are
+      // hash_combine(attr, hash(canonical value)) — same recipe the
+      // routing table's backoff relies on for identity comparisons.
+      bool names_a_max_bucket = false;
+      for (const auto& [key, count] : buckets) {
+        if (count != largest) continue;
+        const Constraint c = eq(key.first, key.second);
+        const std::size_t id_key = util::hash_combine(
+            c.attr_id(), std::hash<Value>{}(canonical_numeric(c.value())));
+        if (id_key == stats.largest_key) {
+          names_a_max_bucket = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(names_a_max_bucket)
+          << "round " << round
+          << ": largest_key does not identify any max-size bucket";
+    }
   }
 }
 

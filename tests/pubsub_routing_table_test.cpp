@@ -602,6 +602,48 @@ TEST(RoutingTable, SkewBackoffStopsRefiringOnPinnedHotBucket) {
   EXPECT_GE(table.maintain_skew_triggers(), 3u);
 }
 
+TEST(RoutingTable, ShrinkSideBackoffReArmsOncePerEpisode) {
+  // Regression pin for the shrink-side re-arm being one-shot. A pinned
+  // hot bucket *draining* one filter at a time is strictly smaller at
+  // every skew sample; the old re-arm condition (largest < snapshot)
+  // bought a futile maintain pass per sample for the whole drain. Fixed:
+  // the first re-armed pass proves the bucket is still pinned at the
+  // smaller size, and the episode's shrink re-arm is spent until the
+  // largest-bucket identity changes or a pass moves something.
+  RoutingTable::Config config;
+  config.engine = "anchor-index";
+  config.maintain_churn_threshold = 80;
+  config.maintain_max_bucket = 4;
+  config.maintain_skew_ratio = 4;
+  RoutingTable table(config);
+  SubscriptionId next = 1;
+  for (int i = 0; i < 9; ++i) {
+    table.client_subscribe(kClient, next,
+                           Filter().and_(eq("user",
+                                            static_cast<std::int64_t>(next))));
+    ++next;
+  }
+  std::vector<SubscriptionId> pinned;
+  for (int i = 0; i < 100; ++i) {
+    pinned.push_back(next);
+    table.client_subscribe(kClient, next++, Filter().and_(eq("hot", 1)));
+  }
+  ASSERT_EQ(table.maintain_skew_triggers(), 1u);
+  const std::uint64_t skips_before_drain = table.maintain_backoff_skips();
+
+  // Drain 60 pinned filters one by one — six strictly-shrinking skew
+  // samples (plus one scheduled pass mid-drain). Exactly one of them may
+  // re-fire the trigger; every later shrinking sample stays suppressed.
+  for (int i = 0; i < 60; ++i) {
+    table.client_unsubscribe(kClient, pinned[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(table.maintain_skew_triggers(), 2u)
+      << "a draining pinned bucket must re-arm once, not once per sample";
+  EXPECT_GT(table.maintain_backoff_skips(), skips_before_drain)
+      << "post-re-arm shrinking samples are suppressed, and counted";
+  EXPECT_EQ(table.maintain_changes(), 0u);
+}
+
 TEST(RoutingTable, SkewRatioZeroKeepsChurnCountScheduling) {
   // Ablation: ratio 0 must reproduce the PR 3 unconditional schedule even
   // on a perfectly balanced workload.
