@@ -4,6 +4,8 @@
 #include <bit>
 #include <utility>
 
+#include "pubsub/range_index.h"
+
 namespace reef::pubsub {
 
 // --- slot space -------------------------------------------------------------
@@ -32,6 +34,15 @@ void BitsetMatcher::grow_words(std::size_t min_words) {
   for (auto& slice : required_) slice.resize(words_, 0);
   for (auto& [attr, by_value] : eq_) {
     for (auto& [value, entry] : by_value) entry.bits.resize(words_, 0);
+  }
+  for (auto& [attr, entries] : range_) {
+    for (auto& posting : entries.lower) posting.entry.bits.resize(words_, 0);
+    for (auto& posting : entries.upper) posting.entry.bits.resize(words_, 0);
+  }
+  for (auto& [attr, entries] : prefix_) {
+    for (auto& posting : entries.postings) {
+      posting.entry.bits.resize(words_, 0);
+    }
   }
   for (auto& [attr, postings] : noneq_) {
     for (auto& posting : postings) posting.entry.bits.resize(words_, 0);
@@ -92,21 +103,69 @@ void BitsetMatcher::add(SubscriptionId id, Filter filter) {
         ++entry.slot_count;
       },
       [&](const Constraint& c) {
-        auto& postings = noneq_[c.attr_id()];
-        NonEqPosting* posting = nullptr;
-        for (auto& p : postings) {
-          if (p.constraint == c) {
-            posting = &p;
-            break;
+        // Distinct constraints map to distinct entries in every class:
+        // range keys on (bound class, strictness, strict value identity) —
+        // cross-type compare-equal bounds like `< 3` and `< 3.0` stay
+        // separate entries that a probe always satisfies together, so the
+        // per-filter requirement count stays exact — prefix keys on the
+        // pattern, and the residual class on full constraint identity.
+        Entry* entry = nullptr;
+        if (is_sortable_range(c)) {
+          RangeEntries& entries = range_[c.attr_id()];
+          auto& postings =
+              is_lower_bound_op(c.op()) ? entries.lower : entries.upper;
+          const bool strict = is_strict_op(c.op());
+          auto it = std::find_if(postings.begin(), postings.end(),
+                                 [&](const RangePosting& p) {
+                                   return p.strict == strict &&
+                                          p.bound == c.value();
+                                 });
+          if (it == postings.end()) {
+            RangePosting posting{c.value(), strict, Entry{}};
+            posting.entry.bits.assign(words_, 0);
+            if (is_lower_bound_op(c.op())) {
+              it = postings.insert(
+                  std::upper_bound(postings.begin(), postings.end(), posting,
+                                   lower_bound_order<RangePosting>),
+                  std::move(posting));
+            } else {
+              it = postings.insert(
+                  std::upper_bound(postings.begin(), postings.end(), posting,
+                                   upper_bound_order<RangePosting>),
+                  std::move(posting));
+            }
+            ++entries_;
           }
+          entry = &it->entry;
+        } else if (is_sortable_prefix(c)) {
+          PrefixEntries& entries = prefix_[c.attr_id()];
+          const std::string& pattern = c.value().as_string();
+          auto it = prefix_posting_pos(entries.postings, pattern);
+          if (it == entries.postings.end() || it->prefix != pattern) {
+            it = entries.postings.insert(it, PrefixPosting{pattern, Entry{}});
+            it->entry.bits.assign(words_, 0);
+            add_prefix_length(entries.lengths, pattern.size());
+            ++entries_;
+          }
+          entry = &it->entry;
+        } else {
+          auto& postings = noneq_[c.attr_id()];
+          NonEqPosting* posting = nullptr;
+          for (auto& p : postings) {
+            if (p.constraint == c) {
+              posting = &p;
+              break;
+            }
+          }
+          if (posting == nullptr) {
+            posting = &postings.emplace_back(NonEqPosting{c, Entry{}});
+            posting->entry.bits.assign(words_, 0);
+            ++entries_;
+          }
+          entry = &posting->entry;
         }
-        if (posting == nullptr) {
-          posting = &postings.emplace_back(NonEqPosting{c, Entry{}});
-          posting->entry.bits.assign(words_, 0);
-          ++entries_;
-        }
-        posting->entry.bits[w] |= bit;
-        ++posting->entry.slot_count;
+        entry->bits[w] |= bit;
+        ++entry->slot_count;
       });
   ensure_slices(required);
   for (std::size_t s = 0; s < required_.size(); ++s) {
@@ -141,19 +200,56 @@ void BitsetMatcher::remove(SubscriptionId id) {
         }
       },
       [&](const Constraint& c) {
-        const auto attr_it = noneq_.find(c.attr_id());
-        auto& postings = attr_it->second;
-        const auto posting_it =
-            std::find_if(postings.begin(), postings.end(),
-                         [&](const NonEqPosting& p) {
-                           return p.constraint == c;
-                         });
-        Entry& entry = posting_it->entry;
-        entry.bits[w] &= ~bit;
-        if (--entry.slot_count == 0) {
-          postings.erase(posting_it);
-          if (postings.empty()) noneq_.erase(attr_it);
-          --entries_;
+        if (is_sortable_range(c)) {
+          const auto attr_it = range_.find(c.attr_id());
+          RangeEntries& entries = attr_it->second;
+          auto& postings =
+              is_lower_bound_op(c.op()) ? entries.lower : entries.upper;
+          const bool strict = is_strict_op(c.op());
+          const auto posting_it =
+              std::find_if(postings.begin(), postings.end(),
+                           [&](const RangePosting& p) {
+                             return p.strict == strict &&
+                                    p.bound == c.value();
+                           });
+          Entry& entry = posting_it->entry;
+          entry.bits[w] &= ~bit;
+          if (--entry.slot_count == 0) {
+            postings.erase(posting_it);
+            if (entries.lower.empty() && entries.upper.empty()) {
+              range_.erase(attr_it);
+            }
+            --entries_;
+          }
+        } else if (is_sortable_prefix(c)) {
+          const auto attr_it = prefix_.find(c.attr_id());
+          PrefixEntries& entries = attr_it->second;
+          const std::string& pattern = c.value().as_string();
+          const auto posting_it =
+              prefix_posting_pos(entries.postings, pattern);
+          Entry& entry = posting_it->entry;
+          entry.bits[w] &= ~bit;
+          if (--entry.slot_count == 0) {
+            remove_prefix_length(entries.lengths, pattern.size());
+            entries.postings.erase(posting_it);
+            if (entries.postings.empty()) prefix_.erase(attr_it);
+            --entries_;
+          }
+        } else {
+          const auto attr_it = noneq_.find(c.attr_id());
+          auto& postings = attr_it->second;
+          const auto posting_it =
+              std::find_if(postings.begin(), postings.end(),
+                           [&](const NonEqPosting& p) {
+                             return p.constraint == c;
+                           });
+          Entry& entry = posting_it->entry;
+          entry.bits[w] &= ~bit;
+          if (--entry.slot_count == 0) {
+            postings.erase(posting_it);
+            if (postings.empty()) noneq_.erase(attr_it);
+            --entries_;
+          }
         }
       });
   live_[w] &= ~bit;
@@ -179,6 +275,31 @@ void BitsetMatcher::collect_satisfied(AttrId attr, const Value& canonical,
         value_it != attr_it->second.end()) {
       out.push_back(&value_it->second);
     }
+  }
+  if (const auto range_it = range_.find(attr);
+      range_it != range_.end() && range_sortable(canonical)) {
+    // Sorted-bound probes (see range_index.h): satisfied lower bounds are
+    // a prefix of the array, satisfied upper bounds a suffix. Probing the
+    // canonical value is exact — int -> double canonicalization only
+    // happens when the image is exact, and Value::compare is value-based
+    // across the types either way.
+    const RangeEntries& entries = range_it->second;
+    const std::size_t lower_end =
+        lower_satisfied_end(entries.lower, canonical);
+    for (std::size_t k = 0; k < lower_end; ++k) {
+      out.push_back(&entries.lower[k].entry);
+    }
+    for (std::size_t k = upper_satisfied_begin(entries.upper, canonical);
+         k < entries.upper.size(); ++k) {
+      out.push_back(&entries.upper[k].entry);
+    }
+  }
+  if (const auto prefix_it = prefix_.find(attr);
+      prefix_it != prefix_.end() && canonical.is_string()) {
+    probe_prefixes(prefix_it->second.postings, prefix_it->second.lengths,
+                   canonical.as_string(), [&](const PrefixPosting& posting) {
+                     out.push_back(&posting.entry);
+                   });
   }
   if (const auto noneq_it = noneq_.find(attr); noneq_it != noneq_.end()) {
     // Evaluated against the *canonical* value in the single-event path too,
@@ -284,7 +405,10 @@ void BitsetMatcher::match_batch(
   std::vector<std::vector<const Entry*>> satisfied(events.size());
   using Occurrences = std::vector<std::pair<std::uint32_t, const Value*>>;
   const auto match_group = [&](AttrId attr, const Occurrences& occurrences) {
-    if (!eq_.contains(attr) && !noneq_.contains(attr)) return;
+    if (!eq_.contains(attr) && !range_.contains(attr) &&
+        !prefix_.contains(attr) && !noneq_.contains(attr)) {
+      return;
+    }
     std::unordered_map<Value, std::vector<std::uint32_t>> by_value;
     for (const auto& [i, value] : occurrences) {
       by_value[canonical_numeric(*value)].push_back(i);

@@ -20,10 +20,20 @@
 // Equality constraints index as eq[attr][canonical value] -> bitmap of the
 // slots carrying that constraint (cross-type numerics collapse onto one
 // entry via canonical_numeric, exactly like the hash engines' buckets).
-// Every other operator indexes as noneq[attr] -> (constraint, bitmap)
-// postings, one per *distinct* constraint — filters sharing `price < 100`
-// share one entry, so the predicate is evaluated once per event (or once
-// per distinct value in a batch), not once per filter.
+// Numeric range constraints (< <= > >=) index as *sorted bound arrays* per
+// attribute — one bitmap entry per distinct bound — and resolve per event
+// value by the same binary-search probes as the anchor index (see
+// range_index.h): the satisfied lower bounds are a prefix of the sorted
+// array, the satisfied upper bounds a suffix, so no range predicate is
+// ever *evaluated* on the hot path, satisfied entries are enumerated.
+// String prefix constraints index as a sorted pattern table probed with
+// one lexicographic binary search per live pattern length. Every other
+// operator (ne/suffix/contains/exists, plus range/prefix shapes the
+// sorted structures cannot hold) indexes as noneq[attr] ->
+// (constraint, bitmap) postings, one per *distinct* constraint — filters
+// sharing `text =$ ".log"` share one entry, so the predicate is evaluated
+// once per event (or once per distinct value in a batch), not once per
+// filter. All resolved entries feed the same threshold pass below.
 //
 // ## Matching: bitmap counters + threshold pass
 //
@@ -64,6 +74,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "pubsub/attr_table.h"
@@ -122,6 +133,26 @@ class BitsetMatcher final : public Matcher {
     Constraint constraint;
     Entry entry;
   };
+  /// One distinct range bound with the slots carrying that constraint.
+  struct RangePosting {
+    Value bound;  // numeric, non-NaN (is_sortable_range gatekeeps)
+    bool strict;
+    Entry entry;
+  };
+  struct RangeEntries {
+    std::vector<RangePosting> lower;  // >/>= — lower_bound_order
+    std::vector<RangePosting> upper;  // </<= — upper_bound_order
+  };
+  /// One distinct prefix pattern with the slots carrying that constraint.
+  struct PrefixPosting {
+    std::string prefix;
+    Entry entry;
+  };
+  struct PrefixEntries {
+    std::vector<PrefixPosting> postings;  // sorted by pattern, distinct
+    /// sorted (pattern length, live patterns of that length)
+    std::vector<std::pair<std::size_t, std::size_t>> lengths;
+  };
   struct Slot {
     SubscriptionId sub = 0;
     Filter filter;
@@ -160,7 +191,12 @@ class BitsetMatcher final : public Matcher {
   /// attribute id -> canonical value -> slots with that eq constraint.
   std::unordered_map<AttrId, std::unordered_map<Value, Entry>, AttrIdHash>
       eq_;
-  /// attribute id -> distinct non-equality postings on that attribute.
+  /// attribute id -> sorted distinct range-bound entries on that attribute.
+  std::unordered_map<AttrId, RangeEntries, AttrIdHash> range_;
+  /// attribute id -> sorted distinct prefix-pattern entries.
+  std::unordered_map<AttrId, PrefixEntries, AttrIdHash> prefix_;
+  /// attribute id -> residual distinct non-equality postings (operators
+  /// the sorted structures cannot hold; evaluated per distinct value).
   std::unordered_map<AttrId, std::vector<NonEqPosting>, AttrIdHash> noneq_;
   std::vector<Word> live_;      // occupied slots
   std::vector<Word> zero_req_;  // live slots with requirement 0 (universal)

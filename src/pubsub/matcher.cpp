@@ -3,12 +3,21 @@
 #include <algorithm>
 #include <utility>
 
+#include "pubsub/range_index.h"
 #include "util/hash.h"
 
 namespace reef::pubsub {
 
 Value canonical_numeric(const Value& v) {
-  if (const auto n = v.numeric()) return Value(*n);
+  // Fold ints onto their double image only when the image is exact: the
+  // engines that trust bucket identity without re-evaluating (counting,
+  // bitset) would otherwise merge 2^53 with 2^53+1 — values the exact
+  // Value::compare keeps distinct — and report false matches.
+  if (v.type() == Value::Type::kInt) {
+    if (const auto d = Value::exact_double_of_int(v.as_int())) {
+      return Value(*d);
+    }
+  }
   return v;
 }
 
@@ -55,13 +64,24 @@ void IndexMatcher::add(SubscriptionId id, Filter filter) {
     filters_.emplace(id, std::move(entry));
     return;
   }
-  // Anchor on the equality constraint whose bucket is currently smallest;
-  // absent any equality constraint, fall back to a scan list keyed by the
-  // first constraint's attribute.
+  // Anchor priority (see the class comment): the equality constraint whose
+  // bucket is currently smallest, else the first sorted-indexable range
+  // constraint, else the first indexable prefix constraint, else the
+  // residual scan list keyed by the first constraint's attribute. Each
+  // anchor constraint is a necessary condition of its filter, so matching
+  // stays correct for any choice — priority only steers probe cost.
   const Constraint* best = nullptr;
   std::size_t best_size = ~std::size_t{0};
+  const Constraint* range_anchor = nullptr;
+  const Constraint* prefix_anchor = nullptr;
   for (const auto& c : entry.filter.constraints()) {
-    if (c.op() != Op::kEq) continue;
+    if (c.op() != Op::kEq) {
+      if (range_anchor == nullptr && is_sortable_range(c)) range_anchor = &c;
+      if (prefix_anchor == nullptr && is_sortable_prefix(c)) {
+        prefix_anchor = &c;
+      }
+      continue;
+    }
     std::size_t bucket = 0;
     if (const auto attr_it = eq_.find(c.attr_id()); attr_it != eq_.end()) {
       if (const auto value_it =
@@ -76,14 +96,48 @@ void IndexMatcher::add(SubscriptionId id, Filter filter) {
     }
   }
   if (best != nullptr) {
-    entry.eq_anchor = true;
+    entry.kind = AnchorKind::kEqBucket;
     entry.anchor_attr = best->attr_id();
     entry.anchor_value = canonical_numeric(best->value());
     auto& bucket = eq_[entry.anchor_attr][entry.anchor_value];
     bucket.push_back(id);
     note_bucket_grew(entry.anchor_attr, entry.anchor_value, bucket.size());
     ++eq_count_;
+  } else if (range_anchor != nullptr) {
+    entry.kind = AnchorKind::kRange;
+    entry.anchor_attr = range_anchor->attr_id();
+    entry.anchor_value = range_anchor->value();
+    entry.anchor_strict = is_strict_op(range_anchor->op());
+    entry.anchor_lower = is_lower_bound_op(range_anchor->op());
+    RangeIndex& index = range_[entry.anchor_attr];
+    RangePosting posting{entry.anchor_value, entry.anchor_strict, id};
+    if (entry.anchor_lower) {
+      index.lower.insert(
+          std::upper_bound(index.lower.begin(), index.lower.end(), posting,
+                           lower_bound_order<RangePosting>),
+          std::move(posting));
+    } else {
+      index.upper.insert(
+          std::upper_bound(index.upper.begin(), index.upper.end(), posting,
+                           upper_bound_order<RangePosting>),
+          std::move(posting));
+    }
+    ++range_count_;
+  } else if (prefix_anchor != nullptr) {
+    entry.kind = AnchorKind::kPrefix;
+    entry.anchor_attr = prefix_anchor->attr_id();
+    entry.anchor_value = prefix_anchor->value();
+    PrefixIndex& index = prefix_[entry.anchor_attr];
+    const std::string& pattern = entry.anchor_value.as_string();
+    auto it = prefix_posting_pos(index.postings, pattern);
+    if (it == index.postings.end() || it->prefix != pattern) {
+      it = index.postings.insert(it, PrefixPosting{pattern, {}});
+      add_prefix_length(index.lengths, pattern.size());
+    }
+    it->ids.push_back(id);
+    ++prefix_count_;
   } else {
+    entry.kind = AnchorKind::kScan;
     entry.anchor_attr = entry.filter.constraints().front().attr_id();
     scan_[entry.anchor_attr].push_back(id);
     ++scan_count_;
@@ -95,21 +149,53 @@ void IndexMatcher::remove(SubscriptionId id) {
   const auto it = filters_.find(id);
   if (it == filters_.end()) return;
   const Entry& entry = it->second;
-  if (entry.filter.empty()) {
-    std::erase(universal_, id);
-  } else if (entry.eq_anchor) {
-    auto& by_value = eq_.at(entry.anchor_attr);
-    auto& bucket = by_value.at(entry.anchor_value);
-    std::erase(bucket, id);
-    note_bucket_shrank(entry.anchor_attr, entry.anchor_value, bucket.size());
-    if (bucket.empty()) by_value.erase(entry.anchor_value);
-    if (by_value.empty()) eq_.erase(entry.anchor_attr);
-    --eq_count_;
-  } else {
-    auto& list = scan_.at(entry.anchor_attr);
-    std::erase(list, id);
-    if (list.empty()) scan_.erase(entry.anchor_attr);
-    --scan_count_;
+  switch (entry.kind) {
+    case AnchorKind::kUniversal:
+      std::erase(universal_, id);
+      break;
+    case AnchorKind::kEqBucket: {
+      auto& by_value = eq_.at(entry.anchor_attr);
+      auto& bucket = by_value.at(entry.anchor_value);
+      std::erase(bucket, id);
+      note_bucket_shrank(entry.anchor_attr, entry.anchor_value,
+                         bucket.size());
+      if (bucket.empty()) by_value.erase(entry.anchor_value);
+      if (by_value.empty()) eq_.erase(entry.anchor_attr);
+      --eq_count_;
+      break;
+    }
+    case AnchorKind::kRange: {
+      const auto range_it = range_.find(entry.anchor_attr);
+      RangeIndex& index = range_it->second;
+      auto& postings = entry.anchor_lower ? index.lower : index.upper;
+      postings.erase(std::find_if(
+          postings.begin(), postings.end(),
+          [&](const RangePosting& p) { return p.id == id; }));
+      if (index.lower.empty() && index.upper.empty()) range_.erase(range_it);
+      --range_count_;
+      break;
+    }
+    case AnchorKind::kPrefix: {
+      const auto prefix_it = prefix_.find(entry.anchor_attr);
+      PrefixIndex& index = prefix_it->second;
+      const std::string& pattern = entry.anchor_value.as_string();
+      const auto pos = prefix_posting_pos(index.postings, pattern);
+      std::erase(pos->ids, id);
+      if (pos->ids.empty()) {
+        remove_prefix_length(index.lengths, pattern.size());
+        index.postings.erase(pos);
+      }
+      if (index.postings.empty()) prefix_.erase(prefix_it);
+      --prefix_count_;
+      break;
+    }
+    case AnchorKind::kScan: {
+      auto& list = scan_.at(entry.anchor_attr);
+      std::erase(list, id);
+      if (list.empty()) scan_.erase(entry.anchor_attr);
+      --scan_count_;
+      break;
+    }
   }
   filters_.erase(it);
 }
@@ -245,6 +331,34 @@ void IndexMatcher::match(const Event& event,
         }
       }
     }
+    if (const auto range_it = range_.find(attr);
+        range_it != range_.end() && range_sortable(value)) {
+      // Binary-search the sorted bound arrays: the satisfied lower-bound
+      // postings are a prefix, the satisfied upper-bound postings a
+      // suffix; only those candidates are fetched and evaluated.
+      const RangeIndex& index = range_it->second;
+      const std::size_t lower_end = lower_satisfied_end(index.lower, value);
+      for (std::size_t k = 0; k < lower_end; ++k) {
+        const SubscriptionId id = index.lower[k].id;
+        if (filters_.at(id).filter.matches(event)) out.push_back(id);
+      }
+      for (std::size_t k = upper_satisfied_begin(index.upper, value);
+           k < index.upper.size(); ++k) {
+        const SubscriptionId id = index.upper[k].id;
+        if (filters_.at(id).filter.matches(event)) out.push_back(id);
+      }
+    }
+    if (const auto prefix_it = prefix_.find(attr);
+        prefix_it != prefix_.end() && value.is_string()) {
+      probe_prefixes(prefix_it->second.postings, prefix_it->second.lengths,
+                     value.as_string(), [&](const PrefixPosting& posting) {
+                       for (const SubscriptionId id : posting.ids) {
+                         if (filters_.at(id).filter.matches(event)) {
+                           out.push_back(id);
+                         }
+                       }
+                     });
+    }
     if (const auto scan_it = scan_.find(attr); scan_it != scan_.end()) {
       for (const SubscriptionId id : scan_it->second) {
         if (filters_.at(id).filter.matches(event)) out.push_back(id);
@@ -260,7 +374,9 @@ void IndexMatcher::match_batch(
   for (auto& hits : out) {
     hits.insert(hits.end(), universal_.begin(), universal_.end());
   }
-  if (eq_.empty() && scan_.empty()) return;
+  if (eq_.empty() && range_.empty() && prefix_.empty() && scan_.empty()) {
+    return;
+  }
   // Group the batch by attribute id into (position, value) occurrence
   // lists — one eq_/scan_ probe per distinct attribute across the whole
   // batch, no string hashing anywhere. Two grouping strategies, same
@@ -282,22 +398,55 @@ void IndexMatcher::match_batch(
   }
   using Occurrences = std::vector<std::pair<std::uint32_t, const Value*>>;
   const auto match_group = [&](AttrId attr, const Occurrences& occurrences) {
-    if (const auto attr_it = eq_.find(attr); attr_it != eq_.end()) {
-      // Sub-group by canonical value so each bucket is probed once and
-      // each candidate filter is fetched once, however many events of the
-      // batch share the value.
+    const auto eq_it = eq_.find(attr);
+    const auto range_it = range_.find(attr);
+    const auto prefix_it = prefix_.find(attr);
+    if (eq_it != eq_.end() || range_it != range_.end() ||
+        prefix_it != prefix_.end()) {
+      // Sub-group by canonical value so each probe — eq bucket lookup,
+      // range binary search, prefix table probe — runs once and each
+      // candidate filter is fetched once, however many events of the
+      // batch share the value. Probe order per value mirrors the
+      // single-event path (eq, range lower, range upper, prefix, scan),
+      // and each event carries one value per attribute, so per-event
+      // output order is batch-composition independent.
       std::unordered_map<Value, std::vector<std::uint32_t>> by_value;
       for (const auto& [i, value] : occurrences) {
         by_value[canonical_numeric(*value)].push_back(i);
       }
       for (const auto& [value, event_positions] : by_value) {
-        const auto value_it = attr_it->second.find(value);
-        if (value_it == attr_it->second.end()) continue;
-        for (const SubscriptionId id : value_it->second) {
+        const auto evaluate = [&](SubscriptionId id) {
           const Filter& filter = filters_.at(id).filter;
           for (const std::uint32_t i : event_positions) {
             if (filter.matches(events[i])) out[i].push_back(id);
           }
+        };
+        if (eq_it != eq_.end()) {
+          if (const auto value_it = eq_it->second.find(value);
+              value_it != eq_it->second.end()) {
+            for (const SubscriptionId id : value_it->second) evaluate(id);
+          }
+        }
+        if (range_it != range_.end() && range_sortable(value)) {
+          const RangeIndex& index = range_it->second;
+          const std::size_t lower_end =
+              lower_satisfied_end(index.lower, value);
+          for (std::size_t k = 0; k < lower_end; ++k) {
+            evaluate(index.lower[k].id);
+          }
+          for (std::size_t k = upper_satisfied_begin(index.upper, value);
+               k < index.upper.size(); ++k) {
+            evaluate(index.upper[k].id);
+          }
+        }
+        if (prefix_it != prefix_.end() && value.is_string()) {
+          probe_prefixes(prefix_it->second.postings,
+                         prefix_it->second.lengths, value.as_string(),
+                         [&](const PrefixPosting& posting) {
+                           for (const SubscriptionId id : posting.ids) {
+                             evaluate(id);
+                           }
+                         });
         }
       }
     }

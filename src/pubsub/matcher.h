@@ -4,8 +4,11 @@
 // MatcherRegistry (see matcher_registry.h):
 //   "brute-force"  — linear scan; the correctness oracle in tests and the
 //                    ablation baseline in benches.
-//   "anchor-index" — every filter indexed in exactly one hash bucket keyed
-//                    by its most selective equality constraint.
+//   "anchor-index" — every filter anchored in exactly one per-op index
+//                    structure: an equality hash bucket (keyed by its most
+//                    selective eq constraint), a sorted numeric range
+//                    bound array, a sorted string prefix table, or the
+//                    residual scan list.
 //   "counting"     — classic Gryphon/Siena counting algorithm: constraints
 //                    indexed per attribute, a filter fires when all of its
 //                    constraints have been satisfied by the event.
@@ -32,6 +35,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "pubsub/attr_table.h"
@@ -43,9 +47,11 @@ namespace reef::pubsub {
 /// Identifier a matcher client associates with a registered filter.
 using SubscriptionId = std::uint64_t;
 
-/// Normalizes numerics to double so that Eq(3) and an event value 3.0 land
-/// in the same hash bucket (Value::compare treats them as equal). Identity
-/// on non-numeric values.
+/// Normalizes ints with an exact double image to that double, so Eq(3) and
+/// an event value 3.0 land in the same hash bucket (Value::compare treats
+/// them as equal). Ints beyond 2^53 whose image would round keep their int
+/// identity — no double compares equal to them, so the buckets stay
+/// correctly distinct. Identity on non-numeric values.
 Value canonical_numeric(const Value& v);
 
 /// A zero-copy view of (a subset of) an event batch: the backing span plus
@@ -233,15 +239,34 @@ class BruteForceMatcher final : public Matcher {
   std::unordered_map<SubscriptionId, Filter> filters_;
 };
 
-/// Anchor-index matcher. Every filter is indexed in exactly one place — a
-/// hash bucket keyed by its most *selective* equality constraint (the one
-/// whose (attribute, value) bucket is currently smallest), or, for filters
-/// without equality constraints, a per-attribute scan list. Matching an
-/// event probes the buckets of the event's own attribute values and fully
-/// evaluates only the candidates found there. Anchoring on the smallest
-/// bucket steers filters away from non-selective attributes (every feed
-/// subscription carries stream="feed"; anchoring there would degenerate to
-/// a linear scan — the classic content-based-matching pitfall).
+/// Anchor-index matcher. Every filter is indexed in exactly one place,
+/// picked by anchor priority:
+///
+///   1. a hash bucket keyed by its most *selective* equality constraint
+///      (the one whose (attribute, value) bucket is currently smallest);
+///   2. absent eq constraints, a *sorted numeric bound array* for its
+///      first range constraint (`<` `<=` `>` `>=` with a numeric bound):
+///      matching binary-searches the event value against the sorted
+///      lower/upper bound arrays and enumerates exactly the satisfied
+///      postings — never the unsatisfied ones;
+///   3. absent those, a *sorted string prefix table* for its first prefix
+///      constraint: lexicographic binary probes, one per live pattern
+///      length (see range_index.h for the probe arithmetic shared with
+///      the bitset engine);
+///   4. otherwise a residual per-attribute scan list (suffix/contains/
+///      ne/exists and range/prefix shapes the sorted structures cannot
+///      hold: string or NaN bounds, non-string prefix patterns). Since
+///      range and prefix filters anchor in their own structures, the
+///      residual list no longer taxes range-heavy attributes.
+///
+/// Matching an event probes the structures of the event's own attribute
+/// values and fully evaluates only the candidates found there; any anchor
+/// is correct because it is a *necessary* condition of its filter (an
+/// event matching the filter satisfies the anchor constraint, so the
+/// probe finds it). Anchoring on the smallest eq bucket steers filters
+/// away from non-selective attributes (every feed subscription carries
+/// stream="feed"; anchoring there would degenerate to a linear scan — the
+/// classic content-based-matching pitfall).
 class IndexMatcher final : public Matcher {
  public:
   using Matcher::match;
@@ -261,9 +286,12 @@ class IndexMatcher final : public Matcher {
   std::size_t size() const noexcept override { return filters_.size(); }
   std::string name() const override { return "anchor-index"; }
 
-  /// Introspection for benches: filters anchored in equality buckets vs.
-  /// sitting on per-attribute scan lists.
+  /// Introspection for tests and benches: filters anchored per structure
+  /// (equality buckets, sorted range arrays, prefix tables, residual scan
+  /// lists).
   std::size_t eq_anchored() const noexcept { return eq_count_; }
+  std::size_t range_anchored() const noexcept { return range_count_; }
+  std::size_t prefix_anchored() const noexcept { return prefix_count_; }
   std::size_t scan_anchored() const noexcept { return scan_count_; }
   /// Attribute a filter is currently anchored on (empty string for the
   /// universal list; nullopt for unknown ids). Test/bench introspection
@@ -300,11 +328,43 @@ class IndexMatcher final : public Matcher {
   }
 
  private:
+  enum class AnchorKind : std::uint8_t {
+    kUniversal,  // empty filter, universal list
+    kEqBucket,   // equality hash bucket
+    kRange,      // sorted numeric bound array (lower or upper)
+    kPrefix,     // sorted string prefix table
+    kScan,       // residual per-attribute scan list
+  };
+
   struct Entry {
     Filter filter;
-    bool eq_anchor = false;
+    AnchorKind kind = AnchorKind::kUniversal;
     AttrId anchor_attr = kNoAttrId;  // kNoAttrId = universal list
-    Value anchor_value;              // only meaningful when eq_anchor
+    Value anchor_value;  // eq: canonical bucket key; range: the bound;
+                         // prefix: the pattern; otherwise unused
+    bool anchor_strict = false;  // range: strict (< / >) bound
+    bool anchor_lower = false;   // range: lower (>/>=) vs upper (</<=)
+  };
+
+  /// One range anchor posting: a sorted bound with its strictness.
+  struct RangePosting {
+    Value bound;  // numeric, non-NaN (is_sortable_range gatekeeps)
+    bool strict;
+    SubscriptionId id;
+  };
+  struct RangeIndex {
+    std::vector<RangePosting> lower;  // >/>= — lower_bound_order
+    std::vector<RangePosting> upper;  // </<= — upper_bound_order
+  };
+  /// One distinct prefix pattern with the filters anchored on it.
+  struct PrefixPosting {
+    std::string prefix;
+    std::vector<SubscriptionId> ids;
+  };
+  struct PrefixIndex {
+    std::vector<PrefixPosting> postings;  // sorted by pattern, distinct
+    /// sorted (pattern length, live patterns of that length)
+    std::vector<std::pair<std::size_t, std::size_t>> lengths;
   };
 
   /// Incremental eq-bucket-stats bookkeeping, called at every bucket
@@ -321,10 +381,18 @@ class IndexMatcher final : public Matcher {
                      std::unordered_map<Value, std::vector<SubscriptionId>>,
                      AttrIdHash>
       eq_;
-  /// attribute id -> filters (without eq constraints) anchored on it
+  /// attribute id -> sorted range bound arrays of the filters anchored on
+  /// a numeric range constraint of that attribute
+  std::unordered_map<AttrId, RangeIndex, AttrIdHash> range_;
+  /// attribute id -> sorted prefix table of the filters anchored on a
+  /// string prefix constraint of that attribute
+  std::unordered_map<AttrId, PrefixIndex, AttrIdHash> prefix_;
+  /// attribute id -> residual filters (no eq/range/prefix anchor shape)
   std::unordered_map<AttrId, std::vector<SubscriptionId>, AttrIdHash> scan_;
   std::vector<SubscriptionId> universal_;  // empty filters match everything
   std::size_t eq_count_ = 0;
+  std::size_t range_count_ = 0;
+  std::size_t prefix_count_ = 0;
   std::size_t scan_count_ = 0;
   /// Bucket-size histogram: size -> {bucket identity key -> buckets of
   /// that size under that key}. Keys are hash_combine(attr, hash(value)) —

@@ -1,0 +1,195 @@
+// Shared sorted-bound / sorted-prefix probe arithmetic for the per-op
+// predicate indexes: IndexMatcher's range/prefix anchor structures and
+// BitsetMatcher's range/prefix entry tables both sort their postings with
+// the comparators here and enumerate the satisfied postings with the same
+// partition-point probes, so the two engines cannot drift on boundary
+// semantics (strict vs inclusive at an exactly-equal bound is where the
+// off-by-ones live).
+//
+// ## Range postings
+//
+// A numeric range constraint is either a *lower* bound (`> b`, `>= b`:
+// satisfied values are bounded below) or an *upper* bound (`< b`, `<= b`).
+// Per attribute each class lives in its own sorted array, ordered so the
+// postings satisfied by an event value `v` form a contiguous run found by
+// one binary search:
+//
+//   lower: bound ascending, inclusive (>=) before strict (>) at
+//          compare-equal bounds  =>  satisfied set is a *prefix*
+//   upper: bound ascending, strict (<) before inclusive (<=)
+//          =>  satisfied set is a *suffix*
+//
+// Bounds compare with the exact Value::compare (int/double cross-type,
+// no precision loss past 2^53), which is a total order over non-NaN
+// numerics — NaN bounds are excluded up front by is_sortable_range.
+//
+// ## Prefix postings
+//
+// Prefix constraints per attribute live in one array sorted by pattern
+// (distinct patterns), plus a sorted set of live pattern lengths. Probing
+// an event string runs one lexicographic binary search per live length
+// l <= |s| for s's own l-prefix — the [p, p+epsilon) interval membership
+// test, inverted: instead of asking which strings fall in a pattern's
+// interval, each l-prefix of the event names the one pattern interval it
+// could fall in.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <compare>
+#include <cstddef>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "pubsub/constraint.h"
+#include "pubsub/value.h"
+
+namespace reef::pubsub {
+
+/// True for the range ops whose satisfied values are bounded below.
+inline bool is_lower_bound_op(Op op) noexcept {
+  return op == Op::kGt || op == Op::kGe;
+}
+
+/// True for the strict comparisons (`<`, `>`).
+inline bool is_strict_op(Op op) noexcept {
+  return op == Op::kLt || op == Op::kGt;
+}
+
+/// True for values a sorted numeric bound array can hold or be probed
+/// with: numeric and not NaN (NaN satisfies and is covered by nothing).
+inline bool range_sortable(const Value& v) noexcept {
+  if (!v.is_numeric()) return false;
+  return v.type() != Value::Type::kDouble || !std::isnan(v.as_double());
+}
+
+/// Range constraint whose bound can live in a sorted numeric array.
+/// String/bool range constraints are legal in the language but stay on
+/// the residual scan path.
+inline bool is_sortable_range(const Constraint& c) noexcept {
+  switch (c.op()) {
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe:
+      return range_sortable(c.value());
+    default:
+      return false;
+  }
+}
+
+/// Prefix constraint indexable in the sorted-pattern table. A non-string
+/// pattern never matches anything; it stays on the residual scan path.
+inline bool is_sortable_prefix(const Constraint& c) noexcept {
+  return c.op() == Op::kPrefix && c.value().is_string();
+}
+
+namespace probe_detail {
+inline bool value_less(const Value& a, const Value& b) noexcept {
+  return Value::compare(a, b) == std::strong_ordering::less;
+}
+}  // namespace probe_detail
+
+/// Sort order for lower-bound postings (`Posting` needs `.bound` and
+/// `.strict`): bound ascending, inclusive before strict at compare-equal
+/// bounds, so the satisfied postings for any probe value are a prefix.
+template <typename Posting>
+bool lower_bound_order(const Posting& a, const Posting& b) noexcept {
+  if (probe_detail::value_less(a.bound, b.bound)) return true;
+  if (probe_detail::value_less(b.bound, a.bound)) return false;
+  return !a.strict && b.strict;
+}
+
+/// Sort order for upper-bound postings: bound ascending, strict before
+/// inclusive, so the satisfied postings are a suffix.
+template <typename Posting>
+bool upper_bound_order(const Posting& a, const Posting& b) noexcept {
+  if (probe_detail::value_less(a.bound, b.bound)) return true;
+  if (probe_detail::value_less(b.bound, a.bound)) return false;
+  return a.strict && !b.strict;
+}
+
+/// One past the last lower-bound posting satisfied by probe value `v`
+/// (array sorted by lower_bound_order; `v` must pass range_sortable).
+/// Satisfied means bound < v, or bound == v for an inclusive posting —
+/// monotone along the sort order, so partition_point finds the edge.
+template <typename Posting>
+std::size_t lower_satisfied_end(const std::vector<Posting>& sorted,
+                                const Value& v) noexcept {
+  const auto it = std::partition_point(
+      sorted.begin(), sorted.end(), [&](const Posting& p) {
+        const auto c = Value::compare(p.bound, v);
+        return c == std::strong_ordering::less ||
+               (c == std::strong_ordering::equal && !p.strict);
+      });
+  return static_cast<std::size_t>(it - sorted.begin());
+}
+
+/// Index of the first upper-bound posting satisfied by `v` (array sorted
+/// by upper_bound_order). Unsatisfied means bound < v, or bound == v for
+/// a strict posting — monotone, so the satisfied suffix starts at the
+/// partition point.
+template <typename Posting>
+std::size_t upper_satisfied_begin(const std::vector<Posting>& sorted,
+                                  const Value& v) noexcept {
+  const auto it = std::partition_point(
+      sorted.begin(), sorted.end(), [&](const Posting& p) {
+        const auto c = Value::compare(p.bound, v);
+        return c == std::strong_ordering::less ||
+               (c == std::strong_ordering::equal && p.strict);
+      });
+  return static_cast<std::size_t>(it - sorted.begin());
+}
+
+/// Live-prefix-length bookkeeping: lengths is kept sorted ascending with a
+/// count of live distinct patterns per length.
+inline void add_prefix_length(
+    std::vector<std::pair<std::size_t, std::size_t>>& lengths,
+    std::size_t len) {
+  const auto it = std::lower_bound(
+      lengths.begin(), lengths.end(), len,
+      [](const auto& e, std::size_t l) { return e.first < l; });
+  if (it != lengths.end() && it->first == len) {
+    ++it->second;
+  } else {
+    lengths.insert(it, {len, 1});
+  }
+}
+
+inline void remove_prefix_length(
+    std::vector<std::pair<std::size_t, std::size_t>>& lengths,
+    std::size_t len) {
+  const auto it = std::lower_bound(
+      lengths.begin(), lengths.end(), len,
+      [](const auto& e, std::size_t l) { return e.first < l; });
+  if (--it->second == 0) lengths.erase(it);
+}
+
+/// Lower-bound position of pattern `key` in a prefix-sorted posting array
+/// (`Posting` needs `.prefix`); callers check for an exact hit.
+template <typename Postings>
+auto prefix_posting_pos(Postings& sorted, std::string_view key) noexcept {
+  return std::lower_bound(
+      sorted.begin(), sorted.end(), key,
+      [](const auto& p, std::string_view k) {
+        return std::string_view(p.prefix) < k;
+      });
+}
+
+/// Invokes `fn(posting)` for every posting whose pattern is a prefix of
+/// event string `s`: one binary search per live pattern length <= |s|.
+template <typename Posting, typename Fn>
+void probe_prefixes(
+    const std::vector<Posting>& sorted,
+    const std::vector<std::pair<std::size_t, std::size_t>>& lengths,
+    const std::string& s, Fn&& fn) {
+  for (const auto& [len, count] : lengths) {
+    if (len > s.size()) break;
+    const std::string_view key(s.data(), len);
+    const auto it = prefix_posting_pos(sorted, key);
+    if (it != sorted.end() && std::string_view(it->prefix) == key) fn(*it);
+  }
+}
+
+}  // namespace reef::pubsub

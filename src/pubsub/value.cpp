@@ -1,19 +1,71 @@
 #include "pubsub/value.h"
 
+#include <charconv>
 #include <cmath>
 
-#include "util/strings.h"
-
 namespace reef::pubsub {
+
+namespace {
+
+// 2^63 as a double (exactly representable; INT64_MAX is not, so the int64
+// range is the half-open interval [-2^63, 2^63)).
+constexpr double kTwoPow63 = 9223372036854775808.0;
+
+// Compares an int64 against a non-NaN double without converting the int to
+// a double (which silently rounds magnitudes beyond 2^53).
+std::strong_ordering compare_int_double(std::int64_t i, double d) noexcept {
+  if (d >= kTwoPow63) return std::strong_ordering::less;
+  if (d < -kTwoPow63) return std::strong_ordering::greater;
+  // d is now in [-2^63, 2^63): truncation toward zero lands on a valid
+  // int64, so the cast is well-defined.
+  const auto t = static_cast<std::int64_t>(d);
+  if (i != t) {
+    return i < t ? std::strong_ordering::less : std::strong_ordering::greater;
+  }
+  // Same integral part; the fractional remainder decides. `t` converts back
+  // exactly (|t| < 2^53 implies exact; |d| >= 2^53 implies frac == 0), so
+  // the subtraction is exact too.
+  const double frac = d - static_cast<double>(t);
+  if (frac > 0) return std::strong_ordering::less;
+  if (frac < 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+}  // namespace
+
+std::optional<double> Value::exact_double_of_int(std::int64_t v) noexcept {
+  const double d = static_cast<double>(v);
+  // Values near INT64_MAX round up to 2^63, which is outside int64 range —
+  // casting that back would be UB, so reject before the round-trip check.
+  if (d >= kTwoPow63) return std::nullopt;
+  if (static_cast<std::int64_t>(d) != v) return std::nullopt;
+  return d;
+}
 
 std::optional<std::strong_ordering> Value::compare(const Value& a,
                                                    const Value& b) noexcept {
   if (a.is_numeric() && b.is_numeric()) {
-    const double x = *a.numeric();
-    const double y = *b.numeric();
-    if (std::isnan(x) || std::isnan(y)) return std::nullopt;
-    if (x < y) return std::strong_ordering::less;
-    if (x > y) return std::strong_ordering::greater;
+    if (a.type() == Type::kInt && b.type() == Type::kInt) {
+      return a.as_int() <=> b.as_int();
+    }
+    if (a.type() == Type::kDouble && b.type() == Type::kDouble) {
+      const double x = a.as_double();
+      const double y = b.as_double();
+      if (std::isnan(x) || std::isnan(y)) return std::nullopt;
+      if (x < y) return std::strong_ordering::less;
+      if (x > y) return std::strong_ordering::greater;
+      return std::strong_ordering::equal;
+    }
+    if (a.type() == Type::kInt) {
+      const double y = b.as_double();
+      if (std::isnan(y)) return std::nullopt;
+      return compare_int_double(a.as_int(), y);
+    }
+    const double x = a.as_double();
+    if (std::isnan(x)) return std::nullopt;
+    const auto c = compare_int_double(b.as_int(), x);
+    if (c == std::strong_ordering::less) return std::strong_ordering::greater;
+    if (c == std::strong_ordering::greater) return std::strong_ordering::less;
     return std::strong_ordering::equal;
   }
   if (a.is_string() && b.is_string()) {
@@ -53,8 +105,20 @@ std::string Value::to_string() const {
       return as_bool() ? "true" : "false";
     case Type::kInt:
       return std::to_string(as_int());
-    case Type::kDouble:
-      return util::format_double(as_double(), 6);
+    case Type::kDouble: {
+      // Shortest representation that round-trips exactly (the parser's
+      // documented guarantee); %.*f truncates tiny/precise values.
+      const double v = as_double();
+      char buf[32];
+      const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+      std::string s(buf, res.ptr);
+      // Integral doubles print bare ("3"), which would re-parse as an int;
+      // keep the type on the wire.
+      if (std::isfinite(v) && s.find_first_of(".eE") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
     case Type::kString:
       return "\"" + as_string() + "\"";
   }
@@ -69,10 +133,15 @@ std::uint64_t Value::hash() const noexcept {
     case Type::kBool:
       return util::hash_combine(tag, as_bool() ? 1 : 2);
     case Type::kInt:
-      // Hash ints through their double value so 3 and 3.0 (which compare
-      // equal) hash equal too.
+      // Ints with an exact double image hash through it so 3 and 3.0
+      // (which compare equal) hash equal too. Ints beyond 2^53 have no
+      // double twin — no double compares equal to them — so they hash
+      // their own bits and stay distinct from the rounded neighbor.
+      if (const auto d = exact_double_of_int(as_int())) {
+        return util::hash_combine(3, std::hash<double>{}(*d));
+      }
       return util::hash_combine(
-          3, std::hash<double>{}(static_cast<double>(as_int())));
+          3, std::hash<std::int64_t>{}(as_int()));
     case Type::kDouble:
       return util::hash_combine(3, std::hash<double>{}(as_double()));
     case Type::kString:

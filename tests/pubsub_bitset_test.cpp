@@ -175,6 +175,74 @@ TEST(BitsetMatcher, CrossTypeNumericEqConstraintsCountAsOneEntry) {
   EXPECT_TRUE(m.match(Event().with("p", 3)).empty());
 }
 
+TEST(BitsetMatcher, RangeEntriesResolveViaSortedProbes) {
+  BitsetMatcher m;
+  m.add(1, Filter().and_(gt("p", 10)));
+  m.add(2, Filter().and_(ge("p", 10)));
+  m.add(3, Filter().and_(lt("p", 20)).and_(gt("p", 5)));
+  m.add(4, Filter().and_(gt("p", 10)));  // shares the > 10 entry with 1
+  EXPECT_EQ(m.entry_count(), 4u);        // > 10, >= 10, < 20, > 5
+  // Exactly on a bound only the inclusive entry resolves — the same
+  // strict/inclusive partition edge as the anchor index (range_index.h).
+  EXPECT_EQ(sorted(m.match(Event().with("p", 10))),
+            (std::vector<SubscriptionId>{2, 3}));
+  EXPECT_EQ(sorted(m.match(Event().with("p", 15))),
+            (std::vector<SubscriptionId>{1, 2, 3, 4}));
+  EXPECT_EQ(sorted(m.match(Event().with("p", 25))),
+            (std::vector<SubscriptionId>{1, 2, 4}));
+  EXPECT_TRUE(m.match(Event().with("p", "x")).empty());
+  m.remove(1);
+  EXPECT_EQ(m.entry_count(), 4u);  // > 10 still referenced by 4
+  m.remove(4);
+  EXPECT_EQ(m.entry_count(), 3u);
+}
+
+TEST(BitsetMatcher, CrossTypeRangeBoundsStayDistinctEntriesButAgree) {
+  BitsetMatcher m;
+  // lt(p, 3) and lt(p, 3.0) are distinct constraints (strict identity)
+  // and therefore distinct entries — but any probe value satisfies both
+  // or neither, so a filter carrying both (required count 2) still fires.
+  m.add(1, Filter().and_(lt("p", 3)).and_(lt("p", 3.0)));
+  EXPECT_EQ(m.entry_count(), 2u);
+  EXPECT_EQ(m.match(Event().with("p", 2)).size(), 1u);
+  EXPECT_EQ(m.match(Event().with("p", 2.5)).size(), 1u);
+  EXPECT_TRUE(m.match(Event().with("p", 3)).empty());
+  m.remove(1);
+  EXPECT_EQ(m.entry_count(), 0u);
+}
+
+TEST(BitsetMatcher, PrefixEntriesResolveViaPatternTable) {
+  BitsetMatcher m;
+  m.add(1, Filter().and_(prefix("t", "ab")));
+  m.add(2, Filter().and_(prefix("t", "ab")));  // shares the "ab" entry
+  m.add(3, Filter().and_(prefix("t", "a")));
+  m.add(4, Filter().and_(suffix("t", "z")));   // residual posting list
+  EXPECT_EQ(m.entry_count(), 3u);
+  EXPECT_EQ(sorted(m.match(Event().with("t", "abz"))),
+            (std::vector<SubscriptionId>{1, 2, 3, 4}));
+  EXPECT_EQ(sorted(m.match(Event().with("t", "ax"))),
+            (std::vector<SubscriptionId>{3}));
+  EXPECT_TRUE(m.match(Event().with("t", 7)).empty());
+  m.remove(1);
+  EXPECT_EQ(m.entry_count(), 3u);
+  m.remove(2);
+  EXPECT_EQ(m.entry_count(), 2u);
+  EXPECT_EQ(sorted(m.match(Event().with("t", "abz"))),
+            (std::vector<SubscriptionId>{3, 4}));
+}
+
+TEST(BitsetMatcher, RangeEntriesSurviveBitmapGrowth) {
+  BitsetMatcher m;
+  for (int i = 0; i < 70; ++i) {
+    m.add(static_cast<SubscriptionId>(i + 1), Filter().and_(ge("p", i)));
+  }
+  // 70 slots cross the one-word boundary: every sorted-array entry bitmap
+  // must have been grown alongside the eq entries.
+  EXPECT_GE(m.word_count(), 2u);
+  EXPECT_EQ(m.match(Event().with("p", 34)).size(), 35u);  // ge(0)..ge(34)
+  EXPECT_EQ(m.match(Event().with("p", 100)).size(), 70u);
+}
+
 TEST(BitsetMatcher, RequiredCountSlicesGrowPastTwoBits) {
   BitsetMatcher m;
   // A 5-constraint conjunction needs 3 required-count bit slices.

@@ -38,9 +38,13 @@
 // grow adversarially), anchorless/universal filters (empty conjunction —
 // spill-shard placement, covers everything in the forwarding reduction),
 // attribute-free events (match only universal filters; must still meet
-// them in the spill shard with pre-filtering on), and covering chains
+// them in the spill shard with pre-filtering on), covering chains
 // (nested price ranges, so the covering reduction churns as they come and
-// go). New engines registered in MatcherRegistry are picked up by name
+// go), range-heavy filters (int and double bounds colliding at the same
+// magnitudes, so the sorted-bounds indexes are probed exactly on their
+// strict/inclusive edges), prefix pattern tables at many lengths, and
+// 2^53-boundary values where int/double comparison must stay exact.
+// New engines registered in MatcherRegistry are picked up by name
 // automatically — both bare and through the shard/worker/pre-filter cross
 // product — and inherit the whole oracle matrix.
 //
@@ -84,7 +88,7 @@ struct Schedule {
 };
 
 Filter fuzz_filter(util::Rng& rng) {
-  switch (rng.index(8)) {
+  switch (rng.index(11)) {
     case 0:
       // Anchorless universal subscription: spill-shard placement, and the
       // covering reduction collapses everything else beneath it.
@@ -130,6 +134,64 @@ Filter fuzz_filter(util::Rng& rng) {
     case 6:
       return Filter().and_(
           exists(rng.chance(0.5) ? "price" : "hot"));
+    case 7: {
+      // Range-heavy: eq-free filters that anchor in the sorted bound
+      // arrays, with int and double bounds interleaved at the same small
+      // magnitudes so strict/inclusive edges collide across types — plus
+      // an occasional string bound that must stay on the residual scan
+      // path.
+      const auto bound = [&rng]() -> Value {
+        const auto b = static_cast<std::int64_t>(rng.index(6));
+        return rng.chance(0.5) ? Value(b) : Value(static_cast<double>(b));
+      };
+      Filter f;
+      switch (rng.index(5)) {
+        case 0:
+          f.and_(gt("level", bound()));
+          break;
+        case 1:
+          f.and_(ge("level", bound()));
+          break;
+        case 2:
+          f.and_(lt("level", bound()));
+          break;
+        case 3:
+          f.and_(le("level", bound()));
+          break;
+        default:
+          f.and_(gt("text", "m"));  // string bound: residual list
+          break;
+      }
+      if (rng.chance(0.4)) f.and_(le("level", bound()));
+      return f;
+    }
+    case 8: {
+      // Prefix-heavy: patterns at several lengths over one attribute, so
+      // the per-length probe loop sees dense collisions (including the
+      // empty pattern, which every string value satisfies).
+      static constexpr const char* kPatterns[] = {"",     "/",      "/a",
+                                                  "/a/b", "/a/b/c", "/b", "x"};
+      Filter f = Filter().and_(prefix("path", kPatterns[rng.index(7)]));
+      if (rng.chance(0.3)) f.and_(prefix("path", kPatterns[rng.index(7)]));
+      return f;
+    }
+    case 9: {
+      // 2^53 boundary: bounds where a double-routed compare collapses
+      // adjacent int values, mixing the exactly-representable double in.
+      constexpr std::int64_t kBig = 9007199254740992;  // 2^53
+      const Value bound =
+          rng.chance(0.4)
+              ? Value(9007199254740992.0)
+              : Value(kBig - 1 + static_cast<std::int64_t>(rng.index(3)));
+      switch (rng.index(3)) {
+        case 0:
+          return Filter().and_(eq("big", bound));
+        case 1:
+          return Filter().and_(gt("big", bound));
+        default:
+          return Filter().and_(le("big", bound));
+      }
+    }
     default: {
       Filter f = Filter().and_(exists("text"));
       if (rng.chance(0.5)) {
@@ -144,7 +206,7 @@ Filter fuzz_filter(util::Rng& rng) {
 }
 
 Event fuzz_event(util::Rng& rng, int seq) {
-  switch (rng.index(8)) {
+  switch (rng.index(10)) {
     case 0:
       // Attribute-free: matches only universal filters; with pre-filtering
       // on it must still reach the spill shard.
@@ -174,6 +236,37 @@ Event fuzz_event(util::Rng& rng, int seq) {
       return Event()
           .with("text", rng.chance(0.5) ? "abc" : "xbc")
           .with("seq", static_cast<std::int64_t>(seq));
+    case 7: {
+      // Range/prefix dimension: level values landing exactly on the
+      // fuzzed bounds (ints and halves, both numeric types) plus
+      // multi-length path strings probing every pattern length.
+      Event e = Event().with("seq", static_cast<std::int64_t>(seq));
+      if (rng.chance(0.7)) {
+        if (rng.chance(0.5)) {
+          e.with("level", static_cast<std::int64_t>(rng.index(6)));
+        } else {
+          e.with("level", 0.5 * static_cast<double>(rng.index(12)));
+        }
+      }
+      if (rng.chance(0.7)) {
+        static constexpr const char* kPaths[] = {"",     "/",      "/a",
+                                                 "/a/b", "/a/b/c", "/b/x", "x"};
+        e.with("path", kPaths[rng.index(7)]);
+      }
+      return e;
+    }
+    case 8: {
+      // 2^53 boundary probes: int neighbors a double-routed compare
+      // collapses, plus the exactly-representable double itself.
+      constexpr std::int64_t kBig = 9007199254740992;
+      Event e = Event().with("seq", static_cast<std::int64_t>(seq));
+      if (rng.chance(0.5)) {
+        e.with("big", kBig - 1 + static_cast<std::int64_t>(rng.index(3)));
+      } else {
+        e.with("big", 9007199254740992.0);
+      }
+      return e;
+    }
     default:
       return Event()
           .with("text", "ab")

@@ -223,6 +223,74 @@ TEST_P(CoveringProperty, CoveringIsTransitiveOnSamples) {
   }
 }
 
+// Range/prefix-focused soundness: hammer exactly the op pairs the new
+// sorted indexes serve (lt/le/gt/ge, prefix/suffix/contains), with
+// bounds and probe values pinned to the edges the indexes binary-search
+// on — strict-vs-inclusive collisions at shared magnitudes, cross-type
+// int/double bounds, multi-length prefix patterns, and the 2^53
+// neighborhood where int/double comparison must stay exact.
+
+Constraint random_range_prefix_constraint(util::Rng& rng) {
+  constexpr std::int64_t kBig = 9007199254740992;  // 2^53
+  static constexpr Op kOps[] = {Op::kLt, Op::kLe,     Op::kGt,
+                                Op::kGe, Op::kPrefix, Op::kSuffix,
+                                Op::kContains, Op::kEq};
+  const Op op = kOps[rng.index(8)];
+  if (op == Op::kPrefix || op == Op::kSuffix || op == Op::kContains) {
+    static const std::vector<std::string> patterns{
+        "", "/", "/a", "/a/b", "/a/b/c", "/b", "x", "a"};
+    return Constraint("p", op, Value(patterns[rng.index(patterns.size())]));
+  }
+  Value bound;
+  switch (rng.index(3)) {
+    case 0:
+      bound = Value(static_cast<std::int64_t>(rng.index(4)));
+      break;
+    case 1:
+      bound = Value(0.5 * static_cast<double>(rng.index(8)));
+      break;
+    default:
+      bound = rng.chance(0.5)
+                  ? Value(kBig - 1 + static_cast<std::int64_t>(rng.index(3)))
+                  : Value(9007199254740992.0);
+      break;
+  }
+  return Constraint("p", op, bound);
+}
+
+std::vector<Value> boundary_probe_values() {
+  constexpr std::int64_t kBig = 9007199254740992;
+  std::vector<Value> probes;
+  for (std::int64_t i = -1; i <= 4; ++i) probes.emplace_back(i);
+  for (double d : {-0.5, 0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5}) {
+    probes.emplace_back(d);
+  }
+  for (std::int64_t i = kBig - 2; i <= kBig + 2; ++i) probes.emplace_back(i);
+  probes.emplace_back(9007199254740992.0);
+  for (const char* s :
+       {"", "/", "/a", "/a/b", "/a/b/c", "/b", "/b/x", "a", "x", "xa"}) {
+    probes.emplace_back(s);
+  }
+  return probes;
+}
+
+TEST_P(CoveringProperty, RangePrefixPairsStaySound) {
+  util::Rng rng(GetParam() ^ 0x5eed);
+  const auto probes = boundary_probe_values();
+  for (int trial = 0; trial < 4000; ++trial) {
+    const Constraint c1 = random_range_prefix_constraint(rng);
+    const Constraint c2 = random_range_prefix_constraint(rng);
+    if (!c1.covers(c2)) continue;
+    for (const Value& v : probes) {
+      if (c2.matches(v)) {
+        EXPECT_TRUE(c1.matches(v))
+            << c1.to_string() << " claims to cover " << c2.to_string()
+            << " but value " << v.to_string() << " matches only the latter";
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, CoveringProperty,
                          ::testing::Values(1, 2, 3, 4, 5));
 

@@ -80,15 +80,101 @@ TEST(IndexMatcher, AnchorBookkeeping) {
   // Filter with an equality constraint anchors in an eq bucket...
   m.add(1, Filter().and_(eq("a", 1)).and_(gt("b", 2)));
   EXPECT_EQ(m.eq_anchored(), 1u);
+  EXPECT_EQ(m.range_anchored(), 0u);
   EXPECT_EQ(m.scan_anchored(), 0u);
-  // ...one without any equality constraint falls back to a scan list.
+  // ...one without any equality constraint anchors in the sorted range
+  // bound array of its first numeric range constraint...
   m.add(2, Filter().and_(gt("b", 2)));
   EXPECT_EQ(m.eq_anchored(), 1u);
-  EXPECT_EQ(m.scan_anchored(), 1u);
-  m.remove(1);
-  m.remove(2);
-  EXPECT_EQ(m.eq_anchored(), 0u);
+  EXPECT_EQ(m.range_anchored(), 1u);
   EXPECT_EQ(m.scan_anchored(), 0u);
+  // ...a prefix-only filter in the sorted prefix table...
+  m.add(3, Filter().and_(prefix("t", "ab")));
+  EXPECT_EQ(m.prefix_anchored(), 1u);
+  EXPECT_EQ(m.scan_anchored(), 0u);
+  // ...and shapes no sorted structure holds fall back to the scan list
+  // (suffix/contains/ne/exists, string-bounded ranges).
+  m.add(4, Filter().and_(contains("t", "x")));
+  m.add(5, Filter().and_(gt("name", "m")));  // string bound: residual
+  EXPECT_EQ(m.scan_anchored(), 2u);
+  for (SubscriptionId id = 1; id <= 5; ++id) m.remove(id);
+  EXPECT_EQ(m.eq_anchored(), 0u);
+  EXPECT_EQ(m.range_anchored(), 0u);
+  EXPECT_EQ(m.prefix_anchored(), 0u);
+  EXPECT_EQ(m.scan_anchored(), 0u);
+}
+
+TEST(IndexMatcher, RangeAnchorBoundarySemantics) {
+  IndexMatcher m;
+  m.add(1, Filter().and_(gt("p", 10)));
+  m.add(2, Filter().and_(ge("p", 10)));
+  m.add(3, Filter().and_(lt("p", 10)));
+  m.add(4, Filter().and_(le("p", 10)));
+  EXPECT_EQ(m.range_anchored(), 4u);
+  const auto sorted_hits = [&](const Event& e) {
+    auto hits = m.match(e);
+    std::sort(hits.begin(), hits.end());
+    return hits;
+  };
+  // Exactly on the bound: only the inclusive postings fire — the
+  // strict/inclusive split at a compare-equal bound is the partition-point
+  // edge the sorted arrays encode.
+  EXPECT_EQ(sorted_hits(Event().with("p", 10)),
+            (std::vector<SubscriptionId>{2, 4}));
+  EXPECT_EQ(sorted_hits(Event().with("p", 10.0)),  // cross-type, same edge
+            (std::vector<SubscriptionId>{2, 4}));
+  EXPECT_EQ(sorted_hits(Event().with("p", 11)),
+            (std::vector<SubscriptionId>{1, 2}));
+  EXPECT_EQ(sorted_hits(Event().with("p", 9.5)),
+            (std::vector<SubscriptionId>{3, 4}));
+  // Non-numeric event values satisfy no numeric range constraint.
+  EXPECT_TRUE(m.match(Event().with("p", "10")).empty());
+  m.remove(2);
+  EXPECT_EQ(sorted_hits(Event().with("p", 10)),
+            (std::vector<SubscriptionId>{4}));
+  EXPECT_EQ(m.range_anchored(), 3u);
+}
+
+TEST(IndexMatcher, RangeProbesStayExactPastDoublePrecision) {
+  constexpr std::int64_t kBig = 9007199254740992;  // 2^53
+  IndexMatcher m;
+  m.add(1, Filter().and_(gt("p", kBig)));
+  m.add(2, Filter().and_(le("p", kBig)));
+  // 2^53 + 1 is strictly greater than 2^53 even though both cast to the
+  // same double — the sorted-bound probe must use the exact compare.
+  EXPECT_EQ(m.match(Event().with("p", kBig + 1)),
+            (std::vector<SubscriptionId>{1}));
+  EXPECT_EQ(m.match(Event().with("p", kBig)),
+            (std::vector<SubscriptionId>{2}));
+  // The double 2^53 compares equal to the int bound.
+  EXPECT_EQ(m.match(Event().with("p", 9007199254740992.0)),
+            (std::vector<SubscriptionId>{2}));
+}
+
+TEST(IndexMatcher, PrefixAnchorProbesEveryPatternLength) {
+  IndexMatcher m;
+  m.add(1, Filter().and_(prefix("t", "")));  // empty pattern: matches all
+  m.add(2, Filter().and_(prefix("t", "a")));
+  m.add(3, Filter().and_(prefix("t", "ab")));
+  m.add(4, Filter().and_(prefix("t", "abc")));
+  m.add(5, Filter().and_(prefix("t", "b")));
+  EXPECT_EQ(m.prefix_anchored(), 5u);
+  const auto sorted_hits = [&](const Event& e) {
+    auto hits = m.match(e);
+    std::sort(hits.begin(), hits.end());
+    return hits;
+  };
+  EXPECT_EQ(sorted_hits(Event().with("t", "abx")),
+            (std::vector<SubscriptionId>{1, 2, 3}));
+  EXPECT_EQ(sorted_hits(Event().with("t", "abc")),
+            (std::vector<SubscriptionId>{1, 2, 3, 4}));
+  EXPECT_EQ(sorted_hits(Event().with("t", "")),
+            (std::vector<SubscriptionId>{1}));
+  EXPECT_TRUE(m.match(Event().with("t", 7)).empty());  // non-string value
+  m.remove(3);
+  EXPECT_EQ(sorted_hits(Event().with("t", "abx")),
+            (std::vector<SubscriptionId>{1, 2}));
+  EXPECT_EQ(m.prefix_anchored(), 4u);
 }
 
 TEST(IndexMatcher, NumericCanonicalizationUnifiesIntAndDouble) {
