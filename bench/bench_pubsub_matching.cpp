@@ -12,7 +12,8 @@
 // cross-engine correctness pass, a batch-vs-loop timing, a fixed-ratio
 // anchor-index-vs-brute-force speedup floor, a bitset-vs-anchor-index
 // floor on the dense/high-overlap workload, anchor-index and bitset
-// floors over brute force on the eq-free range/prefix workload, and a
+// floors over brute force on the eq-free range/prefix workload and the
+// suffix/contains/in-set workload, and a
 // zero-copy check on the pre-filtered sub-batch path, so the bench
 // binary can't bit-rot — and the interned hot path can't silently
 // regress — without failing the workflow.
@@ -143,6 +144,63 @@ Event make_range_event(reef::util::Rng& rng) {
       .with("price", 900.0 + rng.uniform(0.0, 100.0))
       .with("path", "/feeds/" + std::to_string(rng.index(400)) + "/item/" +
                         std::to_string(rng.index(50)));
+}
+
+/// Suffix/contains-heavy population: tail subscriptions (file extensions
+/// and deep item tails sharing reversed-prefix structure), substring
+/// subscriptions over a segment vocabulary, and a set-membership slice
+/// over a small symbol universe. Before this PR every suffix/contains
+/// filter sat in the linear scan list (and in-set didn't exist), so the
+/// "indexed" engines were brute force on this entire shape; now suffixes
+/// resolve via one binary search per live length over reversed patterns,
+/// contains via a length-ordered walk, and in-set via per-member eq
+/// buckets (anchor index) or shared residual postings (bitset).
+std::vector<Filter> make_suffix_filters(std::size_t n, reef::util::Rng& rng) {
+  std::vector<Filter> filters;
+  filters.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (rng.index(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:  // 40%: extension subscriptions, ~60 distinct short tails
+        filters.push_back(Filter().and_(
+            suffix("file", "." + std::to_string(rng.index(60)) + "rss")));
+        break;
+      case 4:
+      case 5:  // 20%: deep tails — long patterns ending in the same
+               // extensions, so the reversed table nests them under the
+               // short patterns' structure
+        filters.push_back(Filter().and_(suffix(
+            "file", "/item" + std::to_string(rng.index(300)) + "." +
+                        std::to_string(rng.index(60)) + "rss")));
+        break;
+      case 6:
+      case 7:
+      case 8:  // 30%: substring subscriptions over a segment vocabulary
+        filters.push_back(Filter().and_(contains(
+            "file", "/seg" + std::to_string(rng.index(300)) + "/")));
+        break;
+      default: {  // 10%: set membership over 40 symbols, 2-4 members
+        std::vector<Value> members;
+        const std::size_t count = 2 + rng.index(3);
+        for (std::size_t j = 0; j < count; ++j) {
+          members.emplace_back("S" + std::to_string(rng.index(40)));
+        }
+        filters.push_back(Filter().and_(in_("sym", std::move(members))));
+        break;
+      }
+    }
+  }
+  return filters;
+}
+
+Event make_suffix_event(reef::util::Rng& rng) {
+  return Event()
+      .with("file", "/srv/seg" + std::to_string(rng.index(300)) + "/item" +
+                        std::to_string(rng.index(300)) + "." +
+                        std::to_string(rng.index(60)) + "rss")
+      .with("sym", "S" + std::to_string(rng.index(40)));
 }
 
 Event make_event(std::size_t universe, reef::util::Rng& rng) {
@@ -390,6 +448,58 @@ BENCHMARK_CAPTURE(bm_match_batch_range, bitset, "bitset") RANGE_ARGS;
 BENCHMARK_CAPTURE(bm_match_batch_range, counting, "counting") RANGE_ARGS;
 #undef RANGE_ARGS
 BENCHMARK_CAPTURE(bm_match_batch_range, brute_force, "brute-force")
+    ->Args({1000, 128})
+    ->Args({10000, 128});
+
+// --- suffix/contains workload: pattern tables vs the old scan list ----------
+//
+// make_suffix_filters above: tail, substring, and set-membership
+// subscriptions — zero eq/range/prefix constraints, so before this PR the
+// whole population scanned linearly. CI's bench sweep picks these rows up
+// via --benchmark_filter='sharded|dense|range|suffix', and run_smoke()
+// enforces the anchor-index and bitset >= brute-force floors on this same
+// shape.
+
+void bm_match_batch_suffix(benchmark::State& state,
+                           const std::string& engine) {
+  const auto table_size = static_cast<std::size_t>(state.range(0));
+  const auto batch_size = static_cast<std::size_t>(state.range(1));
+  reef::util::Rng rng(42);
+  auto matcher = make_matcher(engine);
+  const auto filters = make_suffix_filters(table_size, rng);
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    matcher->add(i + 1, filters[i]);
+  }
+  std::vector<Event> events;
+  const std::size_t universe = std::max(batch_size, std::size_t{256});
+  for (std::size_t i = 0; i < universe; ++i) {
+    events.push_back(make_suffix_event(rng));
+  }
+
+  std::size_t cursor = 0;
+  std::vector<std::vector<SubscriptionId>> hits;
+  for (auto _ : state) {
+    const std::size_t start = cursor % (events.size() - batch_size + 1);
+    matcher->match_batch(
+        std::span<const Event>(events.data() + start, batch_size), hits);
+    benchmark::DoNotOptimize(hits.data());
+    cursor = (cursor + batch_size) % events.size();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * batch_size));
+  state.counters["batch"] = static_cast<double>(batch_size);
+  state.counters["table"] = static_cast<double>(table_size);
+}
+
+// {table size, batch size}
+#define SUFFIX_ARGS \
+  ->Args({1000, 128})->Args({10000, 128})->Args({10000, 1024})
+BENCHMARK_CAPTURE(bm_match_batch_suffix, anchor_index, "anchor-index")
+    SUFFIX_ARGS;
+BENCHMARK_CAPTURE(bm_match_batch_suffix, bitset, "bitset") SUFFIX_ARGS;
+BENCHMARK_CAPTURE(bm_match_batch_suffix, counting, "counting") SUFFIX_ARGS;
+#undef SUFFIX_ARGS
+BENCHMARK_CAPTURE(bm_match_batch_suffix, brute_force, "brute-force")
     ->Args({1000, 128})
     ->Args({10000, 128});
 
@@ -820,6 +930,94 @@ int run_smoke() {
     if (speedup_of(bitset_us, kBitsetFloor) < kBitsetFloor) {
       std::printf("FAIL: bitset fell below the %.1fx floor over brute "
                   "force on the range/prefix workload\n",
+                  kBitsetFloor);
+      return 1;
+    }
+  }
+
+  // 2e. Suffix/contains workload floor: tail, substring, and
+  // set-membership subscriptions — the population that sat entirely in
+  // the linear scan list before the reversed-pattern and length-ordered
+  // tables (and per-member in-set buckets) existed. The anchor index must
+  // beat brute force by 2x; the bitset floor is lower (1.25x) because its
+  // in-set slice stays a residual posting evaluated once per distinct
+  // symbol, a structurally smaller win than the anchor's bucket probes.
+  // Same min-of-three discipline and oracle agreement as 2d.
+  {
+    constexpr double kAnchorFloor = 2.0;
+    constexpr double kBitsetFloor = 1.25;
+    constexpr int ratio_rounds = 20;
+    const std::size_t suffix_table = 10000;
+    reef::util::Rng suffix_rng(42);
+    const auto suffix_filters = make_suffix_filters(suffix_table, suffix_rng);
+    std::vector<Event> suffix_events;
+    for (int i = 0; i < 64; ++i) {
+      suffix_events.push_back(make_suffix_event(suffix_rng));
+    }
+    const auto brute = make_matcher("brute-force");
+    const auto anchor = make_matcher("anchor-index");
+    const auto bitset = make_matcher("bitset");
+    for (std::size_t i = 0; i < suffix_filters.size(); ++i) {
+      brute->add(i + 1, suffix_filters[i]);
+      anchor->add(i + 1, suffix_filters[i]);
+      bitset->add(i + 1, suffix_filters[i]);
+    }
+    std::vector<std::vector<SubscriptionId>> oracle_hits;
+    brute->match_batch(suffix_events, oracle_hits);
+    for (auto& row : oracle_hits) std::sort(row.begin(), row.end());
+    for (const auto* engine : {&anchor, &bitset}) {
+      std::vector<std::vector<SubscriptionId>> engine_hits;
+      (*engine)->match_batch(suffix_events, engine_hits);
+      for (auto& row : engine_hits) std::sort(row.begin(), row.end());
+      if (engine_hits != oracle_hits) {
+        std::printf("FAIL: %s diverges from oracle on the suffix/contains "
+                    "workload\n",
+                    engine == &anchor ? "anchor-index" : "bitset");
+        return 1;
+      }
+    }
+    const auto timed_batch = [&](const Matcher& m) {
+      std::vector<std::vector<SubscriptionId>> out;
+      long best = std::numeric_limits<long>::max();
+      for (int trial = 0; trial < 3; ++trial) {
+        const auto start = std::chrono::steady_clock::now();
+        for (int r = 0; r < ratio_rounds; ++r) {
+          m.match_batch(suffix_events, out);
+          benchmark::DoNotOptimize(out.data());
+        }
+        const auto trial_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        best = std::min(best, static_cast<long>(trial_us));
+      }
+      return best;
+    };
+    const auto brute_us = timed_batch(*brute);
+    const auto anchor_us = timed_batch(*anchor);
+    const auto bitset_us = timed_batch(*bitset);
+    const auto speedup_of = [&](long engine_us, double floor) {
+      return engine_us == 0 ? floor
+                            : static_cast<double>(brute_us) /
+                                  static_cast<double>(engine_us);
+    };
+    std::printf("  suffix/contains workload (%zu filters): brute %ldus, "
+                "anchor-index %ldus (%.1fx, floor %.1fx), bitset %ldus "
+                "(%.1fx, floor %.1fx)\n",
+                suffix_table, static_cast<long>(brute_us),
+                static_cast<long>(anchor_us),
+                speedup_of(anchor_us, kAnchorFloor), kAnchorFloor,
+                static_cast<long>(bitset_us),
+                speedup_of(bitset_us, kBitsetFloor), kBitsetFloor);
+    if (speedup_of(anchor_us, kAnchorFloor) < kAnchorFloor) {
+      std::printf("FAIL: anchor-index fell below the %.1fx floor over "
+                  "brute force on the suffix/contains workload\n",
+                  kAnchorFloor);
+      return 1;
+    }
+    if (speedup_of(bitset_us, kBitsetFloor) < kBitsetFloor) {
+      std::printf("FAIL: bitset fell below the %.1fx floor over brute "
+                  "force on the suffix/contains workload\n",
                   kBitsetFloor);
       return 1;
     }

@@ -44,6 +44,16 @@ void BitsetMatcher::grow_words(std::size_t min_words) {
       posting.entry.bits.resize(words_, 0);
     }
   }
+  for (auto& [attr, entries] : suffix_) {
+    for (auto& posting : entries.postings) {
+      posting.entry.bits.resize(words_, 0);
+    }
+  }
+  for (auto& [attr, entries] : contains_) {
+    for (auto& posting : entries.postings) {
+      posting.entry.bits.resize(words_, 0);
+    }
+  }
   for (auto& [attr, postings] : noneq_) {
     for (auto& posting : postings) posting.entry.bits.resize(words_, 0);
   }
@@ -107,8 +117,9 @@ void BitsetMatcher::add(SubscriptionId id, Filter filter) {
         // range keys on (bound class, strictness, strict value identity) —
         // cross-type compare-equal bounds like `< 3` and `< 3.0` stay
         // separate entries that a probe always satisfies together, so the
-        // per-filter requirement count stays exact — prefix keys on the
-        // pattern, and the residual class on full constraint identity.
+        // per-filter requirement count stays exact — prefix/suffix/
+        // contains key on the pattern, and the residual class (ne/exists,
+        // in-set, unindexable shapes) on full constraint identity.
         Entry* entry = nullptr;
         if (is_sortable_range(c)) {
           RangeEntries& entries = range_[c.attr_id()];
@@ -145,6 +156,28 @@ void BitsetMatcher::add(SubscriptionId id, Filter filter) {
             it = entries.postings.insert(it, PrefixPosting{pattern, Entry{}});
             it->entry.bits.assign(words_, 0);
             add_prefix_length(entries.lengths, pattern.size());
+            ++entries_;
+          }
+          entry = &it->entry;
+        } else if (is_sortable_suffix(c)) {
+          PrefixEntries& entries = suffix_[c.attr_id()];
+          const std::string pattern = reversed(c.value().as_string());
+          auto it = prefix_posting_pos(entries.postings, pattern);
+          if (it == entries.postings.end() || it->prefix != pattern) {
+            it = entries.postings.insert(it, PrefixPosting{pattern, Entry{}});
+            it->entry.bits.assign(words_, 0);
+            add_prefix_length(entries.lengths, pattern.size());
+            ++entries_;
+          }
+          entry = &it->entry;
+        } else if (is_sortable_contains(c)) {
+          ContainsEntries& entries = contains_[c.attr_id()];
+          const std::string& pattern = c.value().as_string();
+          auto it = contains_posting_pos(entries.postings, pattern);
+          if (it == entries.postings.end() || it->pattern != pattern) {
+            it = entries.postings.insert(it,
+                                         ContainsPosting{pattern, Entry{}});
+            it->entry.bits.assign(words_, 0);
             ++entries_;
           }
           entry = &it->entry;
@@ -235,6 +268,33 @@ void BitsetMatcher::remove(SubscriptionId id) {
             if (entries.postings.empty()) prefix_.erase(attr_it);
             --entries_;
           }
+        } else if (is_sortable_suffix(c)) {
+          const auto attr_it = suffix_.find(c.attr_id());
+          PrefixEntries& entries = attr_it->second;
+          const std::string pattern = reversed(c.value().as_string());
+          const auto posting_it =
+              prefix_posting_pos(entries.postings, pattern);
+          Entry& entry = posting_it->entry;
+          entry.bits[w] &= ~bit;
+          if (--entry.slot_count == 0) {
+            remove_prefix_length(entries.lengths, pattern.size());
+            entries.postings.erase(posting_it);
+            if (entries.postings.empty()) suffix_.erase(attr_it);
+            --entries_;
+          }
+        } else if (is_sortable_contains(c)) {
+          const auto attr_it = contains_.find(c.attr_id());
+          ContainsEntries& entries = attr_it->second;
+          const std::string& pattern = c.value().as_string();
+          const auto posting_it =
+              contains_posting_pos(entries.postings, pattern);
+          Entry& entry = posting_it->entry;
+          entry.bits[w] &= ~bit;
+          if (--entry.slot_count == 0) {
+            entries.postings.erase(posting_it);
+            if (entries.postings.empty()) contains_.erase(attr_it);
+            --entries_;
+          }
         } else {
           const auto attr_it = noneq_.find(c.attr_id());
           auto& postings = attr_it->second;
@@ -298,6 +358,23 @@ void BitsetMatcher::collect_satisfied(AttrId attr, const Value& canonical,
       prefix_it != prefix_.end() && canonical.is_string()) {
     probe_prefixes(prefix_it->second.postings, prefix_it->second.lengths,
                    canonical.as_string(), [&](const PrefixPosting& posting) {
+                     out.push_back(&posting.entry);
+                   });
+  }
+  if (const auto suffix_it = suffix_.find(attr);
+      suffix_it != suffix_.end() && canonical.is_string()) {
+    // Reversed-pattern table: one reversal of the event string, then the
+    // prefix probes (see range_index.h).
+    const std::string rev = reversed(canonical.as_string());
+    probe_prefixes(suffix_it->second.postings, suffix_it->second.lengths,
+                   rev, [&](const PrefixPosting& posting) {
+                     out.push_back(&posting.entry);
+                   });
+  }
+  if (const auto contains_it = contains_.find(attr);
+      contains_it != contains_.end() && canonical.is_string()) {
+    probe_contains(contains_it->second.postings, canonical.as_string(),
+                   [&](const ContainsPosting& posting) {
                      out.push_back(&posting.entry);
                    });
   }
@@ -406,7 +483,8 @@ void BitsetMatcher::match_batch(
   using Occurrences = std::vector<std::pair<std::uint32_t, const Value*>>;
   const auto match_group = [&](AttrId attr, const Occurrences& occurrences) {
     if (!eq_.contains(attr) && !range_.contains(attr) &&
-        !prefix_.contains(attr) && !noneq_.contains(attr)) {
+        !prefix_.contains(attr) && !suffix_.contains(attr) &&
+        !contains_.contains(attr) && !noneq_.contains(attr)) {
       return;
     }
     std::unordered_map<Value, std::vector<std::uint32_t>> by_value;

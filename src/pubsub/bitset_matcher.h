@@ -27,13 +27,18 @@
 // array, the satisfied upper bounds a suffix, so no range predicate is
 // ever *evaluated* on the hot path, satisfied entries are enumerated.
 // String prefix constraints index as a sorted pattern table probed with
-// one lexicographic binary search per live pattern length. Every other
-// operator (ne/suffix/contains/exists, plus range/prefix shapes the
-// sorted structures cannot hold) indexes as noneq[attr] ->
-// (constraint, bitmap) postings, one per *distinct* constraint — filters
-// sharing `text =$ ".log"` share one entry, so the predicate is evaluated
-// once per event (or once per distinct value in a batch), not once per
-// filter. All resolved entries feed the same threshold pass below.
+// one lexicographic binary search per live pattern length; suffix
+// constraints as the same table over *reversed* patterns, probed with the
+// reversed event string; contains constraints as a (length, pattern)-
+// sorted table walked in ascending pattern length with one find() per
+// surviving distinct pattern (see range_index.h for all three probes,
+// shared with the anchor index). Every other operator (ne/exists, in-set,
+// plus range/pattern shapes the sorted structures cannot hold) indexes as
+// noneq[attr] -> (constraint, bitmap) postings, one per *distinct*
+// constraint — filters sharing `text =$ ".log"` share one entry, so the
+// predicate is evaluated once per event (or once per distinct value in a
+// batch), not once per filter. All resolved entries feed the same
+// threshold pass below.
 //
 // ## Matching: bitmap counters + threshold pass
 //
@@ -153,6 +158,15 @@ class BitsetMatcher final : public Matcher {
     /// sorted (pattern length, live patterns of that length)
     std::vector<std::pair<std::size_t, std::size_t>> lengths;
   };
+  /// One distinct contains pattern with the slots carrying that constraint.
+  struct ContainsPosting {
+    std::string pattern;
+    Entry entry;
+  };
+  struct ContainsEntries {
+    /// sorted by (pattern length, pattern), distinct
+    std::vector<ContainsPosting> postings;
+  };
   struct Slot {
     SubscriptionId sub = 0;
     Filter filter;
@@ -195,6 +209,11 @@ class BitsetMatcher final : public Matcher {
   std::unordered_map<AttrId, RangeEntries, AttrIdHash> range_;
   /// attribute id -> sorted distinct prefix-pattern entries.
   std::unordered_map<AttrId, PrefixEntries, AttrIdHash> prefix_;
+  /// attribute id -> sorted distinct *reversed* suffix-pattern entries
+  /// (PrefixEntries layout; probed with the reversed event string).
+  std::unordered_map<AttrId, PrefixEntries, AttrIdHash> suffix_;
+  /// attribute id -> length-sorted distinct contains-pattern entries.
+  std::unordered_map<AttrId, ContainsEntries, AttrIdHash> contains_;
   /// attribute id -> residual distinct non-equality postings (operators
   /// the sorted structures cannot hold; evaluated per distinct value).
   std::unordered_map<AttrId, std::vector<NonEqPosting>, AttrIdHash> noneq_;

@@ -1,5 +1,7 @@
 #include "pubsub/constraint.h"
 
+#include <algorithm>
+
 namespace reef::pubsub {
 
 std::string_view op_name(Op op) noexcept {
@@ -24,6 +26,8 @@ std::string_view op_name(Op op) noexcept {
       return "=*";
     case Op::kExists:
       return "any";
+    case Op::kIn:
+      return "in";
   }
   return "?";
 }
@@ -34,7 +38,56 @@ bool string_pair(const Value& a, const Value& b) noexcept {
   return a.is_string() && b.is_string();
 }
 
+// Canonical member order for kIn sets. This must be a strict weak
+// ordering even though Value::compare is partial: values order by type
+// rank first (null < bool < numeric < string; int and double share the
+// numeric rank so 3 and 3.0 land adjacent and dedupe), and within the
+// numeric rank NaN — the one incomparable case — sorts after every
+// comparable value, with any two NaNs equivalent.
+int member_rank(const Value& v) noexcept {
+  if (v.is_null()) return 0;
+  if (v.is_bool()) return 1;
+  if (v.is_numeric()) return 2;
+  return 3;
+}
+
+bool member_unordered(const Value& v) noexcept {
+  return v.is_numeric() && !Value::compare(v, v).has_value();
+}
+
+bool member_less(const Value& a, const Value& b) noexcept {
+  const int ra = member_rank(a);
+  const int rb = member_rank(b);
+  if (ra != rb) return ra < rb;
+  const bool an = member_unordered(a);
+  const bool bn = member_unordered(b);
+  if (an || bn) return !an && bn;
+  const auto c = Value::compare(a, b);
+  return c.has_value() && *c == std::strong_ordering::less;
+}
+
+bool member_equivalent(const Value& a, const Value& b) noexcept {
+  return !member_less(a, b) && !member_less(b, a);
+}
+
 }  // namespace
+
+Constraint::Constraint(std::string_view attribute, std::vector<Value> members)
+    : set_(std::move(members)),
+      attr_id_(AttrTable::instance().intern(attribute)),
+      attr_len_(static_cast<std::uint32_t>(attribute.size())),
+      op_(Op::kIn) {
+  std::stable_sort(set_.begin(), set_.end(), member_less);
+  set_.erase(std::unique(set_.begin(), set_.end(), member_equivalent),
+             set_.end());
+  if (set_.size() == 1) {
+    // A singleton set is exactly equality; normalizing here keeps the
+    // covering algebra and the engines' eq fast paths on one code path.
+    op_ = Op::kEq;
+    value_ = std::move(set_.front());
+    set_.clear();
+  }
+}
 
 bool Constraint::matches(const Value& v) const noexcept {
   using enum Op;
@@ -72,6 +125,11 @@ bool Constraint::matches(const Value& v) const noexcept {
     case kContains:
       return string_pair(v, value_) &&
              v.as_string().find(value_.as_string()) != std::string::npos;
+    case kIn:
+      for (const Value& m : set_) {
+        if (v.equals(m)) return true;
+      }
+      return false;
   }
   return false;
 }
@@ -81,6 +139,18 @@ bool Constraint::covers(const Constraint& other) const noexcept {
   if (attr_id_ != other.attr_id_) return false;
   if (op_ == kExists) return true;  // every matching value is present
   if (*this == other) return true;
+
+  if (other.op_ == kIn) {
+    // A finite set is covered iff every member is matched — `matches` is
+    // invariant within equals-classes, so testing the canonical members
+    // is exact. This handles every coverer op uniformly, including our
+    // own kIn (subset test). The empty set matches nothing, so the
+    // vacuous pass below is sound: there is no value to escape.
+    for (const Value& m : other.set_) {
+      if (!matches(m)) return false;
+    }
+    return true;
+  }
 
   const Value& a = value_;        // our bound
   const Value& b = other.value_;  // their bound
@@ -198,6 +268,13 @@ bool Constraint::covers(const Constraint& other) const noexcept {
         default:
           return false;
       }
+    case kIn:
+      // Our finite set covers an equality pinned to one of its members.
+      // Anything wider than a point (ranges, prefixes, a distinct
+      // ≥2-member set — those were handled above) cannot be covered by a
+      // finite member list, so everything else is false.
+      return other.op_ == kEq && matches(other.value_);
+
     case kExists:
       return true;  // handled above; keep the compiler satisfied
   }
@@ -208,7 +285,14 @@ std::string Constraint::to_string() const {
   std::string out = attribute();
   out += ' ';
   out += op_name(op_);
-  if (op_ != Op::kExists) {
+  if (op_ == Op::kIn) {
+    out += " {";
+    for (std::size_t i = 0; i < set_.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += set_[i].to_string();
+    }
+    out += '}';
+  } else if (op_ != Op::kExists) {
     out += ' ';
     out += value_.to_string();
   }

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "pubsub/attr_table.h"
 #include "pubsub/value.h"
@@ -27,6 +28,7 @@ enum class Op : std::uint8_t {
   kSuffix,    ///< string ends-with
   kContains,  ///< string substring
   kExists,    ///< attribute is present (any value)
+  kIn,        ///< set membership: value equals some member of the set
 };
 
 std::string_view op_name(Op op) noexcept;
@@ -39,7 +41,14 @@ class Constraint {
   Constraint(std::string_view attribute, Op op, Value value = Value())
       : value_(std::move(value)),
         attr_id_(AttrTable::instance().intern(attribute)),
+        attr_len_(static_cast<std::uint32_t>(attribute.size())),
         op_(op) {}
+
+  /// Set-membership constraint (`attr in {m1, m2, ...}`). Members are
+  /// canonicalized at construction: sorted, deduplicated by equals() (so
+  /// `in {3, 3.0}` keeps one member), a singleton collapses to kEq, and
+  /// the empty set stays kIn and matches nothing.
+  Constraint(std::string_view attribute, std::vector<Value> members);
 
   const std::string& attribute() const noexcept {
     return AttrTable::instance().name(attr_id_);
@@ -48,6 +57,8 @@ class Constraint {
   AttrId attr_id() const noexcept { return attr_id_; }
   Op op() const noexcept { return op_; }
   const Value& value() const noexcept { return value_; }
+  /// kIn member set (canonical order); empty for every other operator.
+  const std::vector<Value>& members() const noexcept { return set_; }
 
   /// True iff an event value `v` satisfies this constraint. Incompatible
   /// types never match (e.g. `price < 5` against "abc" is false).
@@ -61,18 +72,38 @@ class Constraint {
 
   std::string to_string() const;
 
-  /// Approximate wire size, used for routing-traffic accounting.
+  /// Approximate wire size, used for routing-traffic accounting: the
+  /// attribute name (length cached at construction — no AttrTable lookup
+  /// on the accounting path), the actual operator token, and the payload
+  /// the operator carries (nothing for `exists`, the brace-delimited
+  /// member list for `in`, one value otherwise).
   std::size_t wire_size() const noexcept {
-    return 3 + attribute().size() + value_.wire_size();
+    std::size_t size = attr_len_ + op_name(op_).size();
+    switch (op_) {
+      case Op::kExists:
+        break;
+      case Op::kIn:
+        size += 2;  // braces
+        if (!set_.empty()) size += set_.size() - 1;  // separators
+        for (const Value& m : set_) size += m.wire_size();
+        break;
+      default:
+        size += value_.wire_size();
+        break;
+    }
+    return size;
   }
 
   friend bool operator==(const Constraint& a, const Constraint& b) noexcept {
-    return a.op_ == b.op_ && a.attr_id_ == b.attr_id_ && a.value_ == b.value_;
+    return a.op_ == b.op_ && a.attr_id_ == b.attr_id_ &&
+           a.value_ == b.value_ && a.set_ == b.set_;
   }
 
  private:
   Value value_;
+  std::vector<Value> set_;  // kIn only; canonical (sorted, deduped)
   AttrId attr_id_ = kNoAttrId;
+  std::uint32_t attr_len_ = 0;
   Op op_;
 };
 
@@ -106,6 +137,9 @@ inline Constraint contains(std::string_view attr, std::string s) {
 }
 inline Constraint exists(std::string_view attr) {
   return Constraint(attr, Op::kExists);
+}
+inline Constraint in_(std::string_view attr, std::vector<Value> members) {
+  return Constraint(attr, std::move(members));
 }
 
 }  // namespace reef::pubsub

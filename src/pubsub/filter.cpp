@@ -6,11 +6,23 @@ namespace reef::pubsub {
 
 namespace {
 
-/// Stable ordering for canonical form: attribute, then op, then value text.
+/// Stable ordering for canonical form: attribute, then op, then value
+/// text, then (for `in`) the member list — without the last key two
+/// distinct sets on one attribute would be sort-equivalent and the
+/// canonical order (hence Filter::key) would depend on insertion order.
 bool constraint_less(const Constraint& a, const Constraint& b) {
   if (a.attribute() != b.attribute()) return a.attribute() < b.attribute();
   if (a.op() != b.op()) return a.op() < b.op();
-  return a.value().to_string() < b.value().to_string();
+  if (a.value().to_string() != b.value().to_string()) {
+    return a.value().to_string() < b.value().to_string();
+  }
+  const auto& ma = a.members();
+  const auto& mb = b.members();
+  return std::lexicographical_compare(
+      ma.begin(), ma.end(), mb.begin(), mb.end(),
+      [](const Value& x, const Value& y) {
+        return x.to_string() < y.to_string();
+      });
 }
 
 }  // namespace

@@ -103,11 +103,15 @@ class Parser {
       if (attr.empty()) return error("expected attribute after 'has'");
       return exists(attr);
     }
-    // "attr any" form (Filter::to_string round trip).
+    // "attr any" and "attr in {v1, v2}" forms (Filter::to_string round
+    // trip). The lookahead is restored when the word is neither keyword —
+    // it was the start of something else (or garbage the operator parse
+    // reports).
     {
       const std::size_t mark = pos_;
-      const std::string maybe_any = parse_identifier();
-      if (maybe_any == "any") return exists(first);
+      const std::string keyword = parse_identifier();
+      if (keyword == "any") return exists(first);
+      if (keyword == "in") return parse_in_set(first);
       pos_ = mark;
     }
 
@@ -136,6 +140,37 @@ class Parser {
     skip_space();
 
     // Value.
+    auto value = parse_value();
+    if (auto* err = std::get_if<ParseError>(&value)) return *err;
+    return Constraint(first, op, std::get<Value>(std::move(value)));
+  }
+
+  /// "attr in { v1, v2, ... }" — the attribute and the `in` keyword are
+  /// already consumed; parses the brace-delimited member list (possibly
+  /// empty) and hands it to the set-membership constructor, which
+  /// canonicalizes (sort, dedupe, singleton -> eq).
+  ConstraintResult parse_in_set(const std::string& attr) {
+    skip_space();
+    if (!consume('{')) return error("expected '{' after 'in'");
+    std::vector<Value> members;
+    skip_space();
+    if (consume('}')) return Constraint(attr, std::move(members));
+    while (true) {
+      skip_space();
+      auto member = parse_value();
+      if (auto* err = std::get_if<ParseError>(&member)) return *err;
+      members.push_back(std::get<Value>(std::move(member)));
+      skip_space();
+      if (consume(',')) continue;
+      break;
+    }
+    if (!consume('}')) return error("expected '}' closing 'in' set");
+    return Constraint(attr, std::move(members));
+  }
+
+  /// One literal: quoted string (with \" and \\ escapes), true/false/null
+  /// word, or a number (int64 unless it carries '.', 'e', or 'E').
+  std::variant<Value, ParseError> parse_value() {
     if (peek() == '"') {
       ++pos_;
       std::string value;
@@ -144,18 +179,14 @@ class Parser {
         value.push_back(text_[pos_++]);
       }
       if (!consume('"')) return error("unterminated string");
-      if (op == Op::kPrefix || op == Op::kSuffix || op == Op::kContains ||
-          op == Op::kEq || op == Op::kNe || op == Op::kLt || op == Op::kLe ||
-          op == Op::kGt || op == Op::kGe) {
-        return Constraint(first, op, Value(std::move(value)));
-      }
-      return error("operator does not accept a string");
+      return Value(std::move(value));
     }
-    // true/false
+    // true/false/null
     if (is_attr_start(peek())) {
       const std::string word = parse_identifier();
-      if (word == "true") return Constraint(first, op, Value(true));
-      if (word == "false") return Constraint(first, op, Value(false));
+      if (word == "true") return Value(true);
+      if (word == "false") return Value(false);
+      if (word == "null") return Value();
       return error("unquoted value (strings need quotes)");
     }
     // number
@@ -182,7 +213,7 @@ class Parser {
       if (ec != std::errc{} || ptr != number.data() + number.size()) {
         return error("bad number");
       }
-      return Constraint(first, op, Value(parsed));
+      return Value(parsed);
     }
     std::int64_t parsed = 0;
     const auto [ptr, ec] =
@@ -190,7 +221,7 @@ class Parser {
     if (ec != std::errc{} || ptr != number.data() + number.size()) {
       return error("bad number");
     }
-    return Constraint(first, op, Value(parsed));
+    return Value(parsed);
   }
 
   std::string_view text_;

@@ -65,20 +65,38 @@ void IndexMatcher::add(SubscriptionId id, Filter filter) {
     return;
   }
   // Anchor priority (see the class comment): the equality constraint whose
-  // bucket is currently smallest, else the first sorted-indexable range
-  // constraint, else the first indexable prefix constraint, else the
-  // residual scan list keyed by the first constraint's attribute. Each
+  // bucket is currently smallest, else the first in constraint with a
+  // bucketable member, else the first sorted-indexable range constraint,
+  // else the first indexable prefix / suffix / contains constraint, else
+  // the residual scan list keyed by the first constraint's attribute. Each
   // anchor constraint is a necessary condition of its filter, so matching
   // stays correct for any choice — priority only steers probe cost.
   const Constraint* best = nullptr;
   std::size_t best_size = ~std::size_t{0};
+  const Constraint* in_anchor = nullptr;
   const Constraint* range_anchor = nullptr;
   const Constraint* prefix_anchor = nullptr;
+  const Constraint* suffix_anchor = nullptr;
+  const Constraint* contains_anchor = nullptr;
   for (const auto& c : entry.filter.constraints()) {
     if (c.op() != Op::kEq) {
+      if (in_anchor == nullptr && c.op() == Op::kIn) {
+        for (const Value& m : c.members()) {
+          if (eq_bucketable(m)) {
+            in_anchor = &c;
+            break;
+          }
+        }
+      }
       if (range_anchor == nullptr && is_sortable_range(c)) range_anchor = &c;
       if (prefix_anchor == nullptr && is_sortable_prefix(c)) {
         prefix_anchor = &c;
+      }
+      if (suffix_anchor == nullptr && is_sortable_suffix(c)) {
+        suffix_anchor = &c;
+      }
+      if (contains_anchor == nullptr && is_sortable_contains(c)) {
+        contains_anchor = &c;
       }
       continue;
     }
@@ -103,6 +121,24 @@ void IndexMatcher::add(SubscriptionId id, Filter filter) {
     bucket.push_back(id);
     note_bucket_grew(entry.anchor_attr, entry.anchor_value, bucket.size());
     ++eq_count_;
+  } else if (in_anchor != nullptr) {
+    // Post the filter under every bucketable member of the set. An event
+    // value equals at most one canonical member, so a probe finds the
+    // filter at most once — and a matching event satisfies the in
+    // constraint, so its member bucket is always probed (necessary
+    // condition, like any other anchor). Unbucketable members (null, NaN)
+    // can never be satisfied and are skipped symmetrically in remove().
+    entry.kind = AnchorKind::kIn;
+    entry.anchor_attr = in_anchor->attr_id();
+    auto& by_value = eq_[entry.anchor_attr];
+    for (const Value& m : in_anchor->members()) {
+      if (!eq_bucketable(m)) continue;
+      const Value key = canonical_numeric(m);
+      auto& bucket = by_value[key];
+      bucket.push_back(id);
+      note_bucket_grew(entry.anchor_attr, key, bucket.size());
+    }
+    ++in_count_;
   } else if (range_anchor != nullptr) {
     entry.kind = AnchorKind::kRange;
     entry.anchor_attr = range_anchor->attr_id();
@@ -136,6 +172,31 @@ void IndexMatcher::add(SubscriptionId id, Filter filter) {
     }
     it->ids.push_back(id);
     ++prefix_count_;
+  } else if (suffix_anchor != nullptr) {
+    entry.kind = AnchorKind::kSuffix;
+    entry.anchor_attr = suffix_anchor->attr_id();
+    entry.anchor_value = suffix_anchor->value();  // original pattern
+    PrefixIndex& index = suffix_[entry.anchor_attr];
+    const std::string pattern = reversed(entry.anchor_value.as_string());
+    auto it = prefix_posting_pos(index.postings, pattern);
+    if (it == index.postings.end() || it->prefix != pattern) {
+      it = index.postings.insert(it, PrefixPosting{pattern, {}});
+      add_prefix_length(index.lengths, pattern.size());
+    }
+    it->ids.push_back(id);
+    ++suffix_count_;
+  } else if (contains_anchor != nullptr) {
+    entry.kind = AnchorKind::kContains;
+    entry.anchor_attr = contains_anchor->attr_id();
+    entry.anchor_value = contains_anchor->value();
+    ContainsIndex& index = contains_[entry.anchor_attr];
+    const std::string& pattern = entry.anchor_value.as_string();
+    auto it = contains_posting_pos(index.postings, pattern);
+    if (it == index.postings.end() || it->pattern != pattern) {
+      it = index.postings.insert(it, ContainsPosting{pattern, {}});
+    }
+    it->ids.push_back(id);
+    ++contains_count_;
   } else {
     entry.kind = AnchorKind::kScan;
     entry.anchor_attr = entry.filter.constraints().front().attr_id();
@@ -164,6 +225,33 @@ void IndexMatcher::remove(SubscriptionId id) {
       --eq_count_;
       break;
     }
+    case AnchorKind::kIn: {
+      // Re-find the anchor constraint the same way add() chose it: the
+      // first in constraint with a bucketable member.
+      const Constraint* anchor = nullptr;
+      for (const auto& c : entry.filter.constraints()) {
+        if (c.op() != Op::kIn) continue;
+        for (const Value& m : c.members()) {
+          if (eq_bucketable(m)) {
+            anchor = &c;
+            break;
+          }
+        }
+        if (anchor != nullptr) break;
+      }
+      auto& by_value = eq_.at(entry.anchor_attr);
+      for (const Value& m : anchor->members()) {
+        if (!eq_bucketable(m)) continue;
+        const Value key = canonical_numeric(m);
+        auto& bucket = by_value.at(key);
+        std::erase(bucket, id);
+        note_bucket_shrank(entry.anchor_attr, key, bucket.size());
+        if (bucket.empty()) by_value.erase(key);
+      }
+      if (by_value.empty()) eq_.erase(entry.anchor_attr);
+      --in_count_;
+      break;
+    }
     case AnchorKind::kRange: {
       const auto range_it = range_.find(entry.anchor_attr);
       RangeIndex& index = range_it->second;
@@ -187,6 +275,31 @@ void IndexMatcher::remove(SubscriptionId id) {
       }
       if (index.postings.empty()) prefix_.erase(prefix_it);
       --prefix_count_;
+      break;
+    }
+    case AnchorKind::kSuffix: {
+      const auto suffix_it = suffix_.find(entry.anchor_attr);
+      PrefixIndex& index = suffix_it->second;
+      const std::string pattern = reversed(entry.anchor_value.as_string());
+      const auto pos = prefix_posting_pos(index.postings, pattern);
+      std::erase(pos->ids, id);
+      if (pos->ids.empty()) {
+        remove_prefix_length(index.lengths, pattern.size());
+        index.postings.erase(pos);
+      }
+      if (index.postings.empty()) suffix_.erase(suffix_it);
+      --suffix_count_;
+      break;
+    }
+    case AnchorKind::kContains: {
+      const auto contains_it = contains_.find(entry.anchor_attr);
+      ContainsIndex& index = contains_it->second;
+      const std::string& pattern = entry.anchor_value.as_string();
+      const auto pos = contains_posting_pos(index.postings, pattern);
+      std::erase(pos->ids, id);
+      if (pos->ids.empty()) index.postings.erase(pos);
+      if (index.postings.empty()) contains_.erase(contains_it);
+      --contains_count_;
       break;
     }
     case AnchorKind::kScan: {
@@ -217,7 +330,10 @@ EqBucketStats IndexMatcher::eq_bucket_stats() const noexcept {
   // note_bucket_grew/shrank — the routing table samples this on a churn
   // cadence, and the old full-bucket scan made every sample O(buckets).
   EqBucketStats stats;
-  stats.filters = eq_count_;
+  // Total bucket postings, not eq-anchored filters: an in-anchored filter
+  // occupies one posting per bucketable member, and the skew ratio
+  // (filters/buckets vs largest) is about bucket population.
+  stats.filters = eq_postings_;
   stats.buckets = eq_buckets_;
   stats.largest = eq_largest_;
   stats.largest_key = eq_largest_ == 0 ? 0 : eq_largest_key_;
@@ -226,6 +342,7 @@ EqBucketStats IndexMatcher::eq_bucket_stats() const noexcept {
 
 void IndexMatcher::note_bucket_grew(AttrId attr, const Value& value,
                                     std::size_t new_size) {
+  ++eq_postings_;
   const std::size_t key =
       util::hash_combine(attr, std::hash<Value>{}(value));
   if (new_size == 1) {
@@ -249,6 +366,7 @@ void IndexMatcher::note_bucket_grew(AttrId attr, const Value& value,
 
 void IndexMatcher::note_bucket_shrank(AttrId attr, const Value& value,
                                       std::size_t new_size) {
+  --eq_postings_;
   const std::size_t key =
       util::hash_combine(attr, std::hash<Value>{}(value));
   auto& old_bin = eq_size_hist_[new_size + 1];
@@ -359,6 +477,31 @@ void IndexMatcher::match(const Event& event,
                        }
                      });
     }
+    if (const auto suffix_it = suffix_.find(attr);
+        suffix_it != suffix_.end() && value.is_string()) {
+      // Suffix tables hold reversed patterns; reverse the event string
+      // once and the prefix probes do the rest.
+      const std::string rev = reversed(value.as_string());
+      probe_prefixes(suffix_it->second.postings, suffix_it->second.lengths,
+                     rev, [&](const PrefixPosting& posting) {
+                       for (const SubscriptionId id : posting.ids) {
+                         if (filters_.at(id).filter.matches(event)) {
+                           out.push_back(id);
+                         }
+                       }
+                     });
+    }
+    if (const auto contains_it = contains_.find(attr);
+        contains_it != contains_.end() && value.is_string()) {
+      probe_contains(contains_it->second.postings, value.as_string(),
+                     [&](const ContainsPosting& posting) {
+                       for (const SubscriptionId id : posting.ids) {
+                         if (filters_.at(id).filter.matches(event)) {
+                           out.push_back(id);
+                         }
+                       }
+                     });
+    }
     if (const auto scan_it = scan_.find(attr); scan_it != scan_.end()) {
       for (const SubscriptionId id : scan_it->second) {
         if (filters_.at(id).filter.matches(event)) out.push_back(id);
@@ -374,7 +517,8 @@ void IndexMatcher::match_batch(
   for (auto& hits : out) {
     hits.insert(hits.end(), universal_.begin(), universal_.end());
   }
-  if (eq_.empty() && range_.empty() && prefix_.empty() && scan_.empty()) {
+  if (eq_.empty() && range_.empty() && prefix_.empty() && suffix_.empty() &&
+      contains_.empty() && scan_.empty()) {
     return;
   }
   // Group the batch by attribute id into (position, value) occurrence
@@ -401,15 +545,19 @@ void IndexMatcher::match_batch(
     const auto eq_it = eq_.find(attr);
     const auto range_it = range_.find(attr);
     const auto prefix_it = prefix_.find(attr);
+    const auto suffix_it = suffix_.find(attr);
+    const auto contains_it = contains_.find(attr);
     if (eq_it != eq_.end() || range_it != range_.end() ||
-        prefix_it != prefix_.end()) {
+        prefix_it != prefix_.end() || suffix_it != suffix_.end() ||
+        contains_it != contains_.end()) {
       // Sub-group by canonical value so each probe — eq bucket lookup,
-      // range binary search, prefix table probe — runs once and each
-      // candidate filter is fetched once, however many events of the
-      // batch share the value. Probe order per value mirrors the
-      // single-event path (eq, range lower, range upper, prefix, scan),
-      // and each event carries one value per attribute, so per-event
-      // output order is batch-composition independent.
+      // range binary search, prefix/suffix/contains table probe — runs
+      // once and each candidate filter is fetched once, however many
+      // events of the batch share the value. Probe order per value
+      // mirrors the single-event path (eq, range lower, range upper,
+      // prefix, suffix, contains, scan), and each event carries one value
+      // per attribute, so per-event output order is batch-composition
+      // independent.
       std::unordered_map<Value, std::vector<std::uint32_t>> by_value;
       for (const auto& [i, value] : occurrences) {
         by_value[canonical_numeric(*value)].push_back(i);
@@ -443,6 +591,24 @@ void IndexMatcher::match_batch(
           probe_prefixes(prefix_it->second.postings,
                          prefix_it->second.lengths, value.as_string(),
                          [&](const PrefixPosting& posting) {
+                           for (const SubscriptionId id : posting.ids) {
+                             evaluate(id);
+                           }
+                         });
+        }
+        if (suffix_it != suffix_.end() && value.is_string()) {
+          const std::string rev = reversed(value.as_string());
+          probe_prefixes(suffix_it->second.postings,
+                         suffix_it->second.lengths, rev,
+                         [&](const PrefixPosting& posting) {
+                           for (const SubscriptionId id : posting.ids) {
+                             evaluate(id);
+                           }
+                         });
+        }
+        if (contains_it != contains_.end() && value.is_string()) {
+          probe_contains(contains_it->second.postings, value.as_string(),
+                         [&](const ContainsPosting& posting) {
                            for (const SubscriptionId id : posting.ids) {
                              evaluate(id);
                            }
@@ -510,10 +676,23 @@ void CountingMatcher::add(SubscriptionId id, Filter filter) {
   for (const auto& c : filter.constraints()) {
     if (c.op() == Op::kEq) {
       eq_[c.attr_id()][canonical_numeric(c.value())].push_back(id);
+      ++postings_;
+    } else if (c.op() == Op::kIn) {
+      // One eq posting per bucketable member. The event carries one value
+      // per attribute and canonical members are pairwise distinct, so at
+      // most one member bucket tallies — the constraint still counts at
+      // most once. Unbucketable members (null, NaN) can never be
+      // satisfied; with no bucketable member at all the constraint gets
+      // no posting and the filter correctly never fires.
+      for (const Value& m : c.members()) {
+        if (!eq_bucketable(m)) continue;
+        eq_[c.attr_id()][canonical_numeric(m)].push_back(id);
+        ++postings_;
+      }
     } else {
       noneq_[c.attr_id()].push_back(NonEqPosting{c, id});
+      ++postings_;
     }
-    ++postings_;
   }
   filters_.emplace(id, std::move(filter));
 }
@@ -525,16 +704,24 @@ void CountingMatcher::remove(SubscriptionId id) {
   if (filter.empty()) {
     std::erase(universal_, id);
   } else {
+    const auto erase_eq_posting = [this](AttrId attr, const Value& key,
+                                         SubscriptionId sub) {
+      const auto attr_it = eq_.find(attr);
+      auto& bucket = attr_it->second.at(key);
+      // erase one posting (duplicate constraints each hold their own)
+      bucket.erase(std::find(bucket.begin(), bucket.end(), sub));
+      if (bucket.empty()) attr_it->second.erase(key);
+      if (attr_it->second.empty()) eq_.erase(attr_it);
+      --postings_;
+    };
     for (const auto& c : filter.constraints()) {
       if (c.op() == Op::kEq) {
-        const auto attr_it = eq_.find(c.attr_id());
-        auto& bucket = attr_it->second.at(canonical_numeric(c.value()));
-        // erase one posting (duplicate constraints each hold their own)
-        bucket.erase(std::find(bucket.begin(), bucket.end(), id));
-        if (bucket.empty()) {
-          attr_it->second.erase(canonical_numeric(c.value()));
+        erase_eq_posting(c.attr_id(), canonical_numeric(c.value()), id);
+      } else if (c.op() == Op::kIn) {
+        for (const Value& m : c.members()) {
+          if (!eq_bucketable(m)) continue;
+          erase_eq_posting(c.attr_id(), canonical_numeric(m), id);
         }
-        if (attr_it->second.empty()) eq_.erase(attr_it);
       } else {
         auto& postings = noneq_.at(c.attr_id());
         const auto posting_it =
@@ -544,8 +731,8 @@ void CountingMatcher::remove(SubscriptionId id) {
                          });
         postings.erase(posting_it);
         if (postings.empty()) noneq_.erase(c.attr_id());
+        --postings_;
       }
-      --postings_;
     }
   }
   filters_.erase(it);

@@ -6,9 +6,11 @@
 //                    ablation baseline in benches.
 //   "anchor-index" — every filter anchored in exactly one per-op index
 //                    structure: an equality hash bucket (keyed by its most
-//                    selective eq constraint), a sorted numeric range
-//                    bound array, a sorted string prefix table, or the
-//                    residual scan list.
+//                    selective eq constraint, or every member of its first
+//                    in-set), a sorted numeric range bound array, a sorted
+//                    string prefix table, a reversed-pattern suffix table,
+//                    a length-sorted contains table, or the residual scan
+//                    list.
 //   "counting"     — classic Gryphon/Siena counting algorithm: constraints
 //                    indexed per attribute, a filter fires when all of its
 //                    constraints have been satisfied by the event.
@@ -244,20 +246,31 @@ class BruteForceMatcher final : public Matcher {
 ///
 ///   1. a hash bucket keyed by its most *selective* equality constraint
 ///      (the one whose (attribute, value) bucket is currently smallest);
-///   2. absent eq constraints, a *sorted numeric bound array* for its
-///      first range constraint (`<` `<=` `>` `>=` with a numeric bound):
-///      matching binary-searches the event value against the sorted
-///      lower/upper bound arrays and enumerates exactly the satisfied
-///      postings — never the unsatisfied ones;
-///   3. absent those, a *sorted string prefix table* for its first prefix
+///   2. absent eq constraints, the equality buckets of its first `in`
+///      constraint: the filter is posted under *every* bucketable member
+///      (an event value hits at most one member bucket, so the filter is
+///      found at most once per probe);
+///   3. absent those, a *sorted numeric bound array* for its first range
+///      constraint (`<` `<=` `>` `>=` with a numeric bound): matching
+///      binary-searches the event value against the sorted lower/upper
+///      bound arrays and enumerates exactly the satisfied postings —
+///      never the unsatisfied ones;
+///   4. absent those, a *sorted string prefix table* for its first prefix
 ///      constraint: lexicographic binary probes, one per live pattern
 ///      length (see range_index.h for the probe arithmetic shared with
 ///      the bitset engine);
-///   4. otherwise a residual per-attribute scan list (suffix/contains/
-///      ne/exists and range/prefix shapes the sorted structures cannot
-///      hold: string or NaN bounds, non-string prefix patterns). Since
-///      range and prefix filters anchor in their own structures, the
-///      residual list no longer taxes range-heavy attributes.
+///   5. absent those, a *reversed-pattern suffix table* for its first
+///      suffix constraint: the same prefix probes run against the
+///      reversed event string;
+///   6. absent those, a *length-sorted substring table* for its first
+///      contains constraint: one shared walk bounded by the event
+///      string's length, one find() per distinct live pattern;
+///   7. otherwise a residual per-attribute scan list (ne/exists, the
+///      in-sets with no bucketable member, and range/prefix/suffix/
+///      contains shapes the sorted structures cannot hold: string or NaN
+///      bounds, non-string patterns). With every string search op
+///      anchored in its own structure, only genuinely shapeless
+///      constraints remain here.
 ///
 /// Matching an event probes the structures of the event's own attribute
 /// values and fully evaluates only the candidates found there; any anchor
@@ -287,11 +300,14 @@ class IndexMatcher final : public Matcher {
   std::string name() const override { return "anchor-index"; }
 
   /// Introspection for tests and benches: filters anchored per structure
-  /// (equality buckets, sorted range arrays, prefix tables, residual scan
-  /// lists).
+  /// (equality buckets, in-member buckets, sorted range arrays, prefix /
+  /// suffix / contains tables, residual scan lists).
   std::size_t eq_anchored() const noexcept { return eq_count_; }
+  std::size_t in_anchored() const noexcept { return in_count_; }
   std::size_t range_anchored() const noexcept { return range_count_; }
   std::size_t prefix_anchored() const noexcept { return prefix_count_; }
+  std::size_t suffix_anchored() const noexcept { return suffix_count_; }
+  std::size_t contains_anchored() const noexcept { return contains_count_; }
   std::size_t scan_anchored() const noexcept { return scan_count_; }
   /// Attribute a filter is currently anchored on (empty string for the
   /// universal list; nullopt for unknown ids). Test/bench introspection
@@ -331,8 +347,11 @@ class IndexMatcher final : public Matcher {
   enum class AnchorKind : std::uint8_t {
     kUniversal,  // empty filter, universal list
     kEqBucket,   // equality hash bucket
+    kIn,         // equality buckets of every bucketable in-member
     kRange,      // sorted numeric bound array (lower or upper)
     kPrefix,     // sorted string prefix table
+    kSuffix,     // reversed-pattern suffix table
+    kContains,   // length-sorted substring table
     kScan,       // residual per-attribute scan list
   };
 
@@ -341,7 +360,9 @@ class IndexMatcher final : public Matcher {
     AnchorKind kind = AnchorKind::kUniversal;
     AttrId anchor_attr = kNoAttrId;  // kNoAttrId = universal list
     Value anchor_value;  // eq: canonical bucket key; range: the bound;
-                         // prefix: the pattern; otherwise unused
+                         // prefix/suffix/contains: the original pattern;
+                         // kIn: unused (removal re-finds the filter's
+                         // first in constraint); otherwise unused
     bool anchor_strict = false;  // range: strict (< / >) bound
     bool anchor_lower = false;   // range: lower (>/>=) vs upper (</<=)
   };
@@ -366,6 +387,15 @@ class IndexMatcher final : public Matcher {
     /// sorted (pattern length, live patterns of that length)
     std::vector<std::pair<std::size_t, std::size_t>> lengths;
   };
+  /// One distinct contains pattern with the filters anchored on it.
+  struct ContainsPosting {
+    std::string pattern;
+    std::vector<SubscriptionId> ids;
+  };
+  struct ContainsIndex {
+    /// sorted by (pattern length, pattern), distinct
+    std::vector<ContainsPosting> postings;
+  };
 
   /// Incremental eq-bucket-stats bookkeeping, called at every bucket
   /// push/erase with the bucket's new size (hist bins hold identity keys
@@ -387,13 +417,27 @@ class IndexMatcher final : public Matcher {
   /// attribute id -> sorted prefix table of the filters anchored on a
   /// string prefix constraint of that attribute
   std::unordered_map<AttrId, PrefixIndex, AttrIdHash> prefix_;
-  /// attribute id -> residual filters (no eq/range/prefix anchor shape)
+  /// attribute id -> reversed-pattern table of the filters anchored on a
+  /// string suffix constraint of that attribute (PrefixIndex over the
+  /// reversed patterns; probed with the reversed event string)
+  std::unordered_map<AttrId, PrefixIndex, AttrIdHash> suffix_;
+  /// attribute id -> length-sorted substring table of the filters
+  /// anchored on a string contains constraint of that attribute
+  std::unordered_map<AttrId, ContainsIndex, AttrIdHash> contains_;
+  /// attribute id -> residual filters (no indexable anchor shape)
   std::unordered_map<AttrId, std::vector<SubscriptionId>, AttrIdHash> scan_;
   std::vector<SubscriptionId> universal_;  // empty filters match everything
   std::size_t eq_count_ = 0;
+  std::size_t in_count_ = 0;
   std::size_t range_count_ = 0;
   std::size_t prefix_count_ = 0;
+  std::size_t suffix_count_ = 0;
+  std::size_t contains_count_ = 0;
   std::size_t scan_count_ = 0;
+  /// Total postings across the equality buckets (an in-anchored filter
+  /// occupies one posting per bucketable member, so this is what
+  /// EqBucketStats::filters reports — not eq_count_).
+  std::size_t eq_postings_ = 0;
   /// Bucket-size histogram: size -> {bucket identity key -> buckets of
   /// that size under that key}. Keys are hash_combine(attr, hash(value)) —
   /// the same identity EqBucketStats::largest_key reports — and carry a

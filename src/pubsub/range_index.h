@@ -31,7 +31,26 @@
 // l <= |s| for s's own l-prefix — the [p, p+epsilon) interval membership
 // test, inverted: instead of asking which strings fall in a pattern's
 // interval, each l-prefix of the event names the one pattern interval it
-// could fall in.
+// could fall in. The length-0 pattern (matches every string) is a live
+// length like any other: its probe key is the empty view, which every
+// event string, including "", has as its 0-prefix.
+//
+// ## Suffix postings
+//
+// Suffix is prefix read backwards: the table stores *reversed* patterns
+// in the same sorted-pattern layout, and probing reverses the event
+// string once, then reuses probe_prefixes verbatim. One reversal + one
+// binary search per live length replaces a per-filter ends_with scan.
+//
+// ## Contains postings
+//
+// Contains has no single-probe order, but sorting postings by
+// (pattern length, pattern) gives the next best thing: a probe walks the
+// table in ascending pattern length, breaks at the first length > |s|,
+// and runs one s.find(pattern) per surviving posting — one shared table
+// scan bounded by the event string's length instead of a per-filter
+// residual scan. Distinct patterns appear once no matter how many
+// filters share them.
 #pragma once
 
 #include <algorithm>
@@ -83,6 +102,33 @@ inline bool is_sortable_range(const Constraint& c) noexcept {
 /// pattern never matches anything; it stays on the residual scan path.
 inline bool is_sortable_prefix(const Constraint& c) noexcept {
   return c.op() == Op::kPrefix && c.value().is_string();
+}
+
+/// Suffix constraint indexable in the reversed-pattern table.
+inline bool is_sortable_suffix(const Constraint& c) noexcept {
+  return c.op() == Op::kSuffix && c.value().is_string();
+}
+
+/// Contains constraint indexable in the length-sorted substring table.
+inline bool is_sortable_contains(const Constraint& c) noexcept {
+  return c.op() == Op::kContains && c.value().is_string();
+}
+
+/// The reversed copy used by the suffix tables: suffix patterns and probe
+/// strings are both stored/probed reversed, turning ends_with into
+/// starts_with.
+inline std::string reversed(std::string_view s) {
+  return std::string(s.rbegin(), s.rend());
+}
+
+/// True for values that can key an equality hash bucket. Null never
+/// equals anything; a NaN double neither equals anything (Value::compare
+/// is partial there) nor behaves as a hash key (hash-equal,
+/// operator==-unequal copies make unordered_map entries unreachable).
+/// Skipping such kIn members is sound: they can never be satisfied.
+inline bool eq_bucketable(const Value& v) noexcept {
+  if (v.is_null()) return false;
+  return v.type() != Value::Type::kDouble || !std::isnan(v.as_double());
 }
 
 namespace probe_detail {
@@ -163,6 +209,10 @@ inline void remove_prefix_length(
   const auto it = std::lower_bound(
       lengths.begin(), lengths.end(), len,
       [](const auto& e, std::size_t l) { return e.first < l; });
+  // A removal for a length that was never added (or was already drained)
+  // must not decrement a neighboring entry — lower_bound lands on the
+  // next length up (or end) when `len` is absent.
+  if (it == lengths.end() || it->first != len) return;
   if (--it->second == 0) lengths.erase(it);
 }
 
@@ -189,6 +239,35 @@ void probe_prefixes(
     const std::string_view key(s.data(), len);
     const auto it = prefix_posting_pos(sorted, key);
     if (it != sorted.end() && std::string_view(it->prefix) == key) fn(*it);
+  }
+}
+
+/// Lower-bound position of `key` in a contains posting array sorted by
+/// (pattern length, pattern) — `Posting` needs `.pattern`; callers check
+/// for an exact hit.
+template <typename Postings>
+auto contains_posting_pos(Postings& sorted, std::string_view key) noexcept {
+  return std::lower_bound(
+      sorted.begin(), sorted.end(), key,
+      [](const auto& p, std::string_view k) {
+        const std::string_view pat(p.pattern);
+        if (pat.size() != k.size()) return pat.size() < k.size();
+        return pat < k;
+      });
+}
+
+/// Invokes `fn(posting)` for every contains posting whose pattern is a
+/// substring of event string `s`. The array is sorted by (length,
+/// pattern), so the walk stops at the first pattern longer than `s`; the
+/// length-0 pattern, a substring of everything, sorts first and always
+/// fires.
+template <typename Posting, typename Fn>
+void probe_contains(const std::vector<Posting>& sorted, const std::string& s,
+                    Fn&& fn) {
+  for (const Posting& p : sorted) {
+    const std::string_view pat(p.pattern);
+    if (pat.size() > s.size()) break;
+    if (s.find(pat) != std::string::npos) fn(p);
   }
 }
 

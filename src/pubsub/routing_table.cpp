@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "pubsub/matcher_registry.h"
+#include "pubsub/range_index.h"
 #include "pubsub/sharded_matcher.h"
 
 namespace reef::pubsub {
@@ -275,13 +276,19 @@ std::map<std::string, Filter> RoutingTable::minimal_cover_naive(
 
 std::map<std::string, Filter> RoutingTable::minimal_cover_indexed(
     std::map<std::string, Filter> filters) {
-  // Signature index: every non-empty filter is bucketed under exactly one
-  // of its constraints. Soundness rests on Filter::covers semantics — if g
-  // covers f, then *every* constraint of g (its signature included) covers
-  // some constraint of f on the same attribute. Hence g is reachable from
-  // f's own constraints: an equality signature eq(a, v) only ever covers
-  // eq(a, v) (cross-type numerics compare equal via canonical_numeric), so
-  // value buckets suffice; any other signature op is reachable through the
+  // Signature index: every non-empty filter is bucketed under one of its
+  // constraints. Soundness rests on Filter::covers semantics — if g covers
+  // f, then *every* constraint of g (its signature included) covers some
+  // constraint of f on the same attribute. Hence g is reachable from f's
+  // own constraints: an equality signature eq(a, v) only ever covers
+  // eq(a, v) (cross-type numerics compare equal via canonical_numeric) or
+  // an *empty* in-set (which everything covers vacuously), so value
+  // buckets plus the empty-set fallback below suffice. A set-membership
+  // signature in(a, S) covers only eq(a, m) / in(a, T subset of S) with a
+  // bucketable member in common, so bucketing g under every bucketable
+  // member value is reachable from f's per-member probes (members that are
+  // null/NaN are unsatisfiable and can never witness a cover, so skipping
+  // them is sound). Any other signature op is reachable through the
   // attribute bucket alone. Empty filters cover everything and are always
   // candidates.
   using Item = const std::pair<const std::string, Filter>*;
@@ -298,17 +305,33 @@ std::map<std::string, Filter> RoutingTable::minimal_cover_indexed(
     }
     // Prefer an equality constraint as the signature: its value bucket
     // prunes far harder than an attribute bucket (feed subscriptions all
-    // share their attributes but rarely their feed URL).
+    // share their attributes but rarely their feed URL). Failing that, a
+    // set-membership constraint buckets under every bucketable member —
+    // still value-level pruning, at the cost of |set| bucket entries.
     const Constraint* sig = nullptr;
+    const Constraint* in_sig = nullptr;
     for (const Constraint& c : filter.constraints()) {
       if (c.op() == Op::kEq) {
         sig = &c;
         break;
       }
+      if (in_sig == nullptr && c.op() == Op::kIn) {
+        for (const Value& m : c.members()) {
+          if (eq_bucketable(m)) {
+            in_sig = &c;
+            break;
+          }
+        }
+      }
     }
     if (sig != nullptr) {
       eq_sig[sig->attr_id()][canonical_numeric(sig->value())].push_back(
           &entry);
+    } else if (in_sig != nullptr) {
+      auto& buckets = eq_sig[in_sig->attr_id()];
+      for (const Value& m : in_sig->members()) {
+        if (eq_bucketable(m)) buckets[canonical_numeric(m)].push_back(&entry);
+      }
     } else {
       attr_sig[filter.constraints().front().attr_id()].push_back(&entry);
     }
@@ -330,6 +353,31 @@ std::map<std::string, Filter> RoutingTable::minimal_cover_indexed(
           candidates.insert(candidates.end(), it->second.begin(),
                             it->second.end());
         }
+      }
+      if (c.op() == Op::kIn) {
+        if (const auto attr_it = eq_sig.find(c.attr_id());
+            attr_it != eq_sig.end()) {
+          if (c.members().empty()) {
+            // in {} matches nothing, so every value-bucketed signature on
+            // this attribute covers it vacuously — all buckets are
+            // candidates.
+            for (const auto& bucket : attr_it->second) {
+              candidates.insert(candidates.end(), bucket.second.begin(),
+                                bucket.second.end());
+            }
+          } else {
+            for (const Value& m : c.members()) {
+              if (!eq_bucketable(m)) continue;
+              if (const auto value_it =
+                      attr_it->second.find(canonical_numeric(m));
+                  value_it != attr_it->second.end()) {
+                candidates.insert(candidates.end(), value_it->second.begin(),
+                                  value_it->second.end());
+              }
+            }
+          }
+        }
+        continue;
       }
       if (c.op() != Op::kEq) continue;
       if (const auto attr_it = eq_sig.find(c.attr_id());

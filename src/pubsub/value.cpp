@@ -119,8 +119,20 @@ std::string Value::to_string() const {
       }
       return s;
     }
-    case Type::kString:
-      return "\"" + as_string() + "\"";
+    case Type::kString: {
+      // Escape the two metacharacters of the filter language's string
+      // lexer so parse_filter(to_string()) round-trips arbitrary content.
+      const std::string& s = as_string();
+      std::string out;
+      out.reserve(s.size() + 2);
+      out += '"';
+      for (const char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      out += '"';
+      return out;
+    }
   }
   return "?";
 }

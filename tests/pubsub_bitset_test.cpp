@@ -216,7 +216,7 @@ TEST(BitsetMatcher, PrefixEntriesResolveViaPatternTable) {
   m.add(1, Filter().and_(prefix("t", "ab")));
   m.add(2, Filter().and_(prefix("t", "ab")));  // shares the "ab" entry
   m.add(3, Filter().and_(prefix("t", "a")));
-  m.add(4, Filter().and_(suffix("t", "z")));   // residual posting list
+  m.add(4, Filter().and_(suffix("t", "z")));   // reversed-pattern table
   EXPECT_EQ(m.entry_count(), 3u);
   EXPECT_EQ(sorted(m.match(Event().with("t", "abz"))),
             (std::vector<SubscriptionId>{1, 2, 3, 4}));
@@ -229,6 +229,63 @@ TEST(BitsetMatcher, PrefixEntriesResolveViaPatternTable) {
   EXPECT_EQ(m.entry_count(), 2u);
   EXPECT_EQ(sorted(m.match(Event().with("t", "abz"))),
             (std::vector<SubscriptionId>{3, 4}));
+}
+
+TEST(BitsetMatcher, SuffixAndContainsEntriesResolveViaPatternTables) {
+  BitsetMatcher m;
+  m.add(1, Filter().and_(suffix("t", "og")));
+  m.add(2, Filter().and_(suffix("t", "og")));  // shares the reversed entry
+  m.add(3, Filter().and_(suffix("t", "g")));
+  m.add(4, Filter().and_(contains("t", "lo")));
+  m.add(5, Filter().and_(contains("t", "lo")));  // shares the "lo" entry
+  m.add(6, Filter().and_(contains("t", "x")));
+  EXPECT_EQ(m.entry_count(), 4u);  // rev "go", rev "g", "lo", "x"
+  EXPECT_EQ(sorted(m.match(Event().with("t", "log"))),
+            (std::vector<SubscriptionId>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(sorted(m.match(Event().with("t", "xg"))),
+            (std::vector<SubscriptionId>{3, 6}));
+  EXPECT_TRUE(m.match(Event().with("t", 7)).empty());
+  m.remove(1);
+  EXPECT_EQ(m.entry_count(), 4u);  // rev "go" still referenced by 2
+  m.remove(2);
+  EXPECT_EQ(m.entry_count(), 3u);
+  m.remove(4);
+  m.remove(5);
+  EXPECT_EQ(m.entry_count(), 2u);
+  EXPECT_EQ(sorted(m.match(Event().with("t", "log"))),
+            (std::vector<SubscriptionId>{3}));
+}
+
+TEST(BitsetMatcher, InSetConstraintsShareOneResidualEntry) {
+  BitsetMatcher m;
+  // Set membership stays a residual posting (evaluated once per distinct
+  // value), and identical sets share the entry — including sets spelled
+  // with different member orders or redundant members, which canonicalize
+  // to one constraint identity.
+  m.add(1, Filter().and_(in_("sym", {Value("A"), Value("B")})));
+  m.add(2, Filter().and_(in_("sym", {Value("B"), Value("A"), Value("B")})));
+  EXPECT_EQ(m.entry_count(), 1u);
+  // Cross-type members collapse; int and double events both hit.
+  m.add(3, Filter().and_(in_("p", {Value(1), Value(1.0), Value(2)})));
+  EXPECT_EQ(m.entry_count(), 2u);
+  EXPECT_EQ(sorted(m.match(Event().with("sym", "A"))),
+            (std::vector<SubscriptionId>{1, 2}));
+  EXPECT_EQ(sorted(m.match(Event().with("sym", "B"))),
+            (std::vector<SubscriptionId>{1, 2}));
+  EXPECT_TRUE(m.match(Event().with("sym", "C")).empty());
+  EXPECT_EQ(sorted(m.match(Event().with("p", 1.0))),
+            (std::vector<SubscriptionId>{3}));
+  EXPECT_EQ(sorted(m.match(Event().with("p", 2))),
+            (std::vector<SubscriptionId>{3}));
+  // An empty set matches nothing, ever — the filter simply never fires.
+  m.add(4, Filter().and_(in_("sym", {})));
+  EXPECT_EQ(sorted(m.match(Event().with("sym", "A"))),
+            (std::vector<SubscriptionId>{1, 2}));
+  m.remove(1);
+  EXPECT_EQ(sorted(m.match(Event().with("sym", "A"))),
+            (std::vector<SubscriptionId>{2}));
+  m.remove(2);
+  EXPECT_TRUE(m.match(Event().with("sym", "A")).empty());
 }
 
 TEST(BitsetMatcher, RangeEntriesSurviveBitmapGrowth) {

@@ -42,8 +42,11 @@
 // (nested price ranges, so the covering reduction churns as they come and
 // go), range-heavy filters (int and double bounds colliding at the same
 // magnitudes, so the sorted-bounds indexes are probed exactly on their
-// strict/inclusive edges), prefix pattern tables at many lengths, and
-// 2^53-boundary values where int/double comparison must stay exact.
+// strict/inclusive edges), prefix/suffix/contains pattern tables at many
+// lengths (including the empty pattern and escape-laden patterns),
+// set-membership filters over a small overlapping symbol universe with
+// mixed-type members and the occasional empty set, and 2^53-boundary
+// values where int/double comparison must stay exact.
 // New engines registered in MatcherRegistry are picked up by name
 // automatically — both bare and through the shard/worker/pre-filter cross
 // product — and inherit the whole oracle matrix.
@@ -88,7 +91,7 @@ struct Schedule {
 };
 
 Filter fuzz_filter(util::Rng& rng) {
-  switch (rng.index(11)) {
+  switch (rng.index(13)) {
     case 0:
       // Anchorless universal subscription: spill-shard placement, and the
       // covering reduction collapses everything else beneath it.
@@ -192,6 +195,48 @@ Filter fuzz_filter(util::Rng& rng) {
           return Filter().and_(le("big", bound));
       }
     }
+    case 10: {
+      // Set membership over a small symbol universe: heavy member overlap
+      // across filters (shared per-member buckets / shared residual
+      // entries), mixed-type member lists whose int/double members must
+      // collapse, and the occasional empty set, which matches nothing —
+      // every engine must agree on the silence.
+      static constexpr const char* kSyms[] = {"A", "B", "C", "D"};
+      std::vector<Value> members;
+      const std::size_t count = rng.index(4);  // 0..3: empty sets too
+      for (std::size_t j = 0; j < count; ++j) {
+        if (rng.chance(0.5)) {
+          members.emplace_back(kSyms[rng.index(4)]);
+        } else if (rng.chance(0.5)) {
+          members.emplace_back(static_cast<std::int64_t>(rng.index(4)));
+        } else {
+          members.emplace_back(static_cast<double>(rng.index(4)));
+        }
+      }
+      Filter f = Filter().and_(in_("sym", std::move(members)));
+      if (rng.chance(0.3)) {
+        f.and_(ge("price", static_cast<double>(rng.index(30))));
+      }
+      return f;
+    }
+    case 11: {
+      // Suffix/contains-heavy: patterns at several lengths over one
+      // attribute — nested tails sharing reversed-prefix structure, the
+      // empty pattern (every string satisfies it), and escape-laden
+      // patterns (quotes/backslashes) that stress filter-key rendering
+      // everywhere filters travel as strings.
+      static constexpr const char* kTails[] = {"",   "g",    "og",  "log",
+                                               ".rss", "\"q\"", "a\\b"};
+      Filter f;
+      if (rng.chance(0.5)) {
+        f.and_(suffix("file", kTails[rng.index(7)]));
+      } else {
+        f.and_(contains("file", kTails[rng.index(7)]));
+      }
+      if (rng.chance(0.3)) f.and_(suffix("file", kTails[rng.index(7)]));
+      if (rng.chance(0.2)) f.and_(contains("file", kTails[rng.index(7)]));
+      return f;
+    }
     default: {
       Filter f = Filter().and_(exists("text"));
       if (rng.chance(0.5)) {
@@ -206,7 +251,7 @@ Filter fuzz_filter(util::Rng& rng) {
 }
 
 Event fuzz_event(util::Rng& rng, int seq) {
-  switch (rng.index(10)) {
+  switch (rng.index(12)) {
     case 0:
       // Attribute-free: matches only universal filters; with pre-filtering
       // on it must still reach the spill shard.
@@ -266,6 +311,32 @@ Event fuzz_event(util::Rng& rng, int seq) {
         e.with("big", 9007199254740992.0);
       }
       return e;
+    }
+    case 9: {
+      // Set-membership probes: symbol values from the fuzzed member
+      // universe in every representation (string, int, double), so a hit
+      // lands in exactly one canonical member bucket.
+      static constexpr const char* kSyms[] = {"A", "B", "C", "D", "E"};
+      Event e = Event().with("seq", static_cast<std::int64_t>(seq));
+      if (rng.chance(0.5)) {
+        e.with("sym", kSyms[rng.index(5)]);
+      } else if (rng.chance(0.5)) {
+        e.with("sym", static_cast<std::int64_t>(rng.index(5)));
+      } else {
+        e.with("sym", static_cast<double>(rng.index(5)));
+      }
+      if (rng.chance(0.4)) e.with("price", rng.uniform(0.0, 50.0));
+      return e;
+    }
+    case 10: {
+      // Suffix/contains probes: strings whose tails and interiors land on
+      // the fuzzed pattern set, plus empty and escape-laden values.
+      static constexpr const char* kFiles[] = {
+          "",     "g",   "og",       "log",  "blog", "a.rss",
+          "gol",  "x",   "say \"q\"", "a\\b", "ba\\bx"};
+      return Event()
+          .with("file", kFiles[rng.index(11)])
+          .with("seq", static_cast<std::int64_t>(seq));
     }
     default:
       return Event()

@@ -139,6 +139,36 @@ TEST(Covering, CrossTypeNumericEq) {
   EXPECT_TRUE(eq("p", 3.0).covers(eq("p", 3)));
 }
 
+TEST(Covering, InSetAlgebra) {
+  const Constraint s = in_("p", {Value(1), Value(2), Value(3)});
+  // A set covers equality on any member (cross-type included) and any
+  // subset — and nothing wider.
+  EXPECT_TRUE(s.covers(eq("p", 2)));
+  EXPECT_TRUE(s.covers(eq("p", 2.0)));
+  EXPECT_FALSE(s.covers(eq("p", 4)));
+  EXPECT_TRUE(s.covers(in_("p", {Value(1), Value(3)})));
+  EXPECT_FALSE(s.covers(in_("p", {Value(1), Value(4)})));
+  EXPECT_FALSE(s.covers(lt("p", 3)));  // ranges admit non-members
+  // Wider constraints cover a set exactly when they admit every member.
+  EXPECT_TRUE(le("p", 3).covers(s));
+  EXPECT_FALSE(lt("p", 3).covers(s));
+  EXPECT_TRUE(exists("p").covers(s));
+  EXPECT_TRUE(ne("p", 9).covers(s));
+  EXPECT_FALSE(ne("p", 2).covers(s));
+  const Constraint urls =
+      in_("u", {Value("http://a/x"), Value("http://a/y")});
+  EXPECT_TRUE(prefix("u", "http://a").covers(urls));
+  EXPECT_FALSE(prefix("u", "http://b").covers(urls));
+  // The empty set matches nothing: everything covers it vacuously, and it
+  // covers only itself.
+  const Constraint empty = in_("p", {});
+  EXPECT_TRUE(eq("p", 1).covers(empty));
+  EXPECT_TRUE(lt("p", 0).covers(empty));
+  EXPECT_TRUE(s.covers(empty));
+  EXPECT_TRUE(empty.covers(in_("p", {})));
+  EXPECT_FALSE(empty.covers(eq("p", 1)));
+}
+
 // --- Covering soundness (property) ----------------------------------------------
 //
 // For randomly generated constraint pairs, whenever covers() claims c1
@@ -146,20 +176,38 @@ TEST(Covering, CrossTypeNumericEq) {
 
 class CoveringProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
+Value random_scalar(util::Rng& rng, bool allow_bool = false) {
+  static const std::vector<std::string> strings{
+      "a", "b", "ab", "abc", "bc", "x", "http://a", "http://b", ""};
+  if (rng.chance(0.4)) return Value(strings[rng.index(strings.size())]);
+  if (allow_bool && rng.chance(0.1)) return Value(rng.chance(0.5));
+  if (rng.chance(0.5)) {
+    return Value(static_cast<std::int64_t>(rng.uniform_u64(0, 8)));
+  }
+  return Value(static_cast<double>(rng.uniform_u64(0, 8)) + 0.5);
+}
+
 Constraint random_constraint(util::Rng& rng) {
-  static const std::vector<std::string> attrs{"p"};
+  // Set membership sits outside the scalar-op enum range; generate it
+  // explicitly so every covering property sees in-vs-everything pairs.
+  if (rng.chance(0.2)) {
+    std::vector<Value> members;
+    const std::size_t count = rng.index(4);  // 0..3: empty sets too
+    for (std::size_t j = 0; j < count; ++j) {
+      members.push_back(random_scalar(rng, /*allow_bool=*/true));
+    }
+    return Constraint("p", std::move(members));
+  }
   const auto op = static_cast<Op>(rng.index(10));
   const bool string_flavored =
       op == Op::kPrefix || op == Op::kSuffix || op == Op::kContains;
   Value value;
-  if (string_flavored || rng.chance(0.4)) {
+  if (string_flavored) {
     static const std::vector<std::string> strings{
         "a", "b", "ab", "abc", "bc", "x", "http://a", "http://b", ""};
     value = Value(strings[rng.index(strings.size())]);
-  } else if (rng.chance(0.5)) {
-    value = Value(static_cast<std::int64_t>(rng.uniform_u64(0, 8)));
   } else {
-    value = Value(static_cast<double>(rng.uniform_u64(0, 8)) + 0.5);
+    value = random_scalar(rng);
   }
   return Constraint("p", op, value);
 }

@@ -92,16 +92,133 @@ TEST(IndexMatcher, AnchorBookkeeping) {
   m.add(3, Filter().and_(prefix("t", "ab")));
   EXPECT_EQ(m.prefix_anchored(), 1u);
   EXPECT_EQ(m.scan_anchored(), 0u);
-  // ...and shapes no sorted structure holds fall back to the scan list
-  // (suffix/contains/ne/exists, string-bounded ranges).
+  // ...suffix and contains filters in their own sorted pattern tables
+  // (suffix probes are prefix probes over the reversed strings)...
   m.add(4, Filter().and_(contains("t", "x")));
+  m.add(6, Filter().and_(suffix("t", "z")));
+  EXPECT_EQ(m.contains_anchored(), 1u);
+  EXPECT_EQ(m.suffix_anchored(), 1u);
+  // ...set membership in the per-member eq buckets...
+  m.add(7, Filter().and_(in_("k", {Value(1), Value(2)})));
+  EXPECT_EQ(m.in_anchored(), 1u);
+  EXPECT_EQ(m.eq_anchored(), 1u);  // the in-anchor is not an eq anchor
+  // ...and only shapes no sorted structure holds fall back to the scan
+  // list (ne/exists, string-bounded ranges, non-string patterns).
   m.add(5, Filter().and_(gt("name", "m")));  // string bound: residual
-  EXPECT_EQ(m.scan_anchored(), 2u);
-  for (SubscriptionId id = 1; id <= 5; ++id) m.remove(id);
+  EXPECT_EQ(m.scan_anchored(), 1u);
+  for (SubscriptionId id = 1; id <= 7; ++id) m.remove(id);
   EXPECT_EQ(m.eq_anchored(), 0u);
   EXPECT_EQ(m.range_anchored(), 0u);
   EXPECT_EQ(m.prefix_anchored(), 0u);
+  EXPECT_EQ(m.suffix_anchored(), 0u);
+  EXPECT_EQ(m.contains_anchored(), 0u);
+  EXPECT_EQ(m.in_anchored(), 0u);
   EXPECT_EQ(m.scan_anchored(), 0u);
+}
+
+TEST(IndexMatcher, InSetAnchorsAcrossMemberBuckets) {
+  IndexMatcher m;
+  m.add(1, Filter().and_(in_("sym", {Value("ACME"), Value("XYZ")})));
+  m.add(2, Filter().and_(in_("p", {Value(1), Value(2.0)})));
+  EXPECT_EQ(m.in_anchored(), 2u);
+  EXPECT_EQ(m.eq_anchored(), 0u);
+  EXPECT_EQ(m.match(Event().with("sym", "ACME")).size(), 1u);
+  EXPECT_EQ(m.match(Event().with("sym", "XYZ")).size(), 1u);
+  EXPECT_TRUE(m.match(Event().with("sym", "OTHER")).empty());
+  // Cross-type numeric members collapse onto canonical buckets, so either
+  // event representation hits — and hits exactly once (no duplicate ids
+  // from a value landing in two member buckets).
+  EXPECT_EQ(m.match(Event().with("p", 1.0)),
+            (std::vector<SubscriptionId>{2}));
+  EXPECT_EQ(m.match(Event().with("p", 2)), (std::vector<SubscriptionId>{2}));
+  m.remove(1);
+  EXPECT_TRUE(m.match(Event().with("sym", "ACME")).empty());
+  EXPECT_EQ(m.in_anchored(), 1u);
+  m.remove(2);
+  EXPECT_EQ(m.in_anchored(), 0u);
+  EXPECT_EQ(m.eq_bucket_stats().filters, 0u);
+}
+
+TEST(IndexMatcher, SuffixAnchorProbesEveryPatternLength) {
+  IndexMatcher m;
+  m.add(1, Filter().and_(suffix("t", "")));  // empty pattern: matches all
+  m.add(2, Filter().and_(suffix("t", "g")));
+  m.add(3, Filter().and_(suffix("t", "og")));
+  m.add(4, Filter().and_(suffix("t", "log")));
+  m.add(5, Filter().and_(suffix("t", "x")));
+  EXPECT_EQ(m.suffix_anchored(), 5u);
+  const auto sorted_hits = [&](const Event& e) {
+    auto hits = m.match(e);
+    std::sort(hits.begin(), hits.end());
+    return hits;
+  };
+  EXPECT_EQ(sorted_hits(Event().with("t", "alog")),
+            (std::vector<SubscriptionId>{1, 2, 3, 4}));
+  EXPECT_EQ(sorted_hits(Event().with("t", "og")),
+            (std::vector<SubscriptionId>{1, 2, 3}));
+  EXPECT_EQ(sorted_hits(Event().with("t", "")),
+            (std::vector<SubscriptionId>{1}));
+  EXPECT_TRUE(m.match(Event().with("t", 7)).empty());  // non-string value
+  m.remove(3);
+  EXPECT_EQ(sorted_hits(Event().with("t", "alog")),
+            (std::vector<SubscriptionId>{1, 2, 4}));
+  EXPECT_EQ(m.suffix_anchored(), 4u);
+}
+
+TEST(IndexMatcher, ContainsAnchorWalksPatternsInLengthOrder) {
+  IndexMatcher m;
+  m.add(1, Filter().and_(contains("t", "")));  // empty pattern: matches all
+  m.add(2, Filter().and_(contains("t", "a")));
+  m.add(3, Filter().and_(contains("t", "ab")));
+  m.add(4, Filter().and_(contains("t", "bb")));
+  EXPECT_EQ(m.contains_anchored(), 4u);
+  const auto sorted_hits = [&](const Event& e) {
+    auto hits = m.match(e);
+    std::sort(hits.begin(), hits.end());
+    return hits;
+  };
+  EXPECT_EQ(sorted_hits(Event().with("t", "xaby")),
+            (std::vector<SubscriptionId>{1, 2, 3}));
+  EXPECT_EQ(sorted_hits(Event().with("t", "bb")),
+            (std::vector<SubscriptionId>{1, 4}));
+  EXPECT_EQ(sorted_hits(Event().with("t", "")),
+            (std::vector<SubscriptionId>{1}));
+  EXPECT_TRUE(m.match(Event().with("t", 7)).empty());
+  m.remove(2);
+  EXPECT_EQ(sorted_hits(Event().with("t", "xaby")),
+            (std::vector<SubscriptionId>{1, 3}));
+  EXPECT_EQ(m.contains_anchored(), 3u);
+}
+
+TEST(Matcher, EmptyPatternsMatchEveryStringOnEveryEngine) {
+  // prefix/suffix/contains with a zero-length pattern match every string
+  // value (and no non-string value); the sorted tables must keep the
+  // length-0 probe alive through churn — this pins the
+  // remove_prefix_length underflow path that used to decrement a missing
+  // length entry.
+  for (const std::string name :
+       {"brute-force", "anchor-index", "counting", "bitset"}) {
+    const auto m = make_matcher(name);
+    m->add(1, Filter().and_(prefix("t", "")));
+    m->add(2, Filter().and_(suffix("t", "")));
+    m->add(3, Filter().and_(contains("t", "")));
+    for (const std::string s : {"", "a", "abc"}) {
+      auto hits = m->match(Event().with("t", s));
+      std::sort(hits.begin(), hits.end());
+      ASSERT_EQ(hits, (std::vector<SubscriptionId>{1, 2, 3}))
+          << name << " on \"" << s << "\"";
+    }
+    EXPECT_TRUE(m->match(Event().with("t", 42)).empty()) << name;
+    // Removing one empty-pattern filter must not strip the other tables'
+    // length-0 probes (each table tracks its own live lengths).
+    m->remove(2);
+    auto hits = m->match(Event().with("t", "x"));
+    std::sort(hits.begin(), hits.end());
+    ASSERT_EQ(hits, (std::vector<SubscriptionId>{1, 3})) << name;
+    m->remove(1);
+    m->remove(3);
+    EXPECT_TRUE(m->match(Event().with("t", "x")).empty()) << name;
+  }
 }
 
 TEST(IndexMatcher, RangeAnchorBoundarySemantics) {
@@ -319,7 +436,7 @@ Filter random_filter(util::Rng& rng) {
   const std::size_t n = 1 + rng.index(3);
   for (std::size_t i = 0; i < n; ++i) {
     const std::string& attr = attrs[rng.index(attrs.size())];
-    switch (rng.index(6)) {
+    switch (rng.index(9)) {
       case 0:
         cs.push_back(eq(attr, static_cast<std::int64_t>(rng.index(5))));
         break;
@@ -335,6 +452,25 @@ Filter random_filter(util::Rng& rng) {
       case 4:
         cs.push_back(prefix(attr, strings[rng.index(strings.size())]));
         break;
+      case 5:
+        cs.push_back(suffix(attr, strings[rng.index(strings.size())]));
+        break;
+      case 6:
+        cs.push_back(contains(attr, strings[rng.index(strings.size())]));
+        break;
+      case 7: {
+        std::vector<Value> members;
+        const std::size_t count = rng.index(4);  // 0..3: empty sets too
+        for (std::size_t j = 0; j < count; ++j) {
+          if (rng.chance(0.5)) {
+            members.emplace_back(static_cast<std::int64_t>(rng.index(5)));
+          } else {
+            members.emplace_back(strings[rng.index(strings.size())]);
+          }
+        }
+        cs.push_back(in_(attr, std::move(members)));
+        break;
+      }
       default:
         cs.push_back(exists(attr));
         break;

@@ -61,6 +61,56 @@ TEST(FilterParser, NumbersIntFloatNegativeExponent) {
 TEST(FilterParser, StringEscapes) {
   const Filter f = parse(R"(t = "say \"hi\"")");
   EXPECT_TRUE(f.matches(Event().with("t", "say \"hi\"")));
+  const Filter b = parse(R"(t = "a\\b")");
+  EXPECT_TRUE(b.matches(Event().with("t", "a\\b")));
+}
+
+TEST(FilterParser, InSetForms) {
+  const Filter f = parse("sym in {\"ACME\", \"XYZ\"}");
+  EXPECT_TRUE(f.matches(Event().with("sym", "ACME")));
+  EXPECT_TRUE(f.matches(Event().with("sym", "XYZ")));
+  EXPECT_FALSE(f.matches(Event().with("sym", "OTHER")));
+  // Mixed member types; int/double members unify by numeric value.
+  const Filter mixed = parse("p in {1, 2.5, \"x\", true}");
+  EXPECT_TRUE(mixed.matches(Event().with("p", 1.0)));
+  EXPECT_TRUE(mixed.matches(Event().with("p", 2.5)));
+  EXPECT_TRUE(mixed.matches(Event().with("p", "x")));
+  EXPECT_TRUE(mixed.matches(Event().with("p", true)));
+  EXPECT_FALSE(mixed.matches(Event().with("p", 2)));
+  // An empty set parses and matches nothing.
+  const Filter empty = parse("sym in {}");
+  EXPECT_FALSE(empty.matches(Event().with("sym", "ACME")));
+  // A singleton canonicalizes to plain equality.
+  EXPECT_EQ(parse("sym in {\"A\"}"), parse("sym = \"A\""));
+  // Member order and duplicates don't affect identity.
+  EXPECT_EQ(parse("s in {\"b\", \"a\", \"b\"}"), parse("s in {\"a\", \"b\"}"));
+  // Whitespace-insensitive, and composable in conjunctions.
+  EXPECT_EQ(parse("s in{\"a\",\"b\"}&&p<3"),
+            parse("  s in { \"a\" , \"b\" }  &&  p < 3 "));
+}
+
+TEST(FilterParser, InSetErrors) {
+  const auto expect_error = [](std::string_view text) {
+    const ParseResult result = parse_filter(text);
+    EXPECT_TRUE(std::holds_alternative<ParseError>(result)) << text;
+  };
+  expect_error("a in");            // missing set
+  expect_error("a in 5");          // not a braced set
+  expect_error("a in {");          // unclosed set
+  expect_error("a in {1");         // unclosed set after member
+  expect_error("a in {1,");        // dangling separator
+  expect_error("a in {1,}");       // dangling separator before brace
+  expect_error("a in {1 2}");      // missing separator
+  expect_error("a in {bare}");     // unquoted string member
+}
+
+TEST(FilterParser, NullValueRoundTrips) {
+  // A null value is constructible programmatically (e.g. a singleton
+  // in-set collapsing onto an unsatisfiable equality); its rendering must
+  // reparse to the same constraint.
+  const Filter f = Filter().and_(eq("a", Value()));
+  EXPECT_EQ(f.to_string(), "[a = null]");
+  EXPECT_EQ(parse(f.to_string()), f);
 }
 
 TEST(FilterParser, DottedAttributeNames) {
@@ -117,8 +167,65 @@ TEST(FilterParser, RoundTripThroughToString) {
           .and_(contains("t", "storm"))
           .and_(exists("link")),
       Filter().and_(eq("flag", true)).and_(ne("other", false)),
+      Filter()
+          .and_(in_("sym", {Value("ACME"), Value("XYZ")}))
+          .and_(in_("p", {Value(1), Value(2.5), Value(true)}))
+          .and_(in_("empty", {})),
   };
   for (const Filter& original : cases) {
+    const Filter reparsed = parse(original.to_string());
+    EXPECT_EQ(original, reparsed) << original.to_string();
+  }
+}
+
+TEST(FilterParser, RoundTripEscapeHeavyStrings) {
+  // Property: parse(f.to_string()) == f for filters over strings drawn
+  // from an alphabet stacked with quotes, backslashes, braces, commas,
+  // and spaces — every character the emitter or lexer could mishandle —
+  // including empty patterns, across every string-valued operator.
+  util::Rng rng(0xe5cabe);
+  const std::string alphabet = "\"\\{},  ax";
+  const auto fuzz_string = [&]() {
+    std::string s;
+    const std::size_t len = rng.index(9);  // 0..8: empty strings too
+    for (std::size_t i = 0; i < len; ++i) {
+      s.push_back(alphabet[rng.index(alphabet.size())]);
+    }
+    return s;
+  };
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<Constraint> cs;
+    const std::size_t n = 1 + rng.index(3);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string attr(1, static_cast<char>('a' + rng.index(3)));
+      switch (rng.index(7)) {
+        case 0:
+          cs.push_back(eq(attr, fuzz_string()));
+          break;
+        case 1:
+          cs.push_back(ne(attr, fuzz_string()));
+          break;
+        case 2:
+          cs.push_back(prefix(attr, fuzz_string()));
+          break;
+        case 3:
+          cs.push_back(suffix(attr, fuzz_string()));
+          break;
+        case 4:
+          cs.push_back(contains(attr, fuzz_string()));
+          break;
+        default: {
+          std::vector<Value> members;
+          const std::size_t count = rng.index(4);
+          for (std::size_t j = 0; j < count; ++j) {
+            members.emplace_back(fuzz_string());
+          }
+          cs.push_back(in_(attr, std::move(members)));
+          break;
+        }
+      }
+    }
+    const Filter original(std::move(cs));
     const Filter reparsed = parse(original.to_string());
     EXPECT_EQ(original, reparsed) << original.to_string();
   }
