@@ -10,6 +10,7 @@
 // the with/without-covering comparison.
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "feeds/feed_events_proxy.h"
@@ -234,6 +235,106 @@ FlushResult run_flush_sweep(const FlushRow& row, std::size_t brokers,
   return result;
 }
 
+// --- crash recovery: reconvergence sweep -------------------------------------
+
+struct ConvergenceResult {
+  bool converged = false;
+  sim::Time reconverge_time = 0;   ///< restart -> all fingerprints restored
+  std::uint64_t resync_msgs = 0;   ///< anti-entropy messages (req + state)
+  std::uint64_t resync_bytes = 0;
+  std::uint64_t retransmits = 0;   ///< control retransmits during recovery
+};
+
+enum class Topology { kChain, kStar, kTree };
+
+/// Builds the topology, settles a subscription population, crashes one
+/// broker, restarts it, and measures how long the anti-entropy resync
+/// takes to restore every broker's routing fingerprint bit for bit.
+ConvergenceResult run_convergence(Topology topology, std::size_t brokers,
+                                  std::size_t target,
+                                  std::size_t subscribers) {
+  sim::Simulator sim;
+  sim::Network::Config net_config;
+  net_config.default_latency = sim::kMillisecond;
+  net_config.jitter_fraction = 0.0;
+  sim::Network net(sim, net_config);
+
+  pubsub::Broker::Config broker_config;
+  broker_config.reliable_control = true;
+  // Broker links run at 10ms; keep the timeout clear of the acked RTT.
+  broker_config.retransmit_timeout = 60 * sim::kMillisecond;
+  pubsub::Overlay overlay =
+      topology == Topology::kChain
+          ? pubsub::Overlay::chain(sim, net, brokers, broker_config)
+          : topology == Topology::kStar
+                ? pubsub::Overlay::star(sim, net, brokers, broker_config)
+                : pubsub::Overlay::tree(sim, net, brokers, 2, broker_config);
+
+  pubsub::ReliableChannel::Config client_channel;
+  client_channel.enabled = true;
+  client_channel.retransmit_timeout = 60 * sim::kMillisecond;
+  util::Rng rng(99);
+  util::ZipfSampler popularity(60, 1.0);
+  std::vector<std::unique_ptr<pubsub::Client>> clients;
+  for (std::size_t s = 0; s < subscribers; ++s) {
+    auto client = std::make_unique<pubsub::Client>(
+        sim, net, "sub" + std::to_string(s));
+    client->connect(overlay.broker(s % brokers));
+    client->enable_reliable_control(client_channel);
+    const std::size_t per_user = 3 + rng.index(5);
+    for (std::size_t f = 0; f < per_user; ++f) {
+      client->subscribe(feed_filter_for(popularity.sample(rng)));
+    }
+    clients.push_back(std::move(client));
+  }
+  sim.run_until(sim.now() + sim::kMinute);
+
+  std::vector<std::string> before;
+  for (std::size_t i = 0; i < brokers; ++i) {
+    before.push_back(overlay.broker(i).routing_table().state_fingerprint());
+  }
+  const auto counters = [&] {
+    ConvergenceResult totals;
+    for (std::size_t i = 0; i < brokers; ++i) {
+      const pubsub::Broker::Stats stats = overlay.broker(i).stats();
+      totals.resync_msgs += stats.resync_msgs;
+      totals.resync_bytes += stats.resync_bytes;
+      totals.retransmits += stats.retransmits;
+    }
+    for (const auto& client : clients) {
+      totals.retransmits += client->control_channel().stats().retransmits;
+    }
+    return totals;
+  };
+  const ConvergenceResult base = counters();
+
+  overlay.crash(target);
+  sim.run_until(sim.now() + 200 * sim::kMillisecond);
+  overlay.restart(target);
+  const sim::Time restart_at = sim.now();
+
+  ConvergenceResult result;
+  const sim::Time cap = 30 * sim::kSecond;
+  while (sim.now() - restart_at < cap) {
+    sim.run_until(sim.now() + 5 * sim::kMillisecond);
+    bool match = true;
+    for (std::size_t i = 0; i < brokers && match; ++i) {
+      match = overlay.broker(i).routing_table().state_fingerprint() ==
+              before[i];
+    }
+    if (match) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.reconverge_time = sim.now() - restart_at;
+  const ConvergenceResult after = counters();
+  result.resync_msgs = after.resync_msgs - base.resync_msgs;
+  result.resync_bytes = after.resync_bytes - base.resync_bytes;
+  result.retransmits = after.retransmits - base.retransmits;
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -452,10 +553,56 @@ int main() {
               "balanced workload to zero and fires early (before the churn "
               "window closes) once one bucket dwarfs the mean.\n");
 
-  if (!residence_monotone || !deliveries_identical) {
-    std::printf("\nFAIL: adaptive-flush sweep invariants violated "
-                "(residence_monotone=%d, deliveries_identical=%d)\n",
-                residence_monotone ? 1 : 0, deliveries_identical ? 1 : 0);
+  // --- crash recovery: reconvergence sweep ---------------------------------
+  std::printf("\n=== crash recovery: reconvergence sweep ===\n");
+  std::printf("8 brokers, 96 subscribers, reliable control + anti-entropy "
+              "resync; a broker crashes, restarts empty, and every routing "
+              "fingerprint must return bit for bit\n\n");
+  std::printf("  %-10s %-10s | %14s %12s %12s %12s\n", "topology",
+              "crash at", "reconverge", "resync msgs", "resync KB",
+              "retransmits");
+  std::printf("  %s\n", std::string(80, '-').c_str());
+  struct ConvergenceRow {
+    const char* label;
+    Topology topology;
+    const char* pos;
+    std::size_t target;
+  };
+  bool all_converged = true;
+  for (const ConvergenceRow& row :
+       {ConvergenceRow{"chain-8", Topology::kChain, "middle", 4},
+        ConvergenceRow{"chain-8", Topology::kChain, "edge", 7},
+        ConvergenceRow{"star-8", Topology::kStar, "hub", 0},
+        ConvergenceRow{"star-8", Topology::kStar, "leaf", 3},
+        ConvergenceRow{"tree-8/f2", Topology::kTree, "internal", 1},
+        ConvergenceRow{"tree-8/f2", Topology::kTree, "leaf", 7}}) {
+    const ConvergenceResult r =
+        run_convergence(row.topology, 8, row.target, 96);
+    all_converged = all_converged && r.converged;
+    char time_label[32];
+    if (r.converged) {
+      std::snprintf(time_label, sizeof(time_label), "%.0f ms",
+                    static_cast<double>(r.reconverge_time) /
+                        static_cast<double>(sim::kMillisecond));
+    } else {
+      std::snprintf(time_label, sizeof(time_label), "DNF");
+    }
+    std::printf("  %-10s %-10s | %14s %12s %12.1f %12s\n", row.label,
+                row.pos, time_label,
+                reef::util::with_commas(r.resync_msgs).c_str(),
+                static_cast<double>(r.resync_bytes) / 1024.0,
+                reef::util::with_commas(r.retransmits).c_str());
+  }
+  std::printf("\n  reconvergence is dominated by hop depth (digest exchange "
+              "+ one full-state replay per interface); the hub crash pays "
+              "the widest resync, the leaf the cheapest. DNF on any row is "
+              "a hard failure.\n");
+
+  if (!residence_monotone || !deliveries_identical || !all_converged) {
+    std::printf("\nFAIL: sweep invariants violated (residence_monotone=%d, "
+                "deliveries_identical=%d, crash_reconvergence=%d)\n",
+                residence_monotone ? 1 : 0, deliveries_identical ? 1 : 0,
+                all_converged ? 1 : 0);
     return 1;
   }
   return 0;

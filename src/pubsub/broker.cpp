@@ -29,6 +29,14 @@ RoutingTable::Config make_table_config(const Broker::Config& config) {
   return table;
 }
 
+ReliableChannel::Config make_channel_config(const Broker::Config& config) {
+  ReliableChannel::Config channel;
+  channel.enabled = config.reliable_control;
+  channel.retransmit_timeout = config.retransmit_timeout;
+  channel.retransmit_timeout_max = config.retransmit_timeout_max;
+  return channel;
+}
+
 }  // namespace
 
 Broker::Broker(sim::Simulator& sim, sim::Network& net, std::string name)
@@ -40,8 +48,18 @@ Broker::Broker(sim::Simulator& sim, sim::Network& net, std::string name,
       net_(net),
       name_(std::move(name)),
       config_(config),
-      table_(make_table_config(config_)) {
+      table_(make_table_config(config_)),
+      channel_(sim, net, make_channel_config(config_)) {
   id_ = net_.attach(*this, name_);
+  channel_.bind(id_);
+  channel_.set_deliver(
+      [this](sim::NodeId from, const CtrlOp& op) { on_ctrl_op(from, op); });
+  channel_.set_on_peer_restart(
+      [this](sim::NodeId peer) { on_peer_restart(peer); });
+  if (config_.heartbeat_period > 0) {
+    sim_.every(config_.heartbeat_period, config_.heartbeat_period,
+               [this] { heartbeat_tick(); });
+  }
 }
 
 void Broker::add_neighbor(Broker& other) {
@@ -49,15 +67,27 @@ void Broker::add_neighbor(Broker& other) {
   if (table_.has_broker_iface(other.id())) return;
   neighbors_.push_back(other.id());
   table_.add_broker_iface(other.id());
+  last_heard_[other.id()] = sim_.now();
   // Bring the new neighbor up to date with everything reachable through us.
   refresh_neighbor(other.id());
 }
 
 void Broker::attach_client(sim::NodeId client) {
+  if (std::find(clients_.begin(), clients_.end(), client) == clients_.end()) {
+    clients_.push_back(client);
+  }
   table_.add_client_iface(client);
 }
 
 void Broker::handle_message(const sim::Message& msg) {
+  if (!alive_) return;  // the network drops these anyway; belt and braces
+  if (table_.has_broker_iface(msg.from)) {
+    // Any traffic from a neighbor is a liveness signal.
+    last_heard_[msg.from] = sim_.now();
+    quarantined_.erase(msg.from);
+  }
+  if (channel_.on_message(msg)) return;
+  if (msg.type == kTypeHeartbeat) return;  // liveness recorded above
   if (msg.type == kTypeClientSubscribe) {
     on_client_subscribe(msg.from,
                         std::any_cast<const ClientSubscribeMsg&>(msg.payload));
@@ -108,6 +138,134 @@ void Broker::on_broker_unsubscribe(sim::NodeId from,
   refresh_all_neighbors_except(from);
 }
 
+// --- fault tolerance ---------------------------------------------------------
+
+void Broker::on_ctrl_op(sim::NodeId from, const CtrlOp& op) {
+  switch (op.kind) {
+    case CtrlOp::Kind::kSubscribe:
+      on_broker_subscribe(from, SubscribeMsg{op.filter});
+      break;
+    case CtrlOp::Kind::kUnsubscribe:
+      on_broker_unsubscribe(from, UnsubscribeMsg{op.filter});
+      break;
+    case CtrlOp::Kind::kClientSubscribe:
+      on_client_subscribe(from, ClientSubscribeMsg{op.sub_id, op.filter});
+      break;
+    case CtrlOp::Kind::kClientUnsubscribe:
+      on_client_unsubscribe(from, ClientUnsubscribeMsg{op.sub_id});
+      break;
+    case CtrlOp::Kind::kResyncRequest:
+      on_resync_request(from, op.digest);
+      break;
+    case CtrlOp::Kind::kResyncState:
+      on_resync_state(from, op.filters);
+      break;
+    case CtrlOp::Kind::kClientResyncState:
+      on_client_resync_state(from, op.subs);
+      break;
+  }
+}
+
+void Broker::on_peer_restart(sim::NodeId peer) {
+  // The peer's epoch bumped: it lost all state. Restart our stream toward
+  // it (any unacked backlog is superseded by the resync that follows) and
+  // void everything we had learned from it — its wants died with it; the
+  // resync request it is about to deliver re-establishes what it needs.
+  channel_.reset_peer_send(peer);
+  if (!table_.has_broker_iface(peer)) return;
+  if (table_.drop_broker_iface_state(peer)) {
+    refresh_all_neighbors_except(peer);
+  }
+}
+
+void Broker::send_resync_request(sim::NodeId peer) {
+  CtrlOp op;
+  op.kind = CtrlOp::Kind::kResyncRequest;
+  op.digest = table_.has_broker_iface(peer) ? table_.broker_iface_digest(peer)
+                                            : table_.client_iface_digest(peer);
+  ++stats_.resync_msgs;
+  stats_.resync_bytes += ctrl_op_wire_size(op);
+  channel_.send(peer, std::move(op));
+}
+
+void Broker::on_resync_request(sim::NodeId from, std::uint64_t digest) {
+  // Only a restarted neighbor broker sends these (clients answer them).
+  if (!table_.has_broker_iface(from)) return;
+  // Sync the forwarded bookkeeping to the desired set, discarding the
+  // incremental diff — the full-state replay below supersedes it.
+  (void)table_.refresh(from);
+  if (table_.forwarded_digest(from) == digest) return;  // already in sync
+  CtrlOp op;
+  op.kind = CtrlOp::Kind::kResyncState;
+  op.filters = table_.forwarded_filters(from);
+  ++stats_.resync_msgs;
+  stats_.resync_bytes += ctrl_op_wire_size(op);
+  channel_.send(from, std::move(op));
+}
+
+void Broker::on_resync_state(sim::NodeId from, const std::vector<Filter>& want) {
+  if (table_.broker_resync(from, want)) {
+    refresh_all_neighbors_except(from);
+  }
+}
+
+void Broker::on_client_resync_state(
+    sim::NodeId from,
+    const std::vector<std::pair<SubscriptionId, Filter>>& subs) {
+  if (table_.client_resync(from, subs)) {
+    refresh_all_neighbors_except(sim::kNoNode);
+  }
+}
+
+void Broker::heartbeat_tick() {
+  if (!alive_) return;
+  for (const sim::NodeId neighbor : neighbors_) {
+    ++stats_.heartbeats_sent;
+    net_.send(id_, neighbor, std::string(kTypeHeartbeat), HeartbeatMsg{},
+              kHeartbeatWireBytes);
+  }
+  const sim::Time timeout = config_.suspicion_timeout > 0
+                                ? config_.suspicion_timeout
+                                : 4 * config_.heartbeat_period;
+  for (const sim::NodeId neighbor : neighbors_) {
+    if (quarantined_.contains(neighbor)) continue;
+    if (sim_.now() - last_heard_[neighbor] > timeout) {
+      quarantined_.insert(neighbor);
+      ++stats_.suspicions;
+    }
+  }
+}
+
+void Broker::crash() {
+  alive_ = false;
+  channel_.set_alive(false);
+  // The incarnation's volatile state dies here: routing table, pending
+  // output, channel streams. Neighbor/client lists survive — they are the
+  // static configuration restart() re-declares.
+  table_ = RoutingTable(make_table_config(config_));
+  pending_pubs_.clear();
+  pending_delivers_.clear();
+  quarantined_.clear();
+  channel_.reset_all();
+}
+
+void Broker::restart() {
+  assert(!alive_ && "restart of a live broker");
+  alive_ = true;
+  channel_.set_alive(true);
+  for (const sim::NodeId neighbor : neighbors_) {
+    table_.add_broker_iface(neighbor);
+    last_heard_[neighbor] = sim_.now();  // fresh suspicion clock
+  }
+  for (const sim::NodeId client : clients_) table_.add_client_iface(client);
+  if (!config_.reliable_control) return;  // best-effort: empty until churn
+  // Anti-entropy: ask every peer for the state this incarnation lost. The
+  // requests ride the (fresh-epoch) reliable streams, so they survive any
+  // fault that outlives the restart.
+  for (const sim::NodeId neighbor : neighbors_) send_resync_request(neighbor);
+  for (const sim::NodeId client : clients_) send_resync_request(client);
+}
+
 void Broker::on_publish(sim::NodeId from, const Event& event) {
   ++stats_.pubs_received;
   ++stats_.matches_run;
@@ -138,6 +296,10 @@ void Broker::route_event(sim::NodeId from, const Event& event,
   for (const RoutingTable::Destination& dest : hits) {
     if (dest.iface == from) continue;  // never echo back
     if (dest.is_broker) {
+      // Graceful degradation: no data-plane traffic into a suspected-dead
+      // neighbor's black hole. Its routes stay in the table and the
+      // quarantine lifts on its first sign of life.
+      if (quarantined_.contains(dest.iface)) continue;
       broker_hits.insert(dest.iface);
     } else {
       client_hits[dest.iface].push_back(dest.client_sub);
@@ -249,6 +411,7 @@ void Broker::schedule_flush() {
 
 void Broker::flush_pending() {
   flush_scheduled_ = false;
+  if (!alive_) return;  // crashed with a timer in flight: output is gone
   // Drain by moving the maps out so the flush (and the maps' memory) stay
   // proportional to this window's destinations, not every interface ever
   // sent to. Nothing re-enters the pending maps during the loop — sends
@@ -304,12 +467,26 @@ void Broker::refresh_neighbor(sim::NodeId neighbor) {
   RoutingTable::Diff diff = table_.refresh(neighbor);
   for (Filter& filter : diff.subscribe) {
     ++stats_.subs_forwarded;
+    if (config_.reliable_control) {
+      CtrlOp op;
+      op.kind = CtrlOp::Kind::kSubscribe;
+      op.filter = std::move(filter);
+      channel_.send(neighbor, std::move(op));
+      continue;
+    }
     const std::size_t bytes = filter.wire_size() + 8;
     net_.send(id_, neighbor, std::string(kTypeSubscribe),
               SubscribeMsg{std::move(filter)}, bytes);
   }
   for (Filter& filter : diff.unsubscribe) {
     ++stats_.unsubs_forwarded;
+    if (config_.reliable_control) {
+      CtrlOp op;
+      op.kind = CtrlOp::Kind::kUnsubscribe;
+      op.filter = std::move(filter);
+      channel_.send(neighbor, std::move(op));
+      continue;
+    }
     const std::size_t bytes = filter.wire_size() + 8;
     net_.send(id_, neighbor, std::string(kTypeUnsubscribe),
               UnsubscribeMsg{std::move(filter)}, bytes);

@@ -51,10 +51,13 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "pubsub/matcher_registry.h"
 #include "pubsub/messages.h"
+#include "pubsub/reliable_channel.h"
 #include "pubsub/routing_table.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -126,6 +129,24 @@ class Broker final : public sim::Node {
     /// ride an already-armed timer and wait at most the remainder of its
     /// window, never longer than the budget.
     sim::Time flush_max_delay_ticks = 0;
+    /// Reliable control channel: subscription traffic (broker-broker and
+    /// client-broker) rides per-peer sequenced streams with cumulative
+    /// acks and timeout/backoff retransmission, so partitions and lossy
+    /// links can delay but never lose a subscribe/unsubscribe. Off by
+    /// default: the seed's raw best-effort messages, byte for byte.
+    bool reliable_control = false;
+    /// Initial retransmission timeout of the reliable channel; doubles
+    /// per retry up to retransmit_timeout_max.
+    sim::Time retransmit_timeout = 50 * sim::kMillisecond;
+    sim::Time retransmit_timeout_max = sim::kSecond;
+    /// Neighbor-liveness heartbeat period; 0 (default) disables
+    /// heartbeats and suspicion entirely.
+    sim::Time heartbeat_period = 0;
+    /// How long a neighbor may stay silent before it is suspected and its
+    /// routes quarantined (data-plane traffic stops being forwarded into
+    /// the black hole; control traffic keeps retransmitting). 0 = four
+    /// heartbeat periods. Any message from the neighbor un-quarantines.
+    sim::Time suspicion_timeout = 0;
   };
 
   struct Stats {
@@ -149,6 +170,13 @@ class Broker final : public sim::Node {
     /// ticks; mean event residence = residence_ticks_total / flushed_units.
     /// 0 under per-tick flushing (everything leaves the instant it arrived).
     sim::Time residence_ticks_total = 0;
+    // --- fault tolerance (reliable_control / heartbeat_period) ---
+    std::uint64_t retransmits = 0;     ///< control msgs resent on timeout
+    std::uint64_t acks_sent = 0;       ///< cumulative acks emitted
+    std::uint64_t heartbeats_sent = 0; ///< liveness probes to neighbors
+    std::uint64_t suspicions = 0;      ///< neighbor quarantine transitions
+    std::uint64_t resync_msgs = 0;     ///< anti-entropy msgs sent (req+state)
+    std::uint64_t resync_bytes = 0;    ///< their wire bytes
   };
 
   Broker(sim::Simulator& sim, sim::Network& net, std::string name);
@@ -168,8 +196,29 @@ class Broker final : public sim::Node {
 
   void handle_message(const sim::Message& msg) override;
 
+  // --- crash/restart lifecycle ----------------------------------------------
+  /// Crashes the broker: its in-memory routing table and pending output
+  /// are lost and every timer stands down. The caller (Overlay::crash)
+  /// also marks the node down so in-flight traffic is dropped.
+  void crash();
+
+  /// Restarts a crashed broker with an *empty* routing table: the static
+  /// topology (neighbor and client interfaces) is re-declared, and with
+  /// reliable_control on, anti-entropy resync requests go to every
+  /// neighbor and client to rebuild subscription state (without it the
+  /// broker black-holes until new churn happens to repopulate it).
+  void restart();
+
+  bool alive() const noexcept { return alive_; }
+
   // --- introspection --------------------------------------------------------
-  const Stats& stats() const noexcept { return stats_; }
+  /// Snapshot of the counters (reliable-channel counters merged in).
+  Stats stats() const noexcept {
+    Stats merged = stats_;
+    merged.retransmits = channel_.stats().retransmits;
+    merged.acks_sent = channel_.stats().acks_sent;
+    return merged;
+  }
   /// Total filters stored across all interfaces (routing-table size).
   std::size_t table_size() const noexcept { return table_.size(); }
   /// Filters currently forwarded to (i.e. requested from) a neighbor.
@@ -181,6 +230,13 @@ class Broker final : public sim::Node {
     return neighbors_;
   }
   const RoutingTable& routing_table() const noexcept { return table_; }
+  const ReliableChannel& control_channel() const noexcept { return channel_; }
+  bool neighbor_quarantined(sim::NodeId neighbor) const {
+    return quarantined_.contains(neighbor);
+  }
+  std::size_t quarantined_count() const noexcept {
+    return quarantined_.size();
+  }
 
  private:
   void on_client_subscribe(sim::NodeId from, const ClientSubscribeMsg& msg);
@@ -190,6 +246,21 @@ class Broker final : public sim::Node {
   void on_broker_unsubscribe(sim::NodeId from, const UnsubscribeMsg& msg);
   void on_publish(sim::NodeId from, const Event& event);
   void on_publish_batch(sim::NodeId from, const PublishBatchMsg& msg);
+
+  // --- fault tolerance ---
+  /// Dispatches one reliably-delivered control operation.
+  void on_ctrl_op(sim::NodeId from, const CtrlOp& op);
+  /// A peer came back with a higher epoch: drop its stale state and
+  /// restart our stream toward it (the resync request follows on the
+  /// fresh stream).
+  void on_peer_restart(sim::NodeId peer);
+  void on_resync_request(sim::NodeId from, std::uint64_t digest);
+  void on_resync_state(sim::NodeId from, const std::vector<Filter>& want);
+  void on_client_resync_state(
+      sim::NodeId from,
+      const std::vector<std::pair<SubscriptionId, Filter>>& subs);
+  void send_resync_request(sim::NodeId peer);
+  void heartbeat_tick();
 
   /// Files one matched event into the per-interface output queues (or
   /// sends immediately when batching is disabled).
@@ -243,7 +314,17 @@ class Broker final : public sim::Node {
   sim::NodeId id_;
 
   std::vector<sim::NodeId> neighbors_;
+  std::vector<sim::NodeId> clients_;
   RoutingTable table_;
+
+  // --- fault tolerance ---
+  bool alive_ = true;
+  ReliableChannel channel_;
+  /// Last time each neighbor was heard from (any message type).
+  std::unordered_map<sim::NodeId, sim::Time> last_heard_;
+  /// Suspected-dead neighbors: data-plane forwarding to them is paused
+  /// (control traffic keeps retransmitting, so recovery is automatic).
+  std::unordered_set<sim::NodeId> quarantined_;
 
   /// Events awaiting the timer-driven flush, per destination interface.
   /// Ordered maps so the flush emits wire messages in interface order —

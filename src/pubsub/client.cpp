@@ -1,16 +1,31 @@
 #include "pubsub/client.h"
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
 #include <unordered_set>
 
+#include "util/hash.h"
 #include "util/log.h"
 
 namespace reef::pubsub {
 
 Client::Client(sim::Simulator& sim, sim::Network& net, std::string name)
-    : sim_(sim), net_(net), name_(std::move(name)) {
+    : sim_(sim), net_(net), name_(std::move(name)),
+      channel_(sim, net, ReliableChannel::Config{}) {
   id_ = net_.attach(*this, name_);
+  channel_.bind(id_);
+  channel_.set_deliver(
+      [this](sim::NodeId from, const CtrlOp& op) { on_ctrl_op(from, op); });
+  // A higher epoch from the broker means it restarted: our stream state
+  // there is gone, so start over at seq 1. The broker's resync request
+  // (the op that carried the new epoch) then triggers the full replay.
+  channel_.set_on_peer_restart(
+      [this](sim::NodeId peer) { channel_.reset_peer_send(peer); });
+}
+
+void Client::enable_reliable_control(ReliableChannel::Config config) {
+  channel_.configure(config);
 }
 
 void Client::connect(Broker& broker) {
@@ -23,6 +38,15 @@ SubscriptionId Client::subscribe(Filter filter, Handler handler) {
   const SubscriptionId sub_id =
       (static_cast<std::uint64_t>(id_) << 32) | next_sub_++;
   handlers_.emplace(sub_id, std::move(handler));
+  if (channel_.enabled()) {
+    filters_.emplace(sub_id, filter);
+    CtrlOp op;
+    op.kind = CtrlOp::Kind::kClientSubscribe;
+    op.sub_id = sub_id;
+    op.filter = std::move(filter);
+    channel_.send(broker_, std::move(op));
+    return sub_id;
+  }
   net_.send(id_, broker_, std::string(kTypeClientSubscribe),
             ClientSubscribeMsg{sub_id, filter}, filter.wire_size() + 16);
   return sub_id;
@@ -51,6 +75,14 @@ std::vector<SubscriptionId> Client::subscribe_any(
 
 void Client::unsubscribe(SubscriptionId id) {
   if (handlers_.erase(id) == 0) return;
+  filters_.erase(id);
+  if (channel_.enabled()) {
+    CtrlOp op;
+    op.kind = CtrlOp::Kind::kClientUnsubscribe;
+    op.sub_id = id;
+    channel_.send(broker_, std::move(op));
+    return;
+  }
   net_.send(id_, broker_, std::string(kTypeClientUnsubscribe),
             ClientUnsubscribeMsg{id}, 16);
 }
@@ -81,7 +113,29 @@ void Client::publish_batch(std::vector<Event> events) {
             PublishBatchMsg{std::move(events)}, bytes, units);
 }
 
+void Client::on_ctrl_op(sim::NodeId from, const CtrlOp& op) {
+  if (op.kind != CtrlOp::Kind::kResyncRequest) {
+    util::log_warn("client") << name_ << ": unexpected control op";
+    return;
+  }
+  // The broker restarted and asks what we subscribe to, sending its digest
+  // of our registrations (same formula as RoutingTable::client_iface_digest,
+  // so matching state is recognized without a replay).
+  std::uint64_t digest = 0;
+  for (const auto& [sub_id, filter] : filters_) {
+    digest ^= util::hash_combine(util::fnv1a64(filter.key()), sub_id);
+  }
+  if (digest == op.digest) return;
+  CtrlOp reply;
+  reply.kind = CtrlOp::Kind::kClientResyncState;
+  reply.subs.assign(filters_.begin(), filters_.end());
+  std::sort(reply.subs.begin(), reply.subs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  channel_.send(from, std::move(reply));
+}
+
 void Client::handle_message(const sim::Message& msg) {
+  if (channel_.on_message(msg)) return;
   if (msg.type == kTypeDeliver) {
     on_deliver(std::any_cast<const DeliverMsg&>(msg.payload));
   } else if (msg.type == kTypeDeliverBatch) {

@@ -12,6 +12,7 @@
 
 #include "pubsub/broker.h"
 #include "pubsub/messages.h"
+#include "pubsub/reliable_channel.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -32,6 +33,13 @@ class Client final : public sim::Node {
   /// subscriptions stay on the old one and should be unsubscribed first).
   void connect(Broker& broker);
   bool connected() const noexcept { return broker_ != sim::kNoNode; }
+
+  /// Puts subscription control traffic on the reliable channel (pair this
+  /// with Broker::Config::reliable_control on the broker side). Call
+  /// before the first subscribe/unsubscribe. Also arms the client's side
+  /// of broker-restart recovery: on a resync request from a restarted
+  /// broker the client replays its full live subscription set.
+  void enable_reliable_control(ReliableChannel::Config config);
 
   /// Registers `filter`; `handler` (optional) runs on each delivery.
   /// Returns the id used for unsubscribe. Requires connect() first.
@@ -76,6 +84,7 @@ class Client final : public sim::Node {
     return inbox_;
   }
   void clear_inbox() { inbox_.clear(); }
+  const ReliableChannel& control_channel() const noexcept { return channel_; }
 
  private:
   sim::Simulator& sim_;
@@ -84,7 +93,12 @@ class Client final : public sim::Node {
   sim::NodeId id_;
   sim::NodeId broker_ = sim::kNoNode;
   std::unordered_map<SubscriptionId, Handler> handlers_;
+  /// Live filters by subscription id, kept for broker-restart resync
+  /// replay (only populated while the reliable channel is enabled).
+  std::unordered_map<SubscriptionId, Filter> filters_;
+  ReliableChannel channel_;
   void on_deliver(const DeliverMsg& deliver);
+  void on_ctrl_op(sim::NodeId from, const CtrlOp& op);
 
   std::uint32_t next_sub_ = 1;
   std::uint64_t deliveries_ = 0;

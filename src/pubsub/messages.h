@@ -3,7 +3,9 @@
 // strings below tag them for traffic accounting.
 #pragma once
 
+#include <cstdint>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "pubsub/event.h"
@@ -57,6 +59,55 @@ struct DeliverBatchMsg {
   std::vector<DeliverMsg> items;
 };
 
+// --- reliable control channel (fault tolerance) ------------------------------
+//
+// When reliability is enabled (Broker::Config::reliable_control), every
+// subscription-control operation rides a CtrlMsg over a per-peer go-back-N
+// stream: monotone sequence numbers starting at 1, cumulative acks, and
+// timeout/backoff retransmission driven by sim timers. The epoch is bumped
+// when the sender restarts, so a receiver can tell a fresh stream from a
+// late duplicate of the old one (FIFO links guarantee the old stream's
+// tail is delivered before the new stream's head).
+
+/// One control-plane operation carried by a CtrlMsg.
+struct CtrlOp {
+  enum class Kind {
+    kSubscribe,          ///< broker->broker filter propagation
+    kUnsubscribe,        ///< broker->broker filter retraction
+    kClientSubscribe,    ///< client->broker (sub_id, filter)
+    kClientUnsubscribe,  ///< client->broker retraction by id
+    kResyncRequest,      ///< anti-entropy: "here is my digest of your state"
+    kResyncState,        ///< broker->broker full want-set replay
+    kClientResyncState,  ///< client->broker full subscription replay
+  };
+  Kind kind = Kind::kSubscribe;
+  SubscriptionId sub_id = 0;  ///< kClientSubscribe / kClientUnsubscribe
+  Filter filter;              ///< kSubscribe / kUnsubscribe / kClientSubscribe
+  std::uint64_t digest = 0;   ///< kResyncRequest
+  std::vector<Filter> filters;  ///< kResyncState
+  std::vector<std::pair<SubscriptionId, Filter>> subs;  ///< kClientResyncState
+};
+
+/// A reliably-sequenced control message. `epoch` identifies the sender's
+/// incarnation (bumped on restart); `seq` is monotone per (sender, peer)
+/// within an epoch.
+struct CtrlMsg {
+  std::uint64_t epoch = 1;
+  std::uint64_t seq = 0;
+  CtrlOp op;
+};
+
+/// Cumulative ack: "I have received every seq <= cum_seq of your stream in
+/// epoch `epoch`". Sent on every CtrlMsg receipt, duplicates included, so
+/// a lost ack is repaired by the next (re)transmission.
+struct CtrlAckMsg {
+  std::uint64_t epoch = 1;
+  std::uint64_t cum_seq = 0;
+};
+
+/// Periodic liveness probe between neighbor brokers (heartbeat_period).
+struct HeartbeatMsg {};
+
 /// Wire-size accounting, shared by every sender so all paths meter the
 /// same encoding. Batch messages carry an 8-byte batch header plus 2 bytes
 /// of per-entry framing; single-event messages carry an 8-byte message
@@ -100,6 +151,42 @@ inline std::size_t deliver_batch_wire_size(
   return bytes;
 }
 
+/// Wire size of one CtrlOp (the payload inside a CtrlMsg). Mirrors the
+/// raw-message sizes so the reliable and best-effort control planes meter
+/// the same encoding per operation.
+inline std::size_t ctrl_op_wire_size(const CtrlOp& op) {
+  switch (op.kind) {
+    case CtrlOp::Kind::kSubscribe:
+    case CtrlOp::Kind::kUnsubscribe:
+      return op.filter.wire_size() + 8;
+    case CtrlOp::Kind::kClientSubscribe:
+      return op.filter.wire_size() + 16;
+    case CtrlOp::Kind::kClientUnsubscribe:
+      return 16;
+    case CtrlOp::Kind::kResyncRequest:
+      return 16;  // digest + op tag
+    case CtrlOp::Kind::kResyncState: {
+      std::size_t bytes = kBatchHeaderBytes;
+      for (const Filter& f : op.filters) bytes += f.wire_size() + 2;
+      return bytes;
+    }
+    case CtrlOp::Kind::kClientResyncState: {
+      std::size_t bytes = kBatchHeaderBytes;
+      for (const auto& [id, f] : op.subs) bytes += f.wire_size() + 10;
+      return bytes;
+    }
+  }
+  return 0;
+}
+
+/// Wire size of a CtrlMsg: 16 bytes of (epoch, seq) framing plus the op.
+inline std::size_t ctrl_msg_wire_size(const CtrlMsg& msg) {
+  return 16 + ctrl_op_wire_size(msg.op);
+}
+
+inline constexpr std::size_t kCtrlAckWireBytes = 24;
+inline constexpr std::size_t kHeartbeatWireBytes = 8;
+
 inline constexpr std::string_view kTypeSubscribe = "pubsub.sub";
 inline constexpr std::string_view kTypeUnsubscribe = "pubsub.unsub";
 inline constexpr std::string_view kTypeClientSubscribe = "pubsub.csub";
@@ -108,5 +195,8 @@ inline constexpr std::string_view kTypePublish = "pubsub.pub";
 inline constexpr std::string_view kTypePublishBatch = "pubsub.pubbatch";
 inline constexpr std::string_view kTypeDeliver = "pubsub.deliver";
 inline constexpr std::string_view kTypeDeliverBatch = "pubsub.deliverbatch";
+inline constexpr std::string_view kTypeCtrl = "pubsub.ctrl";
+inline constexpr std::string_view kTypeCtrlAck = "pubsub.ctrlack";
+inline constexpr std::string_view kTypeHeartbeat = "pubsub.hb";
 
 }  // namespace reef::pubsub

@@ -39,6 +39,29 @@ void Overlay::link(std::size_t a, std::size_t b, sim::Time latency) {
   brokers_[b]->add_neighbor(*brokers_[a]);
 }
 
+void Overlay::crash(std::size_t i) {
+  Broker& broker = *brokers_.at(i);
+  net_.set_node_up(broker.id(), false);
+  broker.crash();
+}
+
+void Overlay::restart(std::size_t i) {
+  Broker& broker = *brokers_.at(i);
+  net_.set_node_up(broker.id(), true);
+  broker.restart();
+}
+
+void Overlay::set_link_partitioned(std::size_t a, std::size_t b,
+                                   bool blocked) {
+  net_.set_partitioned(brokers_.at(a)->id(), brokers_.at(b)->id(), blocked);
+}
+
+void Overlay::set_link_loss(std::size_t a, std::size_t b,
+                            double probability) {
+  net_.set_loss_probability(brokers_.at(a)->id(), brokers_.at(b)->id(),
+                            probability);
+}
+
 Overlay Overlay::chain(sim::Simulator& sim, sim::Network& net, std::size_t n,
                        Broker::Config config) {
   Overlay overlay(sim, net, config);

@@ -28,6 +28,19 @@ class Overlay {
   const Broker& broker(std::size_t i) const { return *brokers_.at(i); }
   std::size_t size() const noexcept { return brokers_.size(); }
 
+  // --- fault injection ------------------------------------------------------
+  /// Crashes broker `i`: the node goes down (in-flight traffic to and
+  /// from it is lost) and its in-memory routing state is dropped.
+  void crash(std::size_t i);
+  /// Brings broker `i` back up with an empty routing table; with
+  /// Broker::Config::reliable_control on, anti-entropy resync against its
+  /// neighbors and clients rebuilds the state (see Broker::restart).
+  void restart(std::size_t i);
+  /// Blocks/unblocks the link between brokers `a` and `b` (indices).
+  void set_link_partitioned(std::size_t a, std::size_t b, bool blocked);
+  /// Sets the loss probability of the link between brokers `a` and `b`.
+  void set_link_loss(std::size_t a, std::size_t b, double probability);
+
   // --- canned topologies ----------------------------------------------------
   /// brokers in a line: 0-1-2-...-(n-1)
   static Overlay chain(sim::Simulator& sim, sim::Network& net, std::size_t n,

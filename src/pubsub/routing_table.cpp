@@ -7,6 +7,7 @@
 #include "pubsub/matcher_registry.h"
 #include "pubsub/range_index.h"
 #include "pubsub/sharded_matcher.h"
+#include "util/hash.h"
 
 namespace reef::pubsub {
 
@@ -232,6 +233,166 @@ bool RoutingTable::broker_unsubscribe(IfaceId broker, const Filter& filter) {
   remove_entry(key_it->second);
   iface_it->second.engine_ids.erase(key_it);
   return true;
+}
+
+// --- fault tolerance ---------------------------------------------------------
+
+bool RoutingTable::drop_broker_iface_state(IfaceId iface) {
+  const auto it = broker_ifaces_.find(iface);
+  if (it == broker_ifaces_.end()) return false;
+  BrokerIface& broker = it->second;
+  const bool changed =
+      !broker.engine_ids.empty() || !broker.forwarded.empty();
+  for (const auto& [key, engine_id] : broker.engine_ids) {
+    remove_entry(engine_id);
+  }
+  broker.engine_ids.clear();
+  broker.forwarded.clear();
+  return changed;
+}
+
+bool RoutingTable::broker_resync(IfaceId broker,
+                                 const std::vector<Filter>& want) {
+  add_broker_iface(broker);
+  BrokerIface& iface = broker_ifaces_.at(broker);
+  std::map<std::string, const Filter*> desired;
+  for (const Filter& filter : want) desired.emplace(filter.key(), &filter);
+  bool changed = false;
+  // Remove what the neighbor no longer wants.
+  for (auto it = iface.engine_ids.begin(); it != iface.engine_ids.end();) {
+    if (desired.contains(it->first)) {
+      ++it;
+      continue;
+    }
+    remove_entry(it->second);
+    it = iface.engine_ids.erase(it);
+    changed = true;
+  }
+  // Add what it wants and we don't have (dedup: present keys are kept
+  // as-is, so a replayed state is a no-op).
+  for (const auto& [key, filter] : desired) {
+    if (iface.engine_ids.contains(key)) continue;
+    const std::uint64_t engine_id =
+        add_entry(*filter, broker, /*from_broker=*/true, 0);
+    iface.engine_ids.emplace(key, engine_id);
+    changed = true;
+  }
+  return changed;
+}
+
+bool RoutingTable::client_resync(
+    IfaceId client,
+    const std::vector<std::pair<SubscriptionId, Filter>>& subs) {
+  add_client_iface(client);
+  ClientIface& iface = client_ifaces_.at(client);
+  std::unordered_map<SubscriptionId, const Filter*> desired;
+  for (const auto& [sub_id, filter] : subs) desired.emplace(sub_id, &filter);
+  bool changed = false;
+  for (auto it = iface.engine_ids.begin(); it != iface.engine_ids.end();) {
+    const auto want = desired.find(it->first);
+    if (want != desired.end() &&
+        entries_.at(it->second).filter.key() == want->second->key()) {
+      ++it;  // identical (sub_id, filter): keep, idempotent
+      continue;
+    }
+    remove_entry(it->second);
+    it = iface.engine_ids.erase(it);
+    changed = true;
+  }
+  for (const auto& [sub_id, filter] : desired) {
+    if (iface.engine_ids.contains(sub_id)) continue;
+    iface.engine_ids[sub_id] =
+        add_entry(*filter, client, /*from_broker=*/false, sub_id);
+    changed = true;
+  }
+  return changed;
+}
+
+std::uint64_t RoutingTable::broker_iface_digest(IfaceId iface) const {
+  const auto it = broker_ifaces_.find(iface);
+  if (it == broker_ifaces_.end()) return 0;
+  std::uint64_t digest = 0;
+  for (const auto& [key, engine_id] : it->second.engine_ids) {
+    digest ^= util::fnv1a64(key);
+  }
+  return digest;
+}
+
+std::uint64_t RoutingTable::client_iface_digest(IfaceId iface) const {
+  const auto it = client_ifaces_.find(iface);
+  if (it == client_ifaces_.end()) return 0;
+  std::uint64_t digest = 0;
+  for (const auto& [sub_id, engine_id] : it->second.engine_ids) {
+    digest ^= util::hash_combine(util::fnv1a64(entries_.at(engine_id).filter.key()),
+                                 sub_id);
+  }
+  return digest;
+}
+
+std::uint64_t RoutingTable::forwarded_digest(IfaceId iface) const {
+  const auto it = broker_ifaces_.find(iface);
+  if (it == broker_ifaces_.end()) return 0;
+  std::uint64_t digest = 0;
+  for (const auto& [key, filter] : it->second.forwarded) {
+    digest ^= util::fnv1a64(key);
+  }
+  return digest;
+}
+
+std::vector<Filter> RoutingTable::forwarded_filters(IfaceId iface) const {
+  std::vector<Filter> filters;
+  const auto it = broker_ifaces_.find(iface);
+  if (it == broker_ifaces_.end()) return filters;
+  filters.reserve(it->second.forwarded.size());
+  // `forwarded` is keyed by canonical key in an unordered map; emit in
+  // key order for a deterministic replay.
+  std::map<std::string, const Filter*> ordered;
+  for (const auto& [key, filter] : it->second.forwarded) {
+    ordered.emplace(key, &filter);
+  }
+  for (const auto& [key, filter] : ordered) filters.push_back(*filter);
+  return filters;
+}
+
+std::vector<std::pair<SubscriptionId, Filter>>
+RoutingTable::client_subscriptions(IfaceId client) const {
+  std::vector<std::pair<SubscriptionId, Filter>> subs;
+  const auto it = client_ifaces_.find(client);
+  if (it == client_ifaces_.end()) return subs;
+  subs.reserve(it->second.engine_ids.size());
+  for (const auto& [sub_id, engine_id] : it->second.engine_ids) {
+    subs.emplace_back(sub_id, entries_.at(engine_id).filter);
+  }
+  std::sort(subs.begin(), subs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return subs;
+}
+
+std::string RoutingTable::state_fingerprint() const {
+  std::vector<std::string> lines;
+  lines.reserve(entries_.size());
+  for (const auto& [engine_id, entry] : entries_) {
+    if (entry.from_broker) {
+      lines.push_back("B " + std::to_string(entry.iface) + " " +
+                      entry.filter.key());
+    } else {
+      lines.push_back("C " + std::to_string(entry.iface) + " " +
+                      std::to_string(entry.client_sub) + " " +
+                      entry.filter.key());
+    }
+  }
+  for (const auto& [iface, broker] : broker_ifaces_) {
+    for (const auto& [key, filter] : broker.forwarded) {
+      lines.push_back("F " + std::to_string(iface) + " " + key);
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
 }
 
 std::map<std::string, Filter> RoutingTable::filters_not_from(

@@ -18,6 +18,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "pubsub/filter.h"
@@ -134,6 +135,51 @@ class RoutingTable {
   /// Retracts a neighbor broker's filter. Returns false when that broker
   /// never registered it.
   bool broker_unsubscribe(IfaceId broker, const Filter& filter);
+
+  // --- fault tolerance ------------------------------------------------------
+  /// Drops everything tied to a restarted neighbor: every filter received
+  /// *from* `iface` and the forwarded bookkeeping *toward* it (the
+  /// neighbor lost its table, so what we handed out is void). The iface
+  /// itself stays declared. Returns true if anything was removed.
+  bool drop_broker_iface_state(IfaceId iface);
+
+  /// Replace-all apply of a neighbor's full want-set (anti-entropy
+  /// resync). Idempotent: filters already registered for `broker` are
+  /// kept (dedup by canonical key), missing ones are added, and ones
+  /// absent from `want` are removed. Returns true if anything changed.
+  bool broker_resync(IfaceId broker, const std::vector<Filter>& want);
+
+  /// Replace-all apply of a client's full subscription set. Idempotent on
+  /// (sub_id, filter-key) pairs. Returns true if anything changed.
+  bool client_resync(
+      IfaceId client,
+      const std::vector<std::pair<SubscriptionId, Filter>>& subs);
+
+  /// Order-independent digest of the filters received from a neighbor
+  /// broker (XOR of per-filter key hashes; 0 when empty). The restarted
+  /// requester sends this in its ResyncRequest; a responder whose
+  /// forwarded_digest matches can skip the replay.
+  std::uint64_t broker_iface_digest(IfaceId iface) const;
+  /// Digest of the (sub_id, filter) pairs received from a client.
+  std::uint64_t client_iface_digest(IfaceId iface) const;
+  /// Digest of the filters currently forwarded *to* a neighbor.
+  std::uint64_t forwarded_digest(IfaceId iface) const;
+
+  /// Filters currently forwarded to `iface`, sorted by canonical key —
+  /// the responder side of a broker resync replay (refresh() first so
+  /// forwarded equals desired, then replay this).
+  std::vector<Filter> forwarded_filters(IfaceId iface) const;
+
+  /// Live (sub_id, filter) pairs registered by `client`, sorted by id —
+  /// the broker side of the client resync replay.
+  std::vector<std::pair<SubscriptionId, Filter>> client_subscriptions(
+      IfaceId client) const;
+
+  /// Canonical, engine-independent dump of the whole table: one sorted
+  /// line per stored entry and per forwarded filter. Two tables with the
+  /// same fingerprint route identically; the fault fuzz harness compares
+  /// healed runs against the never-faulted oracle with this.
+  std::string state_fingerprint() const;
 
   // --- forwarding -----------------------------------------------------------
   /// Recomputes the set of filters `neighbor` should receive (everything

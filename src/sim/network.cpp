@@ -33,6 +33,16 @@ void Network::set_node_up(NodeId id, bool up) {
   up_[id] = up;
 }
 
+void Network::set_loss_probability(NodeId a, NodeId b, double probability) {
+  assert(a < nodes_.size() && b < nodes_.size());
+  assert(probability >= 0.0 && probability <= 1.0);
+  if (probability == 0.0) {
+    loss_probability_.erase(link_key(a, b));
+  } else {
+    loss_probability_[link_key(a, b)] = probability;
+  }
+}
+
 Time Network::latency_between(NodeId a, NodeId b) noexcept {
   if (a == b) return 0;
   Time base = config_.default_latency;
@@ -50,7 +60,7 @@ std::optional<Time> Network::send(NodeId from, NodeId to, std::string type,
                                   std::any payload, std::size_t bytes,
                                   std::size_t units) {
   if (to >= nodes_.size() || from >= nodes_.size()) {
-    ++dropped_;
+    ++dropped_unknown_dest_;
     return std::nullopt;
   }
   ++total_messages_;
@@ -59,6 +69,17 @@ std::optional<Time> Network::send(NodeId from, NodeId to, std::string type,
   by_type_.add(type);
   bytes_by_type_.add(type, bytes);
   units_by_type_.add(type, units);
+
+  // Lossy-link draw at send time, from the same deterministic stream as
+  // jitter — but only when this link actually has a loss probability, so
+  // lossless runs consume the stream exactly as before (golden traces).
+  bool lost_to_link = false;
+  if (!loss_probability_.empty()) {
+    if (const auto it = loss_probability_.find(link_key(from, to));
+        it != loss_probability_.end()) {
+      lost_to_link = rng_.uniform01() < it->second;
+    }
+  }
 
   const Time latency = latency_between(from, to);
   Time deliver_at = sim_.now() + latency;
@@ -70,16 +91,22 @@ std::optional<Time> Network::send(NodeId from, NodeId to, std::string type,
     last = deliver_at;
   }
   Message msg{from, to, std::move(type), bytes, std::move(payload)};
-  sim_.at(deliver_at, [this, msg = std::move(msg)]() mutable {
+  sim_.at(deliver_at, [this, msg = std::move(msg), lost_to_link]() mutable {
     // Evaluate failures at delivery time: a crash or partition that happens
-    // while the message is in flight loses it.
+    // while the message is in flight loses it. Cause attribution is
+    // ordered down > partition > loss, so a message that would have died
+    // twice counts once, under the harder fault.
     if (!up_[msg.to] || !up_[msg.from]) {
-      ++dropped_;
+      ++dropped_by_down_;
       return;
     }
     if (const auto it = partitioned_.find(link_key(msg.from, msg.to));
         it != partitioned_.end() && it->second) {
-      ++dropped_;
+      ++dropped_by_partition_;
+      return;
+    }
+    if (lost_to_link) {
+      ++dropped_by_loss_;
       return;
     }
     bytes_received_[msg.to] += msg.bytes;
@@ -103,7 +130,10 @@ void Network::reset_stats() {
   total_messages_ = 0;
   total_bytes_ = 0;
   total_units_ = 0;
-  dropped_ = 0;
+  dropped_by_down_ = 0;
+  dropped_by_partition_ = 0;
+  dropped_by_loss_ = 0;
+  dropped_unknown_dest_ = 0;
   by_type_ = util::Counter{};
   bytes_by_type_ = util::Counter{};
   units_by_type_ = util::Counter{};

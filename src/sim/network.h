@@ -83,6 +83,13 @@ class Network {
   void set_node_up(NodeId id, bool up);
   bool node_up(NodeId id) const { return up_.at(id); }
 
+  /// Sets the symmetric per-message loss probability of the (a, b) link
+  /// (0 = lossless, the default). The drop decision is drawn at send time
+  /// from the network's deterministic stream — but only for links with a
+  /// nonzero probability, so runs that never set one see the exact jitter
+  /// stream (and therefore traces) they always did.
+  void set_loss_probability(NodeId a, NodeId b, double probability);
+
   /// Sends a message; it will be delivered via Node::handle_message after
   /// the link latency (+jitter). Self-sends are delivered asynchronously
   /// with zero latency. Returns the delivery time, or nullopt if the
@@ -108,7 +115,22 @@ class Network {
   /// Logical payloads carried (>= total_messages; the gap is what
   /// batching amortized away).
   std::uint64_t total_units() const noexcept { return total_units_; }
-  std::uint64_t dropped_messages() const noexcept { return dropped_; }
+  /// Total drops across every cause (the sum of the per-cause counters).
+  std::uint64_t dropped_messages() const noexcept {
+    return dropped_by_down_ + dropped_by_partition_ + dropped_by_loss_ +
+           dropped_unknown_dest_;
+  }
+  // Per-cause drop counters, split out so fault-injection failures are
+  // diagnosable (one opaque total can't say whether a partition window or
+  // a lossy link ate a control message).
+  std::uint64_t dropped_by_down() const noexcept { return dropped_by_down_; }
+  std::uint64_t dropped_by_partition() const noexcept {
+    return dropped_by_partition_;
+  }
+  std::uint64_t dropped_by_loss() const noexcept { return dropped_by_loss_; }
+  std::uint64_t dropped_unknown_dest() const noexcept {
+    return dropped_unknown_dest_;
+  }
   /// Message, byte, and logical-unit counts keyed by message type.
   const util::Counter& messages_by_type() const noexcept { return by_type_; }
   const util::Counter& bytes_by_type() const noexcept {
@@ -138,13 +160,17 @@ class Network {
   std::vector<bool> up_;
   std::unordered_map<std::uint64_t, Time> link_latency_;
   std::unordered_map<std::uint64_t, bool> partitioned_;
+  std::unordered_map<std::uint64_t, double> loss_probability_;
   /// Last scheduled delivery time per *directed* (from, to) pair, for FIFO.
   std::unordered_map<std::uint64_t, Time> last_delivery_;
 
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t total_units_ = 0;
-  std::uint64_t dropped_ = 0;
+  std::uint64_t dropped_by_down_ = 0;
+  std::uint64_t dropped_by_partition_ = 0;
+  std::uint64_t dropped_by_loss_ = 0;
+  std::uint64_t dropped_unknown_dest_ = 0;
   util::Counter by_type_;
   util::Counter bytes_by_type_;
   util::Counter units_by_type_;

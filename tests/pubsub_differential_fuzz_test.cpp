@@ -19,6 +19,13 @@
 //      with engines, asserting delivery sets and every traffic counter
 //      against the per-tick oracle, and exact trace equality for every
 //      zero-delay budget configuration.
+//   4. Fault level: a seeded crash/partition/loss schedule is interleaved
+//      with the op schedule (reliable control + heartbeats on), every
+//      fault heals before a quiesce point, and from there the run must be
+//      indistinguishable from a never-faulted oracle: per-broker routing
+//      fingerprints identical at the quiesce point (zero lost
+//      control-plane ops), post-heal delivery sets identical, no stuck
+//      quarantines — across engines x shards x workers x flush budgets.
 //
 // ## Schedule format (add your engine to the oracle matrix)
 //
@@ -685,6 +692,219 @@ TEST(DifferentialFuzz, FlushBudgetsPreserveDeliverySetsAndCounters) {
           EXPECT_EQ(trace.delivery_log, oracle.delivery_log) << label;
         }
       }
+    }
+  }
+}
+
+// --- level 4: fault-injection differential replay ----------------------------
+
+/// A seeded crash/partition/loss plan, expressed in op indices so faults
+/// interleave deterministically with the schedule. Every window closes
+/// before `phase_split`; after a quiesce the run must be byte-equivalent
+/// to the never-faulted oracle.
+struct FaultPlan {
+  std::size_t crash_target = 0;      ///< broker index to crash
+  std::size_t crash_begin = 10;      ///< crash before this op...
+  std::size_t crash_end = 25;        ///< ...restart before this one
+  std::size_t part_leaf = 1;         ///< hub link (0, part_leaf) partitioned
+  std::size_t part_begin = 28;
+  std::size_t part_end = 44;
+  std::size_t loss_leaf = 1;         ///< hub link (0, loss_leaf) lossy
+  std::size_t loss_begin = 46;
+  std::size_t loss_end = 56;
+  std::size_t phase_split = 60;      ///< quiesce + fingerprint checkpoint
+
+  static FaultPlan derive(std::uint64_t seed) {
+    util::Rng rng(seed ^ 0xfa017u);
+    FaultPlan plan;
+    plan.crash_target = rng.index(4);
+    plan.part_leaf = 1 + rng.index(3);
+    plan.loss_leaf = 1 + rng.index(3);
+    return plan;
+  }
+};
+
+/// Everything the fault dimension asserts on.
+struct FaultRun {
+  std::vector<std::string> phase_b_deliveries;  ///< sorted
+  std::vector<std::string> fingerprints;        ///< per broker, at the split
+  std::uint64_t retransmits = 0;                ///< brokers + clients
+  std::size_t quarantined_at_split = 0;
+  std::uint64_t suspicions = 0;
+};
+
+/// Replays `schedule` through the 4-broker star with `plan`'s faults
+/// (skipped entirely when `inject` is false — the oracle run). Identical
+/// structure to run_schedule_through_overlay, plus the fault actions and
+/// the phase split: heal everything, quiesce, fingerprint, then replay
+/// the tail and log only its deliveries.
+FaultRun run_schedule_with_faults(const Schedule& schedule, std::uint64_t seed,
+                                  const Broker::Config& config,
+                                  const FaultPlan& plan, bool inject) {
+  sim::Simulator sim;
+  sim::Network::Config net_config;
+  net_config.default_latency = sim::kMillisecond;
+  net_config.jitter_fraction = 0.25;
+  net_config.seed = seed;
+  sim::Network net(sim, net_config);
+  Overlay overlay = Overlay::star(sim, net, 4, config);
+
+  ReliableChannel::Config client_channel;
+  client_channel.enabled = true;
+  client_channel.retransmit_timeout = config.retransmit_timeout;
+
+  FaultRun run;
+  bool in_phase_b = false;
+  std::vector<std::unique_ptr<Client>> clients;
+  for (std::size_t c = 0; c < kSlots; ++c) {
+    auto client = std::make_unique<Client>(sim, net, "c" + std::to_string(c));
+    client->connect(overlay.broker(c % 4));
+    client->enable_reliable_control(client_channel);
+    clients.push_back(std::move(client));
+  }
+  sim.run_until(sim.now() + sim::kSecond);
+
+  std::vector<std::vector<SubscriptionId>> stacks(kSlots);
+  std::size_t index = 0;
+  for (const FuzzOp& op : schedule.ops) {
+    if (inject) {
+      if (index == plan.crash_begin) overlay.crash(plan.crash_target);
+      if (index == plan.crash_end) overlay.restart(plan.crash_target);
+      if (index == plan.part_begin) {
+        overlay.set_link_partitioned(0, plan.part_leaf, true);
+      }
+      if (index == plan.part_end) {
+        overlay.set_link_partitioned(0, plan.part_leaf, false);
+      }
+      if (index == plan.loss_begin) overlay.set_link_loss(0, plan.loss_leaf, 0.3);
+      if (index == plan.loss_end) overlay.set_link_loss(0, plan.loss_leaf, 0.0);
+    }
+    if (index == plan.phase_split) {
+      // Every fault has healed; let retransmission backoff (capped at
+      // 1s) and anti-entropy finish, then checkpoint the control plane.
+      sim.run_until(sim.now() + 10 * sim::kSecond);
+      for (std::size_t b = 0; b < overlay.size(); ++b) {
+        run.fingerprints.push_back(
+            overlay.broker(b).routing_table().state_fingerprint());
+        run.quarantined_at_split += overlay.broker(b).quarantined_count();
+      }
+      in_phase_b = true;
+    }
+    ++index;
+    switch (op.kind) {
+      case FuzzOp::Kind::kSubscribe: {
+        const std::size_t slot = op.slot;
+        stacks[slot].push_back(clients[slot]->subscribe(
+            op.filter,
+            [&run, &in_phase_b, slot](const Event& e, SubscriptionId sub) {
+              if (!in_phase_b) return;
+              run.phase_b_deliveries.push_back("c" + std::to_string(slot) +
+                                               "/s" + std::to_string(sub) +
+                                               " " + e.to_string());
+            }));
+        break;
+      }
+      case FuzzOp::Kind::kUnsubscribe: {
+        auto& stack = stacks[op.slot];
+        if (stack.empty()) break;
+        clients[op.slot]->unsubscribe(stack.back());
+        stack.pop_back();
+        break;
+      }
+      case FuzzOp::Kind::kPublish: {
+        clients[op.slot]->publish_batch(op.events);
+        break;
+      }
+    }
+    sim.run_until(sim.now() + 200 * sim::kMillisecond);
+  }
+  sim.run_until(sim.now() + sim::kMinute);
+
+  for (std::size_t b = 0; b < overlay.size(); ++b) {
+    run.retransmits += overlay.broker(b).stats().retransmits;
+    run.suspicions += overlay.broker(b).stats().suspicions;
+  }
+  for (const auto& client : clients) {
+    run.retransmits += client->control_channel().stats().retransmits;
+  }
+  std::sort(run.phase_b_deliveries.begin(), run.phase_b_deliveries.end());
+  return run;
+}
+
+TEST(DifferentialFuzz, FaultScheduleConvergesToNeverFaultedOracle) {
+  for (const std::uint64_t seed : fuzz_seeds()) {
+    Schedule schedule = make_schedule(seed, 100);
+    FaultPlan plan = FaultPlan::derive(seed);
+    {
+      // Force a subscribe op aimed at the crashed broker into the middle
+      // of the crash window: its client must carry the op through
+      // retransmission into the restarted incarnation, so every seed
+      // exercises the recovery path (and the retransmit counter below is
+      // never vacuously zero).
+      util::Rng rng(seed ^ 0x5b5u);
+      FuzzOp& forced =
+          schedule.ops[(plan.crash_begin + plan.crash_end) / 2];
+      forced.kind = FuzzOp::Kind::kSubscribe;
+      forced.slot = plan.crash_target;  // client `slot` connects to broker slot%4
+      forced.filter = fuzz_filter(rng);
+      forced.events.clear();
+    }
+
+    Broker::Config base;
+    base.matcher_engine = "brute-force";
+    base.maintain_churn_threshold = 0;
+    base.reliable_control = true;
+    // Broker-broker links run at 10ms latency (Overlay::link default), so
+    // the worst acked RTT with jitter is ~25ms; 60ms keeps the
+    // never-faulted oracle retransmit-free.
+    base.retransmit_timeout = 60 * sim::kMillisecond;
+    base.heartbeat_period = 100 * sim::kMillisecond;
+    const FaultRun oracle =
+        run_schedule_with_faults(schedule, seed, base, plan, /*inject=*/false);
+    ASSERT_FALSE(oracle.phase_b_deliveries.empty()) << "seed=" << seed;
+    ASSERT_EQ(oracle.retransmits, 0u) << "seed=" << seed;
+    ASSERT_EQ(oracle.quarantined_at_split, 0u) << "seed=" << seed;
+
+    struct EngineRow {
+      const char* engine;
+      std::size_t shards, workers;
+      sim::Time flush_delay;
+    };
+    const std::vector<EngineRow> rows = {
+        {"anchor-index", 1, 0, 0},
+        {"anchor-index", 4, 4, 3 * sim::kMillisecond},
+        {"counting", 4, 0, 0},
+        {"counting", 1, 4, 3 * sim::kMillisecond},
+        {"bitset", 4, 4, 0},
+        {"bitset", 1, 0, 3 * sim::kMillisecond},
+    };
+    for (const EngineRow& row : rows) {
+      Broker::Config config = base;
+      config.matcher_engine = std::string("sharded:") + row.engine;
+      config.shard_count = row.shards;
+      config.worker_threads = row.workers;
+      config.maintain_churn_threshold = 16;
+      config.maintain_max_bucket = 4;
+      config.flush_max_delay_ticks = row.flush_delay;
+      const FaultRun faulted =
+          run_schedule_with_faults(schedule, seed, config, plan, true);
+      const std::string label = std::string(row.engine) + "/s" +
+                                std::to_string(row.shards) + "/w" +
+                                std::to_string(row.workers) + "/d" +
+                                std::to_string(row.flush_delay) +
+                                " seed=" + std::to_string(seed);
+      // Control plane: after the heal + quiesce the routing state is the
+      // oracle's, bit for bit — no subscription op was lost, duplicated,
+      // or misordered by the crash, the partition, or the lossy window.
+      EXPECT_EQ(faulted.fingerprints, oracle.fingerprints) << label;
+      EXPECT_EQ(faulted.quarantined_at_split, 0u) << label;
+      // The faults actually bit: ops were retransmitted and the crashed
+      // broker's silence was noticed.
+      EXPECT_GT(faulted.retransmits, 0u) << label;
+      EXPECT_GT(faulted.suspicions, 0u) << label;
+      // Data plane: post-heal delivery sets are oracle-identical.
+      EXPECT_EQ(faulted.phase_b_deliveries, oracle.phase_b_deliveries)
+          << label;
     }
   }
 }

@@ -237,6 +237,55 @@ TEST(Network, UnknownDestinationCountsDropped) {
   EXPECT_EQ(net.dropped_messages(), 1u);
 }
 
+TEST(Network, LossyLinkDropsAndAttributes) {
+  Simulator sim;
+  Network net(sim, quiet_config());
+  Recorder a, b;
+  const NodeId ida = net.attach(a, "a");
+  const NodeId idb = net.attach(b, "b");
+  net.set_loss_probability(ida, idb, 1.0);
+  net.send(ida, idb, "t", 0, 1);
+  sim.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.dropped_by_loss(), 1u);
+  EXPECT_EQ(net.dropped_messages(), 1u);
+
+  net.set_loss_probability(ida, idb, 0.0);
+  net.send(ida, idb, "t", 0, 1);
+  // Loss is per-link and per-direction-unordered-pair: other links are
+  // untouched.
+  net.send(idb, ida, "t", 0, 1);
+  sim.run();
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(net.dropped_by_loss(), 1u);
+}
+
+TEST(Network, DropCountersAttributeCause) {
+  Simulator sim;
+  Network net(sim, quiet_config());
+  Recorder a, b;
+  const NodeId ida = net.attach(a, "a");
+  const NodeId idb = net.attach(b, "b");
+
+  net.send(ida, 999, "t", 0, 1);  // unknown destination
+  net.set_partitioned(ida, idb, true);
+  net.send(ida, idb, "t", 0, 1);
+  sim.run();  // partition/down are evaluated at delivery time
+  net.set_partitioned(ida, idb, false);
+  net.set_node_up(idb, false);
+  net.send(ida, idb, "t", 0, 1);
+  sim.run();
+  EXPECT_EQ(net.dropped_unknown_dest(), 1u);
+  EXPECT_EQ(net.dropped_by_partition(), 1u);
+  EXPECT_EQ(net.dropped_by_down(), 1u);
+  EXPECT_EQ(net.dropped_by_loss(), 0u);
+  EXPECT_EQ(net.dropped_messages(), 3u);
+
+  net.reset_stats();
+  EXPECT_EQ(net.dropped_messages(), 0u);
+}
+
 TEST(Network, TrafficAccounting) {
   Simulator sim;
   Network net(sim, quiet_config());
