@@ -113,7 +113,7 @@ void Broker::handle_message(const sim::Message& msg) {
 void Broker::on_client_subscribe(sim::NodeId from,
                                  const ClientSubscribeMsg& msg) {
   ++stats_.subs_received;
-  table_.client_subscribe(from, msg.sub_id, msg.filter);
+  table_.client_subscribe(from, msg.sub_id, msg.filter, msg.scoring);
   refresh_all_neighbors_except(sim::kNoNode);
 }
 
@@ -149,7 +149,8 @@ void Broker::on_ctrl_op(sim::NodeId from, const CtrlOp& op) {
       on_broker_unsubscribe(from, UnsubscribeMsg{op.filter});
       break;
     case CtrlOp::Kind::kClientSubscribe:
-      on_client_subscribe(from, ClientSubscribeMsg{op.sub_id, op.filter});
+      on_client_subscribe(
+          from, ClientSubscribeMsg{op.sub_id, op.filter, op.scoring});
       break;
     case CtrlOp::Kind::kClientUnsubscribe:
       on_client_unsubscribe(from, ClientUnsubscribeMsg{op.sub_id});
@@ -210,8 +211,7 @@ void Broker::on_resync_state(sim::NodeId from, const std::vector<Filter>& want) 
 }
 
 void Broker::on_client_resync_state(
-    sim::NodeId from,
-    const std::vector<std::pair<SubscriptionId, Filter>>& subs) {
+    sim::NodeId from, const std::vector<ClientSubscription>& subs) {
   if (table_.client_resync(from, subs)) {
     refresh_all_neighbors_except(sim::kNoNode);
   }
@@ -269,6 +269,13 @@ void Broker::restart() {
 void Broker::on_publish(sim::NodeId from, const Event& event) {
   ++stats_.pubs_received;
   ++stats_.matches_run;
+  if (config_.scoring_enabled) {
+    const std::span<const Event> events{&event, 1};
+    std::vector<std::vector<RoutingTable::ScoredDestination>> hits;
+    table_.match_batch_scored(events, hits);
+    route_scored(from, events, hits);
+    return;
+  }
   std::vector<RoutingTable::Destination> hits;
   table_.match(event, hits);
   route_event(from, event, hits);
@@ -277,6 +284,12 @@ void Broker::on_publish(sim::NodeId from, const Event& event) {
 void Broker::on_publish_batch(sim::NodeId from, const PublishBatchMsg& msg) {
   stats_.pubs_received += msg.events.size();
   ++stats_.matches_run;
+  if (config_.scoring_enabled) {
+    std::vector<std::vector<RoutingTable::ScoredDestination>> hits;
+    table_.match_batch_scored(msg.events, hits);
+    route_scored(from, msg.events, hits);
+    return;
+  }
   std::vector<std::vector<RoutingTable::Destination>> hits;
   table_.match_batch(msg.events, hits);
   for (std::size_t i = 0; i < msg.events.size(); ++i) {
@@ -311,6 +324,121 @@ void Broker::route_event(sim::NodeId from, const Event& event,
   for (auto& [client, subs] : client_hits) {
     std::sort(subs.begin(), subs.end());
     enqueue_delivery(client, event, std::move(subs));
+  }
+}
+
+// --- scored delivery (Config::scoring_enabled) -------------------------------
+
+void Broker::route_scored(
+    sim::NodeId from, std::span<const Event> events,
+    const std::vector<std::vector<RoutingTable::ScoredDestination>>& hits) {
+  // Pass 1: collect, per (client, subscription) with a non-neutral policy,
+  // the scored candidates of this publication batch — the top-k window.
+  // The window is the wire-message batch, so its composition depends only
+  // on what the publisher framed together, never on engine, shard, worker,
+  // or flush-budget choices (see docs/ARCHITECTURE.md "Scored delivery").
+  struct Window {
+    const ScoringSpec* spec = nullptr;
+    std::vector<std::pair<std::uint32_t, double>> cands;  // (event idx, score)
+  };
+  std::map<std::pair<sim::NodeId, SubscriptionId>, Window> windows;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    for (const RoutingTable::ScoredDestination& sd : hits[i]) {
+      if (sd.dest.is_broker || sd.scoring == nullptr) continue;
+      if (sd.dest.iface == from) continue;  // never echo back
+      ++stats_.scored_matches;
+      Window& window = windows[{sd.dest.iface, sd.dest.client_sub}];
+      window.spec = sd.scoring;
+      window.cands.emplace_back(static_cast<std::uint32_t>(i), sd.score);
+    }
+  }
+  // Pass 2: per window, the min_score filter then the bounded top-k cut.
+  // Ties at the cut break by ascending event order (TopKSelector), so the
+  // surviving set is a pure function of the window's (event, score) pairs.
+  SuppressedSet suppressed;
+  for (auto& [key, window] : windows) {
+    TopKSelector topk(window.spec->top_k);
+    std::size_t eligible = 0;
+    for (const auto& [index, score] : window.cands) {
+      if (score < window.spec->min_score) {
+        ++stats_.suppressed_by_threshold;
+        suppressed.insert({index, key.first, key.second});
+        continue;
+      }
+      ++eligible;
+      topk.offer(score, index);
+    }
+    const std::vector<std::uint32_t> survivors = topk.take();
+    if (survivors.size() == eligible) continue;
+    stats_.suppressed_by_k += eligible - survivors.size();
+    // cands is in ascending event order and survivors is sorted, so one
+    // linear merge marks the evicted candidates.
+    std::size_t next = 0;
+    for (const auto& [index, score] : window.cands) {
+      if (score < window.spec->min_score) continue;  // marked above
+      if (next < survivors.size() && survivors[next] == index) {
+        ++next;
+        continue;
+      }
+      suppressed.insert({index, key.first, key.second});
+    }
+  }
+  // Pass 3: the boolean routing pass, per event in batch order, skipping
+  // suppressed deliveries and attaching scores.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    route_event_scored(from, events[i], static_cast<std::uint32_t>(i),
+                       hits[i], suppressed);
+  }
+}
+
+void Broker::route_event_scored(
+    sim::NodeId from, const Event& event, std::uint32_t event_index,
+    const std::vector<RoutingTable::ScoredDestination>& hits,
+    const SuppressedSet& suppressed) {
+  // Mirrors route_event: interfaces in id order, per-client sub lists
+  // sorted by id. Scores never influence grouping or order — a scored
+  // delivery leaves in exactly the position its boolean twin would have.
+  struct ClientHit {
+    SubscriptionId sub = 0;
+    double score = kConstantScore;
+    bool scored = false;  // carries a non-neutral spec
+  };
+  std::map<sim::NodeId, std::vector<ClientHit>> client_hits;
+  std::set<sim::NodeId> broker_hits;
+  for (const RoutingTable::ScoredDestination& sd : hits) {
+    if (sd.dest.iface == from) continue;  // never echo back
+    if (sd.dest.is_broker) {
+      if (quarantined_.contains(sd.dest.iface)) continue;
+      broker_hits.insert(sd.dest.iface);
+      continue;
+    }
+    if (sd.scoring != nullptr &&
+        suppressed.contains({event_index, sd.dest.iface,
+                             sd.dest.client_sub})) {
+      continue;
+    }
+    client_hits[sd.dest.iface].push_back(
+        ClientHit{sd.dest.client_sub, sd.score, sd.scoring != nullptr});
+  }
+  for (const sim::NodeId neighbor : broker_hits) {
+    enqueue_publish(neighbor, event);
+  }
+  for (auto& [client, entries] : client_hits) {
+    std::sort(entries.begin(), entries.end(),
+              [](const ClientHit& a, const ClientHit& b) {
+                return a.sub < b.sub;
+              });
+    bool any_scored = false;
+    for (const ClientHit& entry : entries) any_scored |= entry.scored;
+    std::vector<SubscriptionId> subs;
+    std::vector<double> scores;
+    subs.reserve(entries.size());
+    if (any_scored) scores.reserve(entries.size());
+    for (const ClientHit& entry : entries) {
+      subs.push_back(entry.sub);
+      if (any_scored) scores.push_back(entry.score);
+    }
+    enqueue_delivery(client, event, std::move(subs), std::move(scores));
   }
 }
 
@@ -371,16 +499,17 @@ void Broker::enqueue_publish(sim::NodeId neighbor, const Event& event) {
 }
 
 void Broker::enqueue_delivery(sim::NodeId client, const Event& event,
-                              std::vector<SubscriptionId> subs) {
+                              std::vector<SubscriptionId> subs,
+                              std::vector<double> scores) {
   ++stats_.deliveries;
   if (!config_.batching_enabled) {
     std::vector<DeliverMsg> one;
-    one.push_back(DeliverMsg{event, std::move(subs)});
+    one.push_back(DeliverMsg{event, std::move(subs), std::move(scores)});
     send_deliveries(client, std::move(one));
     return;
   }
   PendingDelivers& pending = pending_delivers_[client];
-  DeliverMsg item{event, std::move(subs)};
+  DeliverMsg item{event, std::move(subs), std::move(scores)};
   if (config_.flush_max_bytes != 0) {
     pending.bytes += deliver_entry_wire_size(item);
   }

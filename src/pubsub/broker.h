@@ -50,7 +50,10 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
+#include <span>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -97,6 +100,15 @@ class Broker final : public sim::Node {
     /// largest/mean equality bucket exceeds it, skip churn-scheduled
     /// passes while balanced); 0 = churn-count-only scheduling.
     std::size_t maintain_skew_ratio = kDefaultMaintainSkewRatio;
+    /// Scored delivery (see scoring.h): publications are matched through
+    /// the scored batch path and each client subscription's ScoringSpec
+    /// (top_k / min_score) is applied per publication batch before
+    /// deliveries are enqueued. Off by default — the boolean path of
+    /// PR 1-9, byte for byte. With it on, subscriptions whose spec is
+    /// neutral still produce byte-identical wire output to the disabled
+    /// path (the neutral property the fuzz tier pins); only non-neutral
+    /// specs attach scores and can suppress deliveries.
+    bool scoring_enabled = false;
     /// Coalesce publications/deliveries per interface within a sim tick
     /// (ablation knob; off = one wire message per event, as the seed did,
     /// and the flush budgets below are moot).
@@ -159,6 +171,14 @@ class Broker final : public sim::Node {
     std::uint64_t deliveries = 0;       ///< (event, client) deliveries
     std::uint64_t deliver_msgs_sent = 0; ///< wire messages carrying them
     std::uint64_t matches_run = 0;      ///< matcher invocations (batch = 1)
+    // --- scored delivery (Config::scoring_enabled; see scoring.h) ---
+    /// Relevance scores computed for candidate deliveries to non-neutral
+    /// subscriptions (the scored-fanout volume before suppression).
+    std::uint64_t scored_matches = 0;
+    /// Candidate deliveries cut by a subscription's top-k bound.
+    std::uint64_t suppressed_by_k = 0;
+    /// Candidate deliveries scoring below a subscription's min_score.
+    std::uint64_t suppressed_by_threshold = 0;
     // --- adaptive-flush introspection (see the flush-policy invariants) ---
     std::uint64_t flushes_by_events = 0; ///< wire msgs sent on the event budget
     std::uint64_t flushes_by_bytes = 0;  ///< wire msgs sent on the byte budget
@@ -256,9 +276,8 @@ class Broker final : public sim::Node {
   void on_peer_restart(sim::NodeId peer);
   void on_resync_request(sim::NodeId from, std::uint64_t digest);
   void on_resync_state(sim::NodeId from, const std::vector<Filter>& want);
-  void on_client_resync_state(
-      sim::NodeId from,
-      const std::vector<std::pair<SubscriptionId, Filter>>& subs);
+  void on_client_resync_state(sim::NodeId from,
+                              const std::vector<ClientSubscription>& subs);
   void send_resync_request(sim::NodeId peer);
   void heartbeat_tick();
 
@@ -266,6 +285,33 @@ class Broker final : public sim::Node {
   /// sends immediately when batching is disabled).
   void route_event(sim::NodeId from, const Event& event,
                    const std::vector<RoutingTable::Destination>& hits);
+
+  // --- scored delivery (Config::scoring_enabled) ---
+  /// An (event index, client iface, client sub) triple suppressed by a
+  /// delivery policy within one publication batch.
+  using SuppressedSet =
+      std::set<std::tuple<std::uint32_t, sim::NodeId, SubscriptionId>>;
+
+  /// The scored twin of the publish path: applies each non-neutral
+  /// subscription's min_score filter and top-k cut over the *publication
+  /// batch* (the events of this one wire message — the deterministic
+  /// top-k window; see docs/ARCHITECTURE.md "Scored delivery"), then
+  /// routes each event in batch order with the suppression set applied
+  /// and scores attached. With no non-neutral subscription matched, the
+  /// output is byte-identical to the boolean path.
+  void route_scored(
+      sim::NodeId from, std::span<const Event> events,
+      const std::vector<std::vector<RoutingTable::ScoredDestination>>& hits);
+
+  /// route_event with scoring decoration: suppressed client destinations
+  /// are skipped, and the per-client matched-sub list carries parallel
+  /// scores when any matched subscription is non-neutral. Grouping and
+  /// ordering are identical to route_event — delivery order keys on
+  /// canonical event order and sorted sub ids, never on score.
+  void route_event_scored(
+      sim::NodeId from, const Event& event, std::uint32_t event_index,
+      const std::vector<RoutingTable::ScoredDestination>& hits,
+      const SuppressedSet& suppressed);
 
   /// Sends the refresh diff for `neighbor` computed by the routing table.
   void refresh_neighbor(sim::NodeId neighbor);
@@ -292,8 +338,11 @@ class Broker final : public sim::Node {
   };
 
   void enqueue_publish(sim::NodeId neighbor, const Event& event);
+  /// `scores` is parallel to `subs` on scored deliveries and empty
+  /// otherwise (see DeliverMsg::scores).
   void enqueue_delivery(sim::NodeId client, const Event& event,
-                        std::vector<SubscriptionId> subs);
+                        std::vector<SubscriptionId> subs,
+                        std::vector<double> scores = {});
   /// The size budget an enqueue just tripped, if any (event budget wins
   /// when both trip).
   std::optional<FlushCause> tripped_budget(std::size_t events,

@@ -34,21 +34,39 @@ void Client::connect(Broker& broker) {
 }
 
 SubscriptionId Client::subscribe(Filter filter, Handler handler) {
+  // An empty Handler must stay empty after wrapping so deliveries keep
+  // routing to the inbox.
+  ScoredHandler scored;
+  if (handler) {
+    scored = [inner = std::move(handler)](const Event& event,
+                                          SubscriptionId sub,
+                                          double /*score*/) {
+      inner(event, sub);
+    };
+  }
+  return subscribe_scored(std::move(filter), ScoringSpec{}, std::move(scored));
+}
+
+SubscriptionId Client::subscribe_scored(Filter filter, ScoringSpec scoring,
+                                        ScoredHandler handler) {
   assert(connected() && "subscribe before connect");
   const SubscriptionId sub_id =
       (static_cast<std::uint64_t>(id_) << 32) | next_sub_++;
   handlers_.emplace(sub_id, std::move(handler));
   if (channel_.enabled()) {
-    filters_.emplace(sub_id, filter);
+    subs_.emplace(sub_id, ClientSubscription{sub_id, filter, scoring});
     CtrlOp op;
     op.kind = CtrlOp::Kind::kClientSubscribe;
     op.sub_id = sub_id;
     op.filter = std::move(filter);
+    op.scoring = std::move(scoring);
     channel_.send(broker_, std::move(op));
     return sub_id;
   }
+  const std::size_t bytes = filter.wire_size() + 16 + scoring.wire_size();
   net_.send(id_, broker_, std::string(kTypeClientSubscribe),
-            ClientSubscribeMsg{sub_id, filter}, filter.wire_size() + 16);
+            ClientSubscribeMsg{sub_id, std::move(filter), std::move(scoring)},
+            bytes);
   return sub_id;
 }
 
@@ -75,7 +93,7 @@ std::vector<SubscriptionId> Client::subscribe_any(
 
 void Client::unsubscribe(SubscriptionId id) {
   if (handlers_.erase(id) == 0) return;
-  filters_.erase(id);
+  subs_.erase(id);
   if (channel_.enabled()) {
     CtrlOp op;
     op.kind = CtrlOp::Kind::kClientUnsubscribe;
@@ -122,15 +140,21 @@ void Client::on_ctrl_op(sim::NodeId from, const CtrlOp& op) {
   // of our registrations (same formula as RoutingTable::client_iface_digest,
   // so matching state is recognized without a replay).
   std::uint64_t digest = 0;
-  for (const auto& [sub_id, filter] : filters_) {
-    digest ^= util::hash_combine(util::fnv1a64(filter.key()), sub_id);
+  for (const auto& [sub_id, sub] : subs_) {
+    digest ^= util::hash_combine(util::fnv1a64(sub.filter.key()), sub_id);
+    // Scoring folds in only when non-neutral, so unscored state keeps the
+    // PR 9 digest value (see RoutingTable::client_iface_digest).
+    if (!sub.scoring.neutral()) {
+      digest ^= util::hash_combine(sub.scoring.hash(), sub_id);
+    }
   }
   if (digest == op.digest) return;
   CtrlOp reply;
   reply.kind = CtrlOp::Kind::kClientResyncState;
-  reply.subs.assign(filters_.begin(), filters_.end());
+  reply.subs.reserve(subs_.size());
+  for (const auto& [sub_id, sub] : subs_) reply.subs.push_back(sub);
   std::sort(reply.subs.begin(), reply.subs.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+            [](const auto& a, const auto& b) { return a.sub_id < b.sub_id; });
   channel_.send(from, std::move(reply));
 }
 
@@ -148,12 +172,15 @@ void Client::handle_message(const sim::Message& msg) {
 }
 
 void Client::on_deliver(const DeliverMsg& deliver) {
-  for (const SubscriptionId sub_id : deliver.matched) {
+  for (std::size_t i = 0; i < deliver.matched.size(); ++i) {
+    const SubscriptionId sub_id = deliver.matched[i];
     const auto it = handlers_.find(sub_id);
     if (it == handlers_.end()) continue;  // already unsubscribed: drop
     ++deliveries_;
+    const double score =
+        i < deliver.scores.size() ? deliver.scores[i] : kConstantScore;
     if (it->second) {
-      it->second(deliver.event, sub_id);
+      it->second(deliver.event, sub_id, score);
     } else {
       inbox_.emplace_back(deliver.event, sub_id);
     }

@@ -23,6 +23,11 @@ class Client final : public sim::Node {
   /// Invoked once per delivered event per matching subscription.
   using Handler = std::function<void(const Event&, SubscriptionId)>;
 
+  /// Scored twin of Handler: also receives the delivering broker's
+  /// relevance score (kConstantScore on unscored deliveries).
+  using ScoredHandler =
+      std::function<void(const Event&, SubscriptionId, double)>;
+
   Client(sim::Simulator& sim, sim::Network& net, std::string name);
 
   sim::NodeId id() const noexcept { return id_; }
@@ -44,6 +49,13 @@ class Client final : public sim::Node {
   /// Registers `filter`; `handler` (optional) runs on each delivery.
   /// Returns the id used for unsubscribe. Requires connect() first.
   SubscriptionId subscribe(Filter filter, Handler handler = {});
+
+  /// Scored subscribe: attaches a ScoringSpec evaluated at the delivering
+  /// broker when its Config::scoring_enabled is set. The handler receives
+  /// the broker-computed relevance score (kConstantScore when the broker
+  /// delivers unscored). A neutral spec behaves exactly like subscribe().
+  SubscriptionId subscribe_scored(Filter filter, ScoringSpec scoring,
+                                  ScoredHandler handler = {});
 
   /// Disjunctive subscription sugar: places one subscription per filter
   /// sharing `handler`, deduplicating deliveries by event id so an event
@@ -92,10 +104,11 @@ class Client final : public sim::Node {
   std::string name_;
   sim::NodeId id_;
   sim::NodeId broker_ = sim::kNoNode;
-  std::unordered_map<SubscriptionId, Handler> handlers_;
-  /// Live filters by subscription id, kept for broker-restart resync
-  /// replay (only populated while the reliable channel is enabled).
-  std::unordered_map<SubscriptionId, Filter> filters_;
+  std::unordered_map<SubscriptionId, ScoredHandler> handlers_;
+  /// Live subscriptions (filter + scoring spec) by id, kept for
+  /// broker-restart resync replay (only populated while the reliable
+  /// channel is enabled).
+  std::unordered_map<SubscriptionId, ClientSubscription> subs_;
   ReliableChannel channel_;
   void on_deliver(const DeliverMsg& deliver);
   void on_ctrl_op(sim::NodeId from, const CtrlOp& op);

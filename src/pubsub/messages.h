@@ -25,9 +25,13 @@ struct UnsubscribeMsg {
 };
 
 /// Client-to-broker subscription with the client's own id for the filter.
+/// `scoring` is the subscription's delivery policy; the default (neutral)
+/// spec is the unscored subscription of PR 1-9, metered at zero extra
+/// wire bytes.
 struct ClientSubscribeMsg {
   SubscriptionId sub_id = 0;
   Filter filter;
+  ScoringSpec scoring;
 };
 
 /// Client-to-broker retraction by id.
@@ -49,9 +53,14 @@ struct PublishBatchMsg {
 
 /// Broker-to-client delivery; lists the client's subscription ids the event
 /// matched (the frontend uses these for its closed-loop bookkeeping).
+/// `scores` is parallel to `matched` when any matched subscription carries
+/// a non-neutral ScoringSpec (a neutral subscription in a mixed list reads
+/// kConstantScore), and empty otherwise — so unscored traffic is byte-
+/// identical to the pre-scoring wire format.
 struct DeliverMsg {
   Event event;
   std::vector<SubscriptionId> matched;
+  std::vector<double> scores;
 };
 
 /// Several deliveries to one client coalesced into one wire message.
@@ -83,9 +92,10 @@ struct CtrlOp {
   Kind kind = Kind::kSubscribe;
   SubscriptionId sub_id = 0;  ///< kClientSubscribe / kClientUnsubscribe
   Filter filter;              ///< kSubscribe / kUnsubscribe / kClientSubscribe
+  ScoringSpec scoring;        ///< kClientSubscribe (neutral = unscored)
   std::uint64_t digest = 0;   ///< kResyncRequest
   std::vector<Filter> filters;  ///< kResyncState
-  std::vector<std::pair<SubscriptionId, Filter>> subs;  ///< kClientResyncState
+  std::vector<ClientSubscription> subs;  ///< kClientResyncState
 };
 
 /// A reliably-sequenced control message. `epoch` identifies the sender's
@@ -123,9 +133,11 @@ inline std::size_t publish_entry_wire_size(const Event& event) {
 }
 
 /// Per-entry cost of one delivery inside a DeliverBatchMsg (the matched
-/// subscription ids ride along at 8 bytes each).
+/// subscription ids ride along at 8 bytes each, scores — present only on
+/// scored deliveries — at 8 bytes each too).
 inline std::size_t deliver_entry_wire_size(const DeliverMsg& item) {
-  return item.event.wire_size() + 8 * item.matched.size() + 2;
+  return item.event.wire_size() + 8 * item.matched.size() +
+         8 * item.scores.size() + 2;
 }
 
 /// Wire size of a standalone PublishMsg (8-byte message header).
@@ -135,7 +147,8 @@ inline std::size_t publish_msg_wire_size(const Event& event) {
 
 /// Wire size of a standalone DeliverMsg.
 inline std::size_t deliver_msg_wire_size(const DeliverMsg& item) {
-  return item.event.wire_size() + 8 * item.matched.size() + 8;
+  return item.event.wire_size() + 8 * item.matched.size() +
+         8 * item.scores.size() + 8;
 }
 
 inline std::size_t publish_batch_wire_size(const std::vector<Event>& events) {
@@ -160,7 +173,7 @@ inline std::size_t ctrl_op_wire_size(const CtrlOp& op) {
     case CtrlOp::Kind::kUnsubscribe:
       return op.filter.wire_size() + 8;
     case CtrlOp::Kind::kClientSubscribe:
-      return op.filter.wire_size() + 16;
+      return op.filter.wire_size() + 16 + op.scoring.wire_size();
     case CtrlOp::Kind::kClientUnsubscribe:
       return 16;
     case CtrlOp::Kind::kResyncRequest:
@@ -172,7 +185,9 @@ inline std::size_t ctrl_op_wire_size(const CtrlOp& op) {
     }
     case CtrlOp::Kind::kClientResyncState: {
       std::size_t bytes = kBatchHeaderBytes;
-      for (const auto& [id, f] : op.subs) bytes += f.wire_size() + 10;
+      for (const ClientSubscription& sub : op.subs) {
+        bytes += sub.filter.wire_size() + 10 + sub.scoring.wire_size();
+      }
       return bytes;
     }
   }

@@ -57,12 +57,14 @@ void RoutingTable::add_client_iface(IfaceId iface) {
 
 std::uint64_t RoutingTable::add_entry(Filter filter, IfaceId iface,
                                       bool from_broker,
-                                      SubscriptionId client_sub) {
+                                      SubscriptionId client_sub,
+                                      ScoringSpec scoring) {
   const std::uint64_t engine_id = next_engine_id_++;
   matcher_->add(engine_id, filter);
   entries_.emplace(engine_id,
                    EngineEntry{std::move(filter), iface, from_broker,
                                client_sub});
+  scoring_index_.set(engine_id, std::move(scoring));  // no-op when neutral
   note_churn();
   return engine_id;
 }
@@ -70,6 +72,7 @@ std::uint64_t RoutingTable::add_entry(Filter filter, IfaceId iface,
 void RoutingTable::remove_entry(std::uint64_t engine_id) {
   matcher_->remove(engine_id);
   entries_.erase(engine_id);
+  scoring_index_.erase(engine_id);
   note_churn();
 }
 
@@ -193,7 +196,7 @@ void RoutingTable::note_churn() {
 }
 
 void RoutingTable::client_subscribe(IfaceId client, SubscriptionId sub_id,
-                                    Filter filter) {
+                                    Filter filter, ScoringSpec scoring) {
   add_client_iface(client);
   ClientIface& iface = client_ifaces_[client];
   if (const auto it = iface.engine_ids.find(sub_id);
@@ -201,7 +204,8 @@ void RoutingTable::client_subscribe(IfaceId client, SubscriptionId sub_id,
     remove_entry(it->second);  // replace semantics on duplicate sub_id
   }
   iface.engine_ids[sub_id] =
-      add_entry(std::move(filter), client, /*from_broker=*/false, sub_id);
+      add_entry(std::move(filter), client, /*from_broker=*/false, sub_id,
+                std::move(scoring));
 }
 
 bool RoutingTable::client_unsubscribe(IfaceId client, SubscriptionId sub_id) {
@@ -280,29 +284,30 @@ bool RoutingTable::broker_resync(IfaceId broker,
   return changed;
 }
 
-bool RoutingTable::client_resync(
-    IfaceId client,
-    const std::vector<std::pair<SubscriptionId, Filter>>& subs) {
+bool RoutingTable::client_resync(IfaceId client,
+                                 const std::vector<ClientSubscription>& subs) {
   add_client_iface(client);
   ClientIface& iface = client_ifaces_.at(client);
-  std::unordered_map<SubscriptionId, const Filter*> desired;
-  for (const auto& [sub_id, filter] : subs) desired.emplace(sub_id, &filter);
+  std::unordered_map<SubscriptionId, const ClientSubscription*> desired;
+  for (const ClientSubscription& sub : subs) desired.emplace(sub.sub_id, &sub);
   bool changed = false;
   for (auto it = iface.engine_ids.begin(); it != iface.engine_ids.end();) {
     const auto want = desired.find(it->first);
     if (want != desired.end() &&
-        entries_.at(it->second).filter.key() == want->second->key()) {
-      ++it;  // identical (sub_id, filter): keep, idempotent
+        entries_.at(it->second).filter.key() == want->second->filter.key() &&
+        entry_scoring(it->second) == want->second->scoring) {
+      ++it;  // identical (sub_id, filter, scoring): keep, idempotent
       continue;
     }
     remove_entry(it->second);
     it = iface.engine_ids.erase(it);
     changed = true;
   }
-  for (const auto& [sub_id, filter] : desired) {
+  for (const auto& [sub_id, sub] : desired) {
     if (iface.engine_ids.contains(sub_id)) continue;
-    iface.engine_ids[sub_id] =
-        add_entry(*filter, client, /*from_broker=*/false, sub_id);
+    iface.engine_ids[sub_id] = add_entry(sub->filter, client,
+                                         /*from_broker=*/false, sub_id,
+                                         sub->scoring);
     changed = true;
   }
   return changed;
@@ -325,6 +330,12 @@ std::uint64_t RoutingTable::client_iface_digest(IfaceId iface) const {
   for (const auto& [sub_id, engine_id] : it->second.engine_ids) {
     digest ^= util::hash_combine(util::fnv1a64(entries_.at(engine_id).filter.key()),
                                  sub_id);
+    // Fold non-neutral scoring specs so a spec change (same filter) is
+    // not mistaken for matching state; ScoringSpec::hash() is 0 for
+    // neutral specs, and folding nothing then keeps the PR 9 digest.
+    if (const ScoringSpec* spec = scoring_index_.find(engine_id)) {
+      digest ^= util::hash_combine(spec->hash(), sub_id);
+    }
   }
   return digest;
 }
@@ -354,17 +365,20 @@ std::vector<Filter> RoutingTable::forwarded_filters(IfaceId iface) const {
   return filters;
 }
 
-std::vector<std::pair<SubscriptionId, Filter>>
-RoutingTable::client_subscriptions(IfaceId client) const {
-  std::vector<std::pair<SubscriptionId, Filter>> subs;
+std::vector<ClientSubscription> RoutingTable::client_subscriptions(
+    IfaceId client) const {
+  std::vector<ClientSubscription> subs;
   const auto it = client_ifaces_.find(client);
   if (it == client_ifaces_.end()) return subs;
   subs.reserve(it->second.engine_ids.size());
   for (const auto& [sub_id, engine_id] : it->second.engine_ids) {
-    subs.emplace_back(sub_id, entries_.at(engine_id).filter);
+    subs.push_back(ClientSubscription{sub_id, entries_.at(engine_id).filter,
+                                      entry_scoring(engine_id)});
   }
   std::sort(subs.begin(), subs.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+            [](const ClientSubscription& a, const ClientSubscription& b) {
+              return a.sub_id < b.sub_id;
+            });
   return subs;
 }
 
@@ -376,9 +390,16 @@ std::string RoutingTable::state_fingerprint() const {
       lines.push_back("B " + std::to_string(entry.iface) + " " +
                       entry.filter.key());
     } else {
-      lines.push_back("C " + std::to_string(entry.iface) + " " +
-                      std::to_string(entry.client_sub) + " " +
-                      entry.filter.key());
+      std::string line = "C " + std::to_string(entry.iface) + " " +
+                         std::to_string(entry.client_sub) + " " +
+                         entry.filter.key();
+      // Non-neutral scoring is routing state too (a healed broker that
+      // lost a spec would over-deliver); neutral entries keep the PR 9
+      // fingerprint lines.
+      if (const ScoringSpec* spec = scoring_index_.find(engine_id)) {
+        line += " " + spec->summary();
+      }
+      lines.push_back(std::move(line));
     }
   }
   for (const auto& [iface, broker] : broker_ifaces_) {
@@ -598,6 +619,11 @@ RoutingTable::Destination RoutingTable::destination_of(
   return Destination{entry.iface, entry.from_broker, entry.client_sub};
 }
 
+ScoringSpec RoutingTable::entry_scoring(std::uint64_t engine_id) const {
+  const ScoringSpec* spec = scoring_index_.find(engine_id);
+  return spec != nullptr ? *spec : ScoringSpec{};
+}
+
 void RoutingTable::match(const Event& event,
                          std::vector<Destination>& out) const {
   std::vector<SubscriptionId> engine_hits;
@@ -618,6 +644,21 @@ void RoutingTable::match_batch(
     out[i].reserve(engine_hits[i].size());
     for (const std::uint64_t engine_id : engine_hits[i]) {
       out[i].push_back(destination_of(engine_id));
+    }
+  }
+}
+
+void RoutingTable::match_batch_scored(
+    std::span<const Event> events,
+    std::vector<std::vector<ScoredDestination>>& out) const {
+  std::vector<std::vector<ScoredHit>> engine_hits;
+  matcher_->match_batch_scored(events, scoring_index_, engine_hits);
+  out.assign(events.size(), {});
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    out[i].reserve(engine_hits[i].size());
+    for (const ScoredHit& hit : engine_hits[i]) {
+      out[i].push_back(ScoredDestination{destination_of(hit.id), hit.score,
+                                         scoring_index_.find(hit.id)});
     }
   }
 }

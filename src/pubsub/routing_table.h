@@ -98,6 +98,19 @@ class RoutingTable {
     SubscriptionId client_sub = 0;  ///< valid when !is_broker
   };
 
+  /// A destination decorated with its relevance score and, for client
+  /// subscriptions with a non-neutral ScoringSpec, the delivery policy to
+  /// apply (top_k / min_score). `scoring` is nullptr for neighbor-broker
+  /// destinations and for unscored subscriptions — forwarding between
+  /// brokers is boolean-only; suppression is an edge-delivery policy. The
+  /// pointer is owned by the table and stable until that subscription is
+  /// removed or replaced.
+  struct ScoredDestination {
+    Destination dest;
+    double score = kConstantScore;
+    const ScoringSpec* scoring = nullptr;
+  };
+
   /// Subscribe/unsubscribe delta for one neighbor, produced by refresh().
   struct Diff {
     std::vector<Filter> subscribe;
@@ -122,7 +135,10 @@ class RoutingTable {
   // --- subscription state ---------------------------------------------------
   /// Registers a client subscription; a duplicate (client, sub_id) pair
   /// replaces the previous filter. Implicitly declares the client iface.
-  void client_subscribe(IfaceId client, SubscriptionId sub_id, Filter filter);
+  /// `scoring` is the subscription's delivery policy; the default
+  /// (neutral) spec is a plain unscored subscription.
+  void client_subscribe(IfaceId client, SubscriptionId sub_id, Filter filter,
+                        ScoringSpec scoring = {});
 
   /// Retracts a client subscription. Returns false (and changes nothing)
   /// when the (client, sub_id) pair is unknown.
@@ -150,10 +166,10 @@ class RoutingTable {
   bool broker_resync(IfaceId broker, const std::vector<Filter>& want);
 
   /// Replace-all apply of a client's full subscription set. Idempotent on
-  /// (sub_id, filter-key) pairs. Returns true if anything changed.
-  bool client_resync(
-      IfaceId client,
-      const std::vector<std::pair<SubscriptionId, Filter>>& subs);
+  /// (sub_id, filter-key, scoring) triples. Returns true if anything
+  /// changed.
+  bool client_resync(IfaceId client,
+                     const std::vector<ClientSubscription>& subs);
 
   /// Order-independent digest of the filters received from a neighbor
   /// broker (XOR of per-filter key hashes; 0 when empty). The restarted
@@ -170,10 +186,9 @@ class RoutingTable {
   /// forwarded equals desired, then replay this).
   std::vector<Filter> forwarded_filters(IfaceId iface) const;
 
-  /// Live (sub_id, filter) pairs registered by `client`, sorted by id —
-  /// the broker side of the client resync replay.
-  std::vector<std::pair<SubscriptionId, Filter>> client_subscriptions(
-      IfaceId client) const;
+  /// Live subscriptions registered by `client` (filter + scoring spec),
+  /// sorted by id — the broker side of the client resync replay.
+  std::vector<ClientSubscription> client_subscriptions(IfaceId client) const;
 
   /// Canonical, engine-independent dump of the whole table: one sorted
   /// line per stored entry and per forwarded filter. Two tables with the
@@ -199,6 +214,17 @@ class RoutingTable {
   /// one destination vector per event, parallel to `events`.
   void match_batch(std::span<const Event> events,
                    std::vector<std::vector<Destination>>& out) const;
+
+  /// Scored batch matching through Matcher::match_batch_scored: same
+  /// destinations as match_batch, each decorated with its relevance score
+  /// and (for client subscriptions with a non-neutral spec) the delivery
+  /// policy. Scores are computed after the boolean match on the calling
+  /// thread, so they are identical for every engine/shard/worker config
+  /// that agrees on the match sets — which the Matcher contract
+  /// guarantees.
+  void match_batch_scored(std::span<const Event> events,
+                          std::vector<std::vector<ScoredDestination>>& out)
+      const;
 
   // --- introspection --------------------------------------------------------
   /// Total filters stored across all interfaces.
@@ -261,7 +287,7 @@ class RoutingTable {
   };
 
   std::uint64_t add_entry(Filter filter, IfaceId iface, bool from_broker,
-                          SubscriptionId client_sub);
+                          SubscriptionId client_sub, ScoringSpec scoring = {});
   void remove_entry(std::uint64_t engine_id);
   /// Counts one add/remove toward the maintenance budget and runs
   /// Matcher::maintain when the churn threshold trips or the skew
@@ -270,6 +296,8 @@ class RoutingTable {
   /// Runs one maintenance pass and resets the churn budget.
   void run_maintain();
   Destination destination_of(std::uint64_t engine_id) const;
+  /// The stored spec of an entry (neutral when it has none).
+  ScoringSpec entry_scoring(std::uint64_t engine_id) const;
 
   /// Filters visible on interfaces other than `excluded` (deduplicated by
   /// canonical key).
@@ -281,6 +309,9 @@ class RoutingTable {
 
   std::unique_ptr<Matcher> matcher_;
   std::unordered_map<std::uint64_t, EngineEntry> entries_;
+  /// Non-neutral specs by engine id, mirroring entries_ (the scored match
+  /// path's lookup surface; see Matcher::match_batch_scored).
+  ScoringIndex scoring_index_;
   std::uint64_t next_engine_id_ = 1;
 
   std::size_t churn_since_maintain_ = 0;

@@ -1,0 +1,167 @@
+// Relevance scoring and bounded (top-k / min-score) delivery policies for
+// the pub/sub substrate.
+//
+// Boolean matching decides *whether* a subscription matches an event;
+// scoring decorates that decision with a per-(filter, event) relevance
+// score so over-fanout from auto-generated subscriptions can be bounded at
+// the delivery edge (paper §4 / ROADMAP open item 1: at millions of users
+// every boolean match is a delivery, so a subscriber needs "the k most
+// relevant of this batch", not "everything").
+//
+// Two policies:
+//   * kConstant — every matching event scores kConstantScore (1.0). With
+//     top_k = 0 and min_score <= 0 this is the *neutral* spec: provably
+//     unable to suppress anything, byte-identical wire output to a run
+//     with scoring disabled (the property the neutral fuzz tier pins).
+//   * kBm25 — the event's designated text attributes are tokenized
+//     (ir::tokenize) into one bag of words and scored against a weighted
+//     term query with the BM25 term-frequency saturation formula
+//     (ir::Bm25Params k1/b; see bm25.h). There is no corpus at a broker,
+//     so document-frequency evidence rides in as the per-term query
+//     weights (e.g. Offer Weight scores from ir::select_terms) and length
+//     normalization uses the fixed kScoringAvgDocLen pivot — the score is
+//     a pure function of (spec, event), which is what makes scored
+//     delivery reproducible across engines, shards, and workers.
+//
+// Determinism rule (the contract the scored differential fuzz tier
+// enforces): scores are computed *after* boolean matching, from (spec,
+// event) alone, and the top-k cut breaks ties by ascending event order
+// within the publication batch — never by hit order, shard order, or
+// thread schedule. Identical match sets therefore imply identical scored
+// delivery, byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/term_weighting.h"
+#include "pubsub/event.h"
+#include "pubsub/filter.h"
+
+namespace reef::pubsub {
+
+/// Identifier a matcher client associates with a registered filter
+/// (redeclared from matcher.h; both aliases name the same type).
+using SubscriptionId = std::uint64_t;
+
+/// Score every constant-policy (and spec-less) match reports.
+inline constexpr double kConstantScore = 1.0;
+
+/// Fixed length-normalization pivot for the corpus-free BM25 policy: the
+/// designated text attributes are short (titles, snippets, file names), so
+/// the pivot is a constant rather than a corpus average — any fixed value
+/// keeps the score a pure function of (spec, event).
+inline constexpr double kScoringAvgDocLen = 16.0;
+
+enum class ScoringPolicy : std::uint8_t {
+  kConstant,  ///< every match scores kConstantScore
+  kBm25,      ///< BM25 TF saturation of a weighted term query
+};
+
+const char* scoring_policy_name(ScoringPolicy policy) noexcept;
+
+/// Per-subscription scoring + delivery policy. Travels with the client's
+/// subscription (ClientSubscribeMsg / CtrlOp), lives in the routing
+/// table's entry for it, and is applied by the delivering broker; neighbor
+/// brokers forward on boolean covering only — suppression is strictly an
+/// edge-delivery policy, so the overlay's subscription forwarding is
+/// untouched.
+struct ScoringSpec {
+  ScoringPolicy policy = ScoringPolicy::kConstant;
+  /// Weighted query terms (kBm25); weights are clamped to >= 0 like
+  /// ir::Bm25::score's weighted overload.
+  std::vector<ir::ScoredTerm> query;
+  /// Attribute names whose string values form the scored document, in
+  /// spec order (kBm25). Non-string or absent attributes contribute
+  /// nothing.
+  std::vector<std::string> text_attrs;
+  /// Deliver at most this many events per publication batch, keeping the
+  /// highest-scoring (ties: earliest event order). 0 = unlimited.
+  std::uint32_t top_k = 0;
+  /// Deliver only events scoring >= this (applied before the top-k cut).
+  double min_score = 0.0;
+
+  /// True when the spec provably cannot suppress a delivery and carries
+  /// no score information beyond the constant: the default-constructed
+  /// spec every unscored subscriber has. Neutral specs are not stored,
+  /// not metered on the wire, and not folded into resync digests — a
+  /// scoring-enabled broker serving only neutral subscribers produces
+  /// byte-identical wire traffic to a scoring-disabled one.
+  bool neutral() const noexcept {
+    return policy == ScoringPolicy::kConstant && top_k == 0 &&
+           min_score <= 0.0;
+  }
+
+  /// Wire-size contribution when riding a subscribe/resync message.
+  /// Exactly 0 for neutral specs so the disabled/neutral paths meter the
+  /// bytes they always did.
+  std::size_t wire_size() const noexcept;
+
+  /// Order-independent content hash, folded into the client resync
+  /// digests so a spec change (same filter) is not mistaken for matching
+  /// state. 0 for neutral specs.
+  std::uint64_t hash() const noexcept;
+
+  /// Canonical one-line rendering for fingerprints and traces, e.g.
+  /// score(bm25 k=2 min=0.5 q=[news:1.5,feed:1] attrs=[title,text]).
+  std::string summary() const;
+
+  friend bool operator==(const ScoringSpec&, const ScoringSpec&) = default;
+};
+
+/// One client subscription as carried by resync replays: the (sub_id,
+/// filter) pair of PR 9 plus its scoring spec.
+struct ClientSubscription {
+  SubscriptionId sub_id = 0;
+  Filter filter;
+  ScoringSpec scoring;
+};
+
+/// Relevance of `event` under `spec`. Pure and deterministic: no corpus,
+/// no clock, no randomness — equal (spec, event) pairs score equal on
+/// every broker, shard, and worker. kConstant returns kConstantScore;
+/// kBm25 tokenizes the designated text attributes into one bag of words
+/// and sums, in query order,
+///   max(weight, 0) * tf * (k1 + 1) / (tf + k1 * (1 - b + b * len / avg))
+/// with the default ir::Bm25Params and the kScoringAvgDocLen pivot. An
+/// event with no tokenizable text scores 0 under kBm25.
+double score_event(const ScoringSpec& spec, const Event& event);
+
+/// Bounded top-k selector over (score, event-order) candidates: keeps the
+/// k best by descending score, ties broken by ascending order — the
+/// deterministic tie rule the scored delivery contract requires. k = 0
+/// means unlimited (every offered candidate survives). Standard bounded
+/// priority queue: a k-sized heap with the *worst* kept candidate at the
+/// root, so each offer is O(log k) and order-insensitive.
+class TopKSelector {
+ public:
+  explicit TopKSelector(std::uint32_t k) : k_(k) {}
+
+  void offer(double score, std::uint32_t order);
+
+  /// Surviving candidates' orders, sorted ascending (canonical event
+  /// order — survivors are *delivered* in event order, never score
+  /// order). Resets the selector.
+  std::vector<std::uint32_t> take();
+
+  std::size_t size() const noexcept { return heap_.size(); }
+
+ private:
+  struct Entry {
+    double score = 0.0;
+    std::uint32_t order = 0;
+  };
+  /// True when `a` is a worse keep than `b` (lower score, or equal score
+  /// and later order). The heap is ordered so the worst entry is at the
+  /// root — the one an incoming better candidate evicts.
+  static bool worse(const Entry& a, const Entry& b) noexcept {
+    if (a.score != b.score) return a.score < b.score;
+    return a.order > b.order;
+  }
+
+  std::vector<Entry> heap_;  // min-heap by keep-priority (root = worst)
+  std::uint32_t k_ = 0;
+};
+
+}  // namespace reef::pubsub

@@ -26,6 +26,15 @@
 //      fingerprints identical at the quiesce point (zero lost
 //      control-plane ops), post-heal delivery sets identical, no stuck
 //      quarantines — across engines x shards x workers x flush budgets.
+//   5. Scored level: every subscription carries a deterministic
+//      ScoringSpec cycling the {constant, bm25} x {top_k 0/1/4} x
+//      {min_score 0/0.5} grid; a *software* scored oracle (brute-force
+//      matching + score_event + an independent top-k implementation)
+//      predicts the exact scored delivery lines and the broker suppression
+//      counters, and every engine x shards x workers x flush-budget
+//      configuration must reproduce them byte for byte. A separate
+//      neutral-property run pins scoring_enabled=true with all-neutral
+//      specs to the scoring-disabled trace, byte for byte.
 //
 // ## Schedule format (add your engine to the oracle matrix)
 //
@@ -905,6 +914,345 @@ TEST(DifferentialFuzz, FaultScheduleConvergesToNeverFaultedOracle) {
       // Data plane: post-heal delivery sets are oracle-identical.
       EXPECT_EQ(faulted.phase_b_deliveries, oracle.phase_b_deliveries)
           << label;
+    }
+  }
+}
+
+// --- level 5: scored-delivery differential replay ----------------------------
+
+/// Deterministic per-subscription scoring spec: the n-th subscription of a
+/// schedule (global ordinal, 1-based) walks the full {constant, bm25} x
+/// {top_k 0/1/4} x {min_score 0/0.5} grid, so every schedule interleaves
+/// neutral subscriptions (n = 12m) with every non-neutral combination.
+ScoringSpec fuzz_spec(std::size_t n) {
+  ScoringSpec spec;
+  spec.policy = (n % 2) ? ScoringPolicy::kBm25 : ScoringPolicy::kConstant;
+  static constexpr std::uint32_t kCuts[] = {0, 1, 4};
+  spec.top_k = kCuts[(n / 2) % 3];
+  spec.min_score = ((n / 6) % 2) ? 0.5 : 0.0;
+  if (spec.policy == ScoringPolicy::kBm25) {
+    // Terms that occur in fuzz_event's text/file values, with distinct
+    // weights so scores spread on both sides of the 0.5 threshold (events
+    // with no tokenizable text score 0 and fall below it).
+    spec.query = {{"abc", 1.0}, {"log", 2.0}, {"rss", 1.5}, {"say", 0.5}};
+    spec.text_attrs = {"text", "file"};
+  }
+  return spec;
+}
+
+/// One scored delivery line, exactly as the overlay handler renders it:
+/// the test-assigned global subscription ordinal (not the client-assigned
+/// SubscriptionId, which a software oracle cannot reproduce) plus the
+/// broker-computed score in Value's canonical double rendering.
+std::string scored_line(std::size_t slot, std::size_t ordinal, double score,
+                        const Event& event) {
+  return "c" + std::to_string(slot) + "/n" + std::to_string(ordinal) + " " +
+         Value(score).to_string() + " " + event.to_string();
+}
+
+/// What the scored dimension asserts on: the (sorted) delivery lines and
+/// the three suppression counters summed over all brokers.
+struct ScoredExpectation {
+  std::vector<std::string> lines;  // sorted
+  std::uint64_t scored_matches = 0;
+  std::uint64_t suppressed_by_k = 0;
+  std::uint64_t suppressed_by_threshold = 0;
+};
+
+/// Software scored oracle: brute-force matching, the production
+/// score_event, and an *independent* top-k implementation (sort + truncate
+/// instead of TopKSelector's bounded heap). Replays the schedule applying
+/// the broker's scored-delivery contract directly:
+///   window   = the events of one publish bundle matching the
+///              subscription (they reach its broker in one wire batch);
+///   echo     = the publisher's own subscriptions never receive;
+///   theshold = score < min_score suppresses before the cut;
+///   cut      = keep the top_k best by (score desc, event order asc);
+///   delivery = survivors in event order, neutral subs untouched.
+ScoredExpectation scored_software_oracle(const Schedule& schedule) {
+  struct SubState {
+    std::size_t slot = 0;
+    ScoringSpec spec;
+  };
+  BruteForceMatcher matcher;
+  std::map<SubscriptionId, SubState> live;
+  std::vector<std::vector<SubscriptionId>> stacks(kSlots);
+  ScoredExpectation expect;
+  SubscriptionId next_id = 1;
+  for (const FuzzOp& op : schedule.ops) {
+    switch (op.kind) {
+      case FuzzOp::Kind::kSubscribe: {
+        const SubscriptionId id = next_id++;
+        matcher.add(id, op.filter);
+        live.emplace(id, SubState{op.slot, fuzz_spec(id)});
+        stacks[op.slot].push_back(id);
+        break;
+      }
+      case FuzzOp::Kind::kUnsubscribe: {
+        auto& stack = stacks[op.slot];
+        if (stack.empty()) break;
+        matcher.remove(stack.back());
+        live.erase(stack.back());
+        stack.pop_back();
+        break;
+      }
+      case FuzzOp::Kind::kPublish: {
+        std::vector<std::vector<SubscriptionId>> hits;
+        matcher.match_batch(op.events, hits);
+        // Invert to per-subscription candidate windows (event indices in
+        // bundle order, which is the order they reach the sub's broker).
+        std::map<SubscriptionId, std::vector<std::size_t>> windows;
+        for (std::size_t i = 0; i < op.events.size(); ++i) {
+          for (const SubscriptionId id : hits[i]) {
+            if (live.at(id).slot == op.slot) continue;  // echo: never back
+            windows[id].push_back(i);
+          }
+        }
+        for (const auto& [id, window] : windows) {
+          const SubState& sub = live.at(id);
+          if (sub.spec.neutral()) {
+            for (const std::size_t i : window) {
+              expect.lines.push_back(
+                  scored_line(sub.slot, id, kConstantScore, op.events[i]));
+            }
+            continue;
+          }
+          expect.scored_matches += window.size();
+          struct Cand {
+            std::size_t index = 0;
+            double score = 0.0;
+          };
+          std::vector<Cand> eligible;
+          for (const std::size_t i : window) {
+            const double score = score_event(sub.spec, op.events[i]);
+            if (score < sub.spec.min_score) {
+              ++expect.suppressed_by_threshold;
+              continue;
+            }
+            eligible.push_back({i, score});
+          }
+          std::vector<Cand> kept = eligible;
+          if (sub.spec.top_k != 0 && kept.size() > sub.spec.top_k) {
+            std::sort(kept.begin(), kept.end(),
+                      [](const Cand& a, const Cand& b) {
+                        if (a.score != b.score) return a.score > b.score;
+                        return a.index < b.index;  // ties: earliest event
+                      });
+            kept.resize(sub.spec.top_k);
+            std::sort(kept.begin(), kept.end(),
+                      [](const Cand& a, const Cand& b) {
+                        return a.index < b.index;  // deliver in event order
+                      });
+            expect.suppressed_by_k += eligible.size() - kept.size();
+          }
+          for (const Cand& cand : kept) {
+            expect.lines.push_back(scored_line(sub.slot, id, cand.score,
+                                               op.events[cand.index]));
+          }
+        }
+        break;
+      }
+    }
+  }
+  std::sort(expect.lines.begin(), expect.lines.end());
+  return expect;
+}
+
+/// A scored overlay run: run_schedule_through_overlay with subscribe ops
+/// placed via subscribe_scored (specs by global ordinal, matching the
+/// software oracle) and the broker suppression counters collected.
+struct ScoredRun {
+  RunTrace trace;
+  std::uint64_t scored_matches = 0;
+  std::uint64_t suppressed_by_k = 0;
+  std::uint64_t suppressed_by_threshold = 0;
+};
+
+ScoredRun run_scored_schedule(const Schedule& schedule, std::uint64_t seed,
+                              const Broker::Config& config) {
+  sim::Simulator sim;
+  sim::Network::Config net_config;
+  net_config.default_latency = sim::kMillisecond;
+  net_config.jitter_fraction = 0.25;
+  net_config.seed = seed;
+  sim::Network net(sim, net_config);
+  Overlay overlay = Overlay::star(sim, net, 4, config);
+
+  ScoredRun run;
+  std::vector<std::unique_ptr<Client>> clients;
+  for (std::size_t c = 0; c < kSlots; ++c) {
+    auto client = std::make_unique<Client>(sim, net, "c" + std::to_string(c));
+    client->connect(overlay.broker(c % 4));
+    clients.push_back(std::move(client));
+  }
+  sim.run_until(sim.now() + sim::kSecond);
+
+  std::vector<std::vector<SubscriptionId>> stacks(kSlots);
+  std::size_t next_ordinal = 1;
+  for (const FuzzOp& op : schedule.ops) {
+    switch (op.kind) {
+      case FuzzOp::Kind::kSubscribe: {
+        const std::size_t slot = op.slot;
+        const std::size_t ordinal = next_ordinal++;
+        stacks[slot].push_back(clients[slot]->subscribe_scored(
+            op.filter, fuzz_spec(ordinal),
+            [&run, slot, ordinal](const Event& e, SubscriptionId,
+                                  double score) {
+              run.trace.delivery_log.push_back(
+                  scored_line(slot, ordinal, score, e));
+            }));
+        break;
+      }
+      case FuzzOp::Kind::kUnsubscribe: {
+        auto& stack = stacks[op.slot];
+        if (stack.empty()) break;
+        clients[op.slot]->unsubscribe(stack.back());
+        stack.pop_back();
+        break;
+      }
+      case FuzzOp::Kind::kPublish: {
+        clients[op.slot]->publish_batch(op.events);
+        break;
+      }
+    }
+    sim.run_until(sim.now() + 200 * sim::kMillisecond);
+  }
+  sim.run_until(sim.now() + sim::kMinute);
+
+  run.trace.total_messages = net.total_messages();
+  run.trace.total_bytes = net.total_bytes();
+  run.trace.total_units = net.total_units();
+  run.trace.messages_by_type = net.messages_by_type().items();
+  run.trace.bytes_by_type = net.bytes_by_type().items();
+  run.trace.units_by_type = net.units_by_type().items();
+  for (std::size_t b = 0; b < overlay.size(); ++b) {
+    const Broker::Stats& stats = overlay.broker(b).stats();
+    run.scored_matches += stats.scored_matches;
+    run.suppressed_by_k += stats.suppressed_by_k;
+    run.suppressed_by_threshold += stats.suppressed_by_threshold;
+  }
+  return run;
+}
+
+TEST(DifferentialFuzz, ScoredDeliveryMatchesScoredOracleAcrossConfigs) {
+  for (const std::uint64_t seed : fuzz_seeds()) {
+    const Schedule schedule = make_schedule(seed, 100);
+    const ScoredExpectation expected = scored_software_oracle(schedule);
+    ASSERT_FALSE(expected.lines.empty()) << "seed=" << seed;
+    // The dimension must actually bite: both suppression mechanisms fire
+    // somewhere in every schedule (the spec grid guarantees k=1 and
+    // min_score=0.5 subscriptions exist; bundles reach 8 events).
+    EXPECT_GT(expected.scored_matches, 0u) << "seed=" << seed;
+    EXPECT_GT(expected.suppressed_by_k, 0u) << "seed=" << seed;
+    EXPECT_GT(expected.suppressed_by_threshold, 0u) << "seed=" << seed;
+
+    // Overlay oracle: brute force, unsharded, per-tick flush, scoring on.
+    Broker::Config oracle_config;
+    oracle_config.matcher_engine = "brute-force";
+    oracle_config.maintain_churn_threshold = 0;
+    oracle_config.scoring_enabled = true;
+    const ScoredRun oracle =
+        run_scored_schedule(schedule, seed, oracle_config);
+    std::vector<std::string> oracle_sorted = oracle.trace.delivery_log;
+    std::sort(oracle_sorted.begin(), oracle_sorted.end());
+    ASSERT_EQ(oracle_sorted, expected.lines) << "seed=" << seed;
+    EXPECT_EQ(oracle.scored_matches, expected.scored_matches)
+        << "seed=" << seed;
+    EXPECT_EQ(oracle.suppressed_by_k, expected.suppressed_by_k)
+        << "seed=" << seed;
+    EXPECT_EQ(oracle.suppressed_by_threshold,
+              expected.suppressed_by_threshold)
+        << "seed=" << seed;
+
+    struct ScoredRow {
+      std::size_t shards = 1, workers = 0;
+      sim::Time flush_delay = 0;
+    };
+    const std::vector<ScoredRow> rows = {
+        {1, 0, 0}, {4, 4, 0}, {4, 0, 3 * sim::kMillisecond}};
+    for (const std::string engine :
+         {"brute-force", "anchor-index", "counting", "bitset"}) {
+      for (const ScoredRow& row : rows) {
+        Broker::Config config;
+        config.matcher_engine = "sharded:" + engine;
+        config.shard_count = row.shards;
+        config.worker_threads = row.workers;
+        config.maintain_churn_threshold = 16;
+        config.maintain_max_bucket = 4;
+        config.flush_max_delay_ticks = row.flush_delay;
+        config.scoring_enabled = true;
+        const ScoredRun run = run_scored_schedule(schedule, seed, config);
+        const std::string label =
+            engine + "/s" + std::to_string(row.shards) + "/w" +
+            std::to_string(row.workers) + "/d" +
+            std::to_string(row.flush_delay) + " seed=" + std::to_string(seed);
+        if (row.flush_delay == 0) {
+          // Same batch boundaries and timing: chronological byte equality
+          // with the scored overlay oracle.
+          EXPECT_EQ(run.trace.delivery_log, oracle.trace.delivery_log)
+              << label;
+        } else {
+          // The delay budget shifts timing, never the scored set: in this
+          // workload (200ms op spacing) it merges nothing, so windows —
+          // and therefore suppression — are identical.
+          std::vector<std::string> sorted_log = run.trace.delivery_log;
+          std::sort(sorted_log.begin(), sorted_log.end());
+          EXPECT_EQ(sorted_log, expected.lines) << label;
+        }
+        EXPECT_EQ(run.trace.total_messages, oracle.trace.total_messages)
+            << label;
+        EXPECT_EQ(run.trace.total_bytes, oracle.trace.total_bytes) << label;
+        EXPECT_EQ(run.trace.total_units, oracle.trace.total_units) << label;
+        EXPECT_EQ(run.trace.messages_by_type, oracle.trace.messages_by_type)
+            << label;
+        EXPECT_EQ(run.trace.bytes_by_type, oracle.trace.bytes_by_type)
+            << label;
+        EXPECT_EQ(run.scored_matches, expected.scored_matches) << label;
+        EXPECT_EQ(run.suppressed_by_k, expected.suppressed_by_k) << label;
+        EXPECT_EQ(run.suppressed_by_threshold,
+                  expected.suppressed_by_threshold)
+            << label;
+      }
+    }
+  }
+}
+
+/// The neutral property: scoring_enabled=true with exclusively neutral
+/// specs (every plain subscribe) is byte-identical to scoring disabled —
+/// same delivery log, same wire counters — on every registry engine, bare
+/// and through the sharded s4/w4 configuration (the row the TSan CI job
+/// exercises for cross-thread score plumbing).
+TEST(DifferentialFuzz, NeutralScoringByteIdenticalToDisabled) {
+  for (const std::uint64_t seed : fuzz_seeds()) {
+    const Schedule schedule = make_schedule(seed, 100);
+    for (const auto& name : MatcherRegistry::instance().names()) {
+      if (sharded_inner_engine(name)) continue;
+      for (const bool sharded : {false, true}) {
+        Broker::Config config;
+        config.matcher_engine = sharded ? "sharded:" + name : name;
+        if (sharded) {
+          config.shard_count = 4;
+          config.worker_threads = 4;
+        }
+        config.maintain_churn_threshold = 16;
+        config.maintain_max_bucket = 4;
+        const RunTrace off =
+            run_schedule_through_overlay(schedule, seed, config);
+        Broker::Config scored_config = config;
+        scored_config.scoring_enabled = true;
+        const RunTrace on =
+            run_schedule_through_overlay(schedule, seed, scored_config);
+        const std::string label = config.matcher_engine +
+                                  (sharded ? "/s4/w4" : "") +
+                                  " seed=" + std::to_string(seed);
+        EXPECT_EQ(on.delivery_log, off.delivery_log) << label;
+        EXPECT_EQ(on.total_messages, off.total_messages) << label;
+        EXPECT_EQ(on.total_bytes, off.total_bytes) << label;
+        EXPECT_EQ(on.total_units, off.total_units) << label;
+        EXPECT_EQ(on.messages_by_type, off.messages_by_type) << label;
+        EXPECT_EQ(on.bytes_by_type, off.bytes_by_type) << label;
+        EXPECT_EQ(on.units_by_type, off.units_by_type) << label;
+      }
     }
   }
 }

@@ -117,5 +117,58 @@ TEST(SequenceDetector, WorksEndToEndThroughClientSubscriptions) {
   EXPECT_EQ(fired, 1);
 }
 
+// Sequence semantics depend on deliveries arriving in publication order —
+// which is why scored delivery is specified to never reorder: survivors
+// leave in canonical event order, per-interface sub lists sort by id, and
+// scores only ever *remove* deliveries. This regression pins that rule
+// where it would bite hardest: two scored subscriptions on one interface
+// whose scores rank the same two events in *opposite* orders. If flush
+// ordering keyed on score, the two subscriptions would observe different
+// event orders and any sequence built on them would flip.
+TEST(SequenceDetector, ScoredDeliveryPreservesEventOrderAcrossInterfaces) {
+  sim::Simulator sim;
+  sim::Network::Config net_config;
+  net_config.default_latency = sim::kMillisecond;
+  net_config.jitter_fraction = 0.0;
+  sim::Network net(sim, net_config);
+  Broker::Config config;
+  config.scoring_enabled = true;
+  Broker broker(sim, net, "b", config);
+  Client pub(sim, net, "p");
+  Client sub(sim, net, "s");
+  pub.connect(broker);
+  sub.connect(broker);
+
+  const auto spec_for = [](const char* term) {
+    ScoringSpec spec;
+    spec.policy = ScoringPolicy::kBm25;
+    spec.query = {{term, 1.0}};
+    spec.text_attrs = {"text"};
+    return spec;  // k=0, min=0: scores ride along, nothing suppressed
+  };
+  std::vector<std::string> log;
+  const auto handler = [&log](const char* label) {
+    return [&log, label](const Event& e, SubscriptionId, double) {
+      log.push_back(std::string(label) + "/e" +
+                    std::to_string(e.find("seq")->as_int()));
+    };
+  };
+  // sa scores e0 ("log") high and e1 ("rss") zero; sb the reverse.
+  sub.subscribe_scored(Filter(), spec_for("log"), handler("sa"));
+  sub.subscribe_scored(Filter(), spec_for("rss"), handler("sb"));
+  sim.run_until(sim.now() + sim::kSecond);
+
+  pub.publish_batch({Event().with("seq", std::int64_t{0}).with("text", "log"),
+                     Event().with("seq", std::int64_t{1}).with("text", "rss")});
+  sim.run_until(sim.now() + sim::kSecond);
+
+  // Canonical order for both subscriptions: event order outer (e0 before
+  // e1), subscription id order inner — never score order. One coalesced
+  // wire batch carries it all.
+  EXPECT_EQ(log, (std::vector<std::string>{"sa/e0", "sb/e0", "sa/e1",
+                                           "sb/e1"}));
+  EXPECT_EQ(sub.batches_received(), 1u);
+}
+
 }  // namespace
 }  // namespace reef::pubsub
